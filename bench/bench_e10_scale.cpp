@@ -1,0 +1,87 @@
+// E10 — scaling with distribution: how the cost of reads and atomic
+// snapshots grows as the collection's state is scattered over more
+// fragments ("physically different parts of it may be scattered across many
+// nodes", section 3).
+//
+// Sweeps fragment count at fixed membership. Reports simulated latency and
+// RPC message cost of a loose read_all, an atomic snapshot, and a full
+// optimistic iteration.
+//
+// Expected shape: read_all grows linearly in fragments (one snapshot RPC
+// each, issued sequentially); snapshot_atomic grows steeper (freeze +
+// read + unfreeze per fragment — 3 sequential rounds); the full iteration
+// is dominated by element fetches, so fragmentation barely moves it.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_ScaleWithFragments(benchmark::State& state) {
+  const int fragments = static_cast<int>(state.range(0));
+  const int n = 32;
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 16;
+    config.near = Duration::millis(10);
+    config.far = Duration::millis(30);  // flat-ish: isolate fan-out cost
+    World world{config};
+    const CollectionId coll = world.make_collection(n, fragments);
+    RepositoryClient client{*world.repo, world.client_node};
+
+    // Loose read.
+    std::uint64_t calls_before = world.net->stats().calls;
+    SimTime start = world.sim.now();
+    const auto loose = run_task(
+        world.sim, [](RepositoryClient& c, CollectionId id)
+                       -> Task<Result<std::vector<ObjectRef>>> {
+          co_return co_await c.read_all(id);
+        }(client, coll));
+    assert(loose.has_value());
+    (void)loose;
+    state.counters["read_all_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["read_all_rpcs"] =
+        static_cast<double>(world.net->stats().calls - calls_before);
+
+    // Atomic snapshot.
+    calls_before = world.net->stats().calls;
+    start = world.sim.now();
+    const auto snap = run_task(
+        world.sim, [](RepositoryClient& c, CollectionId id)
+                       -> Task<Result<std::vector<ObjectRef>>> {
+          co_return co_await c.snapshot_atomic(id);
+        }(client, coll));
+    assert(snap.has_value());
+    (void)snap;
+    state.counters["snapshot_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["snapshot_rpcs"] =
+        static_cast<double>(world.net->stats().calls - calls_before);
+
+    // Full optimistic iteration.
+    WeakSet set{client, coll};
+    calls_before = world.net->stats().calls;
+    start = world.sim.now();
+    auto iterator = set.elements(Semantics::kFig6Optimistic);
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+    assert(result.finished());
+    (void)result;
+    state.counters["iterate_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["iterate_rpcs"] =
+        static_cast<double>(world.net->stats().calls - calls_before);
+  }
+}
+BENCHMARK(BM_ScaleWithFragments)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E11 — indexed archives: the WAIS-style substrate. When does a per-node
+// inverted index beat the sweep scan for the paper's query workloads
+// ("papers by a particular author")?
+//
+// Corpus-size sweep; each trial runs the same single-token CONTAINS query
+// through (a) the sweep-only scan service and (b) the indexed scan service
+// (first query pays the lazy index build, second is pure lookup).
+//
+// Expected shape: sweep latency linear in corpus size; indexed steady-state
+// latency tracks the (small) result set, beating the sweep by orders of
+// magnitude at large corpora; the build cost equals roughly one sweep and
+// amortises after the first query.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fs/dist_fs.hpp"
+#include "query/query_set.hpp"
+#include "query/scan.hpp"
+
+namespace weakset::bench {
+namespace {
+
+constexpr const char* kAuthors[] = {"wing", "steere", "garlan", "liskov"};
+
+void populate_archive(World& world, int corpus) {
+  DistFileSystem fs{*world.repo};
+  Rng rng{world.topo.node_count() + static_cast<std::uint64_t>(corpus)};
+  for (int i = 0; i < corpus; ++i) {
+    const char* author = kAuthors[rng.uniform(4)];
+    fs.create_unlinked_file(world.servers[0], "paper" + std::to_string(i),
+                            "a paper by " + std::string(author) +
+                                " about weak consistency number " +
+                                std::to_string(i));
+  }
+}
+
+Duration run_query(World& world) {
+  RepositoryClient client{*world.repo, world.client_node};
+  QuerySetView view{client, PredicateSpec::contains("wing"),
+                    {world.servers[0]}};
+  const SimTime start = world.sim.now();
+  const auto members = run_task(
+      world.sim, [](QuerySetView& q) -> Task<Result<std::vector<ObjectRef>>> {
+        co_return co_await q.read_members();
+      }(view));
+  assert(members.has_value());
+  (void)members;
+  return world.sim.now() - start;
+}
+
+void BM_SweepScan(benchmark::State& state) {
+  const int corpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 1;
+    World world{config};
+    populate_archive(world, corpus);
+    QueryService service{*world.repo};
+    service.install_all();
+    state.counters["query_ms"] = run_query(world).as_millis();
+  }
+}
+BENCHMARK(BM_SweepScan)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IndexedScan(benchmark::State& state) {
+  const int corpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 1;
+    World world{config};
+    populate_archive(world, corpus);
+    IndexedQueryService service{*world.repo};
+    service.install_all();
+    state.counters["first_query_ms"] = run_query(world).as_millis();
+    state.counters["steady_query_ms"] = run_query(world).as_millis();
+    state.counters["rebuilds"] = static_cast<double>(service.rebuilds());
+  }
+}
+BENCHMARK(BM_IndexedScan)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// E12 — the quality/latency curve of bounded-time retrieval.
+//
+// Dynamic sets exist to serve interactive users: "We can return information
+// to the user more quickly by yielding partial information" (section 1.1).
+// A user waits only so long — so: how many elements does a session deliver
+// within a time budget B, with and without closest-first ordering?
+//
+// Expected shape: a classic concave quality curve — the near half of the
+// set arrives in the first fraction of the budget, the far tail dominates
+// completion; closest-first shifts the curve up at every budget below
+// completion time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fs/ls.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_QualityVsBudget(benchmark::State& state) {
+  const int budget_ms = static_cast<int>(state.range(0));
+  const bool closest_first = state.range(1) == 1;
+  const int files = 32;
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 8;
+    config.near = Duration::millis(2);
+    config.far = Duration::millis(250);
+    World world{config};
+    DistFileSystem fs{*world.repo};
+    const Directory dir = fs.mkdir(world.servers[0]);
+    for (int i = 0; i < files; ++i) {
+      fs.create_file(dir,
+                     world.servers[static_cast<std::size_t>(i) % 8],
+                     "f" + std::to_string(i), "x");
+    }
+    RepositoryClient client{*world.repo, world.client_node};
+    DynSetOptions options;
+    options.prefetch_depth = 4;
+    options.order =
+        closest_first ? PickOrder::kClosestFirst : PickOrder::kGiven;
+    options.session_budget = Duration::millis(budget_ms);
+    options.membership_refresh = Duration::millis(50);
+    const LsResult result =
+        run_task(world.sim, ls_dynamic(client, dir, options));
+    state.counters["delivered_pct"] =
+        100.0 * static_cast<double>(result.names().size()) / files;
+    state.counters["complete"] = result.complete() ? 1 : 0;
+  }
+}
+BENCHMARK(BM_QualityVsBudget)
+    ->ArgsProduct({{100, 200, 400, 800, 1600}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E1 — the section 1.1 claim: dynamic sets cut latency by yielding partial
+// information and fetching in parallel.
+//
+// ls over a directory of d files spread across k servers: strict POSIX ls
+// (all files fetched before anything returns) vs dynamic-set ls. Reports
+// simulated time to the FIRST entry and to the LAST entry.
+//
+// Expected shape: dynamic time-to-first is roughly one membership read plus
+// one near fetch, independent of d; strict time-to-first equals its
+// time-to-last and grows with d. Dynamic time-to-last also wins via
+// parallel prefetch (bounded by depth).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fs/ls.hpp"
+
+namespace weakset::bench {
+namespace {
+
+Directory make_directory(World& world, int files) {
+  DistFileSystem fs{*world.repo};
+  const Directory dir = fs.mkdir(world.servers[0]);
+  for (int i = 0; i < files; ++i) {
+    const NodeId home =
+        world.servers[static_cast<std::size_t>(i) % world.servers.size()];
+    char name[32];
+    std::snprintf(name, sizeof name, "file%04d.txt", i);
+    fs.create_file(dir, home, name, "contents");
+  }
+  return dir;
+}
+
+void BM_StrictLs(benchmark::State& state) {
+  const int files = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 8;
+    World world{config};
+    const Directory dir = make_directory(world, files);
+    RepositoryClient client{*world.repo, world.client_node};
+    const SimTime start = world.sim.now();
+    const LsResult result = run_task(world.sim, ls_strict(client, dir));
+    state.counters["first_ms"] =
+        result.names().empty()
+            ? 0
+            : (result.arrival_times().front() - start).as_millis();
+    state.counters["all_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["entries"] = static_cast<double>(result.names().size());
+  }
+}
+BENCHMARK(BM_StrictLs)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DynamicLs(benchmark::State& state) {
+  const int files = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 8;
+    World world{config};
+    const Directory dir = make_directory(world, files);
+    RepositoryClient client{*world.repo, world.client_node};
+    DynSetOptions options;
+    options.prefetch_depth = static_cast<std::size_t>(depth);
+    options.order = PickOrder::kClosestFirst;
+    const SimTime start = world.sim.now();
+    const LsResult result =
+        run_task(world.sim, ls_dynamic(client, dir, options));
+    state.counters["first_ms"] =
+        result.names().empty()
+            ? 0
+            : (result.arrival_times().front() - start).as_millis();
+    state.counters["all_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["entries"] = static_cast<double>(result.names().size());
+  }
+}
+BENCHMARK(BM_DynamicLs)
+    ->ArgsProduct({{8, 32, 128}, {1, 4, 16}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// E2 — the section 3 claim: optimistic handling buys availability under
+// failures; pessimistic handling gives up.
+//
+// At query start each member-holding server is down with probability p; the
+// outages are TRANSIENT (repaired after 1.5s — "the failure has been
+// repaired by that time", section 3). Over seeded trials:
+//   fig3 (pessimistic)  yields what is reachable, then signals failure —
+//                       the user never gets the full set unless nothing was
+//                       down.
+//   fig6 (optimistic)   blocks over the outage and always completes, paying
+//                       time instead of completeness.
+// Reports completion rate, mean retrieved fraction, and mean time.
+//
+// Expected shape: fig3 completion collapses as (1-p)^5 with bounded time;
+// fig6 completes 100% at every p, with mean time stepping up by the outage
+// duration once any server is down.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+constexpr int kTrials = 24;
+constexpr int kObjects = 32;
+constexpr Duration kOutage = Duration::millis(1500);
+
+struct TrialOutcome {
+  TrialOutcome(bool completed, double retrieved, Duration time)
+      : completed(completed), retrieved(retrieved), time(time) {}
+  bool completed;
+  double retrieved;
+  Duration time;
+};
+
+TrialOutcome run_trial(Semantics semantics, double p, std::uint64_t seed) {
+  WorldConfig config;
+  config.servers = 6;
+  config.seed = seed;
+  World world{config};
+  const CollectionId coll = world.make_collection(kObjects);
+  RepositoryClient client{*world.repo, world.client_node};
+  WeakSet set{client, coll};
+
+  Rng rng{seed ^ 0xdead};
+  // The collection primary (servers[0]) stays up: we measure element
+  // availability; directory availability is covered by E5.
+  for (std::size_t i = 1; i < world.servers.size(); ++i) {
+    if (rng.bernoulli(p)) {
+      world.topo.crash(world.servers[i]);
+      const NodeId node = world.servers[i];
+      world.sim.schedule(kOutage, [&world, node] { world.topo.restart(node); });
+    }
+  }
+
+  IteratorOptions options;
+  options.retry = RetryPolicy::forever(Duration::millis(100));
+  auto iterator = set.elements(semantics, options);
+  const SimTime start = world.sim.now();
+  const DrainResult result = run_task(world.sim, drain(*iterator));
+  return TrialOutcome{result.finished() && result.count() == kObjects,
+                      static_cast<double>(result.count()) / kObjects,
+                      world.sim.now() - start};
+}
+
+void BM_Availability(benchmark::State& state) {
+  const bool optimistic = state.range(0) == 1;
+  const double p = static_cast<double>(state.range(1)) / 100.0;
+  const Semantics semantics = optimistic ? Semantics::kFig6Optimistic
+                                         : Semantics::kFig3ImmutableFailAware;
+  for (auto _ : state) {
+    int completed = 0;
+    double retrieved = 0;
+    double total_ms = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const TrialOutcome outcome =
+          run_trial(semantics, p, 1000 + static_cast<std::uint64_t>(trial));
+      completed += outcome.completed ? 1 : 0;
+      retrieved += outcome.retrieved;
+      total_ms += outcome.time.as_millis();
+    }
+    state.counters["completed_pct"] = 100.0 * completed / kTrials;
+    state.counters["retrieved_pct"] = 100.0 * retrieved / kTrials;
+    state.counters["mean_ms"] = total_ms / kTrials;
+  }
+}
+BENCHMARK(BM_Availability)
+    ->ArgsProduct({{0, 1}, {0, 10, 25, 50, 75}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

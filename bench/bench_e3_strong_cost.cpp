@@ -1,0 +1,111 @@
+// E3 — the section 3.1/3.2 cost claims: "preventing mutation requires
+// distributed locking; allowing only growth requires the ability either to
+// prevent certain mutations or to cache the entire set" and "distributed
+// atomic actions are extremely expensive in practice".
+//
+// M concurrent mutator processes hammer the set while one reader iterates
+// under (a) Figure 3 with the freeze lock enforced, (b) Figure 4 (atomic
+// snapshot), (c) Figure 6 (optimistic, no exclusion). Reports the reader's
+// completion time and the mutators' throughput during the run.
+//
+// Expected shape: freeze blocks every mutation for the whole run (mutator
+// ops/s collapses as reader time grows); the snapshot blocks mutators only
+// during the cut (brief dip); optimistic leaves mutators untouched and the
+// reader is fastest.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+struct MutatorCounters {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+};
+
+Task<void> mutator_process(World& world, CollectionId coll,
+                           MutatorCounters& counters, std::uint64_t seed,
+                           const bool& stop) {
+  Rng rng{seed};
+  RepositoryClient client{*world.repo, world.servers[1]};
+  while (!stop) {
+    co_await world.sim.delay(rng.exponential(Duration::millis(20)));
+    if (stop) co_return;
+    const ObjectRef target = rng.pick(world.objects);
+    // Toggle membership: remove if present else add; either way it is one
+    // membership RPC against the responsible fragment primary. (Plain
+    // if/else: GCC 12 miscompiles co_await inside ?:, see DESIGN.md 6.)
+    Result<bool> result{false};
+    if (rng.bernoulli(0.5)) {
+      result = co_await client.add(coll, target);
+    } else {
+      result = co_await client.remove(coll, target);
+    }
+    if (result) {
+      ++counters.completed;
+    } else {
+      ++counters.failed;
+    }
+  }
+}
+
+void BM_StrongSemanticsCost(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));  // 0 freeze 1 snap 2 opt
+  const int mutators = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 4;
+    World world{config};
+    const CollectionId coll = world.make_collection(24, /*fragments=*/2);
+    RepositoryClient client{*world.repo, world.client_node};
+    WeakSet set{client, coll};
+
+    MutatorCounters counters;
+    bool stop = false;
+    for (int m = 0; m < mutators; ++m) {
+      world.sim.spawn(mutator_process(world, coll, counters,
+                                      50 + static_cast<std::uint64_t>(m),
+                                      stop));
+    }
+
+    Semantics semantics = Semantics::kFig6Optimistic;
+    IteratorOptions options;
+    if (mode == 0) {
+      semantics = Semantics::kFig3ImmutableFailAware;
+      options.enforce_freeze = true;
+    } else if (mode == 1) {
+      semantics = Semantics::kFig4Snapshot;
+    }
+    options.retry = RetryPolicy{20, Duration::millis(100)};
+
+    auto iterator = set.elements(semantics, options);
+    const SimTime start = world.sim.now();
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+    const Duration reader_time = world.sim.now() - start;
+    stop = true;
+    // Let in-flight mutations settle so counters are comparable.
+    world.sim.run_until(world.sim.now() + Duration::seconds(3));
+
+    state.counters["reader_ms"] = reader_time.as_millis();
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["reader_ok"] = result.finished() ? 1 : 0;
+    state.counters["mut_ops"] = static_cast<double>(counters.completed);
+    state.counters["mut_failed"] = static_cast<double>(counters.failed);
+    state.counters["mut_ops_per_s"] =
+        reader_time.as_seconds() > 0
+            ? static_cast<double>(counters.completed) /
+                  reader_time.as_seconds()
+            : 0;
+  }
+}
+BENCHMARK(BM_StrongSemanticsCost)
+    ->ArgsProduct({{0, 1, 2}, {1, 4, 16}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

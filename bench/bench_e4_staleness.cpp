@@ -1,0 +1,88 @@
+// E4 — consistency vs currency (the Garcia-Molina/Wiederhold taxonomy the
+// paper maps itself onto in section 4): quantify how stale replica reads
+// erode even the weakest guarantee.
+//
+// The client reads membership from a NEARBY REPLICA that lags the primary
+// by the anti-entropy pull interval, while churn mutates the primary. The
+// optimistic iterator runs over the stale view; the spec layer counts
+// Figure 6 window violations (yields of elements that were not members at
+// any state during the run) against ground truth.
+//
+// Expected shape: violations and ghost yields grow with the pull interval
+// (staleness) and with the churn rate; with a fresh primary read
+// (interval → 0) they vanish.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_StalenessErosion(benchmark::State& state) {
+  const int pull_ms = static_cast<int>(state.range(0));
+  const int churn_ms = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 3;
+    config.near = Duration::millis(2);
+    config.far = Duration::millis(120);
+    config.server_options.pull_interval = Duration::millis(pull_ms);
+    World world{config};
+    // Collection primary on the FAR server (servers[2]); replica NEAR
+    // (servers[0]); the nearest-read client will use the replica.
+    const CollectionId coll =
+        world.repo->create_collection({world.servers[2]});
+    for (int i = 0; i < 24; ++i) {
+      const ObjectRef ref = world.repo->create_object(
+          world.servers[static_cast<std::size_t>(i % 2)],
+          "obj" + std::to_string(i));
+      world.objects.push_back(ref);
+      world.repo->seed_member(coll, ref);
+    }
+    world.repo->add_replica(coll, 0, world.servers[0]);
+    // Let the replica converge on the initial membership.
+    world.sim.run_until(world.sim.now() + Duration::millis(4 * pull_ms + 50));
+
+    spec::TimelineProbe probe{*world.repo, coll};
+    world.spawn_churn(coll, Duration::millis(churn_ms),
+                      /*remove_bias=*/0.5,
+                      world.sim.now() + Duration::seconds(2),
+                      config.seed ^ 0xe4);
+
+    RepositoryClient client{*world.repo, world.client_node};  // kNearest
+    WeakSet set{client, coll};
+    spec::RepoGroundTruth truth{*world.repo, coll, world.client_node};
+    spec::TraceRecorder recorder{truth};
+    IteratorOptions options;
+    options.recorder = &recorder;
+    options.retry = RetryPolicy{20, Duration::millis(100)};
+    auto iterator = set.elements(Semantics::kFig6Optimistic, options);
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+
+    const auto trace = recorder.finish();
+    const auto report = spec::check_fig6(trace, probe.timeline());
+    // Ghost yields: delivered elements that are not members at the end.
+    const auto final_value = probe.timeline().value_at(trace.last_time());
+    std::size_t ghosts = 0;
+    for (const auto& [r, v] : result.elements()) {
+      if (final_value.count(r) == 0) ++ghosts;
+    }
+
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["fig6_violations"] =
+        static_cast<double>(report.violation_count());
+    state.counters["ghost_yields"] = static_cast<double>(ghosts);
+  }
+}
+BENCHMARK(BM_StalenessErosion)
+    ->ArgsProduct({{20, 200, 1000}, {10, 40}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

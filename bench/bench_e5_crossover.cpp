@@ -1,0 +1,123 @@
+// E5 — the section 3 guidance: pessimistic handling "is an appropriate
+// choice" only "in an environment in which mutation and failures are rare".
+// Where is the crossover?
+//
+// Member-holding servers flap (independent transient outages with mean
+// uptime U and fixed outage duration). Two strategies race to retrieve the
+// FULL set:
+//   pessimistic    Figure 3; on failure, back off 200ms and restart the
+//                  whole query from scratch (re-fetching everything)
+//   optimistic     Figure 6 with forever-retry (partial progress is kept;
+//                  blocked elements are awaited)
+// Reports mean completion time and RPC count over seeds, per flap rate.
+//
+// Expected shape: with no failures the two are equal (pessimism costs
+// nothing); as flapping increases, pessimistic restarts compound (wasted
+// re-fetches, sometimes repeated failures) while optimistic time grows only
+// by the waited-out outages — the curves cross early and diverge.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+constexpr int kObjects = 24;
+constexpr int kTrials = 10;
+
+Task<void> flapper(World& world, NodeId node, Duration mean_up,
+                   Duration outage, std::uint64_t seed, const bool& stop) {
+  Rng rng{seed};
+  for (;;) {
+    co_await world.sim.delay(rng.exponential(mean_up));
+    if (stop) co_return;
+    world.topo.crash(node);
+    co_await world.sim.delay(outage);
+    world.topo.restart(node);
+    if (stop) co_return;
+  }
+}
+
+struct TrialResult {
+  TrialResult(Duration time, std::uint64_t rpcs, int restarts)
+      : time(time), rpcs(rpcs), restarts(restarts) {}
+  Duration time;
+  std::uint64_t rpcs;
+  int restarts;
+};
+
+Task<TrialResult> pessimistic_until_complete(World& world, WeakSet& set) {
+  const SimTime start = world.sim.now();
+  int restarts = 0;
+  for (;;) {
+    auto iterator = set.elements(Semantics::kFig3ImmutableFailAware);
+    const DrainResult result = co_await drain(*iterator);
+    if (result.finished()) {
+      co_return TrialResult{world.sim.now() - start,
+                            world.net->stats().calls, restarts};
+    }
+    ++restarts;
+    co_await world.sim.delay(Duration::millis(200));
+  }
+}
+
+Task<TrialResult> optimistic_until_complete(World& world, WeakSet& set) {
+  const SimTime start = world.sim.now();
+  IteratorOptions options;
+  options.retry = RetryPolicy::forever(Duration::millis(200));
+  auto iterator = set.elements(Semantics::kFig6Optimistic, options);
+  const DrainResult result = co_await drain(*iterator);
+  (void)result;
+  co_return TrialResult{world.sim.now() - start, world.net->stats().calls, 0};
+}
+
+void BM_Crossover(benchmark::State& state) {
+  const bool optimistic = state.range(0) == 1;
+  const int mean_up_ms = static_cast<int>(state.range(1));  // 0 = no flapping
+  for (auto _ : state) {
+    double total_ms = 0;
+    double total_rpcs = 0;
+    double total_restarts = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      WorldConfig config;
+      config.servers = 4;
+      config.seed = 300 + static_cast<std::uint64_t>(trial);
+      World world{config};
+      const CollectionId coll = world.make_collection(kObjects);
+      RepositoryClient client{*world.repo, world.client_node};
+      WeakSet set{client, coll};
+
+      bool stop = false;
+      if (mean_up_ms > 0) {
+        // The collection primary stays up; member homes flap.
+        for (std::size_t i = 1; i < world.servers.size(); ++i) {
+          world.sim.spawn(flapper(world, world.servers[i],
+                                  Duration::millis(mean_up_ms),
+                                  Duration::millis(400),
+                                  config.seed ^ (0xf1a0 + i), stop));
+        }
+      }
+
+      const TrialResult result = run_task(
+          world.sim, optimistic ? optimistic_until_complete(world, set)
+                                : pessimistic_until_complete(world, set));
+      stop = true;
+      total_ms += result.time.as_millis();
+      total_rpcs += static_cast<double>(result.rpcs);
+      total_restarts += result.restarts;
+    }
+    state.counters["mean_ms"] = total_ms / kTrials;
+    state.counters["mean_rpcs"] = total_rpcs / kTrials;
+    state.counters["mean_restarts"] = total_restarts / kTrials;
+  }
+}
+BENCHMARK(BM_Crossover)
+    ->ArgsProduct({{0, 1}, {0, 8000, 3000, 1200}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,203 @@
+// E7 — the section 3.3 implementation variants:
+//
+//  (a) Ghost-delete pinning: "To ensure that sets only grow during the
+//      iterator's use of the set, we can prevent objects from being deleted
+//      until the iterator terminates ... and then garbage collect these
+//      'ghost' copies upon termination." Compares three ways to run a
+//      pessimistic reader under add+remove churn:
+//        freeze   (Fig 3 + lock)   — blocks ALL mutations
+//        pin      (Fig 5 + pin)    — blocks only removals (ghosts)
+//        none     (Fig 5 bare)     — blocks nothing; grow-only constraint
+//                                    may be violated by the environment
+//      Reports reader outcome, mutator throughput, and whether the run
+//      window really was grow-only (conformance).
+//
+//  (b) Quorum reads: "one could easily specify the iterator to use a quorum
+//      or token-based scheme." Sweeps quorum size r over 1 primary + 2
+//      replicas with slow anti-entropy; reports read freshness (missed
+//      recent adds) and read latency.
+//
+// Expected shape: (a) mutator ops: none > pin > freeze, while pin still
+// guarantees a grow-only window (0 constraint violations) — the paper's
+// point that grow-only is cheaper to enforce than immutability;
+// (b) larger quorums read fresher membership at higher latency.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// (a) ghost-delete pinning
+
+struct MutatorCounters {
+  std::uint64_t adds = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t failed = 0;
+};
+
+// Churn is bounded by a deadline: with unbounded growth the pessimistic
+// reader "may never terminate" (section 3.3) — true, but not measurable.
+Task<void> mutator_process(World& world, CollectionId coll,
+                           MutatorCounters& counters, std::uint64_t seed,
+                           SimTime until) {
+  Rng rng{seed};
+  RepositoryClient client{*world.repo, world.servers[1]};
+  std::uint64_t next = 2'000'000;
+  while (world.sim.now() < until) {
+    co_await world.sim.delay(rng.exponential(Duration::millis(15)));
+    if (world.sim.now() >= until) co_return;
+    if (rng.bernoulli(0.5)) {
+      const ObjectRef ref = world.repo->create_object(
+          rng.pick(world.servers), "m" + std::to_string(next++));
+      world.objects.push_back(ref);
+      const auto result = co_await client.add(coll, ref);
+      if (result) {
+        ++counters.adds;
+      } else {
+        ++counters.failed;
+      }
+    } else {
+      const ObjectRef victim = rng.pick(world.objects);
+      const auto result = co_await client.remove(coll, victim);
+      if (result) {
+        ++counters.removes;
+      } else {
+        ++counters.failed;
+      }
+    }
+  }
+}
+
+void BM_GrowOnlyEnforcement(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));  // 0 freeze 1 pin 2 none
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 4;
+    World world{config};
+    const CollectionId coll = world.make_collection(24);
+    spec::TimelineProbe probe{*world.repo, coll};
+    ClientOptions copts;
+    copts.read_policy = ReadPolicy::kPrimaryOnly;
+    RepositoryClient client{*world.repo, world.client_node, copts};
+    WeakSet set{client, coll};
+
+    MutatorCounters counters;
+    const SimTime churn_until = world.sim.now() + Duration::seconds(2);
+    for (int m = 0; m < 4; ++m) {
+      world.sim.spawn(mutator_process(world, coll, counters,
+                                      70 + static_cast<std::uint64_t>(m),
+                                      churn_until));
+    }
+
+    spec::RepoGroundTruth truth{*world.repo, coll, world.client_node};
+    spec::TraceRecorder recorder{truth};
+    Semantics semantics = Semantics::kFig5GrowOnlyPessimistic;
+    IteratorOptions options;
+    options.recorder = &recorder;
+    if (mode == 0) {
+      semantics = Semantics::kFig3ImmutableFailAware;
+      options.enforce_freeze = true;
+    } else if (mode == 1) {
+      options.enforce_grow_only = true;
+    }
+
+    auto iterator = set.elements(semantics, options);
+    const SimTime start = world.sim.now();
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+    const Duration reader_time = world.sim.now() - start;
+    world.sim.run_until(world.sim.now() + Duration::seconds(3));
+
+    const auto trace = recorder.finish();
+    state.counters["reader_ms"] = reader_time.as_millis();
+    state.counters["reader_ok"] = result.finished() ? 1 : 0;
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["mut_ops"] =
+        static_cast<double>(counters.adds + counters.removes);
+    state.counters["mut_failed"] = static_cast<double>(counters.failed);
+    state.counters["window_grow_only"] =
+        spec::check_constraint_grow_only(probe.timeline(), trace.first_time(),
+                                         trace.last_time())
+                .satisfied()
+            ? 1
+            : 0;
+  }
+}
+BENCHMARK(BM_GrowOnlyEnforcement)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// (b) quorum reads
+
+void BM_QuorumFreshness(benchmark::State& state) {
+  const std::size_t quorum = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 3;
+    config.near = Duration::millis(2);
+    config.far = Duration::millis(80);
+    config.server_options.pull_interval = Duration::millis(500);  // slow
+    World world{config};
+    // Primary on the FAR server, replicas nearer.
+    const CollectionId coll =
+        world.repo->create_collection({world.servers[2]});
+    world.repo->add_replica(coll, 0, world.servers[0]);
+    world.repo->add_replica(coll, 0, world.servers[1]);
+
+    // Seed 16 members, let replicas converge, then add 8 "recent" members
+    // the replicas have not pulled yet.
+    for (int i = 0; i < 16; ++i) {
+      const ObjectRef ref =
+          world.repo->create_object(world.servers[0], "old" + std::to_string(i));
+      world.repo->seed_member(coll, ref);
+    }
+    world.sim.run_until(world.sim.now() + Duration::seconds(3));
+    RepositoryClient writer{*world.repo, world.servers[2],
+                            ClientOptions{{}, ReadPolicy::kPrimaryOnly}};
+    run_task(world.sim,
+             [](World& w, RepositoryClient& wr, CollectionId c) -> Task<void> {
+               for (int i = 0; i < 8; ++i) {
+                 const ObjectRef ref = w.repo->create_object(
+                     w.servers[0], "new" + std::to_string(i));
+                 (void)co_await wr.add(c, ref);
+               }
+             }(world, writer, coll));
+
+    // Quorum read from the client.
+    ClientOptions copts;
+    copts.read_policy = ReadPolicy::kQuorum;
+    copts.quorum = quorum;
+    RepositoryClient reader{*world.repo, world.client_node, copts};
+    const SimTime start = world.sim.now();
+    const auto members = run_task(
+        world.sim,
+        [](RepositoryClient& r, CollectionId c)
+            -> Task<Result<std::vector<ObjectRef>>> {
+          co_return co_await r.read_all(c);
+        }(reader, coll));
+    const Duration read_latency = world.sim.now() - start;
+
+    const double seen =
+        members ? static_cast<double>(members.value().size()) : 0;
+    state.counters["members_seen"] = seen;
+    state.counters["missed_recent"] = 24 - seen;
+    state.counters["read_ms"] = read_latency.as_millis();
+  }
+}
+BENCHMARK(BM_QuorumFreshness)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// E8 — the opening claim of section 1: "Order among elements does not
+// matter. Hence retrieval of elements can be optimized."
+//
+// Quantifies what the ordering constraint costs: the same dynamic-set
+// engine delivers either in ARRIVAL order (weak sets) or held back into
+// MEMBERSHIP (digest) order (a POSIX-readdir-like contract). Files are laid
+// out so that membership order interleaves near and far homes; in-order
+// delivery therefore head-of-line blocks on far elements.
+//
+// Expected shape: identical time-to-last (same fetch schedule underneath),
+// but arrival order delivers the first element and the median several times
+// sooner; the gap widens with the latency spread.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "fs/ls.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_OrderConstraint(benchmark::State& state) {
+  const bool in_order = state.range(0) == 1;
+  const int far_ms = static_cast<int>(state.range(1));
+  const int files = 24;
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 6;
+    config.near = Duration::millis(2);
+    config.far = Duration::millis(far_ms);
+    World world{config};
+    DistFileSystem fs{*world.repo};
+    const Directory dir = fs.mkdir(world.servers[0]);
+    for (int i = 0; i < files; ++i) {
+      // Reverse-ramp placement: the FIRST files in membership order live on
+      // the FARTHEST servers — the worst case for an ordering contract.
+      const NodeId home = world.servers[static_cast<std::size_t>(
+          (config.servers - 1) - (i % config.servers))];
+      char name[16];
+      std::snprintf(name, sizeof name, "f%03d", i);
+      fs.create_file(dir, home, name, "x");
+    }
+    RepositoryClient client{*world.repo, world.client_node};
+    DynSetOptions options;
+    options.prefetch_depth = 4;
+    options.order = PickOrder::kClosestFirst;
+    options.delivery =
+        in_order ? DeliveryOrder::kMembership : DeliveryOrder::kArrival;
+    const SimTime start = world.sim.now();
+    const LsResult result =
+        run_task(world.sim, ls_dynamic(client, dir, options));
+
+    const auto at = [&](std::size_t index) {
+      return (result.arrival_times().at(index) - start).as_millis();
+    };
+    state.counters["entries"] = static_cast<double>(result.names().size());
+    state.counters["first_ms"] = at(0);
+    state.counters["median_ms"] = at(result.names().size() / 2);
+    state.counters["last_ms"] = at(result.names().size() - 1);
+  }
+}
+BENCHMARK(BM_OrderConstraint)
+    ->ArgsProduct({{0, 1}, {50, 200}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

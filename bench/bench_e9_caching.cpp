@@ -1,0 +1,113 @@
+// E9 — client-side caching: the paper's "cached version" remark made
+// quantitative. Weak sets tolerate stale data, so a cache is free to serve
+// old copies; what does it buy?
+//
+//  (a) Repeated iteration of the same set (the user re-runs yesterday's
+//      query): cold run vs warm runs, sweeping cache capacity relative to
+//      the set size.
+//  (b) Availability: after a warm run, the objects' homes are partitioned
+//      away; the next run must still deliver every member from cache.
+//
+// Expected shape: warm runs collapse to membership-read cost only when the
+// cache holds the whole set (capacity >= n); a too-small cache thrashes
+// (LRU eviction ahead of the iteration order) and buys nothing. Under the
+// partition, the cached run delivers 100% where the uncached one delivers
+// nothing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "core/caching_view.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_RepeatedIteration(benchmark::State& state) {
+  const int n = 32;
+  const int capacity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 4;
+    World world{config};
+    const CollectionId coll = world.make_collection(n);
+    RepositoryClient client{*world.repo, world.client_node};
+    RepoSetView inner{client, coll};
+    CacheOptions cache_options;
+    cache_options.capacity = static_cast<std::size_t>(capacity);
+    CachingSetView view{inner, cache_options};
+
+    auto run_once = [&]() -> Duration {
+      auto iterator = make_elements_iterator(view, Semantics::kFig6Optimistic);
+      const SimTime start = world.sim.now();
+      const DrainResult result = run_task(world.sim, drain(*iterator));
+      assert(result.finished());
+      (void)result;
+      return world.sim.now() - start;
+    };
+
+    const Duration cold = run_once();
+    const Duration warm = run_once();
+    state.counters["cold_ms"] = cold.as_millis();
+    state.counters["warm_ms"] = warm.as_millis();
+    state.counters["hit_rate_pct"] =
+        100.0 * static_cast<double>(view.stats().hits) /
+        static_cast<double>(view.stats().hits + view.stats().misses);
+  }
+}
+BENCHMARK(BM_RepeatedIteration)
+    ->Arg(8)    // cache smaller than the set: thrash
+    ->Arg(32)   // exactly the set
+    ->Arg(128)  // ample
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AvailabilityFromCache(benchmark::State& state) {
+  const bool cached = state.range(0) == 1;
+  const int n = 16;
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 4;
+    World world{config};
+    // Keep the collection's directory on a node that stays up (servers[0])
+    // while the object homes (servers[1..3]) go down.
+    const CollectionId coll = world.repo->create_collection({world.servers[0]});
+    for (int i = 0; i < n; ++i) {
+      const ObjectRef ref = world.repo->create_object(
+          world.servers[1 + static_cast<std::size_t>(i) % 3],
+          "obj" + std::to_string(i));
+      world.objects.push_back(ref);
+      world.repo->seed_member(coll, ref);
+    }
+    RepositoryClient client{*world.repo, world.client_node};
+    RepoSetView inner{client, coll};
+    CachingSetView view{inner};
+    SetView& used = cached ? static_cast<SetView&>(view) : inner;
+
+    // Warm pass (both modes pay it; only the cached mode remembers).
+    {
+      auto it = make_elements_iterator(used, Semantics::kFig6Optimistic);
+      (void)run_task(world.sim, drain(*it));
+    }
+    // Every object home goes down.
+    for (std::size_t i = 1; i < world.servers.size(); ++i) {
+      world.topo.crash(world.servers[i]);
+    }
+    IteratorOptions options;
+    options.retry = RetryPolicy{3, Duration::millis(100)};
+    auto it = make_elements_iterator(used, Semantics::kFig6Optimistic, options);
+    const DrainResult result = run_task(world.sim, drain(*it));
+    state.counters["delivered_pct"] =
+        100.0 * static_cast<double>(result.count()) / n;
+    state.counters["completed"] = result.finished() ? 1 : 0;
+  }
+}
+BENCHMARK(BM_AvailabilityFromCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

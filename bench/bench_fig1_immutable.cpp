@@ -1,0 +1,74 @@
+// FIG1 — Figure 1: immutable set, failures ignored.
+//
+// Baseline semantics. Measures full-iteration and time-to-first-element
+// simulated latency as the set grows, and verifies the run against the
+// Figure 1 specification (violations counter must be 0).
+//
+// Expected shape: total time linear in n (sequential fetches), first element
+// after ~one membership read + one fetch; zero spec violations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_Fig1Iteration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    World world{WorldConfig{}};
+    const CollectionId coll = world.make_collection(n);
+    RepositoryClient client{*world.repo, world.client_node};
+    WeakSet set{client, coll};
+
+    // Record traces only for sizes where the O(n^2) observation cost is
+    // negligible.
+    const bool record = n <= 256;
+    spec::RepoGroundTruth truth{*world.repo, coll, world.client_node};
+    spec::TraceRecorder recorder{truth};
+    IteratorOptions options;
+    if (record) options.recorder = &recorder;
+
+    auto iterator = set.elements(Semantics::kFig1Immutable, options);
+    const SimTime start = world.sim.now();
+    SimTime first_yield = start;
+    std::size_t yields = 0;
+    DrainResult result = run_task(
+        world.sim,
+        [](Simulator& sim, ElementsIterator& it, SimTime& first,
+           std::size_t& count) -> Task<DrainResult> {
+          DrainResult out;
+          for (;;) {
+            Step step = co_await it.next();
+            if (step.is_yield()) {
+              if (count++ == 0) first = sim.now();
+              out.add(step.ref(), step.value());
+              continue;
+            }
+            if (step.is_finished()) out.set_finished();
+            co_return out;
+          }
+        }(world.sim, *iterator, first_yield, yields));
+
+    state.counters["sim_total_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["sim_first_ms"] = (first_yield - start).as_millis();
+    state.counters["yields"] = static_cast<double>(result.count());
+    if (record) {
+      state.counters["fig1_violations"] = static_cast<double>(
+          spec::check_fig1(recorder.finish()).violation_count());
+    }
+  }
+}
+BENCHMARK(BM_Fig1Iteration)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

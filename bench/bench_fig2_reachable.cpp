@@ -1,0 +1,56 @@
+// FIG2 — Figure 2: the reachable(x)σ construct.
+//
+// Reproduces the paper's scenario (collection on node N; members α, β, γ on
+// A, B, C; partition between N and C ⇒ reachable(a)σ = {α, β}) at scale:
+// n members homed across k nodes, a fraction p of the member-holding nodes
+// partitioned away. This is a genuine microbenchmark of the reachability
+// evaluation (the failure-detector query the iterators consult), plus
+// counters checking |reachable| = (1 - p) * n exactly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "store/reachable.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_ReachableEvaluation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int cut_percent = static_cast<int>(state.range(1));
+
+  WorldConfig config;
+  config.servers = 8;
+  World world{config};
+  const CollectionId coll = world.make_collection(n);
+  (void)coll;
+
+  // Partition `cut` of the 8 member-holding servers away from the client.
+  const int cut = config.servers * cut_percent / 100;
+  std::vector<std::vector<NodeId>> groups(2);
+  groups[0].push_back(world.client_node);
+  for (int i = 0; i < config.servers; ++i) {
+    groups[i < config.servers - cut ? 0 : 1].push_back(
+        world.servers[static_cast<std::size_t>(i)]);
+  }
+  world.topo.partition(groups);
+
+  std::size_t reachable_count = 0;
+  for (auto _ : state) {
+    const auto reachable = reachable_members(
+        world.topo, world.client_node,
+        std::span<const ObjectRef>{world.objects});
+    reachable_count = reachable.size();
+    benchmark::DoNotOptimize(reachable_count);
+  }
+  state.counters["members"] = static_cast<double>(world.objects.size());
+  state.counters["reachable"] = static_cast<double>(reachable_count);
+}
+BENCHMARK(BM_ReachableEvaluation)
+    ->ArgsProduct({{64, 512, 4096}, {0, 25, 50, 75}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

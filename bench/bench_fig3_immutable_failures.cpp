@@ -1,0 +1,62 @@
+// FIG3 — Figure 3: immutable set with failures, pessimistic handling.
+//
+// Sweeps the fraction of member-holding servers partitioned away. The
+// iterator must yield exactly the reachable members, then signal failure
+// (or return when nothing is cut). Counters verify the yield count and the
+// Figure 3 specification.
+//
+// Expected shape: yields fall linearly with the cut fraction; any nonzero
+// cut produces `fails`; time-to-failure stays bounded (fast failure
+// detection), zero spec violations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_Fig3UnderPartition(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int cut_percent = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 8;
+    World world{config};
+    const CollectionId coll = world.make_collection(n);
+    RepositoryClient client{*world.repo, world.client_node};
+    WeakSet set{client, coll};
+
+    const int cut = config.servers * cut_percent / 100;
+    std::vector<std::vector<NodeId>> groups(2);
+    groups[0].push_back(world.client_node);
+    for (int i = 0; i < config.servers; ++i) {
+      groups[i < config.servers - cut ? 0 : 1].push_back(
+          world.servers[static_cast<std::size_t>(i)]);
+    }
+    world.topo.partition(groups);
+
+    spec::RepoGroundTruth truth{*world.repo, coll, world.client_node};
+    spec::TraceRecorder recorder{truth};
+    IteratorOptions options;
+    options.recorder = &recorder;
+    auto iterator = set.elements(Semantics::kFig3ImmutableFailAware, options);
+    const SimTime start = world.sim.now();
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["failed"] = result.failure().has_value() ? 1 : 0;
+    state.counters["sim_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["fig3_violations"] = static_cast<double>(
+        spec::check_fig3(recorder.finish()).violation_count());
+  }
+}
+BENCHMARK(BM_Fig3UnderPartition)
+    ->ArgsProduct({{64}, {0, 25, 50, 75}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// FIG4 — Figure 4: mutable set with loss of mutations (snapshot semantics).
+//
+// A churn process mutates the set while the snapshot iterator runs. Sweeps
+// the mean mutation interval. Counters report the cost of the atomic
+// snapshot (the paper: "distributed atomic actions are extremely expensive
+// in practice"), how many concurrent additions the snapshot missed ("the
+// iterator may miss elements added to s after the first invocation"), and
+// ghost yields (elements yielded although already removed).
+//
+// Expected shape: snapshot cost grows with fragment count; missed adds grow
+// as the mutation interval shrinks; zero Figure 4 spec violations
+// regardless of churn.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_Fig4UnderChurn(benchmark::State& state) {
+  const int n = 48;
+  const int fragments = static_cast<int>(state.range(0));
+  const int interval_ms = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 4;
+    World world{config};
+    const CollectionId coll = world.make_collection(n, fragments);
+    RepositoryClient client{*world.repo, world.client_node};
+    WeakSet set{client, coll};
+    spec::TimelineProbe probe{*world.repo, coll};
+
+    world.spawn_churn(coll, Duration::millis(interval_ms),
+                      /*remove_bias=*/0.3,
+                      world.sim.now() + Duration::seconds(60),
+                      config.seed ^ 0x5eed);
+
+    spec::RepoGroundTruth truth{*world.repo, coll, world.client_node};
+    spec::TraceRecorder recorder{truth};
+    IteratorOptions options;
+    options.recorder = &recorder;
+    auto iterator = set.elements(Semantics::kFig4Snapshot, options);
+
+    const SimTime start = world.sim.now();
+    SimTime snapshot_done = start;
+    std::size_t count = 0;
+    const DrainResult result = run_task(
+        world.sim,
+        [](Simulator& sim, ElementsIterator& it, SimTime& snap,
+           std::size_t& yields) -> Task<DrainResult> {
+          DrainResult out;
+          for (;;) {
+            Step step = co_await it.next();
+            if (yields == 0) snap = sim.now();  // first invocation done
+            if (step.is_yield()) {
+              ++yields;
+              out.add(step.ref(), step.value());
+              continue;
+            }
+            if (step.is_finished()) out.set_finished();
+            if (step.is_failure()) out.set_failure(step.failure());
+            co_return out;
+          }
+        }(world.sim, *iterator, snapshot_done, count));
+    const SimTime done = world.sim.now();
+
+    const auto trace = recorder.finish();
+    // Missed adds: elements added during the run window that were never
+    // yielded (the snapshot can't see them).
+    std::set<ObjectRef> yielded;
+    for (const auto& [r, v] : result.elements()) yielded.insert(r);
+    std::size_t missed_adds = 0;
+    std::size_t ghost_yields = 0;
+    for (const auto& event : probe.timeline().events()) {
+      if (event.at() <= trace.first_time() || event.at() > done) continue;
+      if (event.kind() == CollectionOp::Kind::kAdd &&
+          yielded.count(event.ref()) == 0) {
+        ++missed_adds;
+      }
+      if (event.kind() == CollectionOp::Kind::kRemove &&
+          yielded.count(event.ref()) > 0) {
+        ++ghost_yields;  // removed during the run yet (to be) yielded
+      }
+    }
+
+    state.counters["snapshot_ms"] = (snapshot_done - start).as_millis();
+    state.counters["total_ms"] = (done - start).as_millis();
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["missed_adds"] = static_cast<double>(missed_adds);
+    state.counters["ghost_yields"] = static_cast<double>(ghost_yields);
+    state.counters["fig4_violations"] =
+        static_cast<double>(spec::check_fig4(trace).violation_count());
+  }
+}
+BENCHMARK(BM_Fig4UnderChurn)
+    ->ArgsProduct({{1, 2, 4}, {5, 20, 80}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// FIG5 — Figure 5: growing-only set, pessimistic failure handling.
+//
+// A grow-only churn process adds members while the iterator runs; each
+// invocation reads the *current* state, so growth is picked up. A second
+// sweep injects a mid-run partition to show the pessimistic fast-fail.
+//
+// Expected shape: yields = initial + growth seen (more growth at shorter
+// intervals); with a partition the run fails quickly after yielding only
+// reachable members; zero Figure 5 spec violations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_Fig5Growth(benchmark::State& state) {
+  const int n = 24;
+  const int interval_ms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    World world{config};
+    const CollectionId coll = world.make_collection(n);
+    // Pessimism needs fresh reads: primary-only policy.
+    ClientOptions copts;
+    copts.read_policy = ReadPolicy::kPrimaryOnly;
+    RepositoryClient client{*world.repo, world.client_node, copts};
+    WeakSet set{client, coll};
+
+    world.spawn_churn(coll, Duration::millis(interval_ms),
+                      /*remove_bias=*/0.0,  // grow-only
+                      world.sim.now() + Duration::millis(800),
+                      config.seed ^ 0x90);
+
+    spec::RepoGroundTruth truth{*world.repo, coll, world.client_node};
+    spec::TraceRecorder recorder{truth};
+    IteratorOptions options;
+    options.recorder = &recorder;
+    auto iterator = set.elements(Semantics::kFig5GrowOnlyPessimistic, options);
+    const SimTime start = world.sim.now();
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["growth_seen"] =
+        static_cast<double>(result.count() > static_cast<std::size_t>(n)
+                                ? result.count() - static_cast<std::size_t>(n)
+                                : 0);
+    state.counters["sim_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["fig5_violations"] = static_cast<double>(
+        spec::check_fig5(recorder.finish()).violation_count());
+  }
+}
+BENCHMARK(BM_Fig5Growth)
+    ->Arg(10)
+    ->Arg(40)
+    ->Arg(160)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig5FailFast(benchmark::State& state) {
+  const int n = 32;
+  const int cut_at_ms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 4;
+    World world{config};
+    const CollectionId coll = world.make_collection(n);
+    ClientOptions copts;
+    copts.read_policy = ReadPolicy::kPrimaryOnly;
+    RepositoryClient client{*world.repo, world.client_node, copts};
+    WeakSet set{client, coll};
+
+    // Cut one member-holding server (not the collection primary) mid-run.
+    world.sim.schedule(Duration::millis(cut_at_ms), [&world] {
+      world.topo.set_link_up(world.client_node, world.servers[3], false);
+    });
+
+    auto iterator = set.elements(Semantics::kFig5GrowOnlyPessimistic);
+    const SimTime start = world.sim.now();
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["failed"] = result.failure().has_value() ? 1 : 0;
+    state.counters["sim_ms"] = (world.sim.now() - start).as_millis();
+  }
+}
+BENCHMARK(BM_Fig5FailFast)
+    ->Arg(50)
+    ->Arg(400)
+    ->Arg(100000)  // effectively never
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// FIG6 — Figure 6: growing and shrinking set, optimistic failure handling —
+// the dynamic-sets semantics.
+//
+// Two experiments: (1) full churn (adds and removes) with no failures —
+// the iterator must terminate cleanly and satisfy the Figure 6 window
+// guarantee; (2) a transient partition of duration D — the iterator blocks
+// and completes after the repair, total time ≈ D + iteration work, never
+// signalling failure.
+//
+// Expected shape: (1) zero violations at every churn rate; (2) completion
+// time tracks D linearly with unit slope.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_Fig6UnderChurn(benchmark::State& state) {
+  const int n = 32;
+  const int interval_ms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    World world{config};
+    const CollectionId coll = world.make_collection(n);
+    RepositoryClient client{*world.repo, world.client_node};
+    WeakSet set{client, coll};
+    spec::TimelineProbe probe{*world.repo, coll};
+
+    // Churn for a bounded window: with unbounded growth faster than the
+    // yield rate the optimistic iterator (correctly) never terminates.
+    world.spawn_churn(coll, Duration::millis(interval_ms),
+                      /*remove_bias=*/0.4,
+                      world.sim.now() + Duration::seconds(2),
+                      config.seed ^ 0xf16);
+
+    spec::RepoGroundTruth truth{*world.repo, coll, world.client_node};
+    spec::TraceRecorder recorder{truth};
+    IteratorOptions options;
+    options.recorder = &recorder;
+    auto iterator = set.elements(Semantics::kFig6Optimistic, options);
+    const SimTime start = world.sim.now();
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["returned"] = result.finished() ? 1 : 0;
+    state.counters["sim_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["fig6_violations"] = static_cast<double>(
+        spec::check_fig6(recorder.finish(), probe.timeline())
+            .violation_count());
+  }
+}
+BENCHMARK(BM_Fig6UnderChurn)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(80)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig6TransientPartition(benchmark::State& state) {
+  const int n = 32;
+  const int outage_ms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 4;
+    World world{config};
+    const CollectionId coll = world.make_collection(n);
+    RepositoryClient client{*world.repo, world.client_node};
+    WeakSet set{client, coll};
+    spec::TimelineProbe probe{*world.repo, coll};
+
+    // One member-holding server drops out 50ms in, for `outage_ms`.
+    world.sim.schedule(Duration::millis(50), [&world] {
+      world.topo.set_link_up(world.client_node, world.servers[3], false);
+    });
+    world.sim.schedule(Duration::millis(50 + outage_ms), [&world] {
+      world.topo.set_link_up(world.client_node, world.servers[3], true);
+    });
+
+    spec::RepoGroundTruth truth{*world.repo, coll, world.client_node};
+    spec::TraceRecorder recorder{truth};
+    IteratorOptions options;
+    options.recorder = &recorder;
+    options.retry = RetryPolicy::forever(Duration::millis(100));
+    auto iterator = set.elements(Semantics::kFig6Optimistic, options);
+    const SimTime start = world.sim.now();
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["returned"] = result.finished() ? 1 : 0;
+    state.counters["outage_ms"] = outage_ms;
+    state.counters["sim_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["fig6_violations"] = static_cast<double>(
+        spec::check_fig6(recorder.finish(), probe.timeline())
+            .violation_count());
+  }
+}
+BENCHMARK(BM_Fig6TransientPartition)
+    ->Arg(0)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// The file-system scenario from section 1.1: ls over a directory whose
+// files live on many nodes. Strict POSIX ls must access every file before
+// printing anything — one dead fileserver and it returns nothing. ls over a
+// dynamic set streams entries as they arrive and still lists every
+// accessible file when a server is down.
+//
+// Build & run:   ./build/examples/dynamic_ls
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fs/ls.hpp"
+
+using namespace weakset;
+
+namespace {
+
+void print_result(const char* label, const LsResult& result, SimTime start) {
+  std::printf("%s\n", label);
+  for (std::size_t i = 0; i < result.names().size(); ++i) {
+    std::printf("  [%7.1fms] %s\n",
+                (result.arrival_times()[i] - start).as_millis(),
+                result.names()[i].c_str());
+  }
+  if (result.complete()) {
+    std::printf("  -> complete, %zu entries\n\n", result.names().size());
+  } else {
+    std::printf("  -> PARTIAL (%zu entries): %s\n\n", result.names().size(),
+                result.failure() ? to_string(*result.failure()).c_str()
+                                 : "?");
+  }
+}
+
+Task<void> compare(Simulator& sim, Repository& repo, RepositoryClient& client,
+                   Directory dir, Topology& topo, NodeId flaky_server) {
+  {
+    const SimTime start = sim.now();
+    LsResult strict = co_await ls_strict(client, dir);
+    print_result("$ ls  (strict, all servers up)", strict, start);
+  }
+  {
+    const SimTime start = sim.now();
+    DynSetOptions options;
+    options.order = PickOrder::kClosestFirst;
+    LsResult dynamic = co_await ls_dynamic(client, dir, options);
+    print_result("$ dynls  (dynamic set, all servers up)", dynamic, start);
+  }
+
+  std::printf("-- fileserver '%s' crashes --\n\n",
+              topo.name(flaky_server).c_str());
+  topo.crash(flaky_server);
+
+  {
+    const SimTime start = sim.now();
+    LsResult strict = co_await ls_strict(client, dir);
+    print_result("$ ls  (strict, one server down)", strict, start);
+  }
+  {
+    const SimTime start = sim.now();
+    DynSetOptions options;
+    options.order = PickOrder::kClosestFirst;
+    options.retry = RetryPolicy{4, Duration::millis(100)};
+    options.membership_refresh = Duration::millis(100);
+    LsResult dynamic = co_await ls_dynamic(client, dir, options);
+    print_result("$ dynls  (dynamic set, one server down)", dynamic, start);
+  }
+  repo.stop_all_daemons();
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  Topology topo;
+  const NodeId workstation = topo.add_node("workstation");
+  const std::vector<std::pair<const char*, int>> layout = {
+      {"local-disk", 1}, {"dept-server", 6}, {"campus-afs", 25},
+      {"remote-mirror", 110}};
+  std::vector<NodeId> servers;
+  for (const auto& [name, ms] : layout) {
+    const NodeId node = topo.add_node(name);
+    topo.connect(workstation, node, Duration::millis(ms));
+    servers.push_back(node);
+  }
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    for (std::size_t j = i + 1; j < servers.size(); ++j) {
+      topo.connect(servers[i], servers[j], Duration::millis(30));
+    }
+  }
+
+  RpcNetwork net{sim, topo, Rng{3}};
+  Repository repo{net};
+  for (const NodeId node : servers) repo.add_server(node);
+  DistFileSystem fs{repo};
+
+  // ~/papers: 12 files spread over the four servers.
+  const Directory dir = fs.mkdir(servers[0]);
+  const char* names[] = {"abstract.tex", "biblio.bib",   "draft-v1.tex",
+                         "draft-v2.tex", "figures.ps",   "intro.tex",
+                         "makefile",     "notes.txt",    "related.tex",
+                         "results.dat",  "reviews.txt",  "summary.tex"};
+  for (int i = 0; i < 12; ++i) {
+    fs.create_file(dir, servers[static_cast<std::size_t>(i) % servers.size()],
+                   names[i], "contents of " + std::string(names[i]));
+  }
+
+  RepositoryClient client{repo, workstation};
+  run_task(sim, compare(sim, repo, client, dir, topo, servers[3]));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Executable specifications — the paper's core contribution, demonstrated.
+//
+// One scripted environment (a set that mutates and partly loses
+// reachability mid-run) is iterated under three different semantics. Each
+// run is recorded as a computation in the paper's model (section 2:
+// alternating states and transitions, the yielded history object,
+// suspends/returns/fails), rendered in the paper's notation, checked
+// against all five figure specifications, and classified.
+//
+// Build & run:   ./build/examples/executable_specs
+
+#include <cstdio>
+
+#include "core/iterator.hpp"
+#include "core/local_view.hpp"
+#include "spec/render.hpp"
+#include "spec/specs.hpp"
+
+using namespace weakset;
+
+namespace {
+
+ObjectRef ref(std::uint64_t id) { return ObjectRef{ObjectId{id}, NodeId{0}}; }
+
+void run_and_check(Semantics semantics) {
+  Simulator sim;
+  LocalSetView view{sim};
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    view.add(ref(i), "payload" + std::to_string(i));
+  }
+  view.set_latencies(Duration::millis(1), Duration::millis(10));
+
+  // The scripted environment: obj4 appears at 15ms; obj2 becomes
+  // unreachable at 25ms and heals at 200ms.
+  sim.schedule(Duration::millis(15), [&view] { view.add(ref(4), "late"); });
+  sim.schedule(Duration::millis(25),
+               [&view] { view.set_reachable(ref(2), false); });
+  sim.schedule(Duration::millis(200),
+               [&view] { view.set_reachable(ref(2), true); });
+
+  spec::TraceRecorder recorder{view};
+  IteratorOptions options;
+  options.recorder = &recorder;
+  options.retry = RetryPolicy{20, Duration::millis(50)};
+  auto iterator = make_elements_iterator(view, semantics, options);
+  (void)run_task(sim, drain(*iterator));
+
+  const auto trace = recorder.finish();
+  std::printf("================  %s  ================\n\n%s\n\n",
+              std::string(to_string(semantics)).c_str(),
+              spec::render(trace).c_str());
+  std::printf("%s\n", spec::render(spec::check_fig1(trace)).c_str());
+  std::printf("%s\n", spec::render(spec::check_fig3(trace)).c_str());
+  std::printf("%s\n", spec::render(spec::check_fig4(trace)).c_str());
+  std::printf("%s\n", spec::render(spec::check_fig5(trace)).c_str());
+  std::printf("%s\n",
+              spec::render(spec::check_fig6(trace, view.timeline())).c_str());
+  std::printf("%s\n\n",
+              spec::render(spec::classify(trace, view.timeline())).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "One environment, three semantics: the set {obj1..obj3} gains obj4 at "
+      "15ms;\nobj2 is unreachable from 25ms to 200ms.\n\n");
+  run_and_check(Semantics::kFig4Snapshot);
+  run_and_check(Semantics::kFig5GrowOnlyPessimistic);
+  run_and_check(Semantics::kFig6Optimistic);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// The paper's third example: "suppose you are a tourist in Pittsburgh and
+// want to look at the on-line menus of all Chinese restaurants before
+// choosing where to eat for dinner" — "we would not go hungry if our
+// restaurant search missed some (but not all) Chinese restaurants".
+//
+// The tourist is on a mobile, intermittently-connected laptop: mid-search
+// the uplink drops, then comes back. A dynamic set streams menus in as they
+// arrive (closest first), keeps partial results through the disconnection,
+// and finishes once the link is back.
+//
+// Build & run:   ./build/examples/restaurant_guide
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dynset/dynamic_set.hpp"
+#include "fs/dist_fs.hpp"
+#include "query/query_set.hpp"
+
+using namespace weakset;
+
+namespace {
+
+Task<void> dinner_search(Simulator& sim, Repository& repo,
+                         QuerySetView& menus) {
+  DynSetOptions options;
+  options.order = PickOrder::kClosestFirst;
+  options.prefetch_depth = 3;
+  options.membership_refresh = Duration::millis(250);
+  options.retry = RetryPolicy{40, Duration::millis(250)};
+  auto guide = DynamicSet::open(menus, options);
+
+  const SimTime start = sim.now();
+  std::printf("searching for chinese menus...\n\n");
+  for (;;) {
+    Step step = co_await guide->iterate();
+    if (step.is_yield()) {
+      const FileInfo menu = FileInfo::decode(step.value().data());
+      std::printf("  [%8.1fms] %-22s %s\n", (sim.now() - start).as_millis(),
+                  menu.name().c_str(), menu.contents().c_str());
+      continue;
+    }
+    if (step.is_finished()) {
+      std::printf("\nall reachable menus retrieved (%.1fs) — enjoy dinner!\n",
+                  (sim.now() - start).as_seconds());
+    } else {
+      std::printf("\nsearch gave up with %zu menus (%s) — still enough to "
+                  "choose from\n",
+                  guide->yielded().size(), to_string(step.failure()).c_str());
+    }
+    break;
+  }
+  guide->close();
+  repo.stop_all_daemons();
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  Topology topo;
+  const NodeId laptop = topo.add_node("tourist-laptop");
+  const NodeId city_hub = topo.add_node("city-infohub");
+
+  struct Restaurant {
+    const char* file;
+    const char* cuisine;
+    const char* blurb;
+    int latency_ms;
+  };
+  const std::vector<Restaurant> restaurants = {
+      {"golden-palace.menu", "chinese", "dumplings, mapo tofu", 5},
+      {"sichuan-gourmet.menu", "chinese", "dan dan noodles", 12},
+      {"primanti.menu", "sandwiches", "fries inside", 8},
+      {"jade-garden.menu", "chinese", "dim sum all day", 30},
+      {"china-star.menu", "chinese", "hand-pulled noodles", 55},
+      {"pasta-piatto.menu", "italian", "tagliatelle", 18}};
+
+  // Each restaurant publishes its menu on its own host behind the city hub.
+  topo.connect(laptop, city_hub, Duration::millis(20));
+  std::vector<NodeId> hosts;
+  RpcNetwork net{sim, topo, Rng{7}};
+  Repository repo{net};
+  repo.add_server(city_hub);
+  DistFileSystem fs{repo};
+  for (const Restaurant& r : restaurants) {
+    const NodeId host = topo.add_node(r.file);
+    topo.connect(host, city_hub, Duration::millis(r.latency_ms));
+    hosts.push_back(host);
+    repo.add_server(host);
+    fs.create_unlinked_file(
+        host, r.file, std::string(r.cuisine) + " — " + r.blurb);
+  }
+
+  // The laptop's uplink drops 300ms into the search (after the first menus
+  // have arrived) and returns 2s later (walking through a tunnel).
+  sim.schedule(Duration::millis(300), [&topo, laptop, city_hub] {
+    std::printf("  -- uplink lost --\n");
+    topo.set_link_up(laptop, city_hub, false);
+  });
+  sim.schedule(Duration::millis(2100), [&topo, laptop, city_hub] {
+    std::printf("  -- uplink restored --\n");
+    topo.set_link_up(laptop, city_hub, true);
+  });
+
+  QueryService service{repo};
+  service.install_all();
+  ClientOptions copts;
+  copts.rpc_timeout = Duration::millis(400);
+  RepositoryClient client{repo, laptop, copts};
+  QuerySetView menus{client, PredicateSpec::contains("chinese"), hosts,
+                     QueryMode::kBestEffort};
+
+  run_task(sim, dinner_search(sim, repo, menus));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// A wide-area `find`: walk a directory tree whose subtrees live on
+// different hosts, matching files against a predicate, skipping whatever a
+// failure makes unreachable — "finding all files that satisfy a given
+// predicate" (section 1.1) across an AFS-like volume layout.
+//
+// Build & run:   ./build/examples/wide_find
+
+#include <cstdio>
+
+#include "fs/walk.hpp"
+#include "query/predicate.hpp"
+
+using namespace weakset;
+
+namespace {
+
+Task<void> find_tex_files(Simulator& sim, Repository& repo,
+                          RepositoryClient& client, Directory root) {
+  const PredicateSpec pred = PredicateSpec::name_glob("*.tex");
+  // Materialised in a declaration, NOT inline in the co_await expression:
+  // GCC 12 bitwise-copies closure temporaries in co_await full-expressions
+  // (DESIGN.md decision 6).
+  const FileFilter filter = [pred](const FileInfo& f) {
+    return pred.matches(f);
+  };
+  DynSetOptions options;
+  options.retry = RetryPolicy{4, Duration::millis(100)};
+  options.membership_refresh = Duration::millis(100);
+  const SimTime start = sim.now();
+  const WalkResult result = co_await walk(client, root, filter, options);
+  std::printf("$ find / -name '*.tex'   (%.0fms, %zu directories%s)\n\n",
+              (sim.now() - start).as_millis(), result.directories_visited(),
+              result.complete() ? "" : ", PARTIAL: subtree(s) unreachable");
+  for (const FoundFile& file : result.files()) {
+    std::printf("  /%s\n", file.path().c_str());
+  }
+  std::printf("\n");
+  repo.stop_all_daemons();
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  Topology topo;
+  const NodeId workstation = topo.add_node("workstation");
+  const NodeId local = topo.add_node("local-volume");
+  const NodeId dept = topo.add_node("dept-volume");
+  const NodeId archive = topo.add_node("archive-volume");
+  topo.connect(workstation, local, Duration::millis(2));
+  topo.connect(workstation, dept, Duration::millis(15));
+  topo.connect(workstation, archive, Duration::millis(70));
+  topo.connect(local, dept, Duration::millis(10));
+  topo.connect(dept, archive, Duration::millis(50));
+  topo.connect(local, archive, Duration::millis(60));
+
+  RpcNetwork net{sim, topo, Rng{12}};
+  Repository repo{net};
+  for (const NodeId node : {local, dept, archive}) repo.add_server(node);
+  DistFileSystem fs{repo};
+
+  // /              local
+  //   draft.tex
+  //   papers/      dept
+  //     weak-sets.tex, reviews.txt
+  //     old/       archive
+  //       thesis.tex
+  //   photos/      archive
+  //     face.pbm
+  const Directory root = fs.mkdir(local);
+  fs.create_file(root, local, "draft.tex", "\\documentclass...");
+  const Directory papers = fs.make_subdir(root, dept, local, "papers");
+  fs.create_file(papers, dept, "weak-sets.tex", "...");
+  fs.create_file(papers, dept, "reviews.txt", "...");
+  const Directory old = fs.make_subdir(papers, archive, dept, "old");
+  fs.create_file(old, archive, "thesis.tex", "...");
+  const Directory photos = fs.make_subdir(root, archive, local, "photos");
+  fs.create_file(photos, archive, "face.pbm", "P1 48 48 ...");
+
+  RepositoryClient client{repo, workstation};
+
+  std::printf("== all volumes up ==\n\n");
+  run_task(sim, find_tex_files(sim, repo, client, root));
+
+  std::printf("== the archive volume crashes ==\n\n");
+  topo.crash(archive);
+  run_task(sim, find_tex_files(sim, repo, client, root));
+  return 0;
+}

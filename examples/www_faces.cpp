@@ -1,0 +1,106 @@
+// The paper's opening example: "Suppose you are browsing the World Wide Web
+// and want to display the .face files of all people listed on Carnegie
+// Mellon's home page."
+//
+// The .face files live on personal workstations scattered across campus and
+// beyond; some are down or partitioned at any given moment. The browse is a
+// query-defined weak set iterated optimistically: faces appear as they
+// arrive, inaccessible ones simply don't block the page.
+//
+// Build & run:   ./build/examples/www_faces
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/iterator.hpp"
+#include "fs/dist_fs.hpp"
+#include "query/query_set.hpp"
+
+using namespace weakset;
+
+namespace {
+
+Task<void> browse(Simulator& sim, Repository& repo, QuerySetView& faces) {
+  std::printf("browsing: display all *.face files\n\n");
+  IteratorOptions options;
+  options.order = PickOrder::kClosestFirst;
+  options.retry = RetryPolicy{6, Duration::millis(300)};
+  auto iterator = make_elements_iterator(faces, Semantics::kFig6Optimistic,
+                                         options);
+  const SimTime start = sim.now();
+  for (;;) {
+    Step step = co_await iterator->next();
+    if (step.is_yield()) {
+      const FileInfo file = FileInfo::decode(step.value().data());
+      std::printf("  [%7.1fms] rendered %-18s (%s)\n",
+                  (sim.now() - start).as_millis(), file.name().c_str(),
+                  file.contents().c_str());
+      continue;
+    }
+    if (step.is_finished()) {
+      std::printf("\npage complete after %.1fms\n",
+                  (sim.now() - start).as_millis());
+    } else {
+      std::printf("\npage shows %zu faces; the rest are unreachable (%s)\n",
+                  iterator->yielded().size(),
+                  to_string(step.failure()).c_str());
+    }
+    break;
+  }
+  repo.stop_all_daemons();
+}
+
+}  // namespace
+
+int main() {
+  Simulator sim;
+  Topology topo;
+  const NodeId browser = topo.add_node("browser");
+
+  // Personal workstations hosting .face files, at various distances.
+  struct Person {
+    const char* name;
+    int latency_ms;
+  };
+  const std::vector<Person> people = {
+      {"wing", 3},    {"steere", 5},   {"garlan", 8},  {"king", 12},
+      {"satya", 20},  {"herlihy", 45}, {"lampson", 90}};
+  std::vector<NodeId> workstations;
+  for (const Person& person : people) {
+    const NodeId ws =
+        topo.add_node(std::string(person.name) + "-workstation");
+    topo.connect(browser, ws, Duration::millis(person.latency_ms));
+    workstations.push_back(ws);
+  }
+  topo.set_routing(Topology::Routing::kDirectOnly);
+
+  RpcNetwork net{sim, topo, Rng{1994}};
+  Repository repo{net};
+  DistFileSystem fs{repo};
+  for (std::size_t i = 0; i < workstations.size(); ++i) {
+    repo.add_server(workstations[i]);
+    fs.create_unlinked_file(workstations[i],
+                            std::string(people[i].name) + ".face",
+                            "48x48 bitmap of " + std::string(people[i].name));
+    // Unrelated content that the query must not match.
+    fs.create_unlinked_file(workstations[i], "todo.txt", "buy milk");
+  }
+
+  // Two workstations are unreachable mid-browse (powered off / partitioned).
+  topo.crash(workstations[5]);
+  sim.schedule(Duration::millis(200), [&topo, &workstations] {
+    topo.crash(workstations[6]);
+  });
+
+  ClientOptions copts;
+  copts.rpc_timeout = Duration::millis(400);  // snappy failure detection
+  RepositoryClient client{repo, browser, copts};
+  QueryService service{repo};
+  service.install_all();
+  QuerySetView faces{client, PredicateSpec::name_glob("*.face"),
+                     workstations, QueryMode::kBestEffort};
+
+  run_task(sim, browse(sim, repo, faces));
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md.
+#
+# Usage: scripts/run_experiments.sh [build-dir]
+# Output: one block per bench binary on stdout; tee it wherever you like.
+
+set -euo pipefail
+build_dir="${1:-build}"
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: ${build_dir}/bench not found — configure and build first:" >&2
+  echo "  cmake -B ${build_dir} -G Ninja && cmake --build ${build_dir}" >&2
+  exit 1
+fi
+
+for bench in "${build_dir}"/bench/bench_*; do
+  [[ -x "${bench}" ]] || continue
+  echo "===== $(basename "${bench}")"
+  "${bench}" --benchmark_color=false 2>/dev/null
+  echo
+done

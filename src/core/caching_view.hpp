@@ -1,0 +1,73 @@
+#pragma once
+
+// CachingSetView: a SetView decorator that adds a client-side object cache.
+//
+// Fetches hit the cache first (no RPC on a fresh hit); misses fall through
+// to the inner view and fill the cache. Crucially, a cached object counts
+// as *reachable* even when its home is partitioned away — the client holds
+// a copy, so the object is accessible in the paper's sense. This formalises
+// the availability nuance of the dynamic-set prefetch buffer: iterators
+// over a caching view keep yielding cached members through failures.
+//
+// The price is currency: a hit may serve an old version (bounded by the
+// cache TTL). That trade is exactly the paper's "users are usually willing
+// to tolerate some inconsistency for a gain in performance".
+
+#include "core/set_view.hpp"
+#include "store/cache.hpp"
+
+namespace weakset {
+
+class CachingSetView final : public SetView {
+ public:
+  CachingSetView(SetView& inner, CacheOptions options = {})
+      : inner_(inner), sim_(inner.sim()), cache_(options) {}
+
+  Task<Result<std::vector<ObjectRef>>> read_members() override {
+    return inner_.read_members();
+  }
+  Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
+      std::function<void()> on_cut) override {
+    return inner_.snapshot_atomic(std::move(on_cut));
+  }
+  Task<Result<void>> freeze() override { return inner_.freeze(); }
+  Task<void> unfreeze() override { return inner_.unfreeze(); }
+  Task<Result<void>> pin_grow_only() override {
+    return inner_.pin_grow_only();
+  }
+  Task<void> unpin_grow_only() override { return inner_.unpin_grow_only(); }
+
+  [[nodiscard]] bool is_reachable(ObjectRef ref) const override {
+    // A cached copy is accessible regardless of the network.
+    return cache_.contains(ref, now()) || inner_.is_reachable(ref);
+  }
+
+  [[nodiscard]] std::optional<Duration> distance(
+      ObjectRef ref) const override {
+    if (cache_.contains(ref, now())) return Duration::zero();  // local
+    return inner_.distance(ref);
+  }
+
+  Task<Result<VersionedValue>> fetch(ObjectRef ref) override {
+    if (auto hit = cache_.get(ref, now())) co_return std::move(*hit);
+    Result<VersionedValue> value = co_await inner_.fetch(ref);
+    if (value) cache_.put(ref, value.value(), now());
+    co_return value;
+  }
+
+  [[nodiscard]] Simulator& sim() override { return inner_.sim(); }
+
+  [[nodiscard]] ObjectCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept {
+    return cache_.stats();
+  }
+
+ private:
+  [[nodiscard]] SimTime now() const { return sim_.now(); }
+
+  SetView& inner_;
+  Simulator& sim_;
+  mutable ObjectCache cache_;
+};
+
+}  // namespace weakset

@@ -1,0 +1,23 @@
+#include "core/fig1_iterator.hpp"
+
+namespace weakset {
+
+Task<Step> Fig1Iterator::step() {
+  if (!loaded_) {
+    Result<std::vector<ObjectRef>> members = co_await view().read_members();
+    if (!members) co_return Step::failed(std::move(members).error());
+    s_first_ = std::move(members).value();
+    loaded_ = true;
+    mark_first_state();  // s_first acquired here
+  }
+  std::vector<ObjectRef> candidates = unyielded(s_first_);
+  if (candidates.empty()) co_return Step::finished();
+  // Failure-free model: fetch the first candidate without consulting the
+  // failure detector.
+  const ObjectRef ref = candidates.front();
+  Result<VersionedValue> value = co_await view().fetch(ref);
+  if (!value) co_return Step::failed(std::move(value).error());
+  co_return Step::yielded(ref, std::move(value).value());
+}
+
+}  // namespace weakset

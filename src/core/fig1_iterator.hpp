@@ -1,0 +1,29 @@
+#pragma once
+
+// Figure 1: immutable set, failures ignored.
+//
+// "This iterator yields elements in the set one at a time ... each time the
+// iterator is invoked an element not already yielded is returned to its
+// caller; this process continues until all elements in the original set
+// (s_first) have been yielded." Failures are outside this figure's model: if
+// the environment injects one anyway, the iterator surfaces it as a failure
+// (the specification simply has nothing to say about that run).
+
+#include "core/iterator.hpp"
+
+namespace weakset {
+
+class Fig1Iterator final : public ElementsIterator {
+ public:
+  Fig1Iterator(SetView& view, IteratorOptions options)
+      : ElementsIterator(view, std::move(options)) {}
+
+ protected:
+  Task<Step> step() override;
+
+ private:
+  bool loaded_ = false;
+  std::vector<ObjectRef> s_first_;
+};
+
+}  // namespace weakset

@@ -1,0 +1,33 @@
+#include "core/grow_only_iterator.hpp"
+
+namespace weakset {
+
+Task<void> GrowOnlyPessimisticIterator::on_terminal() {
+  if (pinned_) {
+    pinned_ = false;
+    co_await view().unpin_grow_only();
+  }
+}
+
+Task<Step> GrowOnlyPessimisticIterator::step() {
+  if (options().enforce_grow_only && !pinned_) {
+    Result<void> pinned = co_await view().pin_grow_only();
+    if (!pinned) co_return Step::failed(pinned.error());
+    pinned_ = true;
+  }
+  // Each invocation reads the *current* state (s_pre).
+  Result<std::vector<ObjectRef>> members = co_await view().read_members();
+  if (!members) co_return Step::failed(std::move(members).error());
+
+  std::vector<ObjectRef> candidates = unyielded(members.value());
+  if (candidates.empty()) co_return Step::finished();  // yielded = s_pre
+
+  std::optional<Step> yielded = co_await try_yield(std::move(candidates));
+  if (yielded) co_return std::move(*yielded);
+
+  // An element we know is in the set cannot be reached: fail.
+  co_return Step::failed(Failure{
+      FailureKind::kUnreachable, "known member of s_pre is unreachable"});
+}
+
+}  // namespace weakset

@@ -1,0 +1,37 @@
+#pragma once
+
+// Figure 5: growing-only set, pessimistic failure handling.
+//
+// "Unlike in the previous two specifications, each invocation uses the
+// current state of s, i.e., the pre-state, not first-state. If there are
+// still elements to yield based on the remembered set and the current state
+// of the set, then we choose a reachable one and yield it. If there are no
+// more elements to yield, we terminate. Otherwise, because we cannot reach
+// an element that we know is in the set, we fail."
+//
+// Reads go to fragment primaries (the view must be configured fresh —
+// pessimism is pointless over stale replicas). A read failure is itself a
+// detected failure and terminates the run, per the pessimistic stance.
+//
+// "Notice that since the set may grow faster than the iterator yields
+// elements from it, an iterator satisfying this specification may never
+// terminate" — tests exercise exactly that.
+
+#include "core/iterator.hpp"
+
+namespace weakset {
+
+class GrowOnlyPessimisticIterator final : public ElementsIterator {
+ public:
+  GrowOnlyPessimisticIterator(SetView& view, IteratorOptions options)
+      : ElementsIterator(view, std::move(options)) {}
+
+ protected:
+  Task<Step> step() override;
+  Task<void> on_terminal() override;
+
+ private:
+  bool pinned_ = false;
+};
+
+}  // namespace weakset

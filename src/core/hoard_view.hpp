@@ -1,0 +1,113 @@
+#pragma once
+
+// HoardingSetView: disconnected operation for mobile clients.
+//
+// The paper's target environment includes "(possibly mobile) workstations"
+// where "disconnecting a mobile client from the network while traveling is
+// an induced failure, yet consistency of data may be sacrificed to gain
+// high performance and high availability" (section 1.1). Hoarding is the
+// Coda-style answer: while connected, hoard() captures the membership and
+// every payload; while disconnected, membership reads and fetches are
+// served entirely from the hoard, so iterators complete offline.
+//
+// The price is measurable inconsistency: the hoarded membership is frozen
+// at hoard time, so mutations during the disconnection are invisible —
+// offline runs may yield removed members (ghosts) and miss additions. The
+// spec layer quantifies exactly that (tests/hoard_test.cpp).
+
+#include <optional>
+#include <vector>
+
+#include "core/set_view.hpp"
+#include "store/cache.hpp"
+
+namespace weakset {
+
+struct HoardStats {
+  std::uint64_t stale_membership_serves = 0;  ///< offline membership reads
+  std::uint64_t hoards = 0;                   ///< completed hoard() calls
+};
+
+class HoardingSetView final : public SetView {
+ public:
+  explicit HoardingSetView(SetView& inner, CacheOptions cache_options = {})
+      : inner_(inner), sim_(inner.sim()), cache_(cache_options) {}
+
+  /// While connected: reads the membership and fetches every member into
+  /// the hoard. Fails if the membership read fails; unreachable members are
+  /// skipped (they simply won't be available offline).
+  Task<Result<void>> hoard() {
+    Result<std::vector<ObjectRef>> members = co_await inner_.read_members();
+    if (!members) co_return std::move(members).error();
+    for (const ObjectRef ref : members.value()) {
+      if (cache_.contains(ref, sim_.now())) continue;
+      Result<VersionedValue> value = co_await inner_.fetch(ref);
+      if (value) cache_.put(ref, std::move(value).value(), sim_.now());
+    }
+    hoarded_membership_ = std::move(members).value();
+    ++stats_.hoards;
+    co_return Ok();
+  }
+
+  [[nodiscard]] bool has_hoard() const noexcept {
+    return hoarded_membership_.has_value();
+  }
+  [[nodiscard]] const HoardStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ObjectCache& cache() noexcept { return cache_; }
+
+  // -- SetView ---------------------------------------------------------------
+
+  /// Live read while connected; the hoarded membership when the live read
+  /// fails (the disconnection).
+  Task<Result<std::vector<ObjectRef>>> read_members() override {
+    Result<std::vector<ObjectRef>> live = co_await inner_.read_members();
+    if (live) {
+      co_return live;
+    }
+    if (hoarded_membership_) {
+      ++stats_.stale_membership_serves;
+      co_return *hoarded_membership_;
+    }
+    co_return live;  // no hoard to fall back on: propagate the failure
+  }
+
+  /// Snapshots need the live system; disconnected snapshots would be a
+  /// contradiction in terms.
+  Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
+      std::function<void()> on_cut) override {
+    return inner_.snapshot_atomic(std::move(on_cut));
+  }
+  Task<Result<void>> freeze() override { return inner_.freeze(); }
+  Task<void> unfreeze() override { return inner_.unfreeze(); }
+  Task<Result<void>> pin_grow_only() override {
+    return inner_.pin_grow_only();
+  }
+  Task<void> unpin_grow_only() override { return inner_.unpin_grow_only(); }
+
+  [[nodiscard]] bool is_reachable(ObjectRef ref) const override {
+    return cache_.contains(ref, sim_.now()) || inner_.is_reachable(ref);
+  }
+  [[nodiscard]] std::optional<Duration> distance(
+      ObjectRef ref) const override {
+    if (cache_.contains(ref, sim_.now())) return Duration::zero();
+    return inner_.distance(ref);
+  }
+
+  Task<Result<VersionedValue>> fetch(ObjectRef ref) override {
+    if (auto hit = cache_.get(ref, sim_.now())) co_return std::move(*hit);
+    Result<VersionedValue> value = co_await inner_.fetch(ref);
+    if (value) cache_.put(ref, value.value(), sim_.now());
+    co_return value;
+  }
+
+  [[nodiscard]] Simulator& sim() override { return sim_; }
+
+ private:
+  SetView& inner_;
+  Simulator& sim_;
+  mutable ObjectCache cache_;
+  std::optional<std::vector<ObjectRef>> hoarded_membership_;
+  HoardStats stats_;
+};
+
+}  // namespace weakset

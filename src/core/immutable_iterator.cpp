@@ -1,0 +1,45 @@
+#include "core/immutable_iterator.hpp"
+
+namespace weakset {
+
+Task<void> ImmutableIterator::release() {
+  if (frozen_) {
+    frozen_ = false;
+    co_await view().unfreeze();
+  }
+}
+
+// The freeze is released only here — after the terminal invocation has been
+// recorded — so the re-admitted mutators cannot land inside the recorded run
+// window.
+Task<void> ImmutableIterator::on_terminal() { co_await release(); }
+
+Task<Step> ImmutableIterator::step() {
+  if (!loaded_) {
+    if (options().enforce_freeze) {
+      Result<void> frozen = co_await view().freeze();
+      if (!frozen) co_return Step::failed(frozen.error());
+      frozen_ = true;
+    }
+    Result<std::vector<ObjectRef>> members = co_await view().read_members();
+    if (!members) co_return Step::failed(std::move(members).error());
+    s_first_ = std::move(members).value();
+    loaded_ = true;
+    mark_first_state();  // s_first acquired here
+  }
+
+  std::vector<ObjectRef> candidates = unyielded(s_first_);
+  if (candidates.empty()) {
+    co_return Step::finished();  // yielded = s_first
+  }
+  std::optional<Step> yielded = co_await try_yield(std::move(candidates));
+  if (yielded) co_return std::move(*yielded);
+
+  // Unyielded members of s_first remain, but none is reachable: fail
+  // (pessimistic handling; yielded = reachable(s_first) ⊂ s_first).
+  co_return Step::failed(
+      Failure{FailureKind::kUnreachable,
+              "unreachable members of s_first remain"});
+}
+
+}  // namespace weakset

@@ -1,0 +1,37 @@
+#pragma once
+
+// Figure 3: immutable set with failures (pessimistic).
+//
+// Yields only reachable elements of s_first; when every reachable element
+// has been yielded but unreachable members remain, it signals failure
+// ("a failure occurs if everything reachable has been yielded and the
+// reachable set of elements is a subset of the original set"); when all of
+// s_first has been yielded, it returns.
+//
+// With options().enforce_freeze the iterator actively enforces the
+// immutability constraint by holding the distributed freeze lock for the
+// whole run — the locking cost discussed in section 3.1.
+
+#include "core/iterator.hpp"
+
+namespace weakset {
+
+class ImmutableIterator final : public ElementsIterator {
+ public:
+  ImmutableIterator(SetView& view, IteratorOptions options)
+      : ElementsIterator(view, std::move(options)) {}
+
+ protected:
+  Task<Step> step() override;
+  Task<void> on_terminal() override;
+
+ private:
+  /// Releases the freeze lock if held (terminal transitions only).
+  Task<void> release();
+
+  bool loaded_ = false;
+  bool frozen_ = false;
+  std::vector<ObjectRef> s_first_;
+};
+
+}  // namespace weakset

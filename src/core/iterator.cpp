@@ -1,0 +1,145 @@
+#include "core/iterator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/fig1_iterator.hpp"
+#include "core/grow_only_iterator.hpp"
+#include "core/immutable_iterator.hpp"
+#include "core/optimistic_iterator.hpp"
+#include "core/snapshot_iterator.hpp"
+
+namespace weakset {
+
+Task<Step> ElementsIterator::next() {
+  assert(!done_ && "next() called after the iterator terminated");
+  ++stats_.invocations;
+  spec::TraceRecorder* recorder = options_.recorder;
+  if (recorder != nullptr) {
+    if (!started_) recorder->begin();
+    recorder->observe_pre();
+  }
+  started_ = true;
+
+  Step result = co_await step();
+
+  if (result.is_yield()) {
+    note_yield(result.ref());
+  } else {
+    done_ = true;
+  }
+  if (recorder != nullptr) {
+    spec::StepOutcome outcome = spec::StepOutcome::kReturned;
+    std::optional<ObjectRef> element;
+    switch (result.kind()) {
+      case Step::Kind::kYielded:
+        outcome = spec::StepOutcome::kSuspended;
+        element = result.ref();
+        break;
+      case Step::Kind::kFinished:
+        outcome = spec::StepOutcome::kReturned;
+        break;
+      case Step::Kind::kFailed:
+        // A bounded optimistic run that exhausted its retry budget models
+        // "would have blocked forever; the observation window ended here".
+        outcome = (result.failure().kind == FailureKind::kExhausted)
+                      ? spec::StepOutcome::kBlocked
+                      : spec::StepOutcome::kFailed;
+        break;
+    }
+    recorder->record(outcome, element);
+  }
+  if (done_) co_await on_terminal();
+  co_return result;
+}
+
+std::vector<ObjectRef> ElementsIterator::unyielded(
+    const std::vector<ObjectRef>& members) const {
+  std::vector<ObjectRef> out;
+  out.reserve(members.size());
+  for (const ObjectRef ref : members) {
+    if (yielded_index_.count(ref) == 0) out.push_back(ref);
+  }
+  if (options_.order == PickOrder::kClosestFirst) {
+    std::stable_sort(out.begin(), out.end(),
+                     [this](ObjectRef a, ObjectRef b) {
+                       const auto da = view_.distance(a);
+                       const auto db = view_.distance(b);
+                       // Unreachable (nullopt) sorts last.
+                       if (da && db) return *da < *db;
+                       return da.has_value() && !db.has_value();
+                     });
+  }
+  return out;
+}
+
+Task<std::optional<Step>> ElementsIterator::try_yield(
+    std::vector<ObjectRef> candidates) {
+  for (const ObjectRef ref : candidates) {
+    if (!view_.is_reachable(ref)) {
+      ++stats_.skipped_unreachable;
+      continue;
+    }
+    ++stats_.fetch_attempts;
+    Result<VersionedValue> value = co_await view_.fetch(ref);
+    if (value) co_return Step::yielded(ref, std::move(value).value());
+    ++stats_.fetch_failures;
+    // Transient fetch failure (e.g. the partition arose between the
+    // reachability check and the fetch): try the next candidate.
+  }
+  co_return std::nullopt;
+}
+
+std::string_view to_string(Semantics semantics) {
+  switch (semantics) {
+    case Semantics::kFig1Immutable:
+      return "fig1-immutable";
+    case Semantics::kFig3ImmutableFailAware:
+      return "fig3-immutable-failures";
+    case Semantics::kFig4Snapshot:
+      return "fig4-snapshot";
+    case Semantics::kFig5GrowOnlyPessimistic:
+      return "fig5-grow-only";
+    case Semantics::kFig6Optimistic:
+      return "fig6-optimistic";
+  }
+  return "?";
+}
+
+std::unique_ptr<ElementsIterator> make_elements_iterator(
+    SetView& view, Semantics semantics, IteratorOptions options) {
+  switch (semantics) {
+    case Semantics::kFig1Immutable:
+      return std::make_unique<Fig1Iterator>(view, std::move(options));
+    case Semantics::kFig3ImmutableFailAware:
+      return std::make_unique<ImmutableIterator>(view, std::move(options));
+    case Semantics::kFig4Snapshot:
+      return std::make_unique<SnapshotIterator>(view, std::move(options));
+    case Semantics::kFig5GrowOnlyPessimistic:
+      return std::make_unique<GrowOnlyPessimisticIterator>(view,
+                                                           std::move(options));
+    case Semantics::kFig6Optimistic:
+      return std::make_unique<OptimisticIterator>(view, std::move(options));
+  }
+  return nullptr;
+}
+
+Task<DrainResult> drain(ElementsIterator& iterator) {
+  DrainResult result;
+  for (;;) {
+    Step step = co_await iterator.next();
+    switch (step.kind()) {
+      case Step::Kind::kYielded:
+        result.add(step.ref(), step.value());
+        break;
+      case Step::Kind::kFinished:
+        result.set_finished();
+        co_return result;
+      case Step::Kind::kFailed:
+        result.set_failure(step.failure());
+        co_return result;
+    }
+  }
+}
+
+}  // namespace weakset

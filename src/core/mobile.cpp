@@ -1,0 +1,68 @@
+#include "core/mobile.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace weakset {
+
+std::vector<ObjectRef> MobileSetClient::overlay(
+    std::vector<ObjectRef> base) const {
+  if (log_.empty()) return base;
+  // Replay the queue over the base read, in order: later ops win.
+  std::vector<ObjectRef> members = std::move(base);
+  std::unordered_set<ObjectRef> present{members.begin(), members.end()};
+  for (const PendingOp& op : log_) {
+    if (op.is_add()) {
+      if (present.insert(op.ref()).second) members.push_back(op.ref());
+    } else if (present.erase(op.ref()) > 0) {
+      std::erase(members, op.ref());
+    }
+  }
+  return members;
+}
+
+Task<Result<bool>> MobileSetClient::mutate(ObjectRef ref, bool is_add) {
+  // Connected path: a normal membership mutation at the responsible primary.
+  Result<bool> live{false};
+  if (is_add) {
+    live = co_await client_.add(collection_, ref);
+  } else {
+    live = co_await client_.remove(collection_, ref);
+  }
+  if (live) co_return live;
+
+  // Disconnected: optimistic local update + queue for reintegration.
+  log_.emplace_back(is_add, ref, sim().now());
+  co_return true;  // the local view reflects it; reintegration reconciles
+}
+
+Task<ReintegrationReport> MobileSetClient::reintegrate() {
+  ReintegrationReport report;
+  std::deque<PendingOp> retry;
+  while (!log_.empty()) {
+    const PendingOp op = log_.front();
+    log_.pop_front();
+    Result<bool> outcome{false};
+    if (op.is_add()) {
+      outcome = co_await client_.add(collection_, op.ref());
+    } else {
+      outcome = co_await client_.remove(collection_, op.ref());
+    }
+    if (!outcome) {
+      report.note_failed();
+      retry.push_back(op);  // still unreachable: keep for next time
+      continue;
+    }
+    if (outcome.value()) {
+      report.note_applied();
+    } else {
+      // Membership was already in the desired state: a benign merge with
+      // someone else's identical mutation.
+      report.note_redundant();
+    }
+  }
+  log_ = std::move(retry);
+  co_return report;
+}
+
+}  // namespace weakset

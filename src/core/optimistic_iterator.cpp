@@ -1,0 +1,34 @@
+#include "core/optimistic_iterator.hpp"
+
+namespace weakset {
+
+Task<Step> OptimisticIterator::step() {
+  const RetryPolicy& retry = options().retry;
+  std::size_t attempts = 0;
+  for (;;) {
+    ++attempts;
+    // Read the current visible state (a nearby replica is fine: optimism
+    // embraces staleness for availability).
+    Result<std::vector<ObjectRef>> members = co_await view().read_members();
+    if (members) {
+      std::vector<ObjectRef> candidates = unyielded(members.value());
+      if (candidates.empty()) {
+        // Everything visible has been yielded: return.
+        co_return Step::finished();
+      }
+      std::optional<Step> yielded = co_await try_yield(std::move(candidates));
+      if (yielded) co_return std::move(*yielded);
+    }
+    // Progress is blocked (read failed, or known members unreachable).
+    // Optimism: wait for the failure to be repaired, then try again —
+    // never signal failure.
+    if (!retry.is_forever() && attempts >= retry.max_attempts()) {
+      co_return Step::failed(
+          Failure{FailureKind::kExhausted,
+                  "optimistic retry budget exhausted (observation window)"});
+    }
+    co_await view().sim().delay(retry.interval());
+  }
+}
+
+}  // namespace weakset

@@ -1,0 +1,31 @@
+#pragma once
+
+// Figure 6: growing and shrinking set, optimistic failure handling — the
+// weakest point in the design space and the semantics of *dynamic sets*,
+// the design the authors chose to implement (section 5).
+//
+// "There are no restrictions on mutation, there is only a weak guarantee
+// about what is yielded, and it takes an optimistic approach to consistency
+// ... This specification takes an optimistic approach since it may never
+// return if a failure is detected" — the invocation blocks (suspend/retry)
+// "with the expectation that in a later invocation inaccessible objects will
+// become accessible again (because the failure has been repaired by that
+// time)."
+//
+// RetryPolicy::forever() reproduces the blocking literally; a bounded policy
+// ends the observation window (reported kExhausted, recorded as `blocked`).
+
+#include "core/iterator.hpp"
+
+namespace weakset {
+
+class OptimisticIterator final : public ElementsIterator {
+ public:
+  OptimisticIterator(SetView& view, IteratorOptions options)
+      : ElementsIterator(view, std::move(options)) {}
+
+ protected:
+  Task<Step> step() override;
+};
+
+}  // namespace weakset

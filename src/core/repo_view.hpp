@@ -1,0 +1,66 @@
+#pragma once
+
+// RepoSetView: the SetView over the simulated distributed repository
+// (Layer B). Binds a RepositoryClient (which fixes the observing node and
+// the read policy) to one collection.
+
+#include "core/set_view.hpp"
+#include "store/client.hpp"
+#include "store/reachable.hpp"
+
+namespace weakset {
+
+class RepoSetView final : public SetView {
+ public:
+  RepoSetView(RepositoryClient& client, CollectionId collection)
+      : client_(client), collection_(collection) {}
+
+  Task<Result<std::vector<ObjectRef>>> read_members() override {
+    return client_.read_all(collection_);
+  }
+
+  Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
+      std::function<void()> on_cut) override {
+    return client_.snapshot_atomic(collection_, std::move(on_cut));
+  }
+
+  Task<Result<void>> freeze() override {
+    return client_.freeze_all(collection_);
+  }
+
+  Task<void> unfreeze() override { return client_.unfreeze_all(collection_); }
+
+  Task<Result<void>> pin_grow_only() override {
+    return client_.pin_all(collection_);
+  }
+  Task<void> unpin_grow_only() override {
+    return client_.unpin_all(collection_);
+  }
+
+  [[nodiscard]] bool is_reachable(ObjectRef ref) const override {
+    return weakset::is_reachable(client_.repo().topology(), client_.node(),
+                                 ref);
+  }
+
+  [[nodiscard]] std::optional<Duration> distance(
+      ObjectRef ref) const override {
+    return client_.repo().topology().path_latency(client_.node(), ref.home());
+  }
+
+  Task<Result<VersionedValue>> fetch(ObjectRef ref) override {
+    return client_.fetch(ref);
+  }
+
+  [[nodiscard]] Simulator& sim() override { return client_.repo().sim(); }
+
+  [[nodiscard]] CollectionId collection() const noexcept {
+    return collection_;
+  }
+  [[nodiscard]] RepositoryClient& client() noexcept { return client_; }
+
+ private:
+  RepositoryClient& client_;
+  CollectionId collection_;
+};
+
+}  // namespace weakset

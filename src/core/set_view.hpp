@@ -1,0 +1,71 @@
+#pragma once
+
+// SetView: the client-side capabilities an elements iterator needs from the
+// underlying set object. The five iterator semantics are written against
+// this interface, so the same code runs over the pure in-memory view (unit
+// tests, Layer A) and the simulated distributed repository (Layer B).
+//
+// The capability ladder mirrors the cost ladder of section 3 of the paper:
+//   read_members      one loose read of visible membership (may be stale)
+//   snapshot_atomic   an atomic whole-set read ("extremely expensive")
+//   freeze/unfreeze   the distributed lock behind true immutability
+//   is_reachable      the transport layer's failure detector
+//   fetch             retrieve an element's payload (the act of yielding)
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "store/object.hpp"
+#include "util/result.hpp"
+
+namespace weakset {
+
+class SetView {
+ public:
+  virtual ~SetView() = default;
+
+  /// One loose read of the membership as visible to this client. Under
+  /// distribution this may be stale (replica reads) and is not atomic across
+  /// fragments.
+  virtual Task<Result<std::vector<ObjectRef>>> read_members() = 0;
+
+  /// An atomic snapshot of the whole logical set — the "one atomic action"
+  /// that the Figure 4 semantics requires. `on_cut`, if set, is invoked at
+  /// the instant the snapshot is consistent (while mutators are still
+  /// excluded); the spec recorder uses it to pin the first-state.
+  virtual Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
+      std::function<void()> on_cut) = 0;
+
+  /// Blocks all mutation of the set until unfreeze() (or lease expiry). The
+  /// substrate for enforcing the immutability constraint during a run.
+  virtual Task<Result<void>> freeze() = 0;
+  virtual Task<void> unfreeze() = 0;
+
+  /// Pins the set grow-only until unpin_grow_only(): additions proceed,
+  /// removals are deferred ("ghost" members, section 3.3). The cheap
+  /// enforcement substrate for the Figure 5 constraint during a run.
+  virtual Task<Result<void>> pin_grow_only() = 0;
+  virtual Task<void> unpin_grow_only() = 0;
+
+  /// Is `ref` currently accessible from this client? (Cheap local test
+  /// against the failure detector; the paper assumes failures are
+  /// detectable.)
+  [[nodiscard]] virtual bool is_reachable(ObjectRef ref) const = 0;
+
+  /// Current network distance to `ref`'s home; nullopt if unreachable. Used
+  /// by closest-first yield ordering (section 1.1: "fetching 'closer' files
+  /// first").
+  [[nodiscard]] virtual std::optional<Duration> distance(
+      ObjectRef ref) const = 0;
+
+  /// Retrieves the payload behind `ref` — yielding an element means actually
+  /// delivering its object to the client.
+  virtual Task<Result<VersionedValue>> fetch(ObjectRef ref) = 0;
+
+  [[nodiscard]] virtual Simulator& sim() = 0;
+};
+
+}  // namespace weakset

@@ -1,0 +1,27 @@
+#include "core/snapshot_iterator.hpp"
+
+namespace weakset {
+
+Task<Step> SnapshotIterator::step() {
+  if (!loaded_) {
+    // The recorder's first-state is pinned at the snapshot's consistent cut,
+    // while mutators are still frozen out.
+    Result<std::vector<ObjectRef>> snapshot =
+        co_await view().snapshot_atomic([this] { mark_first_state(); });
+    if (!snapshot) co_return Step::failed(std::move(snapshot).error());
+    s_first_ = std::move(snapshot).value();
+    loaded_ = true;
+  }
+
+  std::vector<ObjectRef> candidates = unyielded(s_first_);
+  if (candidates.empty()) co_return Step::finished();
+
+  std::optional<Step> yielded = co_await try_yield(std::move(candidates));
+  if (yielded) co_return std::move(*yielded);
+
+  co_return Step::failed(
+      Failure{FailureKind::kUnreachable,
+              "unreachable members of the snapshot remain"});
+}
+
+}  // namespace weakset

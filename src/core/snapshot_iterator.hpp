@@ -1,0 +1,32 @@
+#pragma once
+
+// Figure 4: mutable set with loss of mutations (snapshot semantics).
+//
+// "The iterator will yield only those elements of s as it appears the first
+// time the iterator is called. ... it still assumes that the set can be
+// obtained in one atomic action (to get a snapshot of s in the first-state),
+// and distributed atomic actions are extremely expensive in practice."
+//
+// The snapshot is taken with SetView::snapshot_atomic() — over the
+// repository this is a freeze-read-unfreeze across all fragments, so the
+// cost claim is measurable (bench E3). Iteration then proceeds exactly as in
+// Figure 3, against the frozen first-state value.
+
+#include "core/iterator.hpp"
+
+namespace weakset {
+
+class SnapshotIterator final : public ElementsIterator {
+ public:
+  SnapshotIterator(SetView& view, IteratorOptions options)
+      : ElementsIterator(view, std::move(options)) {}
+
+ protected:
+  Task<Step> step() override;
+
+ private:
+  bool loaded_ = false;
+  std::vector<ObjectRef> s_first_;
+};
+
+}  // namespace weakset

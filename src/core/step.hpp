@@ -1,0 +1,72 @@
+#pragma once
+
+// Step: the outcome of one invocation of the elements iterator.
+//
+// The paper models each resumption as an invocation that either `suspends`
+// (yielding an element), `returns`, or `fails`. next() returning a Step is
+// that model made concrete: kYielded = suspends, kFinished = returns,
+// kFailed = fails.
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "store/object.hpp"
+#include "util/failure.hpp"
+
+namespace weakset {
+
+class Step {
+ public:
+  enum class Kind : std::uint8_t { kYielded, kFinished, kFailed };
+
+  /// suspends: the iterator yields `ref` with its retrieved payload.
+  static Step yielded(ObjectRef ref, VersionedValue value) {
+    Step step{Kind::kYielded};
+    step.ref_ = ref;
+    step.value_ = std::move(value);
+    return step;
+  }
+  /// returns: iteration is complete.
+  static Step finished() { return Step{Kind::kFinished}; }
+  /// fails: the iterator signals the failure exception.
+  static Step failed(Failure failure) {
+    Step step{Kind::kFailed};
+    step.failure_ = std::move(failure);
+    return step;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_yield() const noexcept {
+    return kind_ == Kind::kYielded;
+  }
+  [[nodiscard]] bool is_finished() const noexcept {
+    return kind_ == Kind::kFinished;
+  }
+  [[nodiscard]] bool is_failure() const noexcept {
+    return kind_ == Kind::kFailed;
+  }
+
+  [[nodiscard]] ObjectRef ref() const {
+    assert(is_yield());
+    return ref_;
+  }
+  [[nodiscard]] const VersionedValue& value() const {
+    assert(is_yield());
+    return *value_;
+  }
+  [[nodiscard]] const Failure& failure() const {
+    assert(is_failure());
+    return *failure_;
+  }
+
+ private:
+  explicit Step(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  ObjectRef ref_;
+  std::optional<VersionedValue> value_;
+  std::optional<Failure> failure_;
+};
+
+}  // namespace weakset

@@ -1,0 +1,131 @@
+#pragma once
+
+// UnionSetView: several weak sets federated into one.
+//
+// The paper's queries naturally span repositories — "the on-line menus of
+// all Chinese restaurants" lives on many independent hosts, a literature
+// search spans several library systems. A union view presents the member
+// union of its parts as one weak set: membership reads merge the parts
+// (deduplicated), and the weak semantics compose — a part that cannot be
+// read right now simply contributes nothing in best-effort mode, exactly
+// like an unreachable archive in a QuerySetView.
+//
+// Freezing or atomically snapshotting a federation would need a cross-
+// administrative-domain lock, which is precisely what wide-area systems
+// don't have (section 1): freeze() fails, and snapshot_atomic() degrades to
+// a require-all read (consistent only absent concurrent mutation).
+
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+#include "core/set_view.hpp"
+
+namespace weakset {
+
+enum class UnionMode {
+  kRequireAll,   ///< every part must answer, else the read fails
+  kBestEffort,   ///< unreachable parts contribute nothing
+};
+
+class UnionSetView final : public SetView {
+ public:
+  /// The parts must outlive the union and share one simulator.
+  UnionSetView(std::vector<SetView*> parts,
+               UnionMode mode = UnionMode::kBestEffort)
+      : parts_(std::move(parts)), mode_(mode) {
+    assert(!parts_.empty());
+  }
+
+  Task<Result<std::vector<ObjectRef>>> read_members() override {
+    return read(mode_);
+  }
+
+  Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
+      std::function<void()> on_cut) override {
+    // No cross-domain atomicity: a require-all read, cut marked at the end.
+    Result<std::vector<ObjectRef>> members =
+        co_await read(UnionMode::kRequireAll);
+    if (members && on_cut) on_cut();
+    co_return members;
+  }
+
+  Task<Result<void>> freeze() override {
+    co_return Failure{FailureKind::kNotFound,
+                      "a federation spans administrative domains and cannot "
+                      "be frozen"};
+  }
+  Task<void> unfreeze() override { co_return; }
+  Task<Result<void>> pin_grow_only() override {
+    co_return Failure{FailureKind::kNotFound,
+                      "a federation cannot be pinned"};
+  }
+  Task<void> unpin_grow_only() override { co_return; }
+
+  [[nodiscard]] bool is_reachable(ObjectRef ref) const override {
+    for (const SetView* part : parts_) {
+      if (part->is_reachable(ref)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::optional<Duration> distance(
+      ObjectRef ref) const override {
+    std::optional<Duration> best;
+    for (const SetView* part : parts_) {
+      const auto d = part->distance(ref);
+      if (d && (!best || *d < *best)) best = d;
+    }
+    return best;
+  }
+
+  Task<Result<VersionedValue>> fetch(ObjectRef ref) override {
+    // Route through the first part that can reach the object; fall back to
+    // trying the rest (a part may succeed where another's cache missed).
+    Result<VersionedValue> last{Failure{FailureKind::kUnreachable,
+                                        "no federation part reaches it"}};
+    for (SetView* part : parts_) {
+      if (!part->is_reachable(ref)) continue;
+      last = co_await part->fetch(ref);
+      if (last) co_return last;
+    }
+    co_return last;
+  }
+
+  [[nodiscard]] Simulator& sim() override { return parts_.front()->sim(); }
+
+  /// Parts skipped during the last best-effort read.
+  [[nodiscard]] std::size_t last_skipped() const noexcept {
+    return last_skipped_;
+  }
+
+ private:
+  Task<Result<std::vector<ObjectRef>>> read(UnionMode mode) {
+    std::vector<ObjectRef> members;
+    std::unordered_set<ObjectRef> seen;
+    last_skipped_ = 0;
+    std::optional<Failure> first_failure;
+    for (SetView* part : parts_) {
+      Result<std::vector<ObjectRef>> part_read =
+          co_await part->read_members();
+      if (!part_read) {
+        if (!first_failure) first_failure = std::move(part_read).error();
+        ++last_skipped_;
+        continue;
+      }
+      for (const ObjectRef ref : part_read.value()) {
+        if (seen.insert(ref).second) members.push_back(ref);
+      }
+    }
+    if (mode == UnionMode::kRequireAll && first_failure) {
+      co_return std::move(*first_failure);
+    }
+    co_return members;
+  }
+
+  std::vector<SetView*> parts_;
+  UnionMode mode_;
+  std::size_t last_skipped_ = 0;
+};
+
+}  // namespace weakset

@@ -1,0 +1,117 @@
+#pragma once
+
+// ValueSet: the paper's Figure 1 *type specification*, implemented literally.
+//
+//   set = type create, add, remove, size, elements
+//   constraint s_i = s_j                       (set is immutable)
+//   create = proc () returns (t: set)          ensures t_post = {} ∧ new(t)
+//   add    = proc (s, e) returns (t: set)      ensures t_post = s_pre ∪ {e} ∧ new(t)
+//   remove = proc (e, s) returns (t: set)      ensures t_post = s_pre − {e} ∧ new(t)
+//   size   = proc (s) returns (i: int)         ensures i = |s_pre|
+//   elements = iter (s) yields (e: elem)       one new element per invocation
+//
+// Every operation returns a NEW set object (the paper's new(t)); existing
+// values never change, so the constraint holds by construction. This is the
+// local, failure-free end of the design space — the semantics every weak
+// variant degrades from. Backed by a shared sorted vector: copies are O(1),
+// add/remove O(n), membership O(log n).
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace weakset {
+
+template <typename T>
+class ValueSet {
+ public:
+  /// create: the empty set (a fresh object).
+  static ValueSet create() { return ValueSet{std::make_shared<Rep>()}; }
+
+  /// add: a new set whose value is s_pre ∪ {e}; *this is unchanged.
+  [[nodiscard]] ValueSet add(const T& element) const {
+    const auto it =
+        std::lower_bound(rep_->begin(), rep_->end(), element);
+    if (it != rep_->end() && *it == element) return *this;  // already present
+    auto next = std::make_shared<Rep>();
+    next->reserve(rep_->size() + 1);
+    next->insert(next->end(), rep_->begin(), it);
+    next->push_back(element);
+    next->insert(next->end(), it, rep_->cend());
+    return ValueSet{std::move(next)};
+  }
+
+  /// remove: a new set whose value is s_pre − {e}; *this is unchanged.
+  [[nodiscard]] ValueSet remove(const T& element) const {
+    const auto it =
+        std::lower_bound(rep_->begin(), rep_->end(), element);
+    if (it == rep_->end() || *it != element) return *this;  // not present
+    auto next = std::make_shared<Rep>();
+    next->reserve(rep_->size() - 1);
+    next->insert(next->end(), rep_->cbegin(), it);
+    next->insert(next->end(), std::next(it), rep_->cend());
+    return ValueSet{std::move(next)};
+  }
+
+  /// size: |s_pre|.
+  [[nodiscard]] std::size_t size() const noexcept { return rep_->size(); }
+  [[nodiscard]] bool empty() const noexcept { return rep_->empty(); }
+
+  [[nodiscard]] bool contains(const T& element) const {
+    return std::binary_search(rep_->begin(), rep_->end(), element);
+  }
+
+  /// Value equality (set extensionality), independent of object identity.
+  friend bool operator==(const ValueSet& a, const ValueSet& b) {
+    return a.rep_ == b.rep_ || *a.rep_ == *b.rep_;
+  }
+
+  /// Object identity: add/remove mint new objects even when the value is
+  /// shared structurally (the paper's new(t)).
+  [[nodiscard]] bool same_object(const ValueSet& other) const noexcept {
+    return rep_ == other.rep_;
+  }
+
+  /// The elements iterator of Figure 1 (failure-free, local): each
+  /// invocation of next() yields an element not already yielded; nullopt
+  /// when all elements of s_first have been yielded. The cursor snapshots
+  /// s_first at creation — shared structure makes that free.
+  class ElementsCursor {
+   public:
+    explicit ElementsCursor(const ValueSet& set) : rep_(set.rep_) {}
+
+    /// One invocation: suspends-with-element or returns (nullopt).
+    std::optional<T> next() {
+      if (index_ >= rep_->size()) return std::nullopt;
+      return (*rep_)[index_++];
+    }
+
+    /// |yielded| so far.
+    [[nodiscard]] std::size_t yielded() const noexcept { return index_; }
+
+   private:
+    std::shared_ptr<const std::vector<T>> rep_;
+    std::size_t index_ = 0;
+  };
+
+  [[nodiscard]] ElementsCursor elements() const {
+    return ElementsCursor{*this};
+  }
+
+  // Range access (sorted order) for interoperability with std algorithms.
+  [[nodiscard]] auto begin() const { return rep_->begin(); }
+  [[nodiscard]] auto end() const { return rep_->end(); }
+
+ private:
+  using Rep = std::vector<T>;
+  explicit ValueSet(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {
+    assert(std::is_sorted(rep_->begin(), rep_->end()));
+  }
+  explicit ValueSet(std::shared_ptr<Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace weakset

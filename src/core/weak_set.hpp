@@ -1,0 +1,64 @@
+#pragma once
+
+// WeakSet: the public façade of the library — the paper's set type
+// (create, add, remove, size, elements) bound to one repository collection
+// as observed from one client node.
+//
+//   WeakSet set = WeakSet::create(repo, client, {server1, server2});
+//   co_await set.add(ref);
+//   auto it = set.elements(Semantics::kFig6Optimistic);
+//   while ((step = co_await it->next()).is_yield()) use(step.ref());
+//
+// The choice of Semantics picks the point in the paper's design space; all
+// five are available over the same set object.
+
+#include <memory>
+
+#include "core/iterator.hpp"
+#include "core/repo_view.hpp"
+#include "store/client.hpp"
+#include "store/repository.hpp"
+
+namespace weakset {
+
+class WeakSet {
+ public:
+  /// Binds to an existing collection, observed through `client`.
+  WeakSet(RepositoryClient& client, CollectionId id)
+      : client_(client), id_(id), view_(client, id) {}
+
+  /// Creates a new (possibly fragmented) weak set in the repository — the
+  /// paper's `create` operation — and binds to it.
+  static WeakSet create(Repository& repo, RepositoryClient& client,
+                        const std::vector<NodeId>& fragment_primaries) {
+    return WeakSet{client, repo.create_collection(fragment_primaries)};
+  }
+
+  /// The paper's `add`: membership takes effect at the responsible fragment
+  /// primary. Returns whether membership changed.
+  Task<Result<bool>> add(ObjectRef ref) { return client_.add(id_, ref); }
+
+  /// The paper's `remove`.
+  Task<Result<bool>> remove(ObjectRef ref) { return client_.remove(id_, ref); }
+
+  /// The paper's `size` (|s_pre|, loose across fragments).
+  Task<Result<std::uint64_t>> size() { return client_.total_size(id_); }
+
+  /// The paper's `elements` iterator, at the chosen point of the design
+  /// space.
+  [[nodiscard]] std::unique_ptr<ElementsIterator> elements(
+      Semantics semantics, IteratorOptions options = {}) {
+    return make_elements_iterator(view_, semantics, std::move(options));
+  }
+
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] SetView& view() noexcept { return view_; }
+  [[nodiscard]] RepositoryClient& client() noexcept { return client_; }
+
+ private:
+  RepositoryClient& client_;
+  CollectionId id_;
+  RepoSetView view_;
+};
+
+}  // namespace weakset

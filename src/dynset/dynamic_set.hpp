@@ -1,0 +1,164 @@
+#pragma once
+
+// Dynamic sets: the Unix-API set abstraction of Steere's thesis work, which
+// the paper presents as its motivating implementation (section 1.1) and whose
+// semantics is the Figure 6 (optimistic) specification (section 5).
+//
+// "By removing this requirement [access all files before ls returns], we gain
+// two advantages: (1) We can return information to the user more quickly by
+// yielding partial information about the contents of a directory; and (2) we
+// can implement such file system commands more efficiently by fetching files
+// in parallel, fetching 'closer' files first, and fetching all accessible
+// files despite network failures."
+//
+// DynamicSet implements exactly that: open() starts a prefetch engine that
+// reads membership, orders candidates closest-first, and keeps up to
+// `prefetch_depth` fetches in flight; iterate() delivers elements in
+// *arrival* order (not membership order); digest() lists membership without
+// fetching contents; close() stops the engine.
+//
+// Availability nuance: an element fetched before a partition arose is served
+// from the client's prefetch buffer even if its home is now unreachable —
+// the cached copy *is* accessible. This is deliberate (it is the
+// availability win of prefetching) and is called out in EXPERIMENTS.md when
+// comparing against the literal Figure 6 predicate, which consults only the
+// network failure detector.
+//
+// Lifetime: the SetView must outlive the engine; call close() and drain the
+// simulator (or destroy the DynamicSet only after the run) before tearing
+// the view down.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/iterator.hpp"
+#include "core/set_view.hpp"
+#include "sim/channel.hpp"
+
+namespace weakset {
+
+/// How iterate() orders deliveries. The paper's weak sets drop ordering
+/// ("Order among elements does not matter. Hence retrieval of elements can
+/// be optimized", section 1): kArrival exploits that. kMembership restores a
+/// deterministic order (the digest order) by holding back out-of-order
+/// arrivals — the cost of the ordering constraint is measured in bench E8.
+enum class DeliveryOrder { kArrival, kMembership };
+
+struct DynSetOptions {
+  /// Maximum concurrent fetches in flight.
+  std::size_t prefetch_depth = 4;
+  /// Delivery ordering for iterate().
+  DeliveryOrder delivery = DeliveryOrder::kArrival;
+  /// Candidate ordering for the fetch queue.
+  PickOrder order = PickOrder::kClosestFirst;
+  /// How long the engine tolerates rounds without progress while known
+  /// members remain undelivered (Figure 6 blocking). forever() blocks
+  /// literally; a bounded policy ends the session with kExhausted.
+  RetryPolicy retry = RetryPolicy{50, Duration::millis(100)};
+  /// Engine round interval: membership refresh and deferred-retry cadence.
+  Duration membership_refresh = Duration::millis(200);
+  /// Best-effort time budget for the whole session: once elapsed, already-
+  /// fetched elements still drain through iterate(), then the session ends
+  /// with kTimeout. nullopt: no budget. (The interactive-latency knob of the
+  /// dynamic-sets design: a user waits only so long for a directory page.)
+  std::optional<Duration> session_budget;
+};
+
+/// Counters of one dynamic-set session (used by the latency benchmarks).
+struct DynSetStats {
+  std::uint64_t fetches_started = 0;
+  std::uint64_t fetches_ok = 0;
+  std::uint64_t fetches_failed = 0;
+  std::uint64_t membership_reads = 0;
+  std::uint64_t membership_read_failures = 0;
+};
+
+class DynamicSet {
+ public:
+  /// setOpen: binds to a membership source and starts the prefetch engine.
+  static std::unique_ptr<DynamicSet> open(SetView& view,
+                                          DynSetOptions options = {});
+
+  ~DynamicSet() { close(); }
+  DynamicSet(const DynamicSet&) = delete;
+  DynamicSet& operator=(const DynamicSet&) = delete;
+
+  /// setIterate: the next element whose contents have arrived (any order).
+  /// Yields; or finishes once every visible member has been delivered; or —
+  /// with a bounded retry policy — fails with kExhausted when progress
+  /// stayed blocked for the whole budget.
+  Task<Step> iterate();
+
+  /// setDigest: one loose read of the current visible membership, without
+  /// fetching contents.
+  Task<Result<std::vector<ObjectRef>>> digest();
+
+  /// setClose: stops the engine (idempotent).
+  void close();
+
+  [[nodiscard]] const DynSetStats& stats() const noexcept {
+    return state_->stats;
+  }
+  /// Elements delivered through iterate() so far, in delivery order.
+  [[nodiscard]] const std::vector<ObjectRef>& yielded() const noexcept {
+    return yielded_;
+  }
+
+ private:
+  /// Engine state shared with the detached engine/fetch coroutines, so a
+  /// DynamicSet may be destroyed while a last wakeup is still queued.
+  struct State {
+    State(SetView& view, DynSetOptions options)
+        : view(&view), options(options), arrivals(view.sim()) {}
+
+    SetView* view;
+    DynSetOptions options;
+    DynSetStats stats;
+
+    std::deque<ObjectRef> fetch_queue_;
+    std::unordered_set<ObjectRef> seen;      // queued, in flight, delivered
+    std::unordered_set<ObjectRef> deferred;  // unreachable; retried later
+    std::size_t in_flight = 0;
+    std::size_t stalled_rounds = 0;
+    bool made_progress = false;  // since the last engine round
+    bool stopped = false;   // close() called
+    bool finished = false;  // arrivals closed (drained or exhausted)
+
+    AsyncQueue<Step> arrivals;
+    /// Membership (digest) order for kMembership delivery: every member in
+    /// discovery order.
+    std::vector<ObjectRef> digest_order;
+    /// Set while the engine sleeps between rounds; fetch workers complete it
+    /// to wake the engine early (e.g. when the last fetch lands, so a fresh
+    /// confirming read can close the session without waiting a full round).
+    std::optional<OneShot<bool>> round_wake;
+  };
+
+  explicit DynamicSet(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  static Task<void> engine(std::shared_ptr<State> state);
+  static Task<void> fetch_one(std::shared_ptr<State> state, ObjectRef ref);
+  /// Starts fetches until the depth limit or the queue is exhausted.
+  static void pump(const std::shared_ptr<State>& state);
+  /// True when no queued, deferred, or in-flight work remains. The engine
+  /// closes the session only when this holds against a *fresh* successful
+  /// membership read (Figure 6 returns iff s_pre ⊆ yielded).
+  static bool drained(const State& state);
+
+  /// kMembership delivery: the next in-order step, holding back early
+  /// arrivals until their turn.
+  Task<Step> iterate_in_order();
+
+  std::shared_ptr<State> state_;
+  std::vector<ObjectRef> yielded_;
+  // kMembership delivery state.
+  std::unordered_map<ObjectRef, Step> held_;
+  std::size_t next_in_order_ = 0;
+  std::optional<Step> terminal_;  // finished/failed seen while draining held_
+};
+
+}  // namespace weakset

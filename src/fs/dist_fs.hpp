@@ -1,0 +1,85 @@
+#pragma once
+
+// DistFileSystem: a wide-area file system over the object repository.
+//
+// The paper's target environment (section 1.1): "a wide-area file system on
+// a network of (possibly mobile) workstations ... In a distributed file
+// system, files and subdirectories in the same directory may reside on nodes
+// different from each other and/or from the directory itself."
+//
+// A directory is a collection (optionally fragmented/replicated); a file is
+// an object on some home node, member of its directory. The pieces that make
+// the paper's ls scenario real:
+//   - the directory object can be reachable while some files are not
+//   - files can live far away (latency) or behind a partition (failure)
+
+#include <string>
+#include <vector>
+
+#include "fs/file.hpp"
+#include "store/repository.hpp"
+
+namespace weakset {
+
+/// A directory: the collection id plus where it lives.
+class Directory {
+ public:
+  Directory() = default;
+  Directory(CollectionId id, NodeId home) : id_(id), home_(home) {}
+
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId home() const noexcept { return home_; }
+
+ private:
+  CollectionId id_;
+  NodeId home_;
+};
+
+class DistFileSystem {
+ public:
+  explicit DistFileSystem(Repository& repo) : repo_(repo) {}
+  DistFileSystem(const DistFileSystem&) = delete;
+  DistFileSystem& operator=(const DistFileSystem&) = delete;
+
+  /// Creates a directory homed (single fragment) on `node`.
+  Directory mkdir(NodeId node) {
+    return Directory{repo_.create_collection({node}), node};
+  }
+
+  /// Creates a directory fragmented across `nodes`.
+  Directory mkdir_fragmented(const std::vector<NodeId>& nodes) {
+    return Directory{repo_.create_collection(nodes), nodes.front()};
+  }
+
+  /// Setup-time: creates a file on `home` and links it into `dir`.
+  ObjectRef create_file(const Directory& dir, NodeId home, std::string name,
+                        std::string contents) {
+    const ObjectRef ref = repo_.create_object(
+        home, FileInfo{std::move(name), std::move(contents)}.encode());
+    repo_.seed_member(dir.id(), ref);
+    return ref;
+  }
+
+  /// Setup-time: creates a file object without linking it anywhere (it can
+  /// be linked later through a client, modelling concurrent creation).
+  ObjectRef create_unlinked_file(NodeId home, std::string name,
+                                 std::string contents) {
+    return repo_.create_object(
+        home, FileInfo{std::move(name), std::move(contents)}.encode());
+  }
+
+  /// Setup-time: creates a subdirectory of `parent` — a fresh collection
+  /// homed on `dir_node`, linked into the parent through an entry object
+  /// stored on `entry_home` (which may be a third node, per section 1.1).
+  /// Defined in entry-aware callers via make_subdir (see walk.hpp); declared
+  /// here so the file system owns all namespace mutations.
+  Directory make_subdir(const Directory& parent, NodeId dir_node,
+                        NodeId entry_home, const std::string& name);
+
+  [[nodiscard]] Repository& repo() noexcept { return repo_; }
+
+ private:
+  Repository& repo_;
+};
+
+}  // namespace weakset

@@ -1,0 +1,101 @@
+#pragma once
+
+// Entry: a typed directory entry — a plain file or a subdirectory pointer.
+//
+// The paper's file-system context (section 1.1): "files and subdirectories
+// in the same directory may reside on nodes different from each other
+// and/or from the directory itself." A subdirectory entry is an object like
+// any other (it must be fetched to be traversed, its home can be
+// unreachable while the parent is fine) whose payload names the child
+// collection and its home node.
+//
+// Wire format stays FileInfo-compatible: a subdirectory's "contents" carry a
+// control-prefixed pointer, so ls and the scan service keep working
+// unmodified on mixed directories.
+
+#include <cassert>
+#include <charconv>
+#include <string>
+
+#include "fs/dist_fs.hpp"
+#include "fs/file.hpp"
+
+namespace weakset {
+
+class Entry {
+ public:
+  enum class Kind : std::uint8_t { kFile, kSubdir };
+
+  static Entry file(std::string name, std::string contents) {
+    Entry entry;
+    entry.kind_ = Kind::kFile;
+    entry.name_ = std::move(name);
+    entry.contents_ = std::move(contents);
+    return entry;
+  }
+
+  static Entry subdir(std::string name, Directory dir) {
+    Entry entry;
+    entry.kind_ = Kind::kSubdir;
+    entry.name_ = std::move(name);
+    entry.dir_ = dir;
+    return entry;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_subdir() const noexcept {
+    return kind_ == Kind::kSubdir;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& contents() const {
+    assert(kind_ == Kind::kFile);
+    return contents_;
+  }
+  [[nodiscard]] Directory dir() const {
+    assert(kind_ == Kind::kSubdir);
+    return dir_;
+  }
+
+  /// FileInfo-compatible payload encoding.
+  [[nodiscard]] std::string encode() const {
+    if (kind_ == Kind::kFile) return FileInfo{name_, contents_}.encode();
+    return FileInfo{name_, std::string(kDirMarker) + ":" +
+                               std::to_string(dir_.id().raw()) + ":" +
+                               std::to_string(dir_.home().raw())}
+        .encode();
+  }
+
+  /// Inverse of encode(); plain FileInfo payloads decode as files.
+  static Entry decode(std::string_view payload) {
+    const FileInfo info = FileInfo::decode(payload);
+    const std::string& body = info.contents();
+    if (!body.starts_with(kDirMarker)) {
+      return file(info.name(), body);
+    }
+    // "\x01dir:<collection>:<home>"
+    const std::size_t first_colon = body.find(':');
+    const std::size_t second_colon = body.find(':', first_colon + 1);
+    assert(first_colon != std::string::npos &&
+           second_colon != std::string::npos);
+    std::uint64_t collection = 0;
+    std::uint64_t home = 0;
+    std::from_chars(body.data() + first_colon + 1,
+                    body.data() + second_colon, collection);
+    std::from_chars(body.data() + second_colon + 1,
+                    body.data() + body.size(), home);
+    return subdir(info.name(),
+                  Directory{CollectionId{collection}, NodeId{home}});
+  }
+
+ private:
+  Entry() = default;
+
+  static constexpr std::string_view kDirMarker = "\x01dir";
+
+  Kind kind_ = Kind::kFile;
+  std::string name_;
+  std::string contents_;
+  Directory dir_;
+};
+
+}  // namespace weakset

@@ -1,0 +1,51 @@
+#pragma once
+
+// FileInfo: the logical content of a file object — a name plus contents —
+// with a trivial serialisation into the object store's payload string.
+//
+// The paper's examples are all files-with-attributes: ".face files",
+// card-catalogue entries, restaurant menus. Commands like ls need the name,
+// queries need the contents; both arrive by fetching the object.
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace weakset {
+
+class FileInfo {
+ public:
+  FileInfo() = default;
+  FileInfo(std::string name, std::string contents)
+      : name_(std::move(name)), contents_(std::move(contents)) {
+    assert(name_.find('\n') == std::string::npos && "file names are one line");
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& contents() const noexcept {
+    return contents_;
+  }
+
+  /// Payload encoding: "<name>\n<contents>".
+  [[nodiscard]] std::string encode() const { return name_ + "\n" + contents_; }
+
+  /// Inverse of encode(). A payload without a newline decodes as a nameless
+  /// file whose contents are the whole payload.
+  static FileInfo decode(std::string_view payload) {
+    const auto newline = payload.find('\n');
+    if (newline == std::string_view::npos) {
+      return FileInfo{"", std::string{payload}};
+    }
+    return FileInfo{std::string{payload.substr(0, newline)},
+                    std::string{payload.substr(newline + 1)}};
+  }
+
+  friend bool operator==(const FileInfo&, const FileInfo&) = default;
+
+ private:
+  std::string name_;
+  std::string contents_;
+};
+
+}  // namespace weakset

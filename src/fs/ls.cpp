@@ -1,0 +1,60 @@
+#include "fs/ls.hpp"
+
+#include <algorithm>
+
+#include "core/repo_view.hpp"
+
+namespace weakset {
+
+Task<LsResult> ls_strict(RepositoryClient& client, Directory dir) {
+  LsResult result;
+  Simulator& sim = client.repo().sim();
+
+  Result<std::vector<ObjectRef>> members =
+      co_await client.read_all(dir.id());
+  if (!members) {
+    result.set_failure(std::move(members).error());
+    co_return result;
+  }
+
+  // Every file must be fetched before anything is reported.
+  std::vector<std::string> names;
+  for (const ObjectRef ref : members.value()) {
+    Result<VersionedValue> value = co_await client.fetch(ref);
+    if (!value) {
+      result.set_failure(std::move(value).error());
+      co_return result;  // one inaccessible file sinks the whole command
+    }
+    names.push_back(FileInfo::decode(value.value().data()).name());
+  }
+  std::sort(names.begin(), names.end());
+  const SimTime done = sim.now();
+  for (std::string& name : names) result.add(std::move(name), done);
+  result.set_complete();
+  co_return result;
+}
+
+Task<LsResult> ls_dynamic(RepositoryClient& client, Directory dir,
+                          DynSetOptions options) {
+  LsResult result;
+  Simulator& sim = client.repo().sim();
+  RepoSetView view{client, dir.id()};
+  auto set = DynamicSet::open(view, options);
+  for (;;) {
+    Step step = co_await set->iterate();
+    if (step.is_yield()) {
+      result.add(FileInfo::decode(step.value().data()).name(), sim.now());
+      continue;
+    }
+    if (step.is_finished()) {
+      result.set_complete();
+    } else {
+      result.set_failure(step.failure());
+    }
+    break;
+  }
+  set->close();
+  co_return result;
+}
+
+}  // namespace weakset

@@ -1,0 +1,71 @@
+#pragma once
+
+// The two ls implementations the paper contrasts (section 1.1):
+//
+//   ls_strict   "the expected behavior of the UNIX-like command ls ... is to
+//               list the files in the directory in some order (e.g.,
+//               alphabetically), thus requiring that all files be accessed
+//               before ls returns. In a distributed file system, satisfying
+//               this requirement is prohibitively expensive; in the worst
+//               case, because of failures some files may no longer be
+//               accessible and so non-termination is possible."
+//               Implemented as: read membership, fetch every file
+//               sequentially, sort names; any unreachable file fails the
+//               whole command.
+//
+//   ls_dynamic  ls over a dynamic set: names stream back in arrival order
+//               (parallel prefetch, closest-first), inaccessible files are
+//               skipped or awaited per the retry policy, and partial results
+//               are delivered even under failures.
+
+#include <string>
+#include <vector>
+
+#include "dynset/dynamic_set.hpp"
+#include "fs/dist_fs.hpp"
+#include "store/client.hpp"
+
+namespace weakset {
+
+/// What an ls run produced. With ls_dynamic, `arrival_times` records when
+/// each name was delivered (time-to-first-entry measurements).
+class LsResult {
+ public:
+  LsResult() = default;
+
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+  [[nodiscard]] const std::vector<SimTime>& arrival_times() const noexcept {
+    return arrival_times_;
+  }
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  [[nodiscard]] const std::optional<Failure>& failure() const noexcept {
+    return failure_;
+  }
+
+  void add(std::string name, SimTime at) {
+    names_.push_back(std::move(name));
+    arrival_times_.push_back(at);
+  }
+  void set_complete() { complete_ = true; }
+  void set_failure(Failure failure) { failure_ = std::move(failure); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<SimTime> arrival_times_;
+  bool complete_ = false;
+  std::optional<Failure> failure_;
+};
+
+/// Strict POSIX-style ls: all files must be fetched before anything is
+/// returned; names come back sorted. Fails outright if the directory or any
+/// file is unreachable.
+Task<LsResult> ls_strict(RepositoryClient& client, Directory dir);
+
+/// ls over a dynamic set: names stream in arrival order; under failures the
+/// result is partial (failure() set, names() holding what arrived).
+Task<LsResult> ls_dynamic(RepositoryClient& client, Directory dir,
+                          DynSetOptions options = {});
+
+}  // namespace weakset

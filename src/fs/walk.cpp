@@ -1,0 +1,72 @@
+#include "fs/walk.hpp"
+
+#include <deque>
+
+#include "core/repo_view.hpp"
+
+namespace weakset {
+
+Directory DistFileSystem::make_subdir(const Directory& parent,
+                                      NodeId dir_node, NodeId entry_home,
+                                      const std::string& name) {
+  const Directory child{repo_.create_collection({dir_node}), dir_node};
+  const ObjectRef entry =
+      repo_.create_object(entry_home, Entry::subdir(name, child).encode());
+  repo_.seed_member(parent.id(), entry);
+  return child;
+}
+
+namespace {
+
+/// One pending directory in the depth-first traversal.
+class Pending {
+ public:
+  Pending(std::string path, Directory dir)
+      : path_(std::move(path)), dir_(dir) {}
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] Directory dir() const noexcept { return dir_; }
+
+ private:
+  std::string path_;
+  Directory dir_;
+};
+
+}  // namespace
+
+Task<WalkResult> walk(RepositoryClient& client, Directory root,
+                      FileFilter filter, DynSetOptions options) {
+  WalkResult result;
+  std::deque<Pending> pending;
+  pending.emplace_back("", root);
+
+  while (!pending.empty()) {
+    const Pending current = pending.front();
+    pending.pop_front();
+
+    RepoSetView view{client, current.dir().id()};
+    auto set = DynamicSet::open(view, options);
+    bool completed = false;
+    for (;;) {
+      Step step = co_await set->iterate();
+      if (step.is_finished()) {
+        completed = true;
+        break;
+      }
+      if (step.is_failure()) break;  // partial: skip what never arrived
+      const Entry entry = Entry::decode(step.value().data());
+      const std::string path = current.path().empty()
+                                   ? entry.name()
+                                   : current.path() + "/" + entry.name();
+      if (entry.is_subdir()) {
+        pending.emplace_back(path, entry.dir());
+      } else if (!filter || filter(FileInfo{entry.name(), entry.contents()})) {
+        result.add_file(FoundFile{path, step.ref(), entry.contents()});
+      }
+    }
+    set->close();
+    result.note_directory(completed);
+  }
+  co_return result;
+}
+
+}  // namespace weakset

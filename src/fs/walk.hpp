@@ -1,0 +1,82 @@
+#pragma once
+
+// walk: recursive traversal of a directory tree over dynamic sets.
+//
+// A wide-area `find`: every directory is iterated optimistically (partial
+// results under failure), subdirectory entries are followed depth-first,
+// and an unreachable subtree is *skipped and counted* instead of sinking
+// the whole command — the weak-set answer to "because of failures some
+// files may no longer be accessible and so non-termination is possible"
+// (section 1.1).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dynset/dynamic_set.hpp"
+#include "fs/entry.hpp"
+#include "store/client.hpp"
+
+namespace weakset {
+
+/// Client-side file filter for walk(). (PredicateSpec from the query module
+/// adapts trivially: `[p](const FileInfo& f) { return p.matches(f); }`.)
+using FileFilter = std::function<bool(const FileInfo&)>;
+
+/// One file found by walk(): its /-joined path and its object ref.
+class FoundFile {
+ public:
+  FoundFile(std::string path, ObjectRef ref, std::string contents)
+      : path_(std::move(path)), ref_(ref), contents_(std::move(contents)) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] ObjectRef ref() const noexcept { return ref_; }
+  [[nodiscard]] const std::string& contents() const noexcept {
+    return contents_;
+  }
+
+ private:
+  std::string path_;
+  ObjectRef ref_;
+  std::string contents_;
+};
+
+/// Everything one walk observed.
+class WalkResult {
+ public:
+  [[nodiscard]] const std::vector<FoundFile>& files() const noexcept {
+    return files_;
+  }
+  /// Directories whose iteration ended incomplete (unreachable members or
+  /// unreadable membership): their contents are partially or fully missing.
+  [[nodiscard]] std::size_t incomplete_directories() const noexcept {
+    return incomplete_directories_;
+  }
+  /// True iff every directory iterated to completion.
+  [[nodiscard]] bool complete() const noexcept {
+    return incomplete_directories_ == 0;
+  }
+  [[nodiscard]] std::size_t directories_visited() const noexcept {
+    return directories_visited_;
+  }
+
+  void add_file(FoundFile file) { files_.push_back(std::move(file)); }
+  void note_directory(bool completed) {
+    ++directories_visited_;
+    if (!completed) ++incomplete_directories_;
+  }
+
+ private:
+  std::vector<FoundFile> files_;
+  std::size_t directories_visited_ = 0;
+  std::size_t incomplete_directories_ = 0;
+};
+
+/// Walks the tree rooted at `root`, matching files against `filter`
+/// (nullptr lists everything). Each directory is drained through a
+/// DynamicSet with `options`; failures skip, never abort.
+Task<WalkResult> walk(RepositoryClient& client, Directory root,
+                      FileFilter filter = nullptr,
+                      DynSetOptions options = {});
+
+}  // namespace weakset

@@ -1,0 +1,96 @@
+#pragma once
+
+// ChaosInjector: a seeded failure-injection process over a topology.
+//
+// Drives the failure model of section 2.1 — "Nodes may crash and
+// communication links may fail. These failures may lead to network
+// partitions" — as a background workload: nodes crash and restart, links
+// flap, with exponentially distributed uptimes and configurable outage
+// durations. Deterministic from its seed, bounded by a deadline, and
+// guaranteed to leave everything healed at the end (so optimistic runs can
+// complete).
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+
+namespace weakset {
+
+struct ChaosOptions {
+  /// Mean time between failures, per victim node.
+  Duration mean_uptime = Duration::seconds(3);
+  /// How long a crash or link cut lasts.
+  Duration outage = Duration::millis(400);
+  /// Probability that an injected failure is a node crash (else: one of the
+  /// victim's links is cut).
+  double crash_bias = 0.5;
+  /// No injections after this instant; everything is healed by
+  /// deadline + outage.
+  SimTime deadline = SimTime::max();
+};
+
+class ChaosInjector {
+ public:
+  /// Starts injecting failures into `victims`. The injector object must
+  /// outlive the simulation run.
+  ChaosInjector(Simulator& sim, Topology& topology,
+                std::vector<NodeId> victims, std::uint64_t seed,
+                ChaosOptions options = {})
+      : sim_(sim),
+        topology_(topology),
+        victims_(std::move(victims)),
+        rng_(seed),
+        options_(options) {
+    for (const NodeId victim : victims_) {
+      sim_.spawn(torment(victim, rng_.fork()));
+    }
+  }
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  /// Stops future injections (outages already in progress still heal).
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t link_cuts() const noexcept {
+    return link_cuts_;
+  }
+
+ private:
+  Task<void> torment(NodeId victim, Rng rng) {
+    for (;;) {
+      co_await sim_.delay(rng.exponential(options_.mean_uptime));
+      if (stopped_ || sim_.now() >= options_.deadline) co_return;
+      if (rng.bernoulli(options_.crash_bias)) {
+        ++crashes_;
+        topology_.crash(victim);
+        co_await sim_.delay(options_.outage);
+        topology_.restart(victim);
+      } else {
+        // Cut one random other node's link direction pair, if connected.
+        const NodeId peer = rng.pick(victims_);
+        if (peer == victim || !topology_.link_up(victim, peer)) continue;
+        ++link_cuts_;
+        topology_.set_link_up(victim, peer, false);
+        co_await sim_.delay(options_.outage);
+        // The victim (or peer) may have crashed meanwhile; restoring the
+        // link is still safe.
+        topology_.set_link_up(victim, peer, true);
+      }
+    }
+  }
+
+  Simulator& sim_;
+  Topology& topology_;
+  std::vector<NodeId> victims_;
+  Rng rng_;
+  ChaosOptions options_;
+  bool stopped_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t link_cuts_ = 0;
+};
+
+}  // namespace weakset

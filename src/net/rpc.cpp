@@ -1,0 +1,97 @@
+#include "net/rpc.hpp"
+
+#include <utility>
+
+namespace weakset {
+
+std::optional<Duration> RpcNetwork::delivery_latency(NodeId from, NodeId to) {
+  if (from == to) {
+    return options_.local_latency;
+  }
+  const auto base = topology_.path_latency(from, to);
+  if (!base) return std::nullopt;
+  const double factor = 1.0 + options_.jitter * rng_.uniform_double();
+  return Duration::nanos(static_cast<std::int64_t>(
+      static_cast<double>(base->count_nanos()) * factor));
+}
+
+Task<Result<std::any>> RpcNetwork::call(NodeId from, NodeId to,
+                                        std::string method, std::any request,
+                                        Duration timeout) {
+  ++stats_.calls;
+  OneShot<Result<std::any>> reply{sim_};
+
+  // Arm the timeout first: it must fire even if everything else is dropped.
+  const auto timeout_timer =
+      sim_.schedule_cancellable(timeout, [reply]() mutable {
+        reply.try_set(Failure{FailureKind::kTimeout, "rpc deadline exceeded"});
+      });
+
+  const auto request_latency = delivery_latency(from, to);
+  if (!request_latency) {
+    // No live path. With detectable failures (the paper's assumption) the
+    // transport signals this quickly; otherwise the timeout stands alone.
+    if (options_.fast_fail_unreachable) {
+      sim_.schedule(options_.detection_delay, [this, to, reply]() mutable {
+        const auto kind = topology_.is_up(to) ? FailureKind::kPartitioned
+                                              : FailureKind::kNodeCrashed;
+        reply.try_set(Failure{kind, "destination unreachable"});
+      });
+    }
+  } else {
+    // Deliver the request after the path latency. Reachability is re-checked
+    // at delivery time: a partition or crash occurring while the message is
+    // in flight loses the message.
+    sim_.schedule(*request_latency, [this, from, to, method, reply,
+                                     req = std::move(request)]() mutable {
+      if (!topology_.is_up(to) || !topology_.can_communicate(from, to)) {
+        ++stats_.messages_dropped;
+        return;  // lost; the caller's timeout will fire
+      }
+      ++stats_.messages_delivered;
+      sim_.spawn(serve(from, to, std::move(method), std::move(req), reply));
+    });
+  }
+
+  Result<std::any> outcome = co_await reply.wait();
+  timeout_timer.cancel();
+  if (outcome) {
+    ++stats_.completed;
+  } else {
+    ++stats_.failed;
+    if (outcome.error().kind == FailureKind::kTimeout) ++stats_.timeouts;
+  }
+  co_return outcome;
+}
+
+Task<void> RpcNetwork::serve(NodeId from, NodeId to, std::string method,
+                             std::any request,
+                             OneShot<Result<std::any>> reply_to) {
+  Result<std::any> result =
+      Failure{FailureKind::kNotFound, "no handler for " + method};
+  const auto it = handlers_.find(key(to, method));
+  if (it != handlers_.end()) {
+    result = co_await it->second(from, std::move(request));
+  }
+
+  // Send the reply back; it travels the (possibly changed) live path and is
+  // lost if the topology no longer connects the two nodes. The caller then
+  // only learns via its timeout, since nothing can cross the partition.
+  const auto reply_latency = delivery_latency(to, from);
+  if (!reply_latency) {
+    ++stats_.messages_dropped;
+    co_return;
+  }
+  sim_.schedule(*reply_latency,
+                [this, from, to, reply_to, res = std::move(result)]() mutable {
+                  if (!topology_.is_up(from) ||
+                      !topology_.can_communicate(to, from)) {
+                    ++stats_.messages_dropped;
+                    return;
+                  }
+                  ++stats_.messages_delivered;
+                  reply_to.try_set(std::move(res));
+                });
+}
+
+}  // namespace weakset

@@ -1,0 +1,147 @@
+#pragma once
+
+// RPC over the simulated topology.
+//
+// The paper's model (section 2.1): "Processes (e.g., clients and servers)
+// communicate via remote procedure calls. Thus the execution of an operation
+// by a client at one node might actually involve a remote call to the
+// operation exported by a server at a different node. ... We assume we can
+// detect failures, e.g., those signaled from the lower network and transport
+// layers."
+//
+// RpcNetwork delivers a request after the live path latency (with jitter),
+// runs the registered handler as a server-side process, and delivers the
+// reply the same way. Crashes and partitions drop messages; the caller
+// observes either a fast "detected" failure (the paper's assumption, default)
+// or a timeout.
+
+#include <any>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/topology.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace weakset {
+
+/// Tuning knobs for the RPC substrate.
+struct RpcOptions {
+  /// Deadline for a call when none is given explicitly.
+  Duration default_timeout = Duration::seconds(2);
+  /// Cost of a same-node "RPC" (kernel round trip, not network).
+  Duration local_latency = Duration::micros(20);
+  /// Per-message multiplicative jitter: delivery takes latency * U[1, 1+j].
+  double jitter = 0.2;
+  /// If true, an unreachable destination is reported after `detection_delay`
+  /// (lower layers signal the failure, per the paper). If false, the caller
+  /// burns the full timeout.
+  bool fast_fail_unreachable = true;
+  /// How long the transport takes to signal an unreachable destination.
+  Duration detection_delay = Duration::millis(2);
+};
+
+/// Counters for benchmarks (message cost of the different semantics).
+struct RpcStats {
+  std::uint64_t calls = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+};
+
+/// The RPC fabric shared by all nodes of one simulation.
+class RpcNetwork {
+ public:
+  /// A server-side method: receives the caller's node and the request payload,
+  /// returns the reply. Runs as a process on the simulator, so it may
+  /// co_await (disk latency, nested RPCs, ...).
+  using Handler =
+      std::function<Task<Result<std::any>>(NodeId from, std::any request)>;
+
+  RpcNetwork(Simulator& sim, Topology& topology, Rng rng,
+             RpcOptions options = {})
+      : sim_(sim), topology_(topology), rng_(rng), options_(options) {}
+  RpcNetwork(const RpcNetwork&) = delete;
+  RpcNetwork& operator=(const RpcNetwork&) = delete;
+
+  /// Registers (or replaces) `method` on `node`.
+  void register_handler(NodeId node, std::string method, Handler handler) {
+    handlers_[key(node, method)] = std::move(handler);
+  }
+
+  /// Calls `method` on `to` from `from` with the default timeout.
+  Task<Result<std::any>> call(NodeId from, NodeId to, std::string method,
+                              std::any request) {
+    return call(from, to, std::move(method), std::move(request),
+                options_.default_timeout);
+  }
+
+  /// Calls `method` on `to` from `from`, failing with kTimeout after
+  /// `timeout` if no reply (or detected failure) arrives sooner.
+  Task<Result<std::any>> call(NodeId from, NodeId to, std::string method,
+                              std::any request, Duration timeout);
+
+  /// Typed convenience wrapper: casts the reply payload to `Resp`.
+  ///
+  /// Deliberately NOT a coroutine: GCC 12 miscompiles by-value coroutine
+  /// parameters of aggregate type passed as temporaries (the frame aliases
+  /// the caller's temporary instead of copying it). The user's `Req` struct
+  /// is boxed into std::any here, in a plain function frame, and only
+  /// non-aggregate types cross the coroutine boundary. This constraint holds
+  /// library-wide: coroutine by-value parameters must be non-aggregates.
+  template <typename Resp, typename Req>
+  Task<Result<Resp>> call_typed(NodeId from, NodeId to, std::string method,
+                                Req request,
+                                std::optional<Duration> timeout = {}) {
+    return call_typed_impl<Resp>(from, to, std::move(method),
+                                 std::any{std::move(request)},
+                                 timeout.value_or(options_.default_timeout));
+  }
+
+  [[nodiscard]] const RpcStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] Topology& topology() noexcept { return topology_; }
+  [[nodiscard]] const RpcOptions& options() const noexcept { return options_; }
+
+ private:
+  static std::string key(NodeId node, const std::string& method) {
+    return std::to_string(node.raw()) + "/" + method;
+  }
+
+  template <typename Resp>
+  Task<Result<Resp>> call_typed_impl(NodeId from, NodeId to,
+                                     std::string method, std::any request,
+                                     Duration timeout) {
+    Result<std::any> raw =
+        co_await call(from, to, std::move(method), std::move(request), timeout);
+    if (!raw) co_return std::move(raw).error();
+    Resp* typed = std::any_cast<Resp>(&raw.value());
+    assert(typed != nullptr && "RPC reply type mismatch");
+    co_return std::move(*typed);
+  }
+
+  /// One-way delivery latency for the current live path, with jitter; nullopt
+  /// if no live path exists right now.
+  std::optional<Duration> delivery_latency(NodeId from, NodeId to);
+
+  /// Server-side: runs the handler and sends the reply back.
+  Task<void> serve(NodeId from, NodeId to, std::string method,
+                   std::any request, OneShot<Result<std::any>> reply_to);
+
+  Simulator& sim_;
+  Topology& topology_;
+  Rng rng_;
+  RpcOptions options_;
+  std::unordered_map<std::string, Handler> handlers_;
+  RpcStats stats_;
+};
+
+}  // namespace weakset

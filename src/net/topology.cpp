@@ -1,0 +1,154 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace weakset {
+
+NodeId Topology::add_node(std::string name) {
+  const NodeId id{nodes_.size()};
+  nodes_.push_back(Node{std::move(name), /*up=*/true, {}});
+  node_ids_.push_back(id);
+  bump();
+  return id;
+}
+
+std::size_t Topology::index(NodeId node) const {
+  assert(node.valid() && node.raw() < nodes_.size());
+  return static_cast<std::size_t>(node.raw());
+}
+
+Topology::Link* Topology::find_link(std::size_t from, std::size_t to) {
+  for (Link& link : nodes_[from].links) {
+    if (link.peer == to) return &link;
+  }
+  return nullptr;
+}
+
+void Topology::connect(NodeId a, NodeId b, Duration latency) {
+  const std::size_t ia = index(a);
+  const std::size_t ib = index(b);
+  assert(ia != ib && "no self-links");
+  if (Link* existing = find_link(ia, ib)) {
+    existing->latency = latency;
+    existing->up = true;
+    find_link(ib, ia)->latency = latency;
+    find_link(ib, ia)->up = true;
+  } else {
+    nodes_[ia].links.push_back(Link{ib, latency, true});
+    nodes_[ib].links.push_back(Link{ia, latency, true});
+  }
+  bump();
+}
+
+void Topology::connect_full_mesh(Duration latency) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      connect(node_ids_[i], node_ids_[j], latency);
+    }
+  }
+}
+
+void Topology::crash(NodeId node) {
+  nodes_[index(node)].up = false;
+  bump();
+}
+
+void Topology::restart(NodeId node) {
+  nodes_[index(node)].up = true;
+  bump();
+}
+
+bool Topology::is_up(NodeId node) const { return nodes_[index(node)].up; }
+
+void Topology::set_link_up(NodeId a, NodeId b, bool up) {
+  const std::size_t ia = index(a);
+  const std::size_t ib = index(b);
+  Link* ab = find_link(ia, ib);
+  assert(ab != nullptr && "link does not exist");
+  ab->up = up;
+  find_link(ib, ia)->up = up;
+  bump();
+}
+
+bool Topology::link_up(NodeId a, NodeId b) const {
+  for (const Link& link : nodes_[index(a)].links) {
+    if (link.peer == index(b)) return link.up;
+  }
+  return false;
+}
+
+void Topology::partition(const std::vector<std::vector<NodeId>>& groups) {
+  // Map each listed node to its group.
+  std::unordered_map<std::size_t, std::size_t> group_of;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const NodeId node : groups[g]) group_of[index(node)] = g;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto gi = group_of.find(i);
+    if (gi == group_of.end()) continue;
+    for (Link& link : nodes_[i].links) {
+      const auto gj = group_of.find(link.peer);
+      if (gj == group_of.end()) continue;
+      link.up = (gi->second == gj->second);
+    }
+  }
+  bump();
+}
+
+void Topology::heal() {
+  for (Node& node : nodes_) {
+    for (Link& link : node.links) link.up = true;
+  }
+  bump();
+}
+
+bool Topology::can_communicate(NodeId from, NodeId to) const {
+  return path_latency(from, to).has_value();
+}
+
+std::optional<Duration> Topology::path_latency(NodeId from, NodeId to) const {
+  const std::size_t src = index(from);
+  const std::size_t dst = index(to);
+  if (!nodes_[src].up || !nodes_[dst].up) return std::nullopt;
+  if (src == dst) return Duration::zero();
+
+  if (routing_ == Routing::kDirectOnly) {
+    for (const Link& link : nodes_[src].links) {
+      if (link.peer == dst && link.up) return link.latency;
+    }
+    return std::nullopt;
+  }
+
+  // Dijkstra over live links through live nodes. Topologies here are small
+  // (tens to hundreds of nodes), so no route cache is needed.
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> dist(nodes_.size(), kInf);
+  using Entry = std::pair<std::int64_t, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  dist[src] = 0;
+  frontier.emplace(0, src);
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) return Duration::nanos(d);
+    for (const Link& link : nodes_[u].links) {
+      if (!link.up || !nodes_[link.peer].up) continue;
+      const std::int64_t nd = d + link.latency.count_nanos();
+      if (nd < dist[link.peer]) {
+        dist[link.peer] = nd;
+        frontier.emplace(nd, link.peer);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+const std::string& Topology::name(NodeId node) const {
+  return nodes_[index(node)].name;
+}
+
+}  // namespace weakset

@@ -1,0 +1,116 @@
+#pragma once
+
+// Network topology: nodes, links, crashes, and partitions.
+//
+// This is the substrate for the paper's distributed-system model (section
+// 2.1): "a set of connected nodes, not necessarily strongly connected ...
+// Nodes may crash and communication links may fail. These failures may lead
+// to network partitions, which implies that a process at one node may not be
+// able to access objects residing at a node in a different partition."
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace weakset {
+
+struct NodeTag {};
+/// Identifies a node (workstation / server) in the simulated network.
+using NodeId = Id<NodeTag>;
+
+/// The mutable map of nodes and links. Communication paths and latencies are
+/// derived from it; crashing nodes or cutting links immediately changes what
+/// is reachable (the basis of the paper's `reachable` construct).
+class Topology {
+ public:
+  /// How messages may travel. kMultiHop routes through intermediate up
+  /// nodes (every node is a transit); kDirectOnly requires a direct live
+  /// link — the overlay view where "a partition between N and C" (Figure 2)
+  /// severs exactly that pair.
+  enum class Routing { kMultiHop, kDirectOnly };
+
+  /// Adds a node (initially up). `name` is for logs and examples.
+  NodeId add_node(std::string name);
+
+  void set_routing(Routing routing) {
+    routing_ = routing;
+    bump();
+  }
+  [[nodiscard]] Routing routing() const noexcept { return routing_; }
+
+  /// Adds a bidirectional link with the given one-way latency. Re-connecting
+  /// an existing pair updates its latency.
+  void connect(NodeId a, NodeId b, Duration latency);
+
+  /// Convenience: connect every node to every other with `latency`.
+  void connect_full_mesh(Duration latency);
+
+  // -- failure injection -----------------------------------------------------
+
+  /// Takes a node down (a crash). Messages to/through it are lost.
+  void crash(NodeId node);
+  /// Brings a crashed node back. Volatile state recovery is the concern of
+  /// higher layers (the store); the topology only tracks liveness.
+  void restart(NodeId node);
+  [[nodiscard]] bool is_up(NodeId node) const;
+
+  /// Cuts or restores a single link (both directions).
+  void set_link_up(NodeId a, NodeId b, bool up);
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+
+  /// Partitions the network into the given groups: every link between nodes
+  /// of different groups goes down; links inside a group come up (if they
+  /// exist). Nodes not listed keep their current links.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Restores every link.
+  void heal();
+
+  // -- derived queries ---------------------------------------------------
+
+  /// True iff a path of up links through up nodes connects `from` to `to`
+  /// (both endpoints must be up). A node can always communicate with itself
+  /// while up.
+  [[nodiscard]] bool can_communicate(NodeId from, NodeId to) const;
+
+  /// Latency of the cheapest live path, or nullopt if none exists. This also
+  /// serves as the "closeness" metric for the dynamic-sets prefetcher
+  /// (the paper's "fetching closer files first", section 1.1).
+  [[nodiscard]] std::optional<Duration> path_latency(NodeId from,
+                                                     NodeId to) const;
+
+  [[nodiscard]] const std::vector<NodeId>& nodes() const { return node_ids_; }
+  [[nodiscard]] const std::string& name(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const { return node_ids_.size(); }
+
+  /// Monotone counter bumped on every topology mutation; lets caches know
+  /// when derived data (routes) is stale.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  struct Link {
+    std::size_t peer;  // dense index of the other endpoint
+    Duration latency;
+    bool up = true;
+  };
+  struct Node {
+    std::string name;
+    bool up = true;
+    std::vector<Link> links;
+  };
+
+  [[nodiscard]] std::size_t index(NodeId node) const;
+  Link* find_link(std::size_t from, std::size_t to);
+  void bump() { ++version_; }
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> node_ids_;
+  std::uint64_t version_ = 0;
+  Routing routing_ = Routing::kMultiHop;
+};
+
+}  // namespace weakset

@@ -1,0 +1,56 @@
+#include "query/index.hpp"
+
+#include <algorithm>
+
+namespace weakset {
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+void InvertedIndex::index_object(ObjectId id, const FileInfo& file) {
+  remove_object(id);  // re-index: drop old postings first
+  std::vector<std::string> terms = tokenize(file.name());
+  const std::vector<std::string> body = tokenize(file.contents());
+  terms.insert(terms.end(), body.begin(), body.end());
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (const std::string& term : terms) postings_[term].insert(id);
+  terms_of_[id] = std::move(terms);
+}
+
+void InvertedIndex::remove_object(ObjectId id) {
+  const auto it = terms_of_.find(id);
+  if (it == terms_of_.end()) return;
+  for (const std::string& term : it->second) {
+    const auto posting = postings_.find(term);
+    if (posting == postings_.end()) continue;
+    posting->second.erase(id);
+    if (posting->second.empty()) postings_.erase(posting);
+  }
+  terms_of_.erase(it);
+}
+
+std::vector<ObjectId> InvertedIndex::lookup(std::string_view term) const {
+  const auto tokens = tokenize(term);
+  if (tokens.size() != 1) return {};
+  const auto it = postings_.find(tokens.front());
+  if (it == postings_.end()) return {};
+  std::vector<ObjectId> out{it->second.begin(), it->second.end()};
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace weakset

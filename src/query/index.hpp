@@ -1,0 +1,66 @@
+#pragma once
+
+// InvertedIndex: a per-node term index over file names and contents — the
+// WAIS-archive substrate ("An information system for corporate users: Wide
+// Area Information Servers" is one of the paper's motivating systems).
+//
+// Tokenisation: maximal runs of [A-Za-z0-9], lowercased. A posting maps a
+// term to the objects whose name or contents contain it as a whole token.
+// The index answers single-term CONTAINS queries directly; the scan service
+// verifies index candidates against the full predicate (the index may
+// over-approximate for non-token substrings, never under-approximate for
+// whole tokens — so verification keeps results exact while the index prunes
+// the sweep).
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fs/file.hpp"
+#include "store/object.hpp"
+
+namespace weakset {
+
+/// Lowercased whole tokens of `text`.
+std::vector<std::string> tokenize(std::string_view text);
+
+class InvertedIndex {
+ public:
+  /// (Re)indexes one object.
+  void index_object(ObjectId id, const FileInfo& file);
+
+  /// Drops one object's postings.
+  void remove_object(ObjectId id);
+
+  /// Objects whose name or contents contain `term` as a whole token.
+  [[nodiscard]] std::vector<ObjectId> lookup(std::string_view term) const;
+
+  /// True iff `query` is answerable by a term lookup: a single whole token.
+  [[nodiscard]] static bool is_indexable(std::string_view query) {
+    const auto tokens = tokenize(query);
+    return tokens.size() == 1 && tokens.front().size() == query.size();
+  }
+
+  [[nodiscard]] std::size_t term_count() const noexcept {
+    return postings_.size();
+  }
+  [[nodiscard]] std::size_t indexed_objects() const noexcept {
+    return terms_of_.size();
+  }
+
+  void clear() {
+    postings_.clear();
+    terms_of_.clear();
+  }
+
+ private:
+  // term -> posting set; object -> its terms (for removal).
+  std::unordered_map<std::string, std::unordered_set<ObjectId>> postings_;
+  std::unordered_map<ObjectId, std::vector<std::string>> terms_of_;
+};
+
+}  // namespace weakset

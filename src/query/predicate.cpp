@@ -1,0 +1,58 @@
+#include "query/predicate.hpp"
+
+#include <algorithm>
+
+namespace weakset {
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer glob with backtracking over the last '*'.
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t star_text = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_text = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_text;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool PredicateSpec::matches(const FileInfo& file) const {
+  switch (kind_) {
+    case Kind::kAll:
+      return true;
+    case Kind::kNameGlob:
+      return glob_match(argument_, file.name());
+    case Kind::kNamePrefix:
+      return file.name().starts_with(argument_);
+    case Kind::kContains:
+      return file.contents().find(argument_) != std::string::npos;
+    case Kind::kAnd:
+      return std::all_of(children_.begin(), children_.end(),
+                         [&](const PredicateSpec& child) {
+                           return child.matches(file);
+                         });
+    case Kind::kOr:
+      return std::any_of(children_.begin(), children_.end(),
+                         [&](const PredicateSpec& child) {
+                           return child.matches(file);
+                         });
+    case Kind::kNot:
+      return !children_.front().matches(file);
+  }
+  return false;
+}
+
+}  // namespace weakset

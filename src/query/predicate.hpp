@@ -1,0 +1,86 @@
+#pragma once
+
+// PredicateSpec: a small, value-serialisable predicate language over
+// FileInfo, evaluated server-side by the scan service.
+//
+// The paper motivates "database-like queries, e.g., finding all files that
+// satisfy a given predicate" (section 1.1) — list papers by an author,
+// menus of Chinese restaurants, .face files of people on a home page. A
+// predicate is shipped in the scan RPC, so it must be a value, not code:
+// this spec covers globs, substring search, prefixes, and boolean
+// combinations, which is enough for all of the paper's examples.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fs/file.hpp"
+
+namespace weakset {
+
+class PredicateSpec {
+ public:
+  enum class Kind : std::uint8_t {
+    kAll,           ///< matches everything
+    kNameGlob,      ///< file name matches a * / ? glob
+    kNamePrefix,    ///< file name starts with the argument
+    kContains,      ///< file contents contain the argument
+    kAnd,           ///< all children match
+    kOr,            ///< any child matches
+    kNot,           ///< the single child does not match
+  };
+
+  /// Matches every file.
+  static PredicateSpec all() { return PredicateSpec{Kind::kAll, ""}; }
+  /// File name matches `pattern` ('*' any run, '?' any one char).
+  static PredicateSpec name_glob(std::string pattern) {
+    return PredicateSpec{Kind::kNameGlob, std::move(pattern)};
+  }
+  /// File name starts with `prefix`.
+  static PredicateSpec name_prefix(std::string prefix) {
+    return PredicateSpec{Kind::kNamePrefix, std::move(prefix)};
+  }
+  /// File contents contain `needle`.
+  static PredicateSpec contains(std::string needle) {
+    return PredicateSpec{Kind::kContains, std::move(needle)};
+  }
+  static PredicateSpec all_of(std::vector<PredicateSpec> children) {
+    return PredicateSpec{Kind::kAnd, "", std::move(children)};
+  }
+  static PredicateSpec any_of(std::vector<PredicateSpec> children) {
+    return PredicateSpec{Kind::kOr, "", std::move(children)};
+  }
+  static PredicateSpec negate(PredicateSpec child) {
+    std::vector<PredicateSpec> children;
+    children.push_back(std::move(child));
+    return PredicateSpec{Kind::kNot, "", std::move(children)};
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& argument() const noexcept {
+    return argument_;
+  }
+  [[nodiscard]] const std::vector<PredicateSpec>& children() const noexcept {
+    return children_;
+  }
+
+  /// Evaluates the predicate against a file.
+  [[nodiscard]] bool matches(const FileInfo& file) const;
+
+ private:
+  PredicateSpec(Kind kind, std::string argument,
+                std::vector<PredicateSpec> children = {})
+      : kind_(kind),
+        argument_(std::move(argument)),
+        children_(std::move(children)) {}
+
+  Kind kind_;
+  std::string argument_;
+  std::vector<PredicateSpec> children_;
+};
+
+/// Glob match with '*' (any run, including empty) and '?' (any one char).
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace weakset

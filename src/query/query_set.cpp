@@ -1,0 +1,65 @@
+#include "query/query_set.hpp"
+
+namespace weakset {
+
+namespace {
+
+using ScanResult = Result<std::vector<ObjectRef>>;
+
+Task<void> scan_into(RpcNetwork& net, NodeId from, NodeId target,
+                     PredicateSpec predicate,
+                     std::optional<Duration> timeout,
+                     OneShot<ScanResult> cell) {
+  ScanResult scan = co_await net.call_typed<std::vector<ObjectRef>>(
+      from, target, "query.scan", msg::ScanRequest{std::move(predicate)},
+      timeout);
+  cell.try_set(std::move(scan));
+}
+
+}  // namespace
+
+Task<Result<std::vector<ObjectRef>>> QuerySetView::read(QueryMode mode) {
+  // Fan the scans out in parallel (a browser opens parallel connections;
+  // archives are independent), then gather.
+  RpcNetwork& net = client_.repo().net();
+  Simulator& sim = net.sim();
+  std::vector<OneShot<ScanResult>> cells;
+  cells.reserve(targets_.size());
+  for (const NodeId target : targets_) {
+    cells.emplace_back(sim);
+    sim.spawn(scan_into(net, client_.node(), target, predicate_,
+                        client_.options().rpc_timeout, cells.back()));
+  }
+
+  std::vector<ObjectRef> members;
+  std::optional<Failure> first_failure;
+  last_skipped_ = 0;
+  for (auto& cell : cells) {
+    ScanResult scan = co_await cell.wait();
+    if (!scan) {
+      if (!first_failure) first_failure = std::move(scan).error();
+      ++last_skipped_;  // best effort: the reachable part is the membership
+      continue;
+    }
+    const auto& part = scan.value();
+    members.insert(members.end(), part.begin(), part.end());
+  }
+  if (mode == QueryMode::kRequireAll && first_failure) {
+    co_return std::move(*first_failure);
+  }
+  co_return members;
+}
+
+Task<Result<std::vector<ObjectRef>>> QuerySetView::read_members() {
+  return read(mode_);
+}
+
+Task<Result<std::vector<ObjectRef>>> QuerySetView::snapshot_atomic(
+    std::function<void()> on_cut) {
+  Result<std::vector<ObjectRef>> members =
+      co_await read(QueryMode::kRequireAll);
+  if (members && on_cut) on_cut();
+  co_return members;
+}
+
+}  // namespace weakset

@@ -1,0 +1,232 @@
+#pragma once
+
+// Asynchronous coordination primitives for simulated processes: OneShot
+// (single-assignment future), AsyncQueue (mpsc value queue), Semaphore
+// (bounded concurrency), and Gate (level-triggered condition).
+//
+// All primitives resume waiters *through the simulator's event queue* rather
+// than inline, which keeps event ordering deterministic and recursion bounded
+// (cf. Core Guidelines CP.22: never run unknown code from inside the
+// synchronisation primitive itself).
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace weakset {
+
+/// A single-assignment cell: one producer calls try_set, one consumer awaits
+/// wait(). Copies share the same underlying cell, so an RPC reply path and a
+/// timeout path can race to complete the same OneShot — the first wins.
+template <typename T>
+class OneShot {
+ public:
+  explicit OneShot(Simulator& sim) : state_(std::make_shared<State>(&sim)) {}
+
+  /// Completes the cell. Returns false (and discards `value`) if the cell was
+  /// already completed — e.g. a reply arriving after its timeout fired.
+  bool try_set(T value) {
+    State& s = *state_;
+    if (s.value.has_value()) return false;
+    s.value = std::move(value);
+    if (s.waiter) {
+      s.sim->schedule(Duration::zero(),
+                      [handle = std::exchange(s.waiter, nullptr)] {
+                        handle.resume();
+                      });
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool is_set() const { return state_->value.has_value(); }
+
+  /// Awaitable yielding the stored value. At most one waiter.
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      std::shared_ptr<State> state;
+      bool await_ready() const noexcept { return state->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> handle) {
+        assert(state->waiter == nullptr && "OneShot supports a single waiter");
+        state->waiter = handle;
+      }
+      T await_resume() {
+        assert(state->value.has_value());
+        return std::move(*state->value);
+      }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  struct State {
+    explicit State(Simulator* sim) : sim(sim) {}
+    Simulator* sim;
+    std::optional<T> value;
+    std::coroutine_handle<> waiter = nullptr;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// An unbounded async queue. push() never blocks; pop() suspends until a value
+/// arrives or the queue is closed (then yields nullopt). Values are delivered
+/// directly into waiter slots, so concurrent poppers cannot steal each other's
+/// wakeups.
+template <typename T>
+class AsyncQueue {
+ public:
+  explicit AsyncQueue(Simulator& sim) : sim_(&sim) {}
+  AsyncQueue(const AsyncQueue&) = delete;
+  AsyncQueue& operator=(const AsyncQueue&) = delete;
+
+  void push(T value) {
+    assert(!closed_ && "push after close");
+    if (!waiters_.empty()) {
+      PopAwaiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter->slot = std::move(value);
+      resume_later(waiter->handle);
+      return;
+    }
+    values_.push_back(std::move(value));
+  }
+
+  /// Closes the queue: pending and future pop()s yield nullopt once values
+  /// are drained.
+  void close() {
+    closed_ = true;
+    while (!waiters_.empty()) {
+      PopAwaiter* waiter = waiters_.front();
+      waiters_.pop_front();
+      resume_later(waiter->handle);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+  /// Awaitable yielding the next value, or nullopt if closed and drained.
+  [[nodiscard]] auto pop() { return PopAwaiter{this}; }
+
+ private:
+  struct PopAwaiter {
+    AsyncQueue* queue;
+    std::optional<T> slot;
+    std::coroutine_handle<> handle = nullptr;
+
+    bool await_ready() noexcept {
+      if (!queue->values_.empty()) {
+        slot = std::move(queue->values_.front());
+        queue->values_.pop_front();
+        return true;
+      }
+      return queue->closed_;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      queue->waiters_.push_back(this);
+    }
+    std::optional<T> await_resume() noexcept { return std::move(slot); }
+  };
+
+  void resume_later(std::coroutine_handle<> handle) {
+    sim_->schedule(Duration::zero(), [handle] { handle.resume(); });
+  }
+
+  Simulator* sim_;
+  std::deque<T> values_;
+  std::deque<PopAwaiter*> waiters_;
+  bool closed_ = false;
+};
+
+/// A counting semaphore for bounding concurrency (e.g. the prefetch engine's
+/// in-flight fetch limit). Ownership of a released permit passes directly to
+/// the longest-waiting acquirer.
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, std::size_t permits)
+      : sim_(&sim), permits_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Awaitable: completes when a permit is held.
+  [[nodiscard]] auto acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const noexcept {
+        if (sem->permits_ > 0) {
+          --sem->permits_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> handle) {
+        sem->waiters_.push_back(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto handle = waiters_.front();
+      waiters_.pop_front();
+      // Permit transfers directly to the waiter; count stays.
+      sim_->schedule(Duration::zero(), [handle] { handle.resume(); });
+      return;
+    }
+    ++permits_;
+  }
+
+  [[nodiscard]] std::size_t available() const noexcept { return permits_; }
+
+ private:
+  Simulator* sim_;
+  std::size_t permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Level-triggered condition: wait() suspends while the gate is closed. Used
+/// e.g. to model "retry when the partition heals" in the optimistic iterator.
+class Gate {
+ public:
+  explicit Gate(Simulator& sim, bool open = false) : sim_(&sim), open_(open) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  void open() {
+    open_ = true;
+    while (!waiters_.empty()) {
+      auto handle = waiters_.front();
+      waiters_.pop_front();
+      sim_->schedule(Duration::zero(), [handle] { handle.resume(); });
+    }
+  }
+  void close() { open_ = false; }
+  [[nodiscard]] bool is_open() const noexcept { return open_; }
+
+  [[nodiscard]] auto wait() {
+    struct Awaiter {
+      Gate* gate;
+      bool await_ready() const noexcept { return gate->open_; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        gate->waiters_.push_back(handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulator* sim_;
+  bool open_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace weakset

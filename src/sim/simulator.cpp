@@ -1,0 +1,77 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace weakset {
+
+void Simulator::schedule(Duration delay, MoveFunc fn) {
+  assert(delay >= Duration::zero());
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime at, MoveFunc fn) {
+  assert(at >= now_);
+  queue_.push_back(Event{at, next_seq_++, std::move(fn), nullptr});
+  std::push_heap(queue_.begin(), queue_.end(), later);
+}
+
+Simulator::TimerToken Simulator::schedule_cancellable(Duration delay,
+                                                      MoveFunc fn) {
+  auto alive = std::make_shared<bool>(true);
+  queue_.push_back(Event{now_ + delay, next_seq_++, std::move(fn), alive});
+  std::push_heap(queue_.begin(), queue_.end(), later);
+  return TimerToken{std::move(alive)};
+}
+
+Simulator::Event Simulator::pop_next() {
+  std::pop_heap(queue_.begin(), queue_.end(), later);
+  Event event = std::move(queue_.back());
+  queue_.pop_back();
+  return event;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event event = pop_next();
+    if (event.alive && !*event.alive) continue;  // cancelled: silent skip
+    assert(event.at >= now_);
+    now_ = event.at;
+    ++processed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  assert(n < max_events && "simulation exceeded max_events (livelock?)");
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime deadline, std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && !queue_.empty() && queue_.front().at <= deadline) {
+    Event event = pop_next();
+    if (event.alive && !*event.alive) continue;  // cancelled: silent skip
+    now_ = event.at;
+    ++processed_;
+    event.fn();
+    ++n;
+  }
+  assert(n < max_events && "simulation exceeded max_events (livelock?)");
+  now_ = std::max(now_, deadline);
+  return n;
+}
+
+namespace detail {
+Detached run_detached(Task<void> task) { co_await std::move(task); }
+}  // namespace detail
+
+void Simulator::spawn(Task<void> task) {
+  auto detached = detail::run_detached(std::move(task));
+  schedule(Duration::zero(), [handle = detached.handle] { handle.resume(); });
+}
+
+}  // namespace weakset

@@ -1,0 +1,178 @@
+#pragma once
+
+// Discrete-event simulator with a virtual clock.
+//
+// All distributed behaviour in this library (latency, partitions, crashes,
+// concurrent mutators) runs over this simulator, so every run is exactly
+// reproducible from its RNG seeds: events execute in (time, sequence) order,
+// single-threaded. See DESIGN.md section 3.3.
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "util/move_func.hpp"
+#include "util/time.hpp"
+
+namespace weakset {
+
+/// The event loop. Owns the virtual clock and a (time, seq)-ordered queue of
+/// pending events. Not thread-safe: the whole simulation is single-threaded
+/// by design (interleavings are modelled, not raced).
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Runs `fn` after `delay` of virtual time (>= 0). Events scheduled for the
+  /// same instant run in scheduling order.
+  void schedule(Duration delay, MoveFunc fn);
+
+  /// Runs `fn` at absolute virtual time `at` (>= now()).
+  void schedule_at(SimTime at, MoveFunc fn);
+
+  /// Handle to a pending timer; cancelling it makes the event a no-op that
+  /// neither runs nor advances the clock (important for timeout timers that
+  /// lost their race against a reply).
+  class TimerToken {
+   public:
+    TimerToken() = default;
+    void cancel() const {
+      if (alive_) *alive_ = false;
+    }
+
+   private:
+    friend class Simulator;
+    explicit TimerToken(std::shared_ptr<bool> alive)
+        : alive_(std::move(alive)) {}
+    std::shared_ptr<bool> alive_;
+  };
+
+  /// Like schedule(), but returns a token that can cancel the event.
+  TimerToken schedule_cancellable(Duration delay, MoveFunc fn);
+
+  /// Starts a detached coroutine process. The process begins executing at the
+  /// current virtual time, after already-queued events for this instant.
+  void spawn(Task<void> task);
+
+  /// Processes events until the queue is empty. Returns events processed.
+  /// `max_events` guards against runaway simulations.
+  std::size_t run(std::size_t max_events = kDefaultMaxEvents);
+
+  /// Processes all events with time <= deadline, then advances the clock to
+  /// `deadline`. Returns events processed.
+  std::size_t run_until(SimTime deadline,
+                        std::size_t max_events = kDefaultMaxEvents);
+
+  /// Processes a single event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+  /// Awaitable: suspends the current coroutine for `d` of virtual time.
+  /// delay(Duration::zero()) yields to other ready events at this instant.
+  [[nodiscard]] auto delay(Duration d) {
+    struct Awaiter {
+      Simulator& sim;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        sim.schedule(d, [handle] { handle.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    assert(d >= Duration::zero());
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable: lets every other event ready at this instant run first.
+  [[nodiscard]] auto yield_now() { return delay(Duration::zero()); }
+
+  static constexpr std::size_t kDefaultMaxEvents = 500'000'000;
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    MoveFunc fn;
+    std::shared_ptr<bool> alive;  // null => not cancellable
+  };
+  // Min-heap on (at, seq) implemented over a vector so we can move events out.
+  static bool later(const Event& a, const Event& b) {
+    return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+  }
+  Event pop_next();
+
+  std::vector<Event> queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+namespace detail {
+/// Self-destroying wrapper coroutine used by Simulator::spawn. Owns the
+/// spawned Task in its frame; destroys itself (and hence the task) when the
+/// task finishes.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() {
+      return Detached{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    // A failure escaping a detached process is a bug in the simulation, not a
+    // modelled fault (those travel as Result values); fail loudly.
+    void unhandled_exception() { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+Detached run_detached(Task<void> task);
+}  // namespace detail
+
+/// Drives `task` to completion on `sim` and returns its result. Runs the
+/// event loop only until the task finishes: background daemons (replication
+/// pullers, mutator processes) may still have events queued afterwards.
+/// Intended for test/bench/example entry points.
+template <typename T>
+T run_task(Simulator& sim, Task<T> task) {
+  std::optional<T> slot;
+  sim.spawn([](Task<T> inner, std::optional<T>& out) -> Task<void> {
+    out = co_await std::move(inner);
+  }(std::move(task), slot));
+  std::size_t steps = 0;
+  while (!slot.has_value() && sim.step()) {
+    assert(++steps < Simulator::kDefaultMaxEvents && "runaway simulation");
+  }
+  assert(slot.has_value() && "task did not complete (deadlocked process?)");
+  return std::move(*slot);
+}
+
+inline void run_task(Simulator& sim, Task<void> task) {
+  bool done = false;
+  sim.spawn([](Task<void> inner, bool& flag) -> Task<void> {
+    co_await std::move(inner);
+    flag = true;
+  }(std::move(task), done));
+  std::size_t steps = 0;
+  while (!done && sim.step()) {
+    assert(++steps < Simulator::kDefaultMaxEvents && "runaway simulation");
+  }
+  assert(done && "task did not complete (deadlocked process?)");
+  (void)done;
+}
+
+}  // namespace weakset

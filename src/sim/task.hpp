@@ -1,0 +1,145 @@
+#pragma once
+
+// Task<T>: a lazy coroutine task for simulated processes.
+//
+// The paper's model of computation (section 2) is "a sequence of alternating
+// states and (atomic) transitions"; procedures and iterators run atomically
+// between suspension points. Coroutines over a single-threaded discrete-event
+// simulator give exactly this model: code between co_awaits is one atomic
+// transition, and every interleaving is produced deterministically by the
+// event queue.
+//
+// Tasks are lazy (started when awaited or spawned), move-only, and use
+// symmetric transfer to resume their awaiter on completion.
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+namespace weakset {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/// Promise state shared by Task<T> and Task<void>.
+template <typename Promise>
+struct TaskFinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> handle) noexcept {
+    // Resume whoever awaited us; if detached, park on a noop.
+    auto continuation = handle.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+struct TaskPromise {
+  std::coroutine_handle<> continuation;
+  std::variant<std::monostate, T, std::exception_ptr> result;
+
+  Task<T> get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  TaskFinalAwaiter<TaskPromise> final_suspend() noexcept { return {}; }
+  void return_value(T value) { result.template emplace<1>(std::move(value)); }
+  void unhandled_exception() {
+    result.template emplace<2>(std::current_exception());
+  }
+
+  T take() {
+    if (result.index() == 2) std::rethrow_exception(std::get<2>(result));
+    assert(result.index() == 1 && "awaited task did not complete");
+    return std::get<1>(std::move(result));
+  }
+};
+
+template <>
+struct TaskPromise<void> {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr exception;
+  bool done = false;
+
+  Task<void> get_return_object();
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  TaskFinalAwaiter<TaskPromise> final_suspend() noexcept { return {}; }
+  void return_void() { done = true; }
+  void unhandled_exception() { exception = std::current_exception(); }
+
+  void take() {
+    if (exception) std::rethrow_exception(exception);
+    assert(done && "awaited task did not complete");
+  }
+};
+
+}  // namespace detail
+
+/// A lazy coroutine returning T. Await it from another coroutine, or hand it
+/// to Simulator::spawn / run_task.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle handle) : handle_(handle) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+
+  /// Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  /// when the task completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle handle;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> awaiting) noexcept {
+        handle.promise().continuation = awaiting;
+        return handle;
+      }
+      T await_resume() { return handle.promise().take(); }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Releases ownership of the coroutine handle (used by the spawn machinery,
+  /// which arranges destruction at final suspend).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_;
+};
+
+namespace detail {
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() {
+  return Task<T>{std::coroutine_handle<TaskPromise>::from_promise(*this)};
+}
+inline Task<void> TaskPromise<void>::get_return_object() {
+  return Task<void>{std::coroutine_handle<TaskPromise>::from_promise(*this)};
+}
+}  // namespace detail
+
+}  // namespace weakset

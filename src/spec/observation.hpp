@@ -1,0 +1,71 @@
+#pragma once
+
+// Observations: the spec layer's view of "the value of the set in a state".
+//
+// The paper (section 2.1) distinguishes an object from its value: s_σ is the
+// value of set object s in state σ, and reachable(s)_σ the subset of its
+// members accessible to the observer in σ. A SetObservation captures exactly
+// that pair, taken from the simulator's omniscient vantage (ground truth), at
+// one instant.
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "store/object.hpp"
+#include "util/time.hpp"
+
+namespace weakset::spec {
+
+/// s_σ together with reachable(s)_σ for the observing client.
+class SetObservation {
+ public:
+  SetObservation() = default;
+  SetObservation(std::set<ObjectRef> members, std::set<ObjectRef> reachable)
+      : members_(std::move(members)), reachable_(std::move(reachable)) {}
+
+  /// The value of the set in this state.
+  [[nodiscard]] const std::set<ObjectRef>& members() const noexcept {
+    return members_;
+  }
+  /// reachable(s)_σ: members the observer can currently access.
+  [[nodiscard]] const std::set<ObjectRef>& reachable() const noexcept {
+    return reachable_;
+  }
+
+  [[nodiscard]] bool contains(ObjectRef ref) const {
+    return members_.count(ref) > 0;
+  }
+  [[nodiscard]] bool can_reach(ObjectRef ref) const {
+    return reachable_.count(ref) > 0;
+  }
+
+ private:
+  std::set<ObjectRef> members_;
+  std::set<ObjectRef> reachable_;
+};
+
+/// How one invocation of the elements iterator ended, mirroring the paper's
+/// termination conditions (section 2.1): `suspends` (yielded control after
+/// producing an element), `returns` (terminated normally), `fails` (signalled
+/// the failure exception). kBlocked is the observable face of the optimistic
+/// semantics' "may never return": the invocation did not complete within the
+/// observation window.
+enum class StepOutcome { kSuspended, kReturned, kFailed, kBlocked };
+
+[[nodiscard]] constexpr std::string_view to_string(StepOutcome outcome) {
+  switch (outcome) {
+    case StepOutcome::kSuspended:
+      return "suspends";
+    case StepOutcome::kReturned:
+      return "returns";
+    case StepOutcome::kFailed:
+      return "fails";
+    case StepOutcome::kBlocked:
+      return "blocked";
+  }
+  return "?";
+}
+
+}  // namespace weakset::spec

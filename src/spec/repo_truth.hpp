@@ -1,0 +1,96 @@
+#pragma once
+
+// Adapters binding the spec layer to the simulated repository:
+//
+//   RepoGroundTruth  — the omniscient observer: true membership is the union
+//                      of the fragment *primaries*' states (replicas are
+//                      derived caches, not part of the set's value), and true
+//                      reachability is evaluated against the live topology
+//                      from the observing client's node.
+//   TimelineProbe    — records every effective primary mutation of one
+//                      collection into a MembershipTimeline, stamped with the
+//                      simulated time.
+
+#include <set>
+
+#include "spec/timeline.hpp"
+#include "spec/trace.hpp"
+#include "store/reachable.hpp"
+#include "store/repository.hpp"
+
+namespace weakset::spec {
+
+/// Ground truth for one collection as seen by one observing client node.
+class RepoGroundTruth final : public GroundTruth {
+ public:
+  RepoGroundTruth(Repository& repo, CollectionId collection, NodeId observer)
+      : repo_(repo), collection_(collection), observer_(observer) {}
+
+  [[nodiscard]] SetObservation observe() const override {
+    std::set<ObjectRef> members;
+    std::set<ObjectRef> reachable;
+    const Topology& topo = repo_.topology();
+    for (const FragmentMeta& frag : repo_.meta(collection_).fragments()) {
+      const StoreServer* server = repo_.server_at(frag.primary());
+      if (server == nullptr) continue;
+      const CollectionState* state = server->collection(collection_);
+      if (state == nullptr) continue;
+      for (const ObjectRef ref : state->members()) {
+        members.insert(ref);
+        if (is_reachable(topo, observer_, ref)) reachable.insert(ref);
+      }
+    }
+    return SetObservation{std::move(members), std::move(reachable)};
+  }
+
+  [[nodiscard]] bool reachable(ObjectRef ref) const override {
+    return is_reachable(repo_.topology(), observer_, ref);
+  }
+
+  [[nodiscard]] SimTime now() const override { return repo_.sim().now(); }
+
+ private:
+  Repository& repo_;
+  CollectionId collection_;
+  NodeId observer_;
+};
+
+/// Feeds one collection's effective primary mutations into a
+/// MembershipTimeline. Construct it *before* the workload starts mutating;
+/// it captures the current ground truth as the initial value.
+class TimelineProbe {
+ public:
+  TimelineProbe(Repository& repo, CollectionId collection)
+      : repo_(repo), collection_(collection) {
+    // Initial value: current union of fragment primaries.
+    std::set<ObjectRef> initial;
+    for (const FragmentMeta& frag : repo.meta(collection).fragments()) {
+      if (StoreServer* server = repo.server_at(frag.primary())) {
+        if (const CollectionState* state = server->collection(collection)) {
+          initial.insert(state->members().begin(), state->members().end());
+        }
+      }
+    }
+    timeline_.set_initial(std::move(initial));
+    repo.add_mutation_observer(
+        [this](CollectionId id, CollectionOp::Kind kind, ObjectRef ref) {
+          if (id == collection_) {
+            timeline_.record(repo_.sim().now(), kind, ref);
+          }
+        });
+  }
+  // The observer callback above captures `this`: the probe must not move.
+  TimelineProbe(const TimelineProbe&) = delete;
+  TimelineProbe& operator=(const TimelineProbe&) = delete;
+
+  [[nodiscard]] const MembershipTimeline& timeline() const noexcept {
+    return timeline_;
+  }
+
+ private:
+  Repository& repo_;
+  CollectionId collection_;
+  MembershipTimeline timeline_;
+};
+
+}  // namespace weakset::spec

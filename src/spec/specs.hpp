@@ -1,0 +1,145 @@
+#pragma once
+
+// Executable encodings of the paper's five elements-iterator specifications
+// (Figures 1, 3, 4, 5, 6) and their constraint clauses, checked over
+// recorded IterationTraces.
+//
+// Reading guide (per figure):
+//   Fig 1  immutable set, failures ignored
+//   Fig 3  immutable set with failures        (fails when a member is known
+//                                              but unreachable)
+//   Fig 4  mutable set, snapshot semantics    (same ensures as Fig 3; the
+//                                              constraint is relaxed to true)
+//   Fig 5  growing-only set, pessimistic      (works off s_pre; fails fast)
+//   Fig 6  grow-and-shrink set, optimistic    (works off s_pre; never fails,
+//                                              may block; yielded elements
+//                                              were members at some state in
+//                                              [first, last])
+//
+// Witness rule: a real invocation takes time, while the specs treat it as one
+// atomic transition. A state predicate counts as satisfied if it holds at the
+// invocation's pre-state OR post-state — the two boundary states we can
+// observe of the interval the transition actually occupied.
+
+#include <string>
+#include <vector>
+
+#include "spec/timeline.hpp"
+#include "spec/trace.hpp"
+
+namespace weakset::spec {
+
+/// Outcome of checking one specification against one trace.
+class SpecReport {
+ public:
+  explicit SpecReport(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool satisfied() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t violation_count() const noexcept { return count_; }
+  /// Up to kMaxMessages human-readable violation descriptions.
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return messages_;
+  }
+
+  void violate(std::string message) {
+    ++count_;
+    if (messages_.size() < kMaxMessages) {
+      messages_.push_back(std::move(message));
+    }
+  }
+
+  static constexpr std::size_t kMaxMessages = 16;
+
+ private:
+  std::string name_;
+  std::size_t count_ = 0;
+  std::vector<std::string> messages_;
+};
+
+/// Figure 1: immutable set, failures ignored. Yields exactly the elements of
+/// s_first, one new element per invocation, then returns; never fails.
+SpecReport check_fig1(const IterationTrace& trace);
+
+/// Figures 3 and 4 share one ensures clause (both work off s_first and
+/// reachable(s_first)); they differ only in the constraint. This checks the
+/// shared ensures clause.
+SpecReport check_fig3_fig4_ensures(const IterationTrace& trace,
+                                   std::string name);
+
+/// Figure 3: ensures clause of Fig 3/4 (see above). Whether the immutability
+/// constraint also holds is checked separately (classify / constraint
+/// checkers) — the ensures clause alone is what the iterator can promise.
+inline SpecReport check_fig3(const IterationTrace& trace) {
+  return check_fig3_fig4_ensures(trace, "fig3-immutable-with-failures");
+}
+
+/// Figure 4: mutable set with loss of mutations (snapshot at first call).
+inline SpecReport check_fig4(const IterationTrace& trace) {
+  return check_fig3_fig4_ensures(trace, "fig4-snapshot");
+}
+
+/// Figure 5: growing-only set, pessimistic failure handling.
+SpecReport check_fig5(const IterationTrace& trace);
+
+/// Figure 6: growing and shrinking set, optimistic failure handling.
+/// `timeline` supplies the set's ground-truth history for the end-to-end
+/// guarantee (every yielded element was a member at some state in
+/// [first, last]).
+SpecReport check_fig6(const IterationTrace& trace,
+                      const MembershipTimeline& timeline);
+
+/// The constraint of Figures 1/3 (s_i = s_j), restricted to the run window —
+/// the "less stringent" per-run variant of section 3.1.
+SpecReport check_constraint_immutable(const MembershipTimeline& timeline,
+                                      SimTime first, SimTime last);
+
+/// The constraint of Figure 5 (s_i ⊆ s_j), restricted to the run window.
+SpecReport check_constraint_grow_only(const MembershipTimeline& timeline,
+                                      SimTime first, SimTime last);
+
+/// One run's [first, last] window, for the multi-run relaxed constraint.
+class RunWindow {
+ public:
+  RunWindow(SimTime first, SimTime last) : first_(first), last_(last) {}
+  [[nodiscard]] SimTime first() const noexcept { return first_; }
+  [[nodiscard]] SimTime last() const noexcept { return last_; }
+
+ private:
+  SimTime first_;
+  SimTime last_;
+};
+
+/// Section 3.1's relaxed constraint across a whole computation with several
+/// iterator runs: "mutations may occur between different uses of the
+/// iterator, but not between invocations of any one use" — formally,
+/// ∀ i < k < j : (terminates_i ≠ suspend ∧ terminates_j ≠ suspend ∧
+/// terminates_k = suspend) ⇒ s_i = s_k = s_j. Checked as: the set is
+/// unchanged inside every run window; between windows anything goes.
+SpecReport check_constraint_per_run(const MembershipTimeline& timeline,
+                                    const std::vector<RunWindow>& runs);
+
+/// Which specifications a recorded run satisfies (ensures clause plus the
+/// figure's constraint over the run window).
+class Conformance {
+ public:
+  Conformance(bool fig1, bool fig3, bool fig4, bool fig5, bool fig6)
+      : fig1_(fig1), fig3_(fig3), fig4_(fig4), fig5_(fig5), fig6_(fig6) {}
+
+  [[nodiscard]] bool fig1() const noexcept { return fig1_; }
+  [[nodiscard]] bool fig3() const noexcept { return fig3_; }
+  [[nodiscard]] bool fig4() const noexcept { return fig4_; }
+  [[nodiscard]] bool fig5() const noexcept { return fig5_; }
+  [[nodiscard]] bool fig6() const noexcept { return fig6_; }
+
+  /// "fig4 fig6"-style summary for logs and experiment output.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  bool fig1_, fig3_, fig4_, fig5_, fig6_;
+};
+
+Conformance classify(const IterationTrace& trace,
+                     const MembershipTimeline& timeline);
+
+}  // namespace weakset::spec

@@ -1,0 +1,83 @@
+#pragma once
+
+// The Garcia-Molina / Wiederhold read-only-transaction taxonomy (section 4
+// of the paper), as an executable classifier over recorded runs.
+//
+// "They use two dimensions for classification ... Consistency is the degree
+// to which application constraints on data can be satisfied while currency
+// is concerned with the version of the data returned by the query. In our
+// terminology, set membership corresponds to consistency and mutability to
+// currency. The specification in Figure 3 corresponds to a strong
+// consistency (serializable), first-vintage query; the one in Figure 4, to
+// weak consistency, first-vintage. The other two are both no consistency,
+// first-bound under their taxonomy."
+//
+// Operationalised over a trace + ground-truth timeline:
+//   consistency   kStrong  the yielded set is (a reachable-truncated) value
+//                          of the set at ONE state, and the set did not
+//                          change during the run (serializable)
+//                 kWeak    the yielded set matches one state's value (the
+//                          first-state) even though the set changed
+//                 kNone    yields mix several states' memberships
+//   currency      kFirstVintage  data is as of the first-state
+//                 kFirstBound    data is no older than the first-state
+//                                (later states may be reflected)
+
+#include "spec/specs.hpp"
+#include "spec/timeline.hpp"
+#include "spec/trace.hpp"
+
+namespace weakset::spec {
+
+enum class Consistency { kStrong, kWeak, kNone };
+enum class Currency { kFirstVintage, kFirstBound };
+
+[[nodiscard]] constexpr std::string_view to_string(Consistency c) {
+  switch (c) {
+    case Consistency::kStrong:
+      return "strong";
+    case Consistency::kWeak:
+      return "weak";
+    case Consistency::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Currency c) {
+  switch (c) {
+    case Currency::kFirstVintage:
+      return "first-vintage";
+    case Currency::kFirstBound:
+      return "first-bound";
+  }
+  return "?";
+}
+
+class TaxonomyClass {
+ public:
+  TaxonomyClass(Consistency consistency, Currency currency)
+      : consistency_(consistency), currency_(currency) {}
+
+  [[nodiscard]] Consistency consistency() const noexcept {
+    return consistency_;
+  }
+  [[nodiscard]] Currency currency() const noexcept { return currency_; }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(spec::to_string(consistency_)) + "/" +
+           std::string(spec::to_string(currency_));
+  }
+
+  friend bool operator==(TaxonomyClass, TaxonomyClass) = default;
+
+ private:
+  Consistency consistency_;
+  Currency currency_;
+};
+
+/// Classifies one recorded run. `timeline` supplies ground truth.
+TaxonomyClass classify_taxonomy(const IterationTrace& trace,
+                                const MembershipTimeline& timeline);
+
+}  // namespace weakset::spec

@@ -1,0 +1,129 @@
+#pragma once
+
+// MembershipTimeline: the ground-truth history of one collection's value
+// over a whole computation — the σ_0 σ_1 ... σ_n sequence the paper's
+// `constraint` clauses quantify over ("for all computations ... ∀ i < j :
+// P(x_i, x_j)", section 2.2).
+//
+// Only *effective primary* mutations are recorded (replica convergence does
+// not change the logical set's value). With the timeline we can decide, for
+// any window [t0, t1]:
+//   - immutability          (Figures 1 and 3:   s_i = s_j)
+//   - grow-only             (Figure 5:          s_i ⊆ s_j)
+//   - membership at a state (Figure 6's guarantee: e ∈ s_i for some i)
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <vector>
+
+#include "store/collection.hpp"
+#include "store/object.hpp"
+#include "util/time.hpp"
+
+namespace weakset::spec {
+
+/// One timestamped ground-truth mutation of the logical set.
+class TimelineEvent {
+ public:
+  TimelineEvent(SimTime at, CollectionOp::Kind kind, ObjectRef ref)
+      : at_(at), kind_(kind), ref_(ref) {}
+
+  [[nodiscard]] SimTime at() const noexcept { return at_; }
+  [[nodiscard]] CollectionOp::Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] ObjectRef ref() const noexcept { return ref_; }
+
+ private:
+  SimTime at_;
+  CollectionOp::Kind kind_;
+  ObjectRef ref_;
+};
+
+class MembershipTimeline {
+ public:
+  /// Sets the membership at time zero (before any recorded event).
+  void set_initial(std::set<ObjectRef> members) {
+    assert(events_.empty());
+    initial_ = std::move(members);
+  }
+
+  /// Appends an effective mutation. Times must be non-decreasing.
+  void record(SimTime at, CollectionOp::Kind kind, ObjectRef ref) {
+    assert(events_.empty() || events_.back().at() <= at);
+    events_.emplace_back(at, kind, ref);
+  }
+
+  [[nodiscard]] const std::vector<TimelineEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// The set's value at time `t` (inclusive of events at exactly `t`).
+  [[nodiscard]] std::set<ObjectRef> value_at(SimTime t) const {
+    std::set<ObjectRef> value = initial_;
+    for (const TimelineEvent& event : events_) {
+      if (event.at() > t) break;
+      apply(value, event);
+    }
+    return value;
+  }
+
+  /// True iff `ref` is a member at some state σ_i with t0 <= time(σ_i) <= t1.
+  /// This is Figure 6's guarantee: "any element yielded must actually be in
+  /// the set, for some state of the set between the first-state and
+  /// last-state."
+  [[nodiscard]] bool present_in_window(ObjectRef ref, SimTime t0,
+                                       SimTime t1) const {
+    if (value_at(t0).count(ref) > 0) return true;
+    for (const TimelineEvent& event : events_) {
+      if (event.at() > t1) break;
+      if (event.at() <= t0) continue;
+      if (event.ref() == ref && event.kind() == CollectionOp::Kind::kAdd) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True iff no effective mutation occurs strictly inside (t0, t1] — the
+  /// constraint of Figures 1 and 3 restricted to the run window (the
+  /// "less stringent" per-run variant discussed in section 3.1).
+  [[nodiscard]] bool unchanged_in_window(SimTime t0, SimTime t1) const {
+    return std::none_of(events_.begin(), events_.end(),
+                        [&](const TimelineEvent& event) {
+                          return event.at() > t0 && event.at() <= t1;
+                        });
+  }
+
+  /// True iff only additions occur inside (t0, t1] — Figure 5's constraint
+  /// (s_i ⊆ s_j) restricted to the run window.
+  [[nodiscard]] bool grow_only_in_window(SimTime t0, SimTime t1) const {
+    return std::none_of(events_.begin(), events_.end(),
+                        [&](const TimelineEvent& event) {
+                          return event.at() > t0 && event.at() <= t1 &&
+                                 event.kind() == CollectionOp::Kind::kRemove;
+                        });
+  }
+
+  /// Counts mutations inside (t0, t1].
+  [[nodiscard]] std::size_t mutations_in_window(SimTime t0, SimTime t1) const {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [&](const TimelineEvent& event) {
+                        return event.at() > t0 && event.at() <= t1;
+                      }));
+  }
+
+ private:
+  static void apply(std::set<ObjectRef>& value, const TimelineEvent& event) {
+    if (event.kind() == CollectionOp::Kind::kAdd) {
+      value.insert(event.ref());
+    } else {
+      value.erase(event.ref());
+    }
+  }
+
+  std::set<ObjectRef> initial_;
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace weakset::spec

@@ -1,0 +1,249 @@
+#include "store/client.hpp"
+
+#include <algorithm>
+
+namespace weakset {
+
+std::optional<NodeId> RepositoryClient::pick_read_host(
+    const FragmentMeta& fragment) const {
+  const Topology& topo = repo_.net().topology();
+  if (options_.read_policy == ReadPolicy::kPrimaryOnly) {
+    if (topo.can_communicate(node_, fragment.primary())) {
+      return fragment.primary();
+    }
+    return std::nullopt;
+  }
+  // kNearest: cheapest reachable host among primary and replicas.
+  std::optional<NodeId> best;
+  Duration best_latency = Duration::max();
+  auto consider = [&](NodeId host) {
+    const auto latency = topo.path_latency(node_, host);
+    if (latency && *latency < best_latency) {
+      best = host;
+      best_latency = *latency;
+    }
+  };
+  consider(fragment.primary());
+  for (const NodeId replica : fragment.replicas()) consider(replica);
+  return best;
+}
+
+Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment(
+    CollectionId id, std::size_t fragment) {
+  const FragmentMeta& frag = repo_.meta(id).fragments().at(fragment);
+  if (options_.read_policy == ReadPolicy::kQuorum) {
+    co_return co_await read_fragment_quorum(id, frag);
+  }
+  const auto host = pick_read_host(frag);
+  if (!host) {
+    co_return Failure{FailureKind::kPartitioned,
+                      "no reachable host for fragment"};
+  }
+  co_return co_await call<msg::SnapshotReply>(*host, "coll.snapshot",
+                                              msg::SnapshotRequest{id});
+}
+
+namespace {
+Task<void> snapshot_into(RpcNetwork& net, NodeId from, NodeId host,
+                         CollectionId id, std::optional<Duration> timeout,
+                         AsyncQueue<Result<msg::SnapshotReply>>& arrivals) {
+  Result<msg::SnapshotReply> reply =
+      co_await net.call_typed<msg::SnapshotReply>(
+          from, host, "coll.snapshot", msg::SnapshotRequest{id}, timeout);
+  arrivals.push(std::move(reply));
+}
+}  // namespace
+
+Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment_quorum(
+    CollectionId id, const FragmentMeta& fragment) {
+  std::vector<NodeId> hosts;
+  hosts.push_back(fragment.primary());
+  hosts.insert(hosts.end(), fragment.replicas().begin(),
+               fragment.replicas().end());
+  const std::size_t needed = std::min(options_.quorum, hosts.size());
+
+  // Scatter to every host; gather replies in ARRIVAL order so a small
+  // quorum completes as soon as the nearest hosts answer. The gather must
+  // outlive this frame if abandoned, so the arrival queue is heap-shared.
+  Simulator& sim = repo_.sim();
+  auto arrivals =
+      std::make_shared<AsyncQueue<Result<msg::SnapshotReply>>>(sim);
+  for (const NodeId host : hosts) {
+    sim.spawn([](RpcNetwork& net, NodeId from, NodeId to, CollectionId coll,
+                 std::optional<Duration> timeout,
+                 std::shared_ptr<AsyncQueue<Result<msg::SnapshotReply>>> queue)
+                  -> Task<void> {
+      co_await snapshot_into(net, from, to, coll, timeout, *queue);
+    }(repo_.net(), node_, host, id, options_.rpc_timeout, arrivals));
+  }
+
+  std::optional<msg::SnapshotReply> freshest;
+  std::size_t successes = 0;
+  for (std::size_t answered = 0; answered < hosts.size(); ++answered) {
+    std::optional<Result<msg::SnapshotReply>> reply =
+        co_await arrivals->pop();
+    if (!reply) break;  // cannot happen: queue is never closed
+    if (!reply->has_value()) continue;
+    ++successes;
+    if (!freshest || reply->value().version() > freshest->version()) {
+      freshest = std::move(*reply).value();
+    }
+    if (successes >= needed) break;
+  }
+  if (successes < needed) {
+    co_return Failure{FailureKind::kUnreachable,
+                      "quorum not reached: " + std::to_string(successes) +
+                          "/" + std::to_string(needed)};
+  }
+  co_return std::move(*freshest);
+}
+
+Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all(
+    CollectionId id) {
+  const std::size_t fragments = repo_.meta(id).fragment_count();
+  std::vector<ObjectRef> members;
+  for (std::size_t f = 0; f < fragments; ++f) {
+    auto reply = co_await read_fragment(id, f);
+    if (!reply) co_return std::move(reply).error();
+    auto part = std::move(reply).value().take_members();
+    members.insert(members.end(), part.begin(), part.end());
+  }
+  co_return members;
+}
+
+Task<Result<std::vector<ObjectRef>>> RepositoryClient::snapshot_atomic(
+    CollectionId id, std::function<void()> on_cut) {
+  auto frozen = co_await freeze_all(id);
+  if (!frozen) co_return std::move(frozen).error();
+  // Read the primaries directly: they are frozen, so the union of fragment
+  // reads is a consistent cut of the whole collection.
+  const CollectionMeta& meta = repo_.meta(id);
+  std::vector<ObjectRef> members;
+  Result<std::vector<ObjectRef>> outcome = members;
+  for (const FragmentMeta& frag : meta.fragments()) {
+    auto reply = co_await call<msg::SnapshotReply>(
+        frag.primary(), "coll.snapshot", msg::SnapshotRequest{id});
+    if (!reply) {
+      outcome = std::move(reply).error();
+      break;
+    }
+    auto part = std::move(reply).value().take_members();
+    members.insert(members.end(), part.begin(), part.end());
+  }
+  if (outcome) {
+    outcome = std::move(members);
+    // The cut is complete and every fragment is still frozen: this is the
+    // instant the snapshot's value is the set's value.
+    if (on_cut) on_cut();
+  }
+  co_await unfreeze_all(id);
+  co_return outcome;
+}
+
+Task<Result<std::uint64_t>> RepositoryClient::total_size(CollectionId id) {
+  const CollectionMeta& meta = repo_.meta(id);
+  std::uint64_t total = 0;
+  for (std::size_t f = 0; f < meta.fragment_count(); ++f) {
+    const auto host = pick_read_host(meta.fragments()[f]);
+    if (!host) {
+      co_return Failure{FailureKind::kPartitioned,
+                        "no reachable host for fragment"};
+    }
+    auto reply = co_await call<std::uint64_t>(*host, "coll.size",
+                                              msg::SizeRequest{id});
+    if (!reply) co_return std::move(reply).error();
+    total += reply.value();
+  }
+  co_return total;
+}
+
+Task<Result<bool>> RepositoryClient::mutate(CollectionId id, ObjectRef ref,
+                                            msg::MembershipRequest::Op op) {
+  const CollectionMeta& meta = repo_.meta(id);
+  const NodeId primary = meta.fragments()[meta.fragment_of(ref)].primary();
+  auto reply = co_await call<msg::MembershipReply>(
+      primary, "coll.membership", msg::MembershipRequest{id, ref, op});
+  if (!reply) co_return std::move(reply).error();
+  co_return reply.value().changed();
+}
+
+Task<Result<bool>> RepositoryClient::add(CollectionId id, ObjectRef ref) {
+  return mutate(id, ref, msg::MembershipRequest::Op::kAdd);
+}
+
+Task<Result<bool>> RepositoryClient::remove(CollectionId id, ObjectRef ref) {
+  return mutate(id, ref, msg::MembershipRequest::Op::kRemove);
+}
+
+Task<Result<VersionedValue>> RepositoryClient::fetch(ObjectRef ref) {
+  return call<VersionedValue>(ref.home(), "store.fetch",
+                              msg::FetchRequest{ref.id()});
+}
+
+Task<Result<std::uint64_t>> RepositoryClient::put(ObjectRef ref,
+                                                  std::string data) {
+  return call<std::uint64_t>(ref.home(), "store.put",
+                             msg::PutRequest{ref.id(), std::move(data)});
+}
+
+Task<Result<void>> RepositoryClient::freeze_all(CollectionId id) {
+  // Canonical (ascending node id) order avoids deadlock between clients
+  // freezing the same fragments concurrently.
+  const CollectionMeta& meta = repo_.meta(id);
+  std::vector<NodeId> primaries;
+  primaries.reserve(meta.fragment_count());
+  for (const FragmentMeta& frag : meta.fragments()) {
+    primaries.push_back(frag.primary());
+  }
+  std::sort(primaries.begin(), primaries.end());
+  for (std::size_t i = 0; i < primaries.size(); ++i) {
+    auto reply = co_await call<bool>(primaries[i], "coll.freeze",
+                                     msg::FreezeRequest{id, token_, true});
+    if (!reply) {
+      // Roll back what we already hold, then report the failure.
+      for (std::size_t j = 0; j < i; ++j) {
+        (void)co_await call<bool>(primaries[j], "coll.freeze",
+                                  msg::FreezeRequest{id, token_, false});
+      }
+      co_return std::move(reply).error();
+    }
+  }
+  co_return Ok();
+}
+
+Task<void> RepositoryClient::unfreeze_all(CollectionId id) {
+  const CollectionMeta& meta = repo_.meta(id);
+  for (const FragmentMeta& frag : meta.fragments()) {
+    // Best effort: if this fails, the server-side lease expires the freeze.
+    (void)co_await call<bool>(frag.primary(), "coll.freeze",
+                              msg::FreezeRequest{id, token_, false});
+  }
+}
+
+Task<Result<void>> RepositoryClient::pin_all(CollectionId id) {
+  const CollectionMeta& meta = repo_.meta(id);
+  for (std::size_t f = 0; f < meta.fragment_count(); ++f) {
+    const NodeId primary = meta.fragments()[f].primary();
+    auto reply = co_await call<bool>(primary, "coll.pin",
+                                     msg::PinRequest{id, true});
+    if (!reply) {
+      // Roll back pins already taken.
+      for (std::size_t g = 0; g < f; ++g) {
+        (void)co_await call<bool>(meta.fragments()[g].primary(), "coll.pin",
+                                  msg::PinRequest{id, false});
+      }
+      co_return std::move(reply).error();
+    }
+  }
+  co_return Ok();
+}
+
+Task<void> RepositoryClient::unpin_all(CollectionId id) {
+  const CollectionMeta& meta = repo_.meta(id);
+  for (const FragmentMeta& frag : meta.fragments()) {
+    (void)co_await call<bool>(frag.primary(), "coll.pin",
+                              msg::PinRequest{id, false});
+  }
+}
+
+}  // namespace weakset

@@ -1,0 +1,135 @@
+#pragma once
+
+// RepositoryClient: the client-side library a weak-set iterator (or any
+// application process) uses to talk to the repository from its own node.
+//
+// Reads come in three strengths, mirroring the cost ladder in section 3 of
+// the paper:
+//   - read_fragment / read_all      loose reads, optionally from the nearest
+//                                   replica (fast, possibly stale)
+//   - snapshot_atomic               freeze-read-unfreeze across all fragments
+//                                   (the "one atomic action" of section 3.2,
+//                                   "extremely expensive in practice")
+//   - freeze_all / unfreeze_all     the distributed lock itself (section 3.1)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/rpc.hpp"
+#include "store/messages.hpp"
+#include "store/repository.hpp"
+
+namespace weakset {
+
+/// Replica-selection policy for membership reads.
+enum class ReadPolicy {
+  kPrimaryOnly,  ///< always read the fragment primary (fresh, may be far)
+  kNearest,      ///< read the reachable host with the lowest path latency
+                 ///< (fast, may be a stale replica)
+  kQuorum,       ///< read `quorum` hosts in parallel, keep the freshest
+                 ///< reply (the section 3.3 "quorum ... scheme" variant)
+};
+
+struct ClientOptions {
+  std::optional<Duration> rpc_timeout;  ///< nullopt: RpcNetwork default
+  ReadPolicy read_policy = ReadPolicy::kNearest;
+  /// For kQuorum: how many hosts must answer (capped at primary+replicas).
+  std::size_t quorum = 2;
+};
+
+class RepositoryClient {
+ public:
+  RepositoryClient(Repository& repo, NodeId node, ClientOptions options = {})
+      : repo_(repo),
+        node_(node),
+        options_(options),
+        token_(repo.next_client_token()) {}
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::uint64_t token() const noexcept { return token_; }
+  [[nodiscard]] Repository& repo() noexcept { return repo_; }
+  [[nodiscard]] const ClientOptions& options() const noexcept {
+    return options_;
+  }
+
+  // -- membership reads ------------------------------------------------------
+
+  /// Reads one fragment's membership, honouring the read policy.
+  Task<Result<msg::SnapshotReply>> read_fragment(CollectionId id,
+                                                 std::size_t fragment);
+
+  /// Reads every fragment, one RPC at a time (NOT atomic: mutations may
+  /// interleave between fragments). Fails if any fragment is unreadable.
+  Task<Result<std::vector<ObjectRef>>> read_all(CollectionId id);
+
+  /// Atomic whole-collection snapshot: freezes every fragment primary (in
+  /// canonical order), reads them, and unfreezes. This is the expensive
+  /// "one atomic action" that the Figure 4 semantics requires. `on_cut`, if
+  /// set, runs at the instant the cut is complete and mutators are still
+  /// frozen out.
+  Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
+      CollectionId id, std::function<void()> on_cut = {});
+
+  /// Total membership count across fragments (loose, like read_all).
+  Task<Result<std::uint64_t>> total_size(CollectionId id);
+
+  // -- membership writes (always at the responsible fragment primary) -------
+
+  Task<Result<bool>> add(CollectionId id, ObjectRef ref);
+  Task<Result<bool>> remove(CollectionId id, ObjectRef ref);
+
+  // -- object data -----------------------------------------------------------
+
+  /// Fetches the payload behind `ref` from its home node.
+  Task<Result<VersionedValue>> fetch(ObjectRef ref);
+
+  /// Writes the payload behind `ref`; returns the new version.
+  Task<Result<std::uint64_t>> put(ObjectRef ref, std::string data);
+
+  // -- locking (the strong-semantics substrate) ------------------------------
+
+  /// Freezes every fragment primary, in ascending node order (deadlock
+  /// avoidance). On partial failure, releases what was taken.
+  Task<Result<void>> freeze_all(CollectionId id);
+
+  /// Releases this client's freezes (best effort; lease expiry is the
+  /// backstop if a release cannot be delivered).
+  Task<void> unfreeze_all(CollectionId id);
+
+  /// Pins every fragment grow-only (section 3.3 ghost-delete variant):
+  /// additions proceed, removals are deferred until unpin_all.
+  Task<Result<void>> pin_all(CollectionId id);
+
+  /// Releases this client's pins (best effort).
+  Task<void> unpin_all(CollectionId id);
+
+ private:
+  /// Host to read `fragment` from under the current policy; nullopt if no
+  /// host is reachable.
+  [[nodiscard]] std::optional<NodeId> pick_read_host(
+      const FragmentMeta& fragment) const;
+
+  Task<Result<bool>> mutate(CollectionId id, ObjectRef ref,
+                            msg::MembershipRequest::Op op);
+
+  /// Quorum fragment read: scatter to primary+replicas, gather the first
+  /// `quorum` successful replies, return the freshest (highest version).
+  Task<Result<msg::SnapshotReply>> read_fragment_quorum(
+      CollectionId id, const FragmentMeta& fragment);
+
+  template <typename Resp, typename Req>
+  Task<Result<Resp>> call(NodeId to, std::string method, Req request) {
+    return repo_.net().call_typed<Resp>(node_, to, std::move(method),
+                                        std::move(request),
+                                        options_.rpc_timeout);
+  }
+
+  Repository& repo_;
+  NodeId node_;
+  ClientOptions options_;
+  std::uint64_t token_;
+};
+
+}  // namespace weakset

@@ -1,0 +1,64 @@
+#include "store/collection.hpp"
+
+#include <cassert>
+
+namespace weakset {
+
+void CollectionState::insert_member(ObjectRef ref) {
+  index_.emplace(ref, members_.size());
+  members_.push_back(ref);
+  ++version_;
+}
+
+void CollectionState::erase_member(ObjectRef ref) {
+  const auto it = index_.find(ref);
+  assert(it != index_.end());
+  const std::size_t pos = it->second;
+  // Swap-with-last keeps removal O(1); membership order is not part of set
+  // semantics ("order among elements does not matter", section 1).
+  const ObjectRef last = members_.back();
+  members_[pos] = last;
+  members_.pop_back();
+  index_.erase(it);
+  if (last != ref) index_[last] = pos;
+  ++version_;
+}
+
+bool CollectionState::add(ObjectRef ref) {
+  if (contains(ref)) return false;
+  insert_member(ref);
+  log_.emplace_back(CollectionOp::Kind::kAdd, ref, last_seq() + 1);
+  return true;
+}
+
+bool CollectionState::remove(ObjectRef ref) {
+  if (!contains(ref)) return false;
+  erase_member(ref);
+  log_.emplace_back(CollectionOp::Kind::kRemove, ref, last_seq() + 1);
+  return true;
+}
+
+std::vector<CollectionOp> CollectionState::ops_since(
+    std::uint64_t after_seq) const {
+  std::vector<CollectionOp> out;
+  // Log sequences are contiguous from 1, so the slice starts at index
+  // after_seq (clamped).
+  if (after_seq < log_.size()) {
+    out.assign(log_.begin() + static_cast<std::ptrdiff_t>(after_seq),
+               log_.end());
+  }
+  return out;
+}
+
+void CollectionState::apply(const CollectionOp& op) {
+  if (op.seq() <= applied_seq_) return;  // duplicate delivery
+  assert(op.seq() == applied_seq_ + 1 && "replica log gap");
+  applied_seq_ = op.seq();
+  if (op.kind() == CollectionOp::Kind::kAdd) {
+    if (!contains(op.ref())) insert_member(op.ref());
+  } else {
+    if (contains(op.ref())) erase_member(op.ref());
+  }
+}
+
+}  // namespace weakset

@@ -1,0 +1,104 @@
+#pragma once
+
+// CollectionState: the server-side representation of one fragment of a
+// collection object — an ordered, duplicate-free membership list with a
+// version counter and an operation log for replication.
+//
+// The paper (section 3, "dimension" discussion): "the collection object
+// itself may be distributed; logically there is a single object, but
+// physically different parts of it may be scattered across many nodes, or
+// the single 'logical' object may be represented by a set of replicas.
+// Whenever there is such distributed state, there is always the possibility
+// of inconsistent data." Fragments model the scattering; the op log plus
+// pull-based anti-entropy (see StoreServer) model the replicas and their
+// staleness.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "store/object.hpp"
+
+namespace weakset {
+
+/// One membership mutation, as recorded in a fragment's log. Sequence
+/// numbers are assigned by the fragment primary, contiguous from 1.
+class CollectionOp {
+ public:
+  enum class Kind : std::uint8_t { kAdd, kRemove };
+
+  CollectionOp() = default;
+  CollectionOp(Kind kind, ObjectRef ref, std::uint64_t seq)
+      : kind_(kind), ref_(ref), seq_(seq) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] ObjectRef ref() const noexcept { return ref_; }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+
+  friend bool operator==(const CollectionOp&, const CollectionOp&) = default;
+
+ private:
+  Kind kind_ = Kind::kAdd;
+  ObjectRef ref_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Membership state of one collection fragment. Primaries mutate through
+/// add()/remove(), which append to the log; replicas converge by applying
+/// the primary's log in order through apply().
+class CollectionState {
+ public:
+  explicit CollectionState(CollectionId id) : id_(id) {}
+
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+
+  /// Adds a member (primary side). Returns false (and logs nothing) if the
+  /// member was already present.
+  bool add(ObjectRef ref);
+
+  /// Removes a member (primary side). Returns false if it was not present.
+  bool remove(ObjectRef ref);
+
+  [[nodiscard]] bool contains(ObjectRef ref) const {
+    return index_.count(ref) > 0;
+  }
+  /// Current members in insertion order.
+  [[nodiscard]] const std::vector<ObjectRef>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+
+  /// Bumped on every effective mutation.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// Highest op sequence number in the log (0 if empty).
+  [[nodiscard]] std::uint64_t last_seq() const noexcept {
+    return log_.empty() ? 0 : log_.back().seq();
+  }
+
+  /// Ops with seq > `after_seq`, for anti-entropy transfer to replicas.
+  [[nodiscard]] std::vector<CollectionOp> ops_since(
+      std::uint64_t after_seq) const;
+
+  /// Replica side: applies a primary op. Ops at or below the already-applied
+  /// sequence are ignored (idempotent); ops must otherwise arrive in order.
+  void apply(const CollectionOp& op);
+
+  /// Replica side: highest primary sequence applied so far.
+  [[nodiscard]] std::uint64_t applied_seq() const noexcept {
+    return applied_seq_;
+  }
+
+ private:
+  void insert_member(ObjectRef ref);
+  void erase_member(ObjectRef ref);
+
+  CollectionId id_;
+  std::vector<ObjectRef> members_;
+  std::unordered_map<ObjectRef, std::size_t> index_;  // ref -> members_ index
+  std::vector<CollectionOp> log_;
+  std::uint64_t version_ = 0;
+  std::uint64_t applied_seq_ = 0;
+};
+
+}  // namespace weakset

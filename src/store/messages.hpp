@@ -1,0 +1,189 @@
+#pragma once
+
+// RPC request/response payload types for the store protocol.
+//
+// Every type here has user-provided constructors (non-aggregate) — required
+// by the GCC 12 coroutine workaround documented in DESIGN.md decision 6.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/collection.hpp"
+#include "store/object.hpp"
+
+namespace weakset::msg {
+
+/// store.fetch: read an object's payload.
+class FetchRequest {
+ public:
+  explicit FetchRequest(ObjectId id) : id_(id) {}
+  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+
+ private:
+  ObjectId id_;
+};
+
+/// store.put: create/overwrite an object's payload. Reply: new version.
+class PutRequest {
+ public:
+  PutRequest(ObjectId id, std::string data)
+      : id_(id), data_(std::move(data)) {}
+  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& data() const noexcept { return data_; }
+  [[nodiscard]] std::string&& take_data() && { return std::move(data_); }
+
+ private:
+  ObjectId id_;
+  std::string data_;
+};
+
+/// coll.snapshot: read one fragment's full membership.
+class SnapshotRequest {
+ public:
+  explicit SnapshotRequest(CollectionId id) : id_(id) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+
+ private:
+  CollectionId id_;
+};
+
+/// Reply to coll.snapshot.
+class SnapshotReply {
+ public:
+  SnapshotReply(std::vector<ObjectRef> members, std::uint64_t version)
+      : members_(std::move(members)), version_(version) {}
+  [[nodiscard]] const std::vector<ObjectRef>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] std::vector<ObjectRef>&& take_members() && {
+    return std::move(members_);
+  }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  std::vector<ObjectRef> members_;
+  std::uint64_t version_;
+};
+
+/// coll.add / coll.remove: mutate one fragment's membership.
+/// Reply: MembershipReply.
+class MembershipRequest {
+ public:
+  enum class Op : std::uint8_t { kAdd, kRemove };
+  MembershipRequest(CollectionId id, ObjectRef ref, Op op)
+      : id_(id), ref_(ref), op_(op) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] ObjectRef ref() const noexcept { return ref_; }
+  [[nodiscard]] Op op() const noexcept { return op_; }
+
+ private:
+  CollectionId id_;
+  ObjectRef ref_;
+  Op op_;
+};
+
+/// Reply to coll.add / coll.remove.
+class MembershipReply {
+ public:
+  MembershipReply(bool changed, std::uint64_t version)
+      : changed_(changed), version_(version) {}
+  [[nodiscard]] bool changed() const noexcept { return changed_; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  bool changed_;
+  std::uint64_t version_;
+};
+
+/// coll.size: fragment membership count. Reply: std::uint64_t.
+class SizeRequest {
+ public:
+  explicit SizeRequest(CollectionId id) : id_(id) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+
+ private:
+  CollectionId id_;
+};
+
+/// coll.freeze / coll.unfreeze: the distributed-locking substrate for the
+/// strong (immutable / snapshot) semantics. A freeze blocks mutators until
+/// released or until the lease expires (crash safety).
+class FreezeRequest {
+ public:
+  FreezeRequest(CollectionId id, std::uint64_t token, bool freeze)
+      : id_(id), token_(token), freeze_(freeze) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t token() const noexcept { return token_; }
+  [[nodiscard]] bool freeze() const noexcept { return freeze_; }
+
+ private:
+  CollectionId id_;
+  std::uint64_t token_;
+  bool freeze_;
+};
+
+/// coll.pin / coll.unpin: the section 3.3 implementation trick for enforcing
+/// grow-only-during-a-run cheaply: "we can prevent objects from being
+/// deleted until the iterator terminates. Alternatively, we can create
+/// copies of any deleted objects and then garbage collect these 'ghost'
+/// copies upon termination." While a fragment is pinned, additions proceed
+/// but removals are deferred (the member lingers as a ghost); they apply
+/// when the last pin is released.
+class PinRequest {
+ public:
+  PinRequest(CollectionId id, bool pin) : id_(id), pin_(pin) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] bool pin() const noexcept { return pin_; }
+
+ private:
+  CollectionId id_;
+  bool pin_;
+};
+
+/// coll.sync: push replication — primary sends a batch of contiguous ops to
+/// a replica. Reply: the replica's applied_seq after applying what it could
+/// (the primary uses it as the ack cursor). Complements pull anti-entropy:
+/// pushes convergence latency down to one RPC, pulls repair lost pushes.
+class SyncRequest {
+ public:
+  SyncRequest(CollectionId id, std::vector<CollectionOp> ops)
+      : id_(id), ops_(std::move(ops)) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] const std::vector<CollectionOp>& ops() const noexcept {
+    return ops_;
+  }
+
+ private:
+  CollectionId id_;
+  std::vector<CollectionOp> ops_;
+};
+
+/// coll.pull: anti-entropy — replica asks primary for ops after a sequence
+/// number. Reply: PullReply.
+class PullRequest {
+ public:
+  PullRequest(CollectionId id, std::uint64_t after_seq)
+      : id_(id), after_seq_(after_seq) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t after_seq() const noexcept { return after_seq_; }
+
+ private:
+  CollectionId id_;
+  std::uint64_t after_seq_;
+};
+
+/// Reply to coll.pull.
+class PullReply {
+ public:
+  explicit PullReply(std::vector<CollectionOp> ops) : ops_(std::move(ops)) {}
+  [[nodiscard]] const std::vector<CollectionOp>& ops() const noexcept {
+    return ops_;
+  }
+
+ private:
+  std::vector<CollectionOp> ops_;
+};
+
+}  // namespace weakset::msg

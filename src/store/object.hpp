@@ -1,0 +1,74 @@
+#pragma once
+
+// Core value types of the object repository.
+//
+// The paper's domain (section 1): ".face files", library card-catalogue
+// entries, restaurant menus — objects held in "persistent object
+// repositories" spread over a wide-area network, grouped into collections
+// (directories, query results). An element of a weak set is a *reference* to
+// such an object: the set can be accessible while the object itself is not
+// (Figure 2), which is what the `reachable` construct distinguishes.
+
+#include <string>
+#include <utility>
+
+#include "net/topology.hpp"
+#include "util/ids.hpp"
+
+namespace weakset {
+
+struct ObjectTag {};
+/// Identifies a stored object (a file, a card-catalogue entry, a menu).
+using ObjectId = Id<ObjectTag>;
+
+struct CollectionTag {};
+/// Identifies a collection object (a directory, a query result set).
+using CollectionId = Id<CollectionTag>;
+
+/// A reference to an object together with its home node — the element type
+/// of weak sets over the repository. Non-aggregate by design (see DESIGN.md
+/// decision 6).
+class ObjectRef {
+ public:
+  ObjectRef() = default;
+  ObjectRef(ObjectId id, NodeId home) : id_(id), home_(home) {}
+
+  [[nodiscard]] ObjectId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId home() const noexcept { return home_; }
+  [[nodiscard]] bool valid() const noexcept { return id_.valid(); }
+
+  friend constexpr auto operator<=>(ObjectRef, ObjectRef) = default;
+
+ private:
+  ObjectId id_;
+  NodeId home_;
+};
+
+/// A stored object's payload plus its monotonically increasing version.
+class VersionedValue {
+ public:
+  VersionedValue() = default;
+  VersionedValue(std::string data, std::uint64_t version)
+      : data_(std::move(data)), version_(version) {}
+
+  [[nodiscard]] const std::string& data() const noexcept { return data_; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  friend bool operator==(const VersionedValue&, const VersionedValue&) =
+      default;
+
+ private:
+  std::string data_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace weakset
+
+template <>
+struct std::hash<weakset::ObjectRef> {
+  std::size_t operator()(weakset::ObjectRef ref) const noexcept {
+    const std::size_t h1 = std::hash<weakset::ObjectId>{}(ref.id());
+    const std::size_t h2 = std::hash<weakset::NodeId>{}(ref.home());
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

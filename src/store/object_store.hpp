@@ -1,0 +1,65 @@
+#pragma once
+
+// ObjectStore: the per-node payload store (the "disk"). Latency is applied by
+// the serving process (StoreServer), not here; this class is pure state.
+// Payloads survive node crashes — a crash makes the node unreachable, and a
+// restart recovers the durable contents, matching the paper's file-system
+// setting where data outlives machine failures.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "store/object.hpp"
+
+namespace weakset {
+
+class ObjectStore {
+ public:
+  /// Creates or overwrites an object; returns its new version (1 for new).
+  std::uint64_t put(ObjectId id, std::string data) {
+    auto [it, inserted] = objects_.try_emplace(id);
+    const std::uint64_t version = inserted ? 1 : it->second.version() + 1;
+    it->second = VersionedValue{std::move(data), version};
+    ++store_version_;
+    return version;
+  }
+
+  /// Reads an object; nullopt if it does not exist here.
+  [[nodiscard]] std::optional<VersionedValue> get(ObjectId id) const {
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Deletes an object; returns whether it existed.
+  bool erase(ObjectId id) {
+    if (objects_.erase(id) == 0) return false;
+    ++store_version_;
+    return true;
+  }
+
+  /// Monotone counter bumped on every put/erase; lets derived structures
+  /// (e.g. the query module's inverted index) detect staleness.
+  [[nodiscard]] std::uint64_t store_version() const noexcept {
+    return store_version_;
+  }
+
+  [[nodiscard]] bool contains(ObjectId id) const {
+    return objects_.count(id) > 0;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return objects_.size(); }
+
+  /// Visits every stored object (the scan service's full-store sweep).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, value] : objects_) fn(id, value);
+  }
+
+ private:
+  std::unordered_map<ObjectId, VersionedValue> objects_;
+  std::uint64_t store_version_ = 0;
+};
+
+}  // namespace weakset

@@ -1,0 +1,43 @@
+#pragma once
+
+// The paper's novel specification construct, made executable.
+//
+// Section 2.1: "For a collection object, x, we will assume a function
+// reachable(x)σ which determines the set of objects contained in x that are
+// accessible in state σ. For example, in Figure 2, reachable(a)σ = {α, β, γ}.
+// If a is on node N and α, β, and γ are on nodes A, B, and C, respectively,
+// and there is a partition between N and C in state σ then
+// reachable(a)σ = {α, β}."
+//
+// Here σ is the current topology state, and the observer is the client node
+// performing the access.
+
+#include <span>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "store/object.hpp"
+
+namespace weakset {
+
+/// True iff `observer` can access the object behind `ref` in the current
+/// topology state: the object exists *and* a live path reaches its home.
+inline bool is_reachable(const Topology& topology, NodeId observer,
+                         ObjectRef ref) {
+  return topology.can_communicate(observer, ref.home());
+}
+
+/// The paper's reachable(x)σ: the subset of `members` whose home nodes
+/// `observer` can currently reach.
+inline std::vector<ObjectRef> reachable_members(
+    const Topology& topology, NodeId observer,
+    std::span<const ObjectRef> members) {
+  std::vector<ObjectRef> out;
+  out.reserve(members.size());
+  for (const ObjectRef ref : members) {
+    if (is_reachable(topology, observer, ref)) out.push_back(ref);
+  }
+  return out;
+}
+
+}  // namespace weakset

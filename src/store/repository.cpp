@@ -1,0 +1,78 @@
+#include "store/repository.hpp"
+
+namespace weakset {
+
+StoreServer& Repository::add_server(NodeId node, StoreServerOptions options) {
+  auto [it, inserted] = servers_.emplace(
+      node, std::make_unique<StoreServer>(net_, node, options));
+  assert(inserted && "server already exists on node");
+  it->second->set_mutation_sink(this);
+  server_nodes_.push_back(node);
+  return *it->second;
+}
+
+StoreServer* Repository::server_at(NodeId node) {
+  const auto it = servers_.find(node);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+ObjectRef Repository::create_object(NodeId home, std::string data) {
+  StoreServer* server = server_at(home);
+  assert(server != nullptr && "no store server on that node");
+  const ObjectId id = object_ids_.next();
+  server->objects().put(id, std::move(data));
+  return ObjectRef{id, home};
+}
+
+CollectionId Repository::create_collection(
+    const std::vector<NodeId>& primaries) {
+  assert(!primaries.empty());
+  const CollectionId id = collection_ids_.next();
+  std::vector<FragmentMeta> fragments;
+  fragments.reserve(primaries.size());
+  for (const NodeId node : primaries) {
+    StoreServer* server = server_at(node);
+    assert(server != nullptr && "no store server on that node");
+    server->host_primary(id);
+    fragments.emplace_back(node);
+  }
+  metas_.emplace(id, CollectionMeta{id, std::move(fragments)});
+  return id;
+}
+
+void Repository::add_replica(CollectionId id, std::size_t fragment,
+                             NodeId node) {
+  auto it = metas_.find(id);
+  assert(it != metas_.end());
+  FragmentMeta& frag = it->second.fragment(fragment);
+  StoreServer* server = server_at(node);
+  assert(server != nullptr && "no store server on that node");
+  server->host_replica(id, frag.primary());
+  frag.add_replica(node);
+  // If the primary pushes, tell it about its new target.
+  StoreServer* primary = server_at(frag.primary());
+  assert(primary != nullptr);
+  primary->add_push_target(id, node);
+}
+
+const CollectionMeta& Repository::meta(CollectionId id) const {
+  const auto it = metas_.find(id);
+  assert(it != metas_.end());
+  return it->second;
+}
+
+void Repository::seed_member(CollectionId id, ObjectRef ref) {
+  const CollectionMeta& m = meta(id);
+  const NodeId primary = m.fragments()[m.fragment_of(ref)].primary();
+  StoreServer* server = server_at(primary);
+  assert(server != nullptr);
+  CollectionState* state = server->collection(id);
+  assert(state != nullptr);
+  if (state->add(ref)) on_mutation(id, CollectionOp::Kind::kAdd, ref);
+}
+
+void Repository::stop_all_daemons() {
+  for (auto& [node, server] : servers_) server->stop_daemons();
+}
+
+}  // namespace weakset

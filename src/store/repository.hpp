@@ -1,0 +1,141 @@
+#pragma once
+
+// Repository: the simulation-wide directory of servers, objects, and
+// collections, plus setup-time factories.
+//
+// The directory (which node hosts which fragment/replica) is static
+// configuration known to every client. A real wide-area system would resolve
+// names through a (possibly stale) naming service; the paper does not
+// concern itself with naming, so we substitute a consistent static map —
+// staleness and failure effects all come from the data path, which is what
+// the specifications talk about.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/rpc.hpp"
+#include "store/server.hpp"
+
+namespace weakset {
+
+/// Placement of one collection fragment: its primary and any replicas.
+class FragmentMeta {
+ public:
+  explicit FragmentMeta(NodeId primary) : primary_(primary) {}
+
+  [[nodiscard]] NodeId primary() const noexcept { return primary_; }
+  [[nodiscard]] const std::vector<NodeId>& replicas() const noexcept {
+    return replicas_;
+  }
+  void add_replica(NodeId node) { replicas_.push_back(node); }
+
+ private:
+  NodeId primary_;
+  std::vector<NodeId> replicas_;
+};
+
+/// Placement of a whole (possibly fragmented) collection.
+class CollectionMeta {
+ public:
+  CollectionMeta(CollectionId id, std::vector<FragmentMeta> fragments)
+      : id_(id), fragments_(std::move(fragments)) {
+    assert(!fragments_.empty());
+  }
+
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] const std::vector<FragmentMeta>& fragments() const noexcept {
+    return fragments_;
+  }
+  [[nodiscard]] std::size_t fragment_count() const noexcept {
+    return fragments_.size();
+  }
+
+  /// Which fragment is responsible for `ref` (stable hash placement).
+  [[nodiscard]] std::size_t fragment_of(ObjectRef ref) const {
+    return std::hash<ObjectId>{}(ref.id()) % fragments_.size();
+  }
+
+  FragmentMeta& fragment(std::size_t index) { return fragments_.at(index); }
+
+ private:
+  CollectionId id_;
+  std::vector<FragmentMeta> fragments_;
+};
+
+/// Owns the store servers of one simulated deployment and mints object /
+/// collection / client identities. Also fans effective primary mutations out
+/// to registered observers (the spec layer's timeline probes).
+class Repository : public MutationSink {
+ public:
+  /// Observer of effective primary mutations.
+  using MutationObserver =
+      std::function<void(CollectionId, CollectionOp::Kind, ObjectRef)>;
+
+  explicit Repository(RpcNetwork& net) : net_(net) {}
+  Repository(const Repository&) = delete;
+  Repository& operator=(const Repository&) = delete;
+
+  /// Starts a store server on `node`.
+  StoreServer& add_server(NodeId node, StoreServerOptions options = {});
+
+  [[nodiscard]] StoreServer* server_at(NodeId node);
+
+  /// Nodes that run a store server, in creation order.
+  [[nodiscard]] const std::vector<NodeId>& server_nodes() const noexcept {
+    return server_nodes_;
+  }
+
+  /// Setup-time: creates an object with `data` on `home`'s disk.
+  ObjectRef create_object(NodeId home, std::string data);
+
+  /// Creates a collection fragmented across the given primaries (one
+  /// fragment per entry; a single entry makes an unfragmented collection).
+  CollectionId create_collection(const std::vector<NodeId>& primaries);
+
+  /// Adds a replica of `fragment` on `node`; starts its anti-entropy puller.
+  void add_replica(CollectionId id, std::size_t fragment, NodeId node);
+
+  [[nodiscard]] const CollectionMeta& meta(CollectionId id) const;
+
+  /// Setup-time: inserts `ref` directly at the responsible fragment primary,
+  /// bypassing RPC. Workload builders use this for initial membership.
+  void seed_member(CollectionId id, ObjectRef ref);
+
+  /// Fresh unique token for a client (used by the freeze protocol).
+  [[nodiscard]] std::uint64_t next_client_token() { return ++client_tokens_; }
+
+  /// Registers an observer of effective primary mutations (spec probes).
+  void add_mutation_observer(MutationObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  /// MutationSink: servers report their effective primary mutations here.
+  void on_mutation(CollectionId id, CollectionOp::Kind kind,
+                   ObjectRef ref) override {
+    for (const auto& observer : observers_) observer(id, kind, ref);
+  }
+
+  /// Stops all servers' background daemons so the simulator can drain.
+  void stop_all_daemons();
+
+  [[nodiscard]] RpcNetwork& net() noexcept { return net_; }
+  [[nodiscard]] Topology& topology() noexcept { return net_.topology(); }
+  [[nodiscard]] Simulator& sim() noexcept { return net_.sim(); }
+
+ private:
+  RpcNetwork& net_;
+  std::unordered_map<NodeId, std::unique_ptr<StoreServer>> servers_;
+  std::vector<NodeId> server_nodes_;
+  std::unordered_map<CollectionId, CollectionMeta> metas_;
+  IdSequence<ObjectTag> object_ids_;
+  IdSequence<CollectionTag> collection_ids_;
+  std::uint64_t client_tokens_ = 0;
+  std::vector<MutationObserver> observers_;
+};
+
+}  // namespace weakset

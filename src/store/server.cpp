@@ -1,0 +1,297 @@
+#include "store/server.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "store/messages.hpp"
+#include "util/log.hpp"
+
+namespace weakset {
+
+StoreServer::StoreServer(RpcNetwork& net, NodeId node,
+                         StoreServerOptions options)
+    : net_(net), node_(node), options_(options) {
+  register_handlers();
+}
+
+void StoreServer::register_handlers() {
+  // All handlers are registered up front (before any traffic), so the
+  // RpcNetwork handler table never rehashes under a suspended coroutine.
+  auto bind = [this](auto method) {
+    return [this, method](NodeId, std::any request) {
+      return (this->*method)(std::move(request));
+    };
+  };
+  net_.register_handler(node_, "store.fetch", bind(&StoreServer::handle_fetch));
+  net_.register_handler(node_, "store.put", bind(&StoreServer::handle_put));
+  net_.register_handler(node_, "coll.snapshot",
+                        bind(&StoreServer::handle_snapshot));
+  net_.register_handler(node_, "coll.membership",
+                        bind(&StoreServer::handle_membership));
+  net_.register_handler(node_, "coll.size", bind(&StoreServer::handle_size));
+  net_.register_handler(node_, "coll.freeze",
+                        bind(&StoreServer::handle_freeze));
+  net_.register_handler(node_, "coll.pin", bind(&StoreServer::handle_pin));
+  net_.register_handler(node_, "coll.pull", bind(&StoreServer::handle_pull));
+  net_.register_handler(
+      node_, "coll.sync",
+      [this](NodeId, std::any request) -> Task<Result<std::any>> {
+        const auto req = std::any_cast<msg::SyncRequest>(std::move(request));
+        co_await net_.sim().delay(options_.membership_latency);
+        CollectionState* state = collection(req.id());
+        if (state == nullptr) {
+          co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+        }
+        // Apply the contiguous prefix; a gap (push overtaken by loss) leaves
+        // applied_seq behind and the primary (or pull) resends from there.
+        for (const CollectionOp& op : req.ops()) {
+          if (op.seq() <= state->applied_seq()) continue;
+          if (op.seq() != state->applied_seq() + 1) break;
+          state->apply(op);
+        }
+        co_return std::any{state->applied_seq()};
+      });
+}
+
+CollectionState& StoreServer::host_primary(CollectionId id) {
+  auto entry = std::make_unique<Hosted>(id);
+  entry->primary = NodeId::invalid();
+  entry->unfrozen = std::make_unique<Gate>(net_.sim(), /*open=*/true);
+  auto [it, inserted] = collections_.emplace(id, std::move(entry));
+  assert(inserted && "collection already hosted here");
+  return it->second->state;
+}
+
+CollectionState& StoreServer::host_replica(CollectionId id, NodeId primary) {
+  auto entry = std::make_unique<Hosted>(id);
+  entry->primary = primary;
+  entry->unfrozen = std::make_unique<Gate>(net_.sim(), /*open=*/true);
+  auto [it, inserted] = collections_.emplace(id, std::move(entry));
+  assert(inserted && "collection already hosted here");
+  net_.sim().spawn(pull_loop(id, primary));
+  return it->second->state;
+}
+
+CollectionState* StoreServer::collection(CollectionId id) {
+  const auto it = collections_.find(id);
+  return it == collections_.end() ? nullptr : &it->second->state;
+}
+
+const CollectionState* StoreServer::collection(CollectionId id) const {
+  const auto it = collections_.find(id);
+  return it == collections_.end() ? nullptr : &it->second->state;
+}
+
+bool StoreServer::is_replica(CollectionId id) const {
+  const auto it = collections_.find(id);
+  return it != collections_.end() && it->second->primary.valid();
+}
+
+StoreServer::Hosted& StoreServer::hosted(CollectionId id) {
+  const auto it = collections_.find(id);
+  assert(it != collections_.end());
+  return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy
+
+Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
+  Simulator& sim = net_.sim();
+  for (;;) {
+    co_await sim.delay(options_.pull_interval);
+    if (stopping_) co_return;
+    CollectionState* state = collection(id);
+    if (state == nullptr) co_return;  // unhosted; stop the daemon
+    auto reply = co_await net_.call_typed<msg::PullReply>(
+        node_, primary, "coll.pull",
+        msg::PullRequest{id, state->applied_seq()});
+    if (!reply) continue;  // primary unreachable; retry next round
+    for (const CollectionOp& op : reply.value().ops()) state->apply(op);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+
+Task<Result<std::any>> StoreServer::handle_fetch(std::any request) {
+  const auto req = std::any_cast<msg::FetchRequest>(std::move(request));
+  co_await net_.sim().delay(options_.object_read_latency);
+  const auto value = objects_.get(req.id());
+  if (!value) {
+    co_return Failure{FailureKind::kNotFound,
+                      "object " + std::to_string(req.id().raw())};
+  }
+  co_return std::any{*value};
+}
+
+Task<Result<std::any>> StoreServer::handle_put(std::any request) {
+  auto req = std::any_cast<msg::PutRequest>(std::move(request));
+  co_await net_.sim().delay(options_.object_write_latency);
+  const ObjectId id = req.id();
+  co_return std::any{objects_.put(id, std::move(req).take_data())};
+}
+
+Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
+  const auto req = std::any_cast<msg::SnapshotRequest>(std::move(request));
+  co_await net_.sim().delay(options_.membership_latency);
+  CollectionState* state = collection(req.id());
+  if (state == nullptr) {
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
+  co_return std::any{msg::SnapshotReply{state->members(), state->version()}};
+}
+
+Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
+  const auto req = std::any_cast<msg::MembershipRequest>(std::move(request));
+  co_await net_.sim().delay(options_.membership_latency);
+  const auto it = collections_.find(req.id());
+  if (it == collections_.end()) {
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
+  Hosted& entry = *it->second;
+  if (entry.primary.valid()) {
+    co_return Failure{FailureKind::kNotFound,
+                      "replica does not accept mutations"};
+  }
+  // Honour an active freeze: mutators wait until the lock is released or its
+  // lease expires. (The waiting RPC may time out at the caller meanwhile —
+  // exactly the cost of strong semantics the paper warns about.)
+  while (entry.frozen_by != 0) co_await entry.unfrozen->wait();
+  const bool is_add = req.op() == msg::MembershipRequest::Op::kAdd;
+  if (!is_add && entry.pin_count > 0) {
+    // Grow-only pin active: the removal is accepted but deferred; the member
+    // lingers as a "ghost" until the last pin is released (section 3.3).
+    entry.deferred_removes.push_back(req.ref());
+    co_return std::any{
+        msg::MembershipReply{entry.state.contains(req.ref()),
+                             entry.state.version()}};
+  }
+  const bool changed =
+      is_add ? entry.state.add(req.ref()) : entry.state.remove(req.ref());
+  if (changed && sink_ != nullptr) {
+    sink_->on_mutation(req.id(),
+                       is_add ? CollectionOp::Kind::kAdd
+                              : CollectionOp::Kind::kRemove,
+                       req.ref());
+  }
+  if (changed) trigger_pushes(req.id());
+  co_return std::any{msg::MembershipReply{changed, entry.state.version()}};
+}
+
+Task<Result<std::any>> StoreServer::handle_size(std::any request) {
+  const auto req = std::any_cast<msg::SizeRequest>(std::move(request));
+  co_await net_.sim().delay(options_.membership_latency);
+  CollectionState* state = collection(req.id());
+  if (state == nullptr) {
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
+  co_return std::any{static_cast<std::uint64_t>(state->size())};
+}
+
+void StoreServer::release_freeze(Hosted& entry) {
+  entry.frozen_by = 0;
+  entry.lease_timer.cancel();
+  entry.unfrozen->open();
+}
+
+Task<Result<std::any>> StoreServer::handle_freeze(std::any request) {
+  const auto req = std::any_cast<msg::FreezeRequest>(std::move(request));
+  co_await net_.sim().delay(options_.membership_latency);
+  const auto it = collections_.find(req.id());
+  if (it == collections_.end()) {
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
+  Hosted& entry = *it->second;
+  assert(req.token() != 0 && "freeze token 0 is reserved for 'unfrozen'");
+  if (req.freeze()) {
+    // Queue behind the current holder (if any), then take the lock.
+    while (entry.frozen_by != 0 && entry.frozen_by != req.token()) {
+      co_await entry.unfrozen->wait();
+    }
+    entry.frozen_by = req.token();
+    entry.unfrozen->close();
+    // Lease: auto-release if the holder never comes back.
+    entry.lease_timer.cancel();
+    Hosted* entry_ptr = &entry;
+    const std::uint64_t token = req.token();
+    entry.lease_timer = net_.sim().schedule_cancellable(
+        options_.freeze_lease, [this, entry_ptr, token] {
+          if (entry_ptr->frozen_by == token) {
+            WEAKSET_DEBUG("freeze lease expired, token " << token);
+            release_freeze(*entry_ptr);
+          }
+        });
+  } else {
+    if (entry.frozen_by == req.token()) release_freeze(entry);
+  }
+  co_return std::any{true};
+}
+
+Task<Result<std::any>> StoreServer::handle_pin(std::any request) {
+  const auto req = std::any_cast<msg::PinRequest>(std::move(request));
+  co_await net_.sim().delay(options_.membership_latency);
+  const auto it = collections_.find(req.id());
+  if (it == collections_.end()) {
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
+  Hosted& entry = *it->second;
+  if (req.pin()) {
+    ++entry.pin_count;
+  } else if (entry.pin_count > 0 && --entry.pin_count == 0) {
+    // Garbage-collect the ghosts: apply the deferred removals now.
+    for (const ObjectRef ref : entry.deferred_removes) {
+      if (entry.state.remove(ref) && sink_ != nullptr) {
+        sink_->on_mutation(req.id(), CollectionOp::Kind::kRemove, ref);
+      }
+    }
+    entry.deferred_removes.clear();
+  }
+  co_return std::any{true};
+}
+
+void StoreServer::add_push_target(CollectionId id, NodeId replica) {
+  if (!options_.push_replication) return;
+  hosted(id).push_targets.emplace_back(replica);
+}
+
+void StoreServer::trigger_pushes(CollectionId id) {
+  if (!options_.push_replication) return;
+  Hosted& entry = hosted(id);
+  for (Hosted::PushTarget& target : entry.push_targets) {
+    if (!target.in_flight && target.acked_seq < entry.state.last_seq()) {
+      target.in_flight = true;
+      net_.sim().spawn(push_to(id, target));
+    }
+  }
+}
+
+Task<void> StoreServer::push_to(CollectionId id, Hosted::PushTarget& target) {
+  // One pusher per target at a time; loops until the target is caught up or
+  // a push fails (the pull loop then repairs).
+  Hosted& entry = hosted(id);
+  while (!stopping_ && target.acked_seq < entry.state.last_seq()) {
+    const std::uint64_t before = target.acked_seq;
+    auto reply = co_await net_.call_typed<std::uint64_t>(
+        node_, target.node, "coll.sync",
+        msg::SyncRequest{id, entry.state.ops_since(target.acked_seq)});
+    if (!reply) break;  // unreachable replica: give up until next mutation
+    target.acked_seq = reply.value();
+    if (target.acked_seq <= before) {
+      break;  // replica not advancing (gap?): let anti-entropy repair
+    }
+  }
+  target.in_flight = false;
+}
+
+Task<Result<std::any>> StoreServer::handle_pull(std::any request) {
+  const auto req = std::any_cast<msg::PullRequest>(std::move(request));
+  co_await net_.sim().delay(options_.membership_latency);
+  CollectionState* state = collection(req.id());
+  if (state == nullptr) {
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
+  co_return std::any{msg::PullReply{state->ops_since(req.after_seq())}};
+}
+
+}  // namespace weakset

@@ -1,0 +1,139 @@
+#pragma once
+
+// StoreServer: the repository server process on one node.
+//
+// Hosts object payloads (the node's "disk") and collection fragments, either
+// as the fragment primary or as a replica converging via pull-based
+// anti-entropy. Exposes the store protocol over RPC and implements the
+// freeze lock that the strong weak-set semantics (Figures 3/4) need: "typical
+// implementations would use locks to synchronize access to the set and its
+// elements" (section 3.1). Freezes carry a lease so that a crashed or
+// partitioned lock holder cannot block mutators forever.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/rpc.hpp"
+#include "sim/channel.hpp"
+#include "store/collection.hpp"
+#include "store/object_store.hpp"
+
+namespace weakset {
+
+/// Receives every *effective* primary membership mutation, with ground-truth
+/// timing. The spec layer's MembershipTimeline is fed through this hook.
+class MutationSink {
+ public:
+  virtual ~MutationSink() = default;
+  virtual void on_mutation(CollectionId id, CollectionOp::Kind kind,
+                           ObjectRef ref) = 0;
+};
+
+struct StoreServerOptions {
+  /// Simulated disk read for object payloads.
+  Duration object_read_latency = Duration::millis(2);
+  /// Simulated disk write for object payloads.
+  Duration object_write_latency = Duration::millis(4);
+  /// In-memory membership operation cost.
+  Duration membership_latency = Duration::micros(100);
+  /// How long a freeze lives without being released (crash safety).
+  Duration freeze_lease = Duration::seconds(10);
+  /// Replica anti-entropy period.
+  Duration pull_interval = Duration::millis(50);
+  /// If true, fragment primaries also PUSH ops to their replicas right after
+  /// each mutation (convergence in ~one RPC). Pull anti-entropy still runs
+  /// underneath and repairs pushes lost to partitions.
+  bool push_replication = false;
+};
+
+class StoreServer {
+ public:
+  StoreServer(RpcNetwork& net, NodeId node, StoreServerOptions options = {});
+  StoreServer(const StoreServer&) = delete;
+  StoreServer& operator=(const StoreServer&) = delete;
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] ObjectStore& objects() noexcept { return objects_; }
+  [[nodiscard]] const StoreServerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Starts hosting `id` as a fragment primary.
+  CollectionState& host_primary(CollectionId id);
+
+  /// Starts hosting `id` as a replica of the fragment primary at `primary`.
+  /// Spawns the anti-entropy process, which pulls forever at pull_interval.
+  CollectionState& host_replica(CollectionId id, NodeId primary);
+
+  /// The locally hosted fragment state (primary or replica); nullptr if this
+  /// node does not host `id`.
+  [[nodiscard]] CollectionState* collection(CollectionId id);
+  [[nodiscard]] const CollectionState* collection(CollectionId id) const;
+
+  /// True if this node hosts `id` as a replica (not primary).
+  [[nodiscard]] bool is_replica(CollectionId id) const;
+
+  /// Asks background daemons (anti-entropy pullers) to exit at their next
+  /// wakeup, letting the simulator drain. The server keeps serving RPCs.
+  void stop_daemons() noexcept { stopping_ = true; }
+
+  /// Installs the mutation hook (nullptr to remove). Not owned.
+  void set_mutation_sink(MutationSink* sink) noexcept { sink_ = sink; }
+
+  /// Primary side: registers `replica` as a push-replication target of the
+  /// locally hosted fragment `id` (no-op unless push_replication is on).
+  void add_push_target(CollectionId id, NodeId replica);
+
+ private:
+  struct Hosted {
+    explicit Hosted(CollectionId id) : state(id) {}
+    CollectionState state;
+    NodeId primary;  // invalid() for primaries
+    // Freeze lock. token 0 = unfrozen.
+    std::uint64_t frozen_by = 0;
+    std::unique_ptr<Gate> unfrozen;       // open while not frozen
+    Simulator::TimerToken lease_timer;    // auto-release
+    // Grow-only pinning (section 3.3 ghost-delete variant): while pinned,
+    // removals are deferred and applied at the last unpin.
+    std::size_t pin_count = 0;
+    std::vector<ObjectRef> deferred_removes;
+    // Push replication (primary side): per-replica ack cursors and
+    // in-flight markers.
+    struct PushTarget {
+      explicit PushTarget(NodeId node) : node(node) {}
+      NodeId node;
+      std::uint64_t acked_seq = 0;
+      bool in_flight = false;
+    };
+    std::vector<PushTarget> push_targets;
+  };
+
+  void register_handlers();
+  Hosted& hosted(CollectionId id);
+  Task<void> pull_loop(CollectionId id, NodeId primary);
+  void release_freeze(Hosted& entry);
+  /// Primary side: pushes pending ops of `id` to every lagging target.
+  void trigger_pushes(CollectionId id);
+  Task<void> push_to(CollectionId id, Hosted::PushTarget& target);
+
+  // Handler bodies.
+  Task<Result<std::any>> handle_fetch(std::any request);
+  Task<Result<std::any>> handle_put(std::any request);
+  Task<Result<std::any>> handle_snapshot(std::any request);
+  Task<Result<std::any>> handle_membership(std::any request);
+  Task<Result<std::any>> handle_size(std::any request);
+  Task<Result<std::any>> handle_freeze(std::any request);
+  Task<Result<std::any>> handle_pin(std::any request);
+  Task<Result<std::any>> handle_pull(std::any request);
+
+  RpcNetwork& net_;
+  NodeId node_;
+  StoreServerOptions options_;
+  ObjectStore objects_;
+  std::unordered_map<CollectionId, std::unique_ptr<Hosted>> collections_;
+  bool stopping_ = false;
+  MutationSink* sink_ = nullptr;
+};
+
+}  // namespace weakset

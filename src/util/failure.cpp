@@ -1,0 +1,36 @@
+#include "util/failure.hpp"
+
+namespace weakset {
+
+std::string_view to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kTimeout:
+      return "timeout";
+    case FailureKind::kNodeCrashed:
+      return "node-crashed";
+    case FailureKind::kLinkDown:
+      return "link-down";
+    case FailureKind::kPartitioned:
+      return "partitioned";
+    case FailureKind::kUnreachable:
+      return "unreachable";
+    case FailureKind::kNotFound:
+      return "not-found";
+    case FailureKind::kCancelled:
+      return "cancelled";
+    case FailureKind::kExhausted:
+      return "exhausted";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Failure& failure) {
+  std::string out{to_string(failure.kind)};
+  if (!failure.detail.empty()) {
+    out += ": ";
+    out += failure.detail;
+  }
+  return out;
+}
+
+}  // namespace weakset

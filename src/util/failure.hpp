@@ -1,0 +1,53 @@
+#pragma once
+
+// Failure values for the weakset library.
+//
+// The paper ("Specifying Weak Sets", Wing & Steere 1995, section 2.1) assumes a
+// distributed system in which "nodes may crash and communication links may
+// fail", and in which failures are *detectable*: "We assume we can detect
+// failures, e.g., those signaled from the lower network and transport layers".
+// The special assertion `fails` denotes termination with a "failure" exception
+// "denoting any kind of failure, e.g., a timeout, node crash, or link down".
+//
+// We model this with a first-class Failure value carried in Result<T>
+// (see result.hpp) rather than a C++ exception: failures are an *expected*
+// outcome of every remote operation in this domain.
+
+#include <cstdint>
+#include <string>
+
+namespace weakset {
+
+/// The kind of detected failure, mirroring the paper's enumeration of
+/// "a timeout, node crash, or link down" plus the derived condition of a
+/// network partition and the spec-level `fails` outcome of an iterator.
+enum class FailureKind : std::uint8_t {
+  kTimeout,      ///< An RPC did not complete within its deadline.
+  kNodeCrashed,  ///< The target node is known to have crashed.
+  kLinkDown,     ///< The link needed to reach the target is down.
+  kPartitioned,  ///< Target is in a different partition component.
+  kUnreachable,  ///< A known member of a collection cannot be accessed
+                 ///< (the iterator-level `fails` of Figures 3-5).
+  kNotFound,     ///< Named object does not exist at the responsible node.
+  kCancelled,    ///< Operation cancelled by its caller.
+  kExhausted,    ///< A bounded retry policy ran out of attempts.
+};
+
+/// A detected failure: the paper's "failure exception" as a value.
+struct Failure {
+  FailureKind kind = FailureKind::kTimeout;
+  /// Optional human-readable context ("fetch obj 17 from node 3 timed out").
+  std::string detail;
+
+  friend bool operator==(const Failure& a, const Failure& b) {
+    return a.kind == b.kind;  // detail is diagnostic only
+  }
+};
+
+/// Short stable name for a failure kind ("timeout", "node-crashed", ...).
+std::string_view to_string(FailureKind kind);
+
+/// Formats a failure as "kind: detail" (or just "kind" if detail is empty).
+std::string to_string(const Failure& failure);
+
+}  // namespace weakset

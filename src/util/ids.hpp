@@ -1,0 +1,59 @@
+#pragma once
+
+// Strongly-typed integer identifiers. Using a tag-parameterised wrapper keeps
+// NodeId / ObjectId / ProcessId etc. mutually unassignable while remaining
+// trivially copyable and hashable.
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace weakset {
+
+/// A strongly typed 64-bit identifier. `Tag` is an empty struct that makes
+/// each instantiation a distinct type.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t raw) : raw_(raw) {}
+
+  [[nodiscard]] constexpr std::uint64_t raw() const noexcept { return raw_; }
+
+  /// A sentinel id distinct from any id minted by a sequence starting at 0.
+  static constexpr Id invalid() { return Id{~std::uint64_t{0}}; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return raw_ != ~std::uint64_t{0};
+  }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  std::uint64_t raw_ = ~std::uint64_t{0};
+};
+
+/// Mints ids sequentially from 0. Not thread-safe by design: all minting in
+/// this library happens on the single simulation thread.
+template <typename Tag>
+class IdSequence {
+ public:
+  Id<Tag> next() { return Id<Tag>{next_++}; }
+  [[nodiscard]] std::uint64_t minted() const noexcept { return next_; }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace weakset
+
+template <typename Tag>
+struct std::hash<weakset::Id<Tag>> {
+  std::size_t operator()(weakset::Id<Tag> id) const noexcept {
+    // splitmix64 finaliser: good avalanche for sequential ids.
+    std::uint64_t x = id.raw() + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

@@ -1,0 +1,33 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace weakset {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kOff:
+      break;
+  }
+  return "?    ";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace weakset

@@ -1,0 +1,36 @@
+#pragma once
+
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate simulated runs.
+
+#include <sstream>
+#include <string>
+
+namespace weakset {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Sets the global log threshold. Not thread-safe; call before starting work.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit_log(LogLevel level, const std::string& message);
+}
+
+/// Logs `expr` (streamed) at `level` if the global threshold allows it.
+#define WEAKSET_LOG(level, expr)                                \
+  do {                                                          \
+    if (static_cast<int>(::weakset::log_level()) >=             \
+        static_cast<int>(level)) {                              \
+      std::ostringstream weakset_log_os_;                       \
+      weakset_log_os_ << expr; /* NOLINT */                     \
+      ::weakset::detail::emit_log(level, weakset_log_os_.str());\
+    }                                                           \
+  } while (false)
+
+#define WEAKSET_INFO(expr) WEAKSET_LOG(::weakset::LogLevel::kInfo, expr)
+#define WEAKSET_DEBUG(expr) WEAKSET_LOG(::weakset::LogLevel::kDebug, expr)
+#define WEAKSET_TRACE(expr) WEAKSET_LOG(::weakset::LogLevel::kTrace, expr)
+
+}  // namespace weakset

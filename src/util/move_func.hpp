@@ -1,0 +1,43 @@
+#pragma once
+
+// MoveFunc: a move-only std::function<void()> replacement (std::move_only_
+// function is C++23). The simulator's event queue stores these so events can
+// own move-only state such as coroutine tasks.
+
+#include <memory>
+#include <utility>
+
+namespace weakset {
+
+/// Type-erased move-only nullary callable.
+class MoveFunc {
+ public:
+  MoveFunc() = default;
+
+  template <typename F>
+  MoveFunc(F fn) : impl_(std::make_unique<Impl<F>>(std::move(fn))) {}  // NOLINT
+
+  MoveFunc(MoveFunc&&) noexcept = default;
+  MoveFunc& operator=(MoveFunc&&) noexcept = default;
+  MoveFunc(const MoveFunc&) = delete;
+  MoveFunc& operator=(const MoveFunc&) = delete;
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  void operator()() { impl_->call(); }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F fn) : fn(std::move(fn)) {}
+    void call() override { fn(); }
+    F fn;
+  };
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace weakset

@@ -1,0 +1,98 @@
+#pragma once
+
+// Result<T>: a minimal expected-like type carrying either a value or a
+// weakset::Failure. C++20 predates std::expected, so we provide the subset we
+// need, with the same vocabulary (has_value/value/error/value_or).
+
+#include <cassert>
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "util/failure.hpp"
+
+namespace weakset {
+
+/// Either a `T` or a `Failure`. Used as the return type of every operation
+/// that can observe a distributed failure, per the paper's detectable-failure
+/// model. Never throws on the failure path.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from a value: `return 42;`
+  Result(T value) : rep_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
+  /// Implicit from a failure: `return Failure{FailureKind::kTimeout};`
+  Result(Failure failure)  // NOLINT
+      : rep_(std::in_place_index<1>, std::move(failure)) {}
+
+  [[nodiscard]] bool has_value() const noexcept { return rep_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<0>(rep_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<0>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(rep_));
+  }
+
+  [[nodiscard]] const Failure& error() const& {
+    assert(!has_value());
+    return std::get<1>(rep_);
+  }
+  [[nodiscard]] Failure&& error() && {
+    assert(!has_value());
+    return std::get<1>(std::move(rep_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(rep_) : std::move(fallback);
+  }
+
+  /// Applies `fn` to the value if present, propagating the failure otherwise.
+  template <typename Fn>
+  auto map(Fn&& fn) const& -> Result<decltype(fn(std::declval<const T&>()))> {
+    if (has_value()) return std::forward<Fn>(fn)(std::get<0>(rep_));
+    return std::get<1>(rep_);
+  }
+
+  friend bool operator==(const Result& a, const Result& b) {
+    return a.rep_ == b.rep_;
+  }
+
+ private:
+  std::variant<T, Failure> rep_;
+};
+
+/// Result specialisation for operations with no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Failure failure) : failure_(std::move(failure)) {}  // NOLINT
+
+  [[nodiscard]] bool has_value() const noexcept { return !failure_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const Failure& error() const& {
+    assert(!has_value());
+    return *failure_;
+  }
+
+  friend bool operator==(const Result& a, const Result& b) {
+    return a.failure_ == b.failure_;
+  }
+
+ private:
+  std::optional<Failure> failure_;
+};
+
+/// Convenience: an ok Result<void>.
+inline Result<void> Ok() { return {}; }
+
+}  // namespace weakset

@@ -1,0 +1,75 @@
+#pragma once
+
+// Deterministic random number generation. All randomness in the library flows
+// through explicitly seeded Rng instances so that every simulation run is
+// reproducible from its seed (DESIGN.md section 3.3).
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace weakset {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, and deterministic across
+/// platforms (unlike std::mt19937 + std::uniform_int_distribution, whose
+/// distribution outputs are implementation-defined).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Requires bound > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform in [0, 1).
+  double uniform_double();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed duration with the given mean. Used for
+  /// inter-arrival times of mutations and failures.
+  Duration exponential(Duration mean);
+
+  /// Uniform duration in [lo, hi].
+  Duration uniform_duration(Duration lo, Duration hi);
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    assert(!items.empty());
+    return items[static_cast<std::size_t>(uniform(items.size()))];
+  }
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>{items});
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each simulated
+  /// process its own stream without cross-coupling.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace weakset

@@ -1,0 +1,99 @@
+#pragma once
+
+// Simulated-time types. All of the distributed substrate runs under a virtual
+// clock (DESIGN.md section 3.3); these types keep simulated durations and
+// instants distinct from wall-clock ones.
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace weakset {
+
+/// A span of simulated time, in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t n) { return Duration{n * 1'000}; }
+  static constexpr Duration millis(std::int64_t n) {
+    return Duration{n * 1'000'000};
+  }
+  static constexpr Duration seconds(std::int64_t n) {
+    return Duration{n * 1'000'000'000};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double as_millis() const {
+    return static_cast<double>(nanos_) / 1e6;
+  }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.nanos_ + b.nanos_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.nanos_ - b.nanos_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.nanos_ * k};
+  }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) {
+    return Duration{a.nanos_ / k};
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+/// An instant on the simulated clock (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return nanos_; }
+  [[nodiscard]] constexpr double as_millis() const {
+    return static_cast<double>(nanos_) / 1e6;
+  }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.nanos_ + d.count_nanos()};
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration{a.nanos_ - b.nanos_};
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+/// "1.250ms"-style rendering for logs and bench output.
+inline std::string to_string(Duration d) {
+  return std::to_string(d.as_millis()) + "ms";
+}
+inline std::string to_string(SimTime t) {
+  return std::to_string(t.as_millis()) + "ms";
+}
+
+}  // namespace weakset

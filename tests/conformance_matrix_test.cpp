@@ -1,0 +1,191 @@
+// The conformance matrix, property-tested: every iterator satisfies its own
+// figure's specification whenever the environment honours that figure's
+// constraint — across randomized schedules.
+//
+//   semantics   environment it is specified for
+//   fig1        immutable, failure-free
+//   fig3        immutable, transient unreachability
+//   fig4        arbitrary mutation, no failures
+//   fig5        grow-only mutation, no failures
+//   fig6        arbitrary mutation + transient unreachability
+//
+// Also checks the lattice relations on a single benign run (everything
+// holds) and that environments outside a figure's constraint break exactly
+// the expected figures.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/iterator.hpp"
+#include "core/local_view.hpp"
+#include "spec/specs.hpp"
+#include "util/rng.hpp"
+
+namespace weakset {
+namespace {
+
+ObjectRef ref(std::uint64_t id) { return ObjectRef{ObjectId{id}, NodeId{0}}; }
+
+struct Environment {
+  bool allow_adds = false;
+  bool allow_removes = false;
+  bool allow_unreachability = false;
+};
+
+struct RunResult {
+  spec::IterationTrace trace;
+  const spec::MembershipTimeline* timeline;
+  DrainResult drained;
+};
+
+class Harness {
+ public:
+  Harness(std::uint64_t seed, const Environment& env)
+      : view_(sim_), rng_(seed) {
+    const int initial = 4 + static_cast<int>(rng_.uniform(6));
+    for (int i = 0; i < initial; ++i) {
+      view_.add(ref(static_cast<std::uint64_t>(i)), "p");
+    }
+    view_.set_latencies(Duration::millis(1), Duration::millis(8));
+
+    std::uint64_t next_id = 1000;
+    for (int i = 0; i < 20; ++i) {
+      const Duration at =
+          Duration::millis(static_cast<int>(rng_.uniform(250)));
+      if (env.allow_adds && rng_.bernoulli(0.5)) {
+        const auto id = next_id++;
+        sim_.schedule(at, [this, id] { view_.add(ref(id), "x"); });
+      }
+      if (env.allow_removes && rng_.bernoulli(0.3)) {
+        const auto id = rng_.uniform(static_cast<std::uint64_t>(initial));
+        sim_.schedule(at, [this, id] { view_.remove(ref(id)); });
+      }
+      if (env.allow_unreachability && rng_.bernoulli(0.3)) {
+        const auto id = rng_.uniform(static_cast<std::uint64_t>(initial));
+        sim_.schedule(at, [this, id] { view_.set_reachable(ref(id), false); });
+        sim_.schedule(at + Duration::millis(60),
+                      [this, id] { view_.set_reachable(ref(id), true); });
+      }
+    }
+  }
+
+  RunResult run(Semantics semantics) {
+    spec::TraceRecorder recorder{view_};
+    IteratorOptions options;
+    options.recorder = &recorder;
+    options.retry = RetryPolicy{500, Duration::millis(25)};
+    auto iterator = make_elements_iterator(view_, semantics, options);
+    DrainResult drained = run_task(sim_, drain(*iterator));
+    return RunResult{recorder.finish(), &view_.timeline(),
+                     std::move(drained)};
+  }
+
+ private:
+  Simulator sim_;
+  LocalSetView view_;
+  Rng rng_;
+};
+
+class MatrixSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatrixSweep, Fig1HoldsInItsEnvironment) {
+  Harness harness{GetParam(), Environment{}};
+  const RunResult run = harness.run(Semantics::kFig1Immutable);
+  EXPECT_TRUE(run.drained.finished());
+  const auto report = spec::check_fig1(run.trace);
+  EXPECT_TRUE(report.satisfied())
+      << (report.violations().empty() ? "-" : report.violations().front());
+  // Benign immutable run: the whole design space holds.
+  EXPECT_EQ(spec::classify(run.trace, *run.timeline).to_string(),
+            "fig1 fig3 fig4 fig5 fig6");
+}
+
+TEST_P(MatrixSweep, Fig3HoldsUnderTransientUnreachability) {
+  Environment env;
+  env.allow_unreachability = true;
+  Harness harness{GetParam(), env};
+  const RunResult run = harness.run(Semantics::kFig3ImmutableFailAware);
+  const auto report = spec::check_fig3(run.trace);
+  EXPECT_TRUE(report.satisfied())
+      << (report.violations().empty() ? "-" : report.violations().front());
+  // Set immutable: whether the run failed or returned, fig4's ensures (same
+  // clause) must hold too.
+  EXPECT_TRUE(spec::check_fig4(run.trace).satisfied());
+}
+
+TEST_P(MatrixSweep, Fig4HoldsUnderArbitraryMutation) {
+  Environment env;
+  env.allow_adds = true;
+  env.allow_removes = true;
+  Harness harness{GetParam(), env};
+  const RunResult run = harness.run(Semantics::kFig4Snapshot);
+  EXPECT_TRUE(run.drained.finished());
+  const auto report = spec::check_fig4(run.trace);
+  EXPECT_TRUE(report.satisfied())
+      << (report.violations().empty() ? "-" : report.violations().front());
+}
+
+TEST_P(MatrixSweep, Fig5HoldsUnderGrowOnlyMutation) {
+  Environment env;
+  env.allow_adds = true;
+  Harness harness{GetParam(), env};
+  const RunResult run = harness.run(Semantics::kFig5GrowOnlyPessimistic);
+  EXPECT_TRUE(run.drained.finished());
+  const auto report = spec::check_fig5(run.trace);
+  EXPECT_TRUE(report.satisfied())
+      << (report.violations().empty() ? "-" : report.violations().front());
+  // Grow-only environment: the constraint over the window must hold.
+  EXPECT_TRUE(spec::check_constraint_grow_only(*run.timeline,
+                                               run.trace.first_time(),
+                                               run.trace.last_time())
+                  .satisfied());
+  // fig6 is weaker than fig5 on completed runs: it must hold as well.
+  EXPECT_TRUE(spec::check_fig6(run.trace, *run.timeline).satisfied());
+}
+
+TEST_P(MatrixSweep, Fig6HoldsUnderChurnAndUnreachability) {
+  Environment env;
+  env.allow_adds = true;
+  env.allow_removes = true;
+  env.allow_unreachability = true;
+  Harness harness{GetParam(), env};
+  const RunResult run = harness.run(Semantics::kFig6Optimistic);
+  const auto report = spec::check_fig6(run.trace, *run.timeline);
+  EXPECT_TRUE(report.satisfied())
+      << "seed " << GetParam() << ": "
+      << (report.violations().empty() ? "-" : report.violations().front());
+  // Never a hard failure — blocked at worst.
+  if (!run.drained.finished()) {
+    ASSERT_TRUE(run.drained.failure().has_value());
+    EXPECT_EQ(run.drained.failure()->kind, FailureKind::kExhausted);
+  }
+  // No duplicate yields, ever.
+  std::set<ObjectRef> unique;
+  for (const ObjectRef r : run.trace.yield_sequence()) {
+    EXPECT_TRUE(unique.insert(r).second);
+  }
+}
+
+TEST_P(MatrixSweep, RemovalsBreakFig5ButNotFig6) {
+  Environment env;
+  env.allow_adds = true;
+  env.allow_removes = true;
+  Harness harness{GetParam(), env};
+  const RunResult run = harness.run(Semantics::kFig6Optimistic);
+  const auto conformance = spec::classify(run.trace, *run.timeline);
+  EXPECT_TRUE(conformance.fig6());
+  // With at least one effective removal inside the window, fig5 cannot hold.
+  if (!run.timeline->grow_only_in_window(run.trace.first_time(),
+                                         run.trace.last_time())) {
+    EXPECT_FALSE(conformance.fig5());
+    EXPECT_FALSE(conformance.fig1());
+    EXPECT_FALSE(conformance.fig3());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixSweep,
+                         ::testing::Range<std::uint64_t>(100, 115));
+
+}  // namespace
+}  // namespace weakset

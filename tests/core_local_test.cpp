@@ -1,0 +1,443 @@
+// Layer A tests: the five iterator semantics against the pure in-process
+// LocalSetView, with scripted mutations, partitions, and failures, each run
+// checked against the paper's specifications by the spec layer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/iterator.hpp"
+#include "core/local_view.hpp"
+#include "spec/specs.hpp"
+#include "util/rng.hpp"
+
+namespace weakset {
+namespace {
+
+ObjectRef ref(std::uint64_t id, std::uint64_t node = 0) {
+  return ObjectRef{ObjectId{id}, NodeId{node}};
+}
+
+class LocalIteratorTest : public ::testing::Test {
+ protected:
+  LocalIteratorTest() : view(sim), recorder(view) {}
+
+  /// Populates the view with n members obj0..obj(n-1).
+  void populate(int n) {
+    for (int i = 0; i < n; ++i) {
+      view.add(ref(static_cast<std::uint64_t>(i)),
+               "payload" + std::to_string(i));
+    }
+  }
+
+  DrainResult run(Semantics semantics, IteratorOptions options = {}) {
+    options.recorder = &recorder;
+    auto iterator = make_elements_iterator(view, semantics, options);
+    DrainResult result = run_task(sim, drain(*iterator));
+    trace = recorder.finish();
+    return result;
+  }
+
+  std::set<ObjectRef> element_refs(const DrainResult& result) {
+    std::set<ObjectRef> out;
+    for (const auto& [r, v] : result.elements()) out.insert(r);
+    return out;
+  }
+
+  Simulator sim;
+  LocalSetView view;
+  spec::TraceRecorder recorder;
+  spec::IterationTrace trace;
+};
+
+// ---------------------------------------------------------------------------
+// Figure 1
+
+TEST_F(LocalIteratorTest, Fig1YieldsExactlySFirst) {
+  populate(5);
+  const DrainResult result = run(Semantics::kFig1Immutable);
+  EXPECT_TRUE(result.finished());
+  EXPECT_FALSE(result.failure().has_value());
+  EXPECT_EQ(result.count(), 5u);
+  EXPECT_EQ(element_refs(result).size(), 5u);  // no duplicates
+}
+
+TEST_F(LocalIteratorTest, Fig1EmptySetReturnsImmediately) {
+  const DrainResult result = run(Semantics::kFig1Immutable);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 0u);
+}
+
+TEST_F(LocalIteratorTest, Fig1DeliversPayloads) {
+  populate(3);
+  const DrainResult result = run(Semantics::kFig1Immutable);
+  for (const auto& [r, value] : result.elements()) {
+    EXPECT_EQ(value.data(), "payload" + std::to_string(r.id().raw()));
+  }
+}
+
+TEST_F(LocalIteratorTest, Fig1TraceSatisfiesAllSpecsOnBenignRun) {
+  // An immutable, failure-free run is the intersection of the whole design
+  // space: every specification should hold.
+  populate(4);
+  run(Semantics::kFig1Immutable);
+  const auto conformance = spec::classify(trace, view.timeline());
+  EXPECT_TRUE(conformance.fig1());
+  EXPECT_TRUE(conformance.fig3());
+  EXPECT_TRUE(conformance.fig4());
+  EXPECT_TRUE(conformance.fig5());
+  EXPECT_TRUE(conformance.fig6());
+  EXPECT_EQ(conformance.to_string(), "fig1 fig3 fig4 fig5 fig6");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+
+TEST_F(LocalIteratorTest, Fig3YieldsReachableThenFails) {
+  populate(5);
+  view.set_reachable(ref(2), false);
+  view.set_reachable(ref(4), false);
+  const DrainResult result = run(Semantics::kFig3ImmutableFailAware);
+  EXPECT_FALSE(result.finished());
+  ASSERT_TRUE(result.failure().has_value());
+  EXPECT_EQ(result.failure()->kind, FailureKind::kUnreachable);
+  EXPECT_EQ(result.count(), 3u);
+  EXPECT_EQ(element_refs(result).count(ref(2)), 0u);
+  EXPECT_EQ(element_refs(result).count(ref(4)), 0u);
+
+  EXPECT_TRUE(spec::check_fig3(trace).satisfied());
+  // A failing run can never satisfy fig1 (which has no failure case).
+  EXPECT_FALSE(spec::check_fig1(trace).satisfied());
+  // fig6 prohibits failing outright.
+  EXPECT_FALSE(spec::check_fig6(trace, view.timeline()).satisfied());
+}
+
+TEST_F(LocalIteratorTest, Fig3AllReachableBehavesLikeFig1) {
+  populate(4);
+  const DrainResult result = run(Semantics::kFig3ImmutableFailAware);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 4u);
+  EXPECT_TRUE(spec::check_fig1(trace).satisfied());
+  EXPECT_TRUE(spec::check_fig3(trace).satisfied());
+}
+
+TEST_F(LocalIteratorTest, Fig3RecoversIfPartitionHealsMidRun) {
+  // Element 1 is unreachable at first but heals before the iterator gets to
+  // it (fetches of elements 0,2,3 take time): no failure occurs.
+  populate(4);
+  view.set_latencies(Duration::millis(1), Duration::millis(10));
+  view.set_reachable(ref(1), false);
+  sim.schedule(Duration::millis(15),
+               [this] { view.set_reachable(ref(1), true); });
+  const DrainResult result = run(Semantics::kFig3ImmutableFailAware);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 4u);
+  EXPECT_TRUE(spec::check_fig3(trace).satisfied());
+}
+
+TEST_F(LocalIteratorTest, Fig3EnforceFreezeHoldsLockDuringRun) {
+  populate(2);
+  view.set_latencies(Duration::millis(1), Duration::millis(5));
+  IteratorOptions options;
+  options.enforce_freeze = true;
+  bool was_frozen_mid_run = false;
+  sim.schedule(Duration::millis(8),
+               [this, &was_frozen_mid_run] {
+                 was_frozen_mid_run = view.frozen();
+               });
+  const DrainResult result = run(Semantics::kFig3ImmutableFailAware, options);
+  EXPECT_TRUE(result.finished());
+  EXPECT_TRUE(was_frozen_mid_run);
+  EXPECT_FALSE(view.frozen());  // released at termination
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+
+TEST_F(LocalIteratorTest, Fig4MissesMutationsAfterSnapshot) {
+  populate(3);
+  view.set_latencies(Duration::millis(1), Duration::millis(10));
+  // Mid-run: add obj7 and remove obj1 — the snapshot semantics must not see
+  // the addition ("the iterator may miss elements added to s after the
+  // first invocation").
+  sim.schedule(Duration::millis(5), [this] {
+    view.add(ref(7), "late");
+  });
+  const DrainResult result = run(Semantics::kFig4Snapshot);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 3u);
+  EXPECT_EQ(element_refs(result).count(ref(7)), 0u);
+
+  EXPECT_TRUE(spec::check_fig4(trace).satisfied());
+  const auto conformance = spec::classify(trace, view.timeline());
+  EXPECT_TRUE(conformance.fig4());
+  EXPECT_FALSE(conformance.fig1());  // set mutated during the run
+  EXPECT_FALSE(conformance.fig3());
+}
+
+TEST_F(LocalIteratorTest, Fig4MayYieldElementsRemovedMidRun) {
+  // "... and/or have yielded elements that have been removed."
+  populate(3);
+  view.set_latencies(Duration::millis(1), Duration::millis(10));
+  // obj0 is yielded in the first invocation (~11ms); remove it afterwards.
+  sim.schedule(Duration::millis(20), [this] { view.remove(ref(0)); });
+  const DrainResult result = run(Semantics::kFig4Snapshot);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 3u);  // all of s_first, including removed obj0
+  EXPECT_TRUE(spec::check_fig4(trace).satisfied());
+  // Figure 5 is violated: a yielded element is no longer in s_pre.
+  EXPECT_FALSE(spec::classify(trace, view.timeline()).fig5());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5
+
+TEST_F(LocalIteratorTest, Fig5SeesGrowth) {
+  populate(2);
+  view.set_latencies(Duration::millis(1), Duration::millis(10));
+  // Growth lands while the iterator is running: it must be yielded too.
+  sim.schedule(Duration::millis(5), [this] { view.add(ref(9), "grown"); });
+  const DrainResult result = run(Semantics::kFig5GrowOnlyPessimistic);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 3u);
+  EXPECT_EQ(element_refs(result).count(ref(9)), 1u);
+
+  EXPECT_TRUE(spec::check_fig5(trace).satisfied());
+  const auto conformance = spec::classify(trace, view.timeline());
+  EXPECT_TRUE(conformance.fig5());
+  EXPECT_TRUE(conformance.fig6());   // fig6 is weaker
+  EXPECT_FALSE(conformance.fig1());  // mutation occurred
+}
+
+TEST_F(LocalIteratorTest, Fig5FailsFastOnUnreachableMember) {
+  populate(3);
+  view.set_reachable(ref(1), false);
+  const DrainResult result = run(Semantics::kFig5GrowOnlyPessimistic);
+  EXPECT_FALSE(result.finished());
+  ASSERT_TRUE(result.failure().has_value());
+  EXPECT_EQ(result.failure()->kind, FailureKind::kUnreachable);
+  EXPECT_EQ(result.count(), 2u);
+  EXPECT_TRUE(spec::check_fig5(trace).satisfied());
+}
+
+TEST_F(LocalIteratorTest, Fig5FailsOnReadFailure) {
+  populate(2);
+  view.fail_reads(Failure{FailureKind::kPartitioned, "scripted"});
+  const DrainResult result = run(Semantics::kFig5GrowOnlyPessimistic);
+  ASSERT_TRUE(result.failure().has_value());
+  EXPECT_EQ(result.failure()->kind, FailureKind::kPartitioned);
+  EXPECT_EQ(result.count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6
+
+TEST_F(LocalIteratorTest, Fig6SurvivesChurn) {
+  populate(4);
+  view.set_latencies(Duration::millis(1), Duration::millis(10));
+  sim.schedule(Duration::millis(5), [this] { view.add(ref(10), "n"); });
+  sim.schedule(Duration::millis(15), [this] { view.remove(ref(3)); });
+  const DrainResult result = run(Semantics::kFig6Optimistic);
+  EXPECT_TRUE(result.finished());
+  EXPECT_FALSE(result.failure().has_value());
+  // Every yield was a member at some state during the run.
+  EXPECT_TRUE(spec::check_fig6(trace, view.timeline()).satisfied());
+}
+
+TEST_F(LocalIteratorTest, Fig6BlocksThroughFailureAndResumes) {
+  populate(3);
+  view.set_latencies(Duration::millis(1), Duration::millis(2));
+  view.set_reachable(ref(2), false);
+  // The partition heals 300ms in; the optimistic iterator must ride it out.
+  sim.schedule(Duration::millis(300),
+               [this] { view.set_reachable(ref(2), true); });
+  IteratorOptions options;
+  options.retry = RetryPolicy{100, Duration::millis(50)};
+  const DrainResult result = run(Semantics::kFig6Optimistic, options);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 3u);
+  EXPECT_GE(sim.now() - SimTime::zero(), Duration::millis(300));
+  EXPECT_TRUE(spec::check_fig6(trace, view.timeline()).satisfied());
+}
+
+TEST_F(LocalIteratorTest, Fig6NeverSignalsFailureWithinBudget) {
+  populate(2);
+  view.set_reachable(ref(1), false);  // never heals
+  IteratorOptions options;
+  options.retry = RetryPolicy{5, Duration::millis(10)};
+  const DrainResult result = run(Semantics::kFig6Optimistic, options);
+  // The bounded observation window ends in kExhausted...
+  ASSERT_TRUE(result.failure().has_value());
+  EXPECT_EQ(result.failure()->kind, FailureKind::kExhausted);
+  EXPECT_EQ(result.count(), 1u);
+  // ...which the spec layer records as `blocked`, not `fails` — so the
+  // fig6 specification still holds for the observed window.
+  EXPECT_TRUE(spec::check_fig6(trace, view.timeline()).satisfied());
+  EXPECT_EQ(trace.final_outcome(), spec::StepOutcome::kBlocked);
+}
+
+TEST_F(LocalIteratorTest, Fig6RidesOutReadFailures) {
+  populate(2);
+  view.fail_reads(Failure{FailureKind::kPartitioned, "scripted"});
+  sim.schedule(Duration::millis(120), [this] { view.fail_reads({}); });
+  IteratorOptions options;
+  options.retry = RetryPolicy{100, Duration::millis(50)};
+  const DrainResult result = run(Semantics::kFig6Optimistic, options);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Closest-first ordering
+
+TEST_F(LocalIteratorTest, ClosestFirstYieldsByDistance) {
+  populate(3);
+  view.set_distance(ref(0), Duration::millis(50));
+  view.set_distance(ref(1), Duration::millis(5));
+  view.set_distance(ref(2), Duration::millis(20));
+  IteratorOptions options;
+  options.order = PickOrder::kClosestFirst;
+  const DrainResult result = run(Semantics::kFig6Optimistic, options);
+  ASSERT_EQ(result.count(), 3u);
+  EXPECT_EQ(result.elements()[0].first, ref(1));
+  EXPECT_EQ(result.elements()[1].first, ref(2));
+  EXPECT_EQ(result.elements()[2].first, ref(0));
+}
+
+// ---------------------------------------------------------------------------
+// Iterator statistics
+
+TEST_F(LocalIteratorTest, StatsCountInvocationsAndFetches) {
+  populate(3);
+  view.set_reachable(ref(1), false);
+  auto iterator =
+      make_elements_iterator(view, Semantics::kFig3ImmutableFailAware);
+  const DrainResult result = run_task(sim, drain(*iterator));
+  EXPECT_EQ(result.count(), 2u);
+  const IteratorStats& stats = iterator->stats();
+  EXPECT_EQ(stats.invocations, 3u);      // 2 yields + 1 failing invocation
+  EXPECT_EQ(stats.fetch_attempts, 2u);   // the two reachable elements
+  EXPECT_EQ(stats.fetch_failures, 0u);
+  EXPECT_GE(stats.skipped_unreachable, 1u);  // ref(1), every invocation
+}
+
+// ---------------------------------------------------------------------------
+// The yielded history object
+
+TEST_F(LocalIteratorTest, YieldedHistoryObjectGrowsByOnePerSuspend) {
+  populate(4);
+  auto iterator = make_elements_iterator(view, Semantics::kFig1Immutable);
+  for (std::size_t expected = 1; expected <= 4; ++expected) {
+    const Step step = run_task(
+        sim, [](ElementsIterator& it) -> Task<Step> {
+          co_return co_await it.next();
+        }(*iterator));
+    ASSERT_TRUE(step.is_yield());
+    EXPECT_EQ(iterator->yielded().size(), expected);
+    EXPECT_TRUE(iterator->has_yielded(step.ref()));
+  }
+  const Step last = run_task(
+      sim, [](ElementsIterator& it) -> Task<Step> {
+        co_return co_await it.next();
+      }(*iterator));
+  EXPECT_TRUE(last.is_finished());
+  EXPECT_TRUE(iterator->done());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: randomized churn, every semantics, spec conformance
+
+class ChurnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnSweep, Fig6AlwaysSatisfiesItsSpecUnderChurn) {
+  Simulator sim;
+  LocalSetView view{sim};
+  Rng rng{GetParam()};
+  const int initial = 3 + static_cast<int>(rng.uniform(8));
+  for (int i = 0; i < initial; ++i) {
+    view.add(ref(static_cast<std::uint64_t>(i)), "p");
+  }
+  view.set_latencies(Duration::millis(1), Duration::millis(5));
+
+  // Random mutation schedule over the next ~200ms.
+  std::uint64_t next_id = 100;
+  for (int i = 0; i < 30; ++i) {
+    const Duration at = Duration::millis(static_cast<int>(rng.uniform(200)));
+    if (rng.bernoulli(0.5)) {
+      const auto id = next_id++;
+      sim.schedule(at, [&view, id] { view.add(ref(id), "x"); });
+    } else {
+      const auto id = rng.uniform(static_cast<std::uint64_t>(initial));
+      sim.schedule(at, [&view, id] { view.remove(ref(id)); });
+    }
+    // Random transient unreachability.
+    if (rng.bernoulli(0.3)) {
+      const auto id = rng.uniform(static_cast<std::uint64_t>(initial));
+      const Duration heal = at + Duration::millis(30);
+      sim.schedule(at, [&view, id] { view.set_reachable(ref(id), false); });
+      sim.schedule(heal, [&view, id] { view.set_reachable(ref(id), true); });
+    }
+  }
+
+  spec::TraceRecorder recorder{view};
+  IteratorOptions options;
+  options.recorder = &recorder;
+  options.retry = RetryPolicy{200, Duration::millis(20)};
+  auto iterator =
+      make_elements_iterator(view, Semantics::kFig6Optimistic, options);
+  const DrainResult result = run_task(sim, drain(*iterator));
+  const auto trace = recorder.finish();
+
+  const auto report = spec::check_fig6(trace, view.timeline());
+  EXPECT_TRUE(report.satisfied())
+      << "seed " << GetParam() << ": " << report.violation_count()
+      << " violations; first: "
+      << (report.violations().empty() ? "-" : report.violations().front());
+  // No duplicates, ever.
+  std::set<ObjectRef> unique;
+  for (const auto& [r, v] : result.elements()) {
+    EXPECT_TRUE(unique.insert(r).second) << "duplicate yield, seed "
+                                         << GetParam();
+  }
+}
+
+TEST_P(ChurnSweep, Fig5SatisfiesItsSpecUnderGrowOnlyChurn) {
+  Simulator sim;
+  LocalSetView view{sim};
+  Rng rng{GetParam() ^ 0xabcdef};
+  const int initial = 2 + static_cast<int>(rng.uniform(5));
+  for (int i = 0; i < initial; ++i) {
+    view.add(ref(static_cast<std::uint64_t>(i)), "p");
+  }
+  view.set_latencies(Duration::millis(1), Duration::millis(5));
+  // Grow-only schedule.
+  std::uint64_t next_id = 100;
+  for (int i = 0; i < 10; ++i) {
+    const Duration at = Duration::millis(static_cast<int>(rng.uniform(100)));
+    const auto id = next_id++;
+    sim.schedule(at, [&view, id] { view.add(ref(id), "x"); });
+  }
+
+  spec::TraceRecorder recorder{view};
+  IteratorOptions options;
+  options.recorder = &recorder;
+  auto iterator = make_elements_iterator(
+      view, Semantics::kFig5GrowOnlyPessimistic, options);
+  const DrainResult result = run_task(sim, drain(*iterator));
+  const auto trace = recorder.finish();
+
+  EXPECT_TRUE(result.finished());
+  const auto report = spec::check_fig5(trace);
+  EXPECT_TRUE(report.satisfied())
+      << "seed " << GetParam() << ": "
+      << (report.violations().empty() ? "-" : report.violations().front());
+  EXPECT_TRUE(spec::classify(trace, view.timeline()).fig5());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace weakset

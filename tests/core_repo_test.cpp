@@ -1,0 +1,409 @@
+// Layer B tests: the five iterator semantics over the simulated distributed
+// repository — real partitions, crashes, stale replicas, fragment locking —
+// with spec-layer conformance checked against ground truth.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/weak_set.hpp"
+#include "net/chaos.hpp"
+#include "spec/repo_truth.hpp"
+#include "spec/specs.hpp"
+
+namespace weakset {
+namespace {
+
+class RepoIteratorTest : public ::testing::Test {
+ protected:
+  RepoIteratorTest() {
+    client_node = topo.add_node("client");
+    for (int i = 0; i < 4; ++i) {
+      servers.push_back(topo.add_node("server" + std::to_string(i)));
+      homes.push_back(servers.back());
+    }
+    topo.connect_full_mesh(Duration::millis(5));
+    for (const NodeId node : servers) repo.add_server(node);
+  }
+
+  ~RepoIteratorTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind (no leaks)
+  }
+
+  /// Creates a single-fragment set on servers[0] with n objects, each homed
+  /// round-robin across all servers.
+  WeakSet make_set(RepositoryClient& client, int n,
+                   std::vector<NodeId> primaries = {}) {
+    if (primaries.empty()) primaries = {servers[0]};
+    WeakSet set = WeakSet::create(repo, client, primaries);
+    for (int i = 0; i < n; ++i) {
+      const NodeId home = homes[static_cast<std::size_t>(i) % homes.size()];
+      const ObjectRef ref =
+          repo.create_object(home, "data" + std::to_string(i));
+      objects.push_back(ref);
+      repo.seed_member(set.id(), ref);
+    }
+    return set;
+  }
+
+  DrainResult drain_with_trace(WeakSet& set, Semantics semantics,
+                               IteratorOptions options = {}) {
+    truth = std::make_unique<spec::RepoGroundTruth>(repo, set.id(),
+                                                    client_node);
+    recorder = std::make_unique<spec::TraceRecorder>(*truth);
+    options.recorder = recorder.get();
+    auto iterator = set.elements(semantics, options);
+    DrainResult result = run_task(sim, drain(*iterator));
+    trace = recorder->finish();
+    return result;
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node;
+  std::vector<NodeId> servers;
+  std::vector<NodeId> homes;
+  std::vector<ObjectRef> objects;
+  RpcNetwork net{sim, topo, Rng{21}};
+  Repository repo{net};
+  std::unique_ptr<spec::RepoGroundTruth> truth;
+  std::unique_ptr<spec::TraceRecorder> recorder;
+  spec::IterationTrace trace;
+};
+
+TEST_F(RepoIteratorTest, Fig6YieldsAllWithPayloads) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = make_set(client, 8);
+  spec::TimelineProbe probe{repo, set.id()};
+  const DrainResult result = drain_with_trace(set, Semantics::kFig6Optimistic);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 8u);
+  std::set<std::string> payloads;
+  for (const auto& [r, v] : result.elements()) payloads.insert(v.data());
+  EXPECT_EQ(payloads.size(), 8u);
+  EXPECT_TRUE(spec::check_fig6(trace, probe.timeline()).satisfied());
+}
+
+TEST_F(RepoIteratorTest, BenignRunSatisfiesWholeDesignSpace) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = make_set(client, 6);
+  spec::TimelineProbe probe{repo, set.id()};
+  const DrainResult result =
+      drain_with_trace(set, Semantics::kFig3ImmutableFailAware);
+  EXPECT_TRUE(result.finished());
+  const auto conformance = spec::classify(trace, probe.timeline());
+  EXPECT_EQ(conformance.to_string(), "fig1 fig3 fig4 fig5 fig6");
+}
+
+TEST_F(RepoIteratorTest, Fig3FailsWhenMemberHomePartitioned) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = make_set(client, 8);
+  // Cut servers[2] (which homes objects 2 and 6) away from everyone.
+  topo.partition({{client_node, servers[0], servers[1], servers[3]},
+                  {servers[2]}});
+  const DrainResult result =
+      drain_with_trace(set, Semantics::kFig3ImmutableFailAware);
+  EXPECT_FALSE(result.finished());
+  ASSERT_TRUE(result.failure().has_value());
+  EXPECT_EQ(result.failure()->kind, FailureKind::kUnreachable);
+  EXPECT_EQ(result.count(), 6u);  // 8 minus the two on servers[2]
+  EXPECT_TRUE(spec::check_fig3(trace).satisfied());
+}
+
+TEST_F(RepoIteratorTest, Fig3FailsIfCollectionHomeUnreachable) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = make_set(client, 4);
+  topo.crash(servers[0]);  // the fragment primary
+  const DrainResult result =
+      drain_with_trace(set, Semantics::kFig3ImmutableFailAware);
+  ASSERT_TRUE(result.failure().has_value());
+  EXPECT_EQ(result.count(), 0u);
+}
+
+TEST_F(RepoIteratorTest, Fig6RidesOutTransientPartition) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = make_set(client, 8);
+  spec::TimelineProbe probe{repo, set.id()};
+  topo.partition({{client_node, servers[0], servers[1], servers[3]},
+                  {servers[2]}});
+  sim.schedule(Duration::seconds(2), [this] { topo.heal(); });
+  IteratorOptions options;
+  options.retry = RetryPolicy{100, Duration::millis(200)};
+  const DrainResult result =
+      drain_with_trace(set, Semantics::kFig6Optimistic, options);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 8u);
+  EXPECT_GE(sim.now() - SimTime::zero(), Duration::seconds(2));
+  EXPECT_TRUE(spec::check_fig6(trace, probe.timeline()).satisfied());
+}
+
+TEST_F(RepoIteratorTest, Fig4OverFragmentsTakesConsistentCut) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = make_set(client, 12, {servers[0], servers[1]});
+  spec::TimelineProbe probe{repo, set.id()};
+
+  // A concurrent mutator adds members while the snapshot iterator runs.
+  RepositoryClient mutator{repo, servers[3]};
+  sim.spawn([](Simulator& s, RepositoryClient& m, Repository& r,
+               CollectionId coll, NodeId home) -> Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await s.delay(Duration::millis(7));
+      const ObjectRef extra = r.create_object(home, "late");
+      (void)co_await m.add(coll, extra);
+    }
+  }(sim, mutator, repo, set.id(), servers[3]));
+
+  const DrainResult result = drain_with_trace(set, Semantics::kFig4Snapshot);
+  EXPECT_TRUE(result.finished());
+  // The snapshot is one consistent cut: it contains the 12 originals plus
+  // some prefix of the concurrent adds.
+  EXPECT_GE(result.count(), 12u);
+  EXPECT_LE(result.count(), 17u);
+  EXPECT_TRUE(spec::check_fig4(trace).satisfied())
+      << spec::check_fig4(trace).violations().front();
+}
+
+TEST_F(RepoIteratorTest, Fig5SeesGrowthAtPrimary) {
+  ClientOptions copts;
+  copts.read_policy = ReadPolicy::kPrimaryOnly;  // pessimism needs freshness
+  RepositoryClient client{repo, client_node, copts};
+  WeakSet set = make_set(client, 4);
+  spec::TimelineProbe probe{repo, set.id()};
+
+  RepositoryClient mutator{repo, servers[3]};
+  sim.spawn([](Simulator& s, RepositoryClient& m, Repository& r,
+               CollectionId coll, NodeId home) -> Task<void> {
+    co_await s.delay(Duration::millis(10));
+    const ObjectRef extra = r.create_object(home, "grown");
+    (void)co_await m.add(coll, extra);
+  }(sim, mutator, repo, set.id(), servers[3]));
+
+  const DrainResult result =
+      drain_with_trace(set, Semantics::kFig5GrowOnlyPessimistic);
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 5u);  // saw the growth
+  EXPECT_TRUE(spec::check_fig5(trace).satisfied())
+      << spec::check_fig5(trace).violations().front();
+  EXPECT_TRUE(spec::classify(trace, probe.timeline()).fig5());
+}
+
+TEST_F(RepoIteratorTest, Fig6OverStaleReplicaYieldsRemovedMember) {
+  // The spec checker must catch a genuine deviation: reading membership from
+  // a replica that missed a removal makes the iterator yield an element that
+  // was never a member during the run — violating even Figure 6.
+  const CollectionId coll = repo.create_collection({servers[0]});
+  repo.add_replica(coll, 0, servers[1]);
+  const ObjectRef victim = repo.create_object(servers[3], "victim");
+  repo.seed_member(coll, victim);
+  sim.run_until(sim.now() + Duration::millis(300));  // replica converges
+
+  // Cut the replica off from the primary and remove the member at the
+  // primary. The replica keeps serving the stale membership.
+  topo.set_routing(Topology::Routing::kDirectOnly);
+  topo.set_link_up(servers[0], servers[1], false);
+  RepositoryClient writer{repo, client_node,
+                          ClientOptions{{}, ReadPolicy::kPrimaryOnly}};
+  ASSERT_TRUE(run_task(sim, writer.remove(coll, victim)).has_value());
+
+  // Give the removal some age, then cut the client off from the primary so
+  // its nearest-readable host is the stale replica.
+  sim.run_until(sim.now() + Duration::millis(100));
+  topo.set_link_up(client_node, servers[0], false);
+
+  spec::TimelineProbe probe{repo, coll};
+  ClientOptions copts;
+  copts.read_policy = ReadPolicy::kNearest;
+  RepositoryClient reader{repo, client_node, copts};
+  WeakSet set{reader, coll};
+  const DrainResult result = drain_with_trace(set, Semantics::kFig6Optimistic);
+  EXPECT_TRUE(result.finished());
+  ASSERT_EQ(result.count(), 1u);
+  EXPECT_EQ(result.elements()[0].first, victim);
+
+  // Ground truth: the victim was never a member within [first, last], so
+  // the fig6 end-to-end guarantee is violated — and detected.
+  const auto report = spec::check_fig6(trace, probe.timeline());
+  EXPECT_FALSE(report.satisfied());
+}
+
+TEST_F(RepoIteratorTest, Fig3EnforceFreezeBlocksMutatorUntilDone) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = make_set(client, 6);
+  spec::TimelineProbe probe{repo, set.id()};
+
+  // The mutator fires 10ms in; with the freeze held for the whole run, its
+  // add must land only after the iterator terminates.
+  RepositoryClient mutator{repo, servers[3]};
+  SimTime mutation_done_at;
+  sim.spawn([](Simulator& s, RepositoryClient& m, Repository& r,
+               CollectionId coll, NodeId home, SimTime& done_at) -> Task<void> {
+    co_await s.delay(Duration::millis(10));
+    const ObjectRef extra = r.create_object(home, "late");
+    (void)co_await m.add(coll, extra);
+    done_at = s.now();
+  }(sim, mutator, repo, set.id(), servers[3], mutation_done_at));
+
+  IteratorOptions options;
+  options.enforce_freeze = true;
+  const DrainResult result =
+      drain_with_trace(set, Semantics::kFig3ImmutableFailAware, options);
+  const SimTime iteration_done_at = sim.now();
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 6u);
+
+  sim.run_until(sim.now() + Duration::seconds(10));
+  EXPECT_GE(mutation_done_at, iteration_done_at);
+  // With the freeze enforced, the run window really was immutable.
+  EXPECT_TRUE(spec::check_constraint_immutable(probe.timeline(),
+                                               trace.first_time(),
+                                               trace.last_time())
+                  .satisfied());
+  EXPECT_TRUE(spec::classify(trace, probe.timeline()).fig3());
+}
+
+TEST_F(RepoIteratorTest, PerRunConstraintAllowsMutationBetweenRuns) {
+  // Section 3.1's relaxed behaviour: two fig3 runs with a mutation strictly
+  // between them — each run window is immutable, both runs satisfy fig3,
+  // and the per-run constraint holds for the pair.
+  RepositoryClient client{repo, client_node};
+  WeakSet set = make_set(client, 5);
+  spec::TimelineProbe probe{repo, set.id()};
+
+  const DrainResult first =
+      drain_with_trace(set, Semantics::kFig3ImmutableFailAware);
+  const auto trace1 = trace;
+  ASSERT_TRUE(first.finished());
+
+  // Mutate between the runs.
+  const ObjectRef extra = repo.create_object(servers[1], "between-runs");
+  ASSERT_TRUE(run_task(sim, client.add(set.id(), extra)).has_value());
+
+  const DrainResult second =
+      drain_with_trace(set, Semantics::kFig3ImmutableFailAware);
+  ASSERT_TRUE(second.finished());
+  EXPECT_EQ(second.count(), 6u);
+
+  EXPECT_TRUE(spec::check_fig3(trace1).satisfied());
+  EXPECT_TRUE(spec::check_fig3(trace).satisfied());
+  const std::vector<spec::RunWindow> runs{
+      {trace1.first_time(), trace1.last_time()},
+      {trace.first_time(), trace.last_time()}};
+  EXPECT_TRUE(spec::check_constraint_per_run(probe.timeline(), runs)
+                  .satisfied());
+  // The whole-computation immutability constraint, by contrast, fails.
+  EXPECT_FALSE(spec::check_constraint_immutable(probe.timeline(),
+                                                trace1.first_time(),
+                                                trace.last_time())
+                   .satisfied());
+}
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, Fig6CompletesThroughChaosAndSatisfiesItsSpec) {
+  // Crashes and link cuts rain on the member-holding servers for 6 simulated
+  // seconds; the forever-retrying optimistic iterator must ride all of it
+  // out, deliver everything, and keep its specification.
+  Simulator sim;
+  Topology topo;
+  const NodeId client_node = topo.add_node("client");
+  std::vector<NodeId> servers;
+  for (int i = 0; i < 5; ++i) {
+    servers.push_back(topo.add_node("s" + std::to_string(i)));
+  }
+  topo.connect_full_mesh(Duration::millis(8));
+  RpcNetwork net{sim, topo, Rng{GetParam()}};
+  Repository repo{net};
+  for (const NodeId node : servers) repo.add_server(node);
+
+  RepositoryClient client{repo, client_node};
+  WeakSet set = WeakSet::create(repo, client, {servers[0]});
+  for (int i = 0; i < 12; ++i) {
+    repo.seed_member(set.id(),
+                     repo.create_object(servers[static_cast<std::size_t>(
+                                            1 + i % 4)],
+                                        "chaos" + std::to_string(i)));
+  }
+  spec::TimelineProbe probe{repo, set.id()};
+
+  // Chaos only on member homes; the fragment primary stays up so membership
+  // reads stay possible (primary chaos is E5's restart-strategy territory).
+  ChaosOptions chaos_options;
+  chaos_options.mean_uptime = Duration::millis(800);
+  chaos_options.outage = Duration::millis(300);
+  chaos_options.deadline = sim.now() + Duration::seconds(6);
+  ChaosInjector chaos{sim, topo,
+                      {servers[1], servers[2], servers[3], servers[4]},
+                      GetParam() ^ 0xc4a05, chaos_options};
+
+  spec::RepoGroundTruth truth{repo, set.id(), client_node};
+  spec::TraceRecorder recorder{truth};
+  IteratorOptions options;
+  options.recorder = &recorder;
+  options.retry = RetryPolicy::forever(Duration::millis(150));
+  auto iterator = set.elements(Semantics::kFig6Optimistic, options);
+  const DrainResult result = run_task(sim, drain(*iterator));
+  chaos.stop();
+  repo.stop_all_daemons();
+  sim.run();  // drain chaos/daemon wakeups so coroutine frames unwind
+
+  EXPECT_TRUE(result.finished()) << "seed " << GetParam();
+  EXPECT_EQ(result.count(), 12u);
+  const auto report = spec::check_fig6(recorder.finish(), probe.timeline());
+  EXPECT_TRUE(report.satisfied())
+      << "seed " << GetParam() << ": "
+      << (report.violations().empty() ? "-" : report.violations().front());
+  // The run actually experienced failures.
+  EXPECT_GT(chaos.crashes() + chaos.link_cuts(), 0u) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Range<std::uint64_t>(500, 510));
+
+TEST_F(RepoIteratorTest, ClosestFirstOverRepoOrdersByPathLatency) {
+  // Re-wire latencies: servers 0..3 at 40/5/20/10ms from the client.
+  Topology topo2;
+  topo2.set_routing(Topology::Routing::kDirectOnly);  // no relaying: the
+  // per-pair latencies below are the true distances
+  const NodeId cl = topo2.add_node("client");
+  std::vector<NodeId> nodes;
+  const std::vector<int> lat = {40, 5, 20, 10};
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(topo2.add_node("s" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      topo2.connect(nodes[static_cast<std::size_t>(i)],
+                    nodes[static_cast<std::size_t>(j)], Duration::millis(10));
+    }
+    topo2.connect(cl, nodes[static_cast<std::size_t>(i)],
+                  Duration::millis(lat[static_cast<std::size_t>(i)]));
+  }
+  Simulator sim2;
+  RpcNetwork net2{sim2, topo2, Rng{5}};
+  Repository repo2{net2};
+  for (const NodeId n : nodes) repo2.add_server(n);
+  RepositoryClient client{repo2, cl};
+  WeakSet set = WeakSet::create(repo2, client, {nodes[1]});
+  for (int i = 0; i < 4; ++i) {
+    const ObjectRef ref = repo2.create_object(
+        nodes[static_cast<std::size_t>(i)], "x");
+    repo2.seed_member(set.id(), ref);
+  }
+  IteratorOptions options;
+  options.order = PickOrder::kClosestFirst;
+  auto iterator = set.elements(Semantics::kFig6Optimistic, options);
+  const DrainResult result = run_task(sim2, drain(*iterator));
+  repo2.stop_all_daemons();
+  ASSERT_EQ(result.count(), 4u);
+  // Yield order must follow client latency: s1 (5ms), s3 (10), s2 (20), s0 (40).
+  EXPECT_EQ(result.elements()[0].first.home(), nodes[1]);
+  EXPECT_EQ(result.elements()[1].first.home(), nodes[3]);
+  EXPECT_EQ(result.elements()[2].first.home(), nodes[2]);
+  EXPECT_EQ(result.elements()[3].first.home(), nodes[0]);
+}
+
+}  // namespace
+}  // namespace weakset

@@ -1,0 +1,360 @@
+// Tests for dynamic sets: the open/iterate/digest/close API, parallel
+// prefetch, closest-first ordering, partial results under failure, growth
+// pickup, and the blocking/exhaustion bound.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/local_view.hpp"
+#include "core/weak_set.hpp"
+#include "dynset/dynamic_set.hpp"
+#include "spec/repo_truth.hpp"
+#include "spec/specs.hpp"
+
+namespace weakset {
+namespace {
+
+ObjectRef ref(std::uint64_t id, std::uint64_t node = 0) {
+  return ObjectRef{ObjectId{id}, NodeId{node}};
+}
+
+/// Drains a dynamic set, recording arrival times.
+struct SessionResult {
+  std::vector<ObjectRef> refs;
+  std::vector<SimTime> times;
+  bool finished = false;
+  std::optional<Failure> failure;
+};
+
+Task<void> drain_dynset(Simulator& sim, DynamicSet& set, SessionResult& out) {
+  for (;;) {
+    Step step = co_await set.iterate();
+    if (step.is_yield()) {
+      out.refs.push_back(step.ref());
+      out.times.push_back(sim.now());
+      continue;
+    }
+    if (step.is_finished()) {
+      out.finished = true;
+    } else {
+      out.failure = step.failure();
+    }
+    co_return;
+  }
+}
+
+class DynSetLocalTest : public ::testing::Test {
+ protected:
+  DynSetLocalTest() : view(sim) {}
+  ~DynSetLocalTest() override {
+    sim.run();  // drain engine/fetch wakeups so coroutine frames unwind
+  }
+
+  void populate(int n) {
+    for (int i = 0; i < n; ++i) {
+      view.add(ref(static_cast<std::uint64_t>(i)),
+               "payload" + std::to_string(i));
+    }
+  }
+
+  SessionResult run(DynSetOptions options = {}) {
+    auto set = DynamicSet::open(view, options);
+    SessionResult result;
+    run_task(sim, drain_dynset(sim, *set, result));
+    stats = set->stats();
+    set->close();
+    return result;
+  }
+
+  Simulator sim;
+  LocalSetView view;
+  DynSetStats stats;
+};
+
+TEST_F(DynSetLocalTest, DeliversAllElements) {
+  populate(10);
+  const SessionResult result = run();
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.refs.size(), 10u);
+  const std::set<ObjectRef> unique(result.refs.begin(), result.refs.end());
+  EXPECT_EQ(unique.size(), 10u);  // no duplicates
+}
+
+TEST_F(DynSetLocalTest, EmptySetFinishesImmediately) {
+  const SessionResult result = run();
+  EXPECT_TRUE(result.finished);
+  EXPECT_TRUE(result.refs.empty());
+}
+
+TEST_F(DynSetLocalTest, PrefetchParallelismReducesTotalTime) {
+  populate(8);
+  view.set_latencies(Duration::millis(1), Duration::millis(100));
+
+  DynSetOptions serial;
+  serial.prefetch_depth = 1;
+  const SessionResult one = run(serial);
+  const SimTime t_serial = sim.now();
+
+  Simulator sim2;
+  LocalSetView view2{sim2};
+  for (int i = 0; i < 8; ++i) view2.add(ref(static_cast<std::uint64_t>(i)), "p");
+  view2.set_latencies(Duration::millis(1), Duration::millis(100));
+  DynSetOptions wide;
+  wide.prefetch_depth = 8;
+  auto set = DynamicSet::open(view2, wide);
+  SessionResult eight;
+  run_task(sim2, drain_dynset(sim2, *set, eight));
+  set->close();
+
+  EXPECT_TRUE(one.finished);
+  EXPECT_TRUE(eight.finished);
+  EXPECT_EQ(eight.refs.size(), 8u);
+  // 8 fetches at 100ms: serial ~800ms, depth-8 ~100ms.
+  EXPECT_GE(t_serial - SimTime::zero(), Duration::millis(800));
+  EXPECT_LE(sim2.now() - SimTime::zero(), Duration::millis(300));
+}
+
+TEST_F(DynSetLocalTest, ClosestFirstDeliversNearElementsFirst) {
+  populate(3);
+  view.set_latencies(Duration::millis(1), Duration::millis(5));
+  view.set_distance(ref(0), Duration::millis(90));
+  view.set_distance(ref(1), Duration::millis(10));
+  view.set_distance(ref(2), Duration::millis(50));
+  DynSetOptions options;
+  options.order = PickOrder::kClosestFirst;
+  options.prefetch_depth = 1;  // serialize so order is observable
+  const SessionResult result = run(options);
+  ASSERT_EQ(result.refs.size(), 3u);
+  EXPECT_EQ(result.refs[0], ref(1));
+  EXPECT_EQ(result.refs[1], ref(2));
+  EXPECT_EQ(result.refs[2], ref(0));
+}
+
+TEST_F(DynSetLocalTest, PicksUpGrowthWhileIterating) {
+  populate(3);
+  view.set_latencies(Duration::millis(1), Duration::millis(20));
+  // The growth lands while the initial fetches are still in flight; the
+  // engine's confirming read before close must discover it.
+  sim.schedule(Duration::millis(10), [this] { view.add(ref(42), "late"); });
+  DynSetOptions options;
+  options.membership_refresh = Duration::millis(100);
+  const SessionResult result = run(options);
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.refs.size(), 4u);
+  EXPECT_NE(std::find(result.refs.begin(), result.refs.end(), ref(42)),
+            result.refs.end());
+}
+
+TEST_F(DynSetLocalTest, DefersUnreachableAndResumesOnHeal) {
+  populate(4);
+  view.set_reachable(ref(2), false);
+  sim.schedule(Duration::millis(500),
+               [this] { view.set_reachable(ref(2), true); });
+  DynSetOptions options;
+  options.membership_refresh = Duration::millis(100);
+  options.retry = RetryPolicy{100, Duration::millis(100)};
+  const SessionResult result = run(options);
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.refs.size(), 4u);
+  // The three reachable elements arrived long before the healed one.
+  EXPECT_EQ(result.refs.back(), ref(2));
+  EXPECT_GE(result.times.back() - SimTime::zero(), Duration::millis(500));
+  EXPECT_LE(result.times.front() - SimTime::zero(), Duration::millis(100));
+}
+
+TEST_F(DynSetLocalTest, ExhaustsAfterStalledBudget) {
+  populate(2);
+  view.set_reachable(ref(1), false);  // never heals
+  DynSetOptions options;
+  options.membership_refresh = Duration::millis(50);
+  options.retry = RetryPolicy{5, Duration::millis(50)};
+  const SessionResult result = run(options);
+  EXPECT_FALSE(result.finished);
+  ASSERT_TRUE(result.failure.has_value());
+  EXPECT_EQ(result.failure->kind, FailureKind::kExhausted);
+  EXPECT_EQ(result.refs.size(), 1u);  // partial results were still delivered
+}
+
+TEST_F(DynSetLocalTest, MembershipOrderDeliveryHoldsBackArrivals) {
+  populate(4);
+  view.set_latencies(Duration::millis(1), Duration::millis(5));
+  // Make membership-order-first elements the slowest to arrive.
+  view.set_distance(ref(0), Duration::millis(100));
+  view.set_distance(ref(1), Duration::millis(60));
+  view.set_distance(ref(2), Duration::millis(20));
+  view.set_distance(ref(3), Duration::millis(1));
+  DynSetOptions options;
+  options.delivery = DeliveryOrder::kMembership;
+  options.order = PickOrder::kClosestFirst;  // fetch near first...
+  const SessionResult result = run(options);
+  EXPECT_TRUE(result.finished);
+  ASSERT_EQ(result.refs.size(), 4u);
+  // ...but deliver in membership order regardless.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.refs[i], ref(i));
+  }
+}
+
+TEST_F(DynSetLocalTest, MembershipOrderDrainsHeldOnPartialFailure) {
+  populate(3);
+  view.set_reachable(ref(0), false);  // the FIRST in-order element never comes
+  DynSetOptions options;
+  options.delivery = DeliveryOrder::kMembership;
+  options.membership_refresh = Duration::millis(50);
+  options.retry = RetryPolicy{4, Duration::millis(50)};
+  const SessionResult result = run(options);
+  ASSERT_TRUE(result.failure.has_value());
+  // Elements 1 and 2 arrived and must still be delivered (in order) before
+  // the terminal outcome.
+  ASSERT_EQ(result.refs.size(), 2u);
+  EXPECT_EQ(result.refs[0], ref(1));
+  EXPECT_EQ(result.refs[1], ref(2));
+}
+
+TEST_F(DynSetLocalTest, SessionBudgetEndsWithPartialResults) {
+  populate(10);
+  view.set_latencies(Duration::millis(1), Duration::millis(100));
+  DynSetOptions options;
+  options.prefetch_depth = 2;      // ~2 elements per 100ms
+  options.session_budget = Duration::millis(250);
+  options.membership_refresh = Duration::millis(50);
+  const SessionResult result = run(options);
+  EXPECT_FALSE(result.finished);
+  ASSERT_TRUE(result.failure.has_value());
+  EXPECT_EQ(result.failure->kind, FailureKind::kTimeout);
+  EXPECT_GE(result.refs.size(), 2u);
+  EXPECT_LT(result.refs.size(), 10u);
+  // The session ended promptly at the budget (within one refresh round).
+  EXPECT_LE(sim.now() - SimTime::zero(), Duration::millis(320));
+}
+
+TEST_F(DynSetLocalTest, GenerousBudgetDoesNotTruncate) {
+  populate(4);
+  view.set_latencies(Duration::millis(1), Duration::millis(10));
+  DynSetOptions options;
+  options.session_budget = Duration::seconds(30);
+  const SessionResult result = run(options);
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.refs.size(), 4u);
+}
+
+TEST_F(DynSetLocalTest, DigestListsMembershipWithoutFetching) {
+  populate(5);
+  auto set = DynamicSet::open(view, {});
+  const auto digest = run_task(
+      sim, [](DynamicSet& s) -> Task<Result<std::vector<ObjectRef>>> {
+        co_return co_await s.digest();
+      }(*set));
+  ASSERT_TRUE(digest.has_value());
+  EXPECT_EQ(digest.value().size(), 5u);
+  set->close();
+}
+
+TEST_F(DynSetLocalTest, StatsCountFetches) {
+  populate(6);
+  const SessionResult result = run();
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(stats.fetches_ok, 6u);
+  EXPECT_EQ(stats.fetches_started, 6u);
+  EXPECT_GE(stats.membership_reads, 1u);
+}
+
+TEST_F(DynSetLocalTest, CloseStopsEarly) {
+  populate(100);
+  view.set_latencies(Duration::millis(1), Duration::millis(10));
+  auto set = DynamicSet::open(view, {});
+  SessionResult result;
+  // Consume only 3 elements, then close.
+  run_task(sim, [](DynamicSet& s, SessionResult& out) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      Step step = co_await s.iterate();
+      if (!step.is_yield()) co_return;
+      out.refs.push_back(step.ref());
+    }
+  }(*set, result));
+  set->close();
+  sim.run();  // drain leftover engine wakeups safely
+  EXPECT_EQ(result.refs.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Over the distributed repository
+
+class DynSetRepoTest : public ::testing::Test {
+ protected:
+  DynSetRepoTest() {
+    client_node = topo.add_node("client");
+    for (int i = 0; i < 3; ++i) {
+      servers.push_back(topo.add_node("s" + std::to_string(i)));
+    }
+    topo.connect_full_mesh(Duration::millis(10));
+    for (const NodeId node : servers) repo.add_server(node);
+  }
+  ~DynSetRepoTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind (no leaks)
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node;
+  std::vector<NodeId> servers;
+  RpcNetwork net{sim, topo, Rng{11}};
+  Repository repo{net};
+};
+
+TEST_F(DynSetRepoTest, DeliversAcrossNodesAndSatisfiesFig6Window) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = WeakSet::create(repo, client, {servers[0]});
+  for (int i = 0; i < 9; ++i) {
+    const NodeId home = servers[static_cast<std::size_t>(i) % servers.size()];
+    repo.seed_member(set.id(),
+                     repo.create_object(home, "d" + std::to_string(i)));
+  }
+  spec::TimelineProbe probe{repo, set.id()};
+  const SimTime start = sim.now();
+
+  auto dyn = DynamicSet::open(set.view(), {});
+  SessionResult result;
+  run_task(sim, drain_dynset(sim, *dyn, result));
+  dyn->close();
+
+  EXPECT_TRUE(result.finished);
+  EXPECT_EQ(result.refs.size(), 9u);
+  // Fig 6's end-to-end guarantee, checked directly on the delivery set.
+  for (const ObjectRef r : result.refs) {
+    EXPECT_TRUE(probe.timeline().present_in_window(r, start, sim.now()));
+  }
+}
+
+TEST_F(DynSetRepoTest, PartialResultsUnderPartition) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = WeakSet::create(repo, client, {servers[0]});
+  for (int i = 0; i < 6; ++i) {
+    const NodeId home = servers[static_cast<std::size_t>(i) % servers.size()];
+    repo.seed_member(set.id(),
+                     repo.create_object(home, "d" + std::to_string(i)));
+  }
+  // servers[2] (objects 2 and 5) is cut off and never heals.
+  topo.partition({{client_node, servers[0], servers[1]}, {servers[2]}});
+  DynSetOptions options;
+  options.membership_refresh = Duration::millis(50);
+  options.retry = RetryPolicy{4, Duration::millis(50)};
+  auto dyn = DynamicSet::open(set.view(), options);
+  SessionResult result;
+  run_task(sim, drain_dynset(sim, *dyn, result));
+  dyn->close();
+
+  ASSERT_TRUE(result.failure.has_value());
+  EXPECT_EQ(result.failure->kind, FailureKind::kExhausted);
+  EXPECT_EQ(result.refs.size(), 4u);  // everything reachable was delivered
+  for (const ObjectRef r : result.refs) {
+    EXPECT_NE(r.home(), servers[2]);
+  }
+}
+
+}  // namespace
+}  // namespace weakset

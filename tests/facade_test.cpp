@@ -1,0 +1,135 @@
+// Tests for the WeakSet facade (the paper's type interface: create, add,
+// remove, size, elements) and assorted small utilities (MoveFunc, Task
+// exception propagation, logging levels).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/weak_set.hpp"
+#include "util/log.hpp"
+#include "util/move_func.hpp"
+
+namespace weakset {
+namespace {
+
+class FacadeTest : public ::testing::Test {
+ protected:
+  FacadeTest() {
+    client_node = topo.add_node("client");
+    server_a = topo.add_node("a");
+    server_b = topo.add_node("b");
+    topo.connect_full_mesh(Duration::millis(5));
+    repo.add_server(server_a);
+    repo.add_server(server_b);
+  }
+  ~FacadeTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind (no leaks)
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node, server_a, server_b;
+  RpcNetwork net{sim, topo, Rng{33}};
+  Repository repo{net};
+};
+
+TEST_F(FacadeTest, CreateAddRemoveSize) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = WeakSet::create(repo, client, {server_a, server_b});
+  EXPECT_EQ(repo.meta(set.id()).fragment_count(), 2u);
+
+  const ObjectRef x = repo.create_object(server_a, "x");
+  const ObjectRef y = repo.create_object(server_b, "y");
+  EXPECT_TRUE(run_task(sim, set.add(x)).value_or(false));
+  EXPECT_TRUE(run_task(sim, set.add(y)).value_or(false));
+  EXPECT_FALSE(run_task(sim, set.add(y)).value_or(true));  // no duplicates
+
+  EXPECT_EQ(run_task(sim, set.size()).value_or(0), 2u);
+  EXPECT_TRUE(run_task(sim, set.remove(x)).value_or(false));
+  EXPECT_EQ(run_task(sim, set.size()).value_or(0), 1u);
+}
+
+TEST_F(FacadeTest, ElementsFactoryCoversDesignSpace) {
+  RepositoryClient client{repo, client_node};
+  WeakSet set = WeakSet::create(repo, client, {server_a});
+  repo.seed_member(set.id(), repo.create_object(server_b, "one"));
+  for (const Semantics semantics :
+       {Semantics::kFig1Immutable, Semantics::kFig3ImmutableFailAware,
+        Semantics::kFig4Snapshot, Semantics::kFig5GrowOnlyPessimistic,
+        Semantics::kFig6Optimistic}) {
+    auto iterator = set.elements(semantics);
+    ASSERT_NE(iterator, nullptr);
+    const DrainResult result = run_task(sim, drain(*iterator));
+    EXPECT_TRUE(result.finished()) << to_string(semantics);
+    EXPECT_EQ(result.count(), 1u) << to_string(semantics);
+  }
+}
+
+TEST_F(FacadeTest, TwoHandlesSameCollection) {
+  RepositoryClient c1{repo, client_node};
+  RepositoryClient c2{repo, server_b};
+  WeakSet set1 = WeakSet::create(repo, c1, {server_a});
+  WeakSet set2{c2, set1.id()};  // second observer of the same set
+  const ObjectRef x = repo.create_object(server_a, "x");
+  ASSERT_TRUE(run_task(sim, set1.add(x)).has_value());
+  EXPECT_EQ(run_task(sim, set2.size()).value_or(0), 1u);
+}
+
+TEST(MoveFuncTest, CallsStoredCallable) {
+  int calls = 0;
+  MoveFunc fn{[&calls] { ++calls; }};
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(MoveFuncTest, OwnsMoveOnlyState) {
+  auto payload = std::make_unique<int>(7);
+  int seen = 0;
+  MoveFunc fn{[p = std::move(payload), &seen] { seen = *p; }};
+  MoveFunc moved = std::move(fn);
+  moved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(MoveFuncTest, DefaultIsEmpty) {
+  MoveFunc fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(TaskExceptionTest, ExceptionPropagatesToAwaiter) {
+  Simulator sim;
+  auto thrower = [](Simulator& s) -> Task<int> {
+    co_await s.delay(Duration::millis(1));
+    throw std::runtime_error("boom");
+  };
+  auto catcher = [](Simulator& s, auto& inner, std::string& out) -> Task<void> {
+    try {
+      (void)co_await inner(s);
+    } catch (const std::runtime_error& e) {
+      out = e.what();
+    }
+  };
+  std::string caught;
+  run_task(sim, catcher(sim, thrower, caught));
+  EXPECT_EQ(caught, "boom");
+}
+
+TEST(LogTest, ThresholdGatesEmission) {
+  // No crash and correct threshold bookkeeping (output goes to stderr).
+  set_log_level(LogLevel::kOff);
+  WEAKSET_INFO("suppressed " << 1);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  WEAKSET_DEBUG("emitted " << 2);
+  WEAKSET_TRACE("suppressed " << 3);
+  set_log_level(LogLevel::kOff);
+}
+
+}  // namespace
+}  // namespace weakset

@@ -1,0 +1,172 @@
+// Tests for the distributed file system: FileInfo codec, directory layout,
+// and the strict-vs-dynamic ls contrast that motivates the whole paper.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fs/dist_fs.hpp"
+#include "fs/ls.hpp"
+
+namespace weakset {
+namespace {
+
+TEST(FileInfoTest, EncodeDecodeRoundTrip) {
+  const FileInfo file{"menu.txt", "dumplings\nnoodles"};
+  const FileInfo decoded = FileInfo::decode(file.encode());
+  EXPECT_EQ(decoded, file);
+  EXPECT_EQ(decoded.name(), "menu.txt");
+  EXPECT_EQ(decoded.contents(), "dumplings\nnoodles");
+}
+
+TEST(FileInfoTest, DecodeWithoutNewlineIsNameless) {
+  const FileInfo decoded = FileInfo::decode("raw-bytes");
+  EXPECT_EQ(decoded.name(), "");
+  EXPECT_EQ(decoded.contents(), "raw-bytes");
+}
+
+TEST(FileInfoTest, EmptyContents) {
+  const FileInfo file{"empty", ""};
+  EXPECT_EQ(FileInfo::decode(file.encode()), file);
+}
+
+class LsTest : public ::testing::Test {
+ protected:
+  LsTest() {
+    client_node = topo.add_node("workstation");
+    for (int i = 0; i < 4; ++i) {
+      servers.push_back(topo.add_node("fileserver" + std::to_string(i)));
+    }
+    // A wide-area layout: the directory server is near, file homes range
+    // from near to far.
+    topo.connect(client_node, servers[0], Duration::millis(2));
+    topo.connect(client_node, servers[1], Duration::millis(10));
+    topo.connect(client_node, servers[2], Duration::millis(40));
+    topo.connect(client_node, servers[3], Duration::millis(120));
+    topo.connect_full_mesh(Duration::millis(50));
+    // connect_full_mesh overwrote the client links; restore them.
+    topo.connect(client_node, servers[0], Duration::millis(2));
+    topo.connect(client_node, servers[1], Duration::millis(10));
+    topo.connect(client_node, servers[2], Duration::millis(40));
+    topo.connect(client_node, servers[3], Duration::millis(120));
+    for (const NodeId node : servers) repo.add_server(node);
+    dir = fs.mkdir(servers[0]);
+    for (int i = 0; i < 8; ++i) {
+      const NodeId home = servers[static_cast<std::size_t>(i) % servers.size()];
+      fs.create_file(dir, home, "file" + std::to_string(i) + ".txt",
+                     "contents " + std::to_string(i));
+    }
+  }
+  ~LsTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind (no leaks)
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node;
+  std::vector<NodeId> servers;
+  RpcNetwork net{sim, topo, Rng{31}};
+  Repository repo{net};
+  DistFileSystem fs{repo};
+  Directory dir;
+};
+
+TEST_F(LsTest, StrictLsListsSortedNames) {
+  RepositoryClient client{repo, client_node};
+  const LsResult result = run_task(sim, ls_strict(client, dir));
+  EXPECT_TRUE(result.complete());
+  ASSERT_EQ(result.names().size(), 8u);
+  EXPECT_TRUE(std::is_sorted(result.names().begin(), result.names().end()));
+  // Strict ls delivers everything at once, at the end.
+  EXPECT_EQ(result.arrival_times().front(), result.arrival_times().back());
+}
+
+TEST_F(LsTest, DynamicLsDeliversSameSetIncrementally) {
+  RepositoryClient client{repo, client_node};
+  const LsResult result = run_task(sim, ls_dynamic(client, dir));
+  EXPECT_TRUE(result.complete());
+  ASSERT_EQ(result.names().size(), 8u);
+  // Same name set as strict ls (order differs).
+  auto sorted = result.names();
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)],
+              "file" + std::to_string(i) + ".txt");
+  }
+  // Incremental: the first entry arrives strictly before the last.
+  EXPECT_LT(result.arrival_times().front(), result.arrival_times().back());
+}
+
+TEST_F(LsTest, DynamicLsTimeToFirstEntryBeatsStrictLs) {
+  RepositoryClient client{repo, client_node};
+  const LsResult strict = run_task(sim, ls_strict(client, dir));
+  const SimTime strict_done = sim.now();
+
+  // Fresh simulator state not needed: virtual time just keeps advancing.
+  const SimTime dyn_start = sim.now();
+  const LsResult dynamic = run_task(sim, ls_dynamic(client, dir));
+  ASSERT_TRUE(strict.complete());
+  ASSERT_TRUE(dynamic.complete());
+  const Duration strict_first =
+      strict.arrival_times().front() - SimTime::zero();
+  const Duration dyn_first = dynamic.arrival_times().front() - dyn_start;
+  // Strict ls cannot answer before the farthest file (>= 240ms round trip);
+  // dynamic ls streams the nearest file (~8ms round trip) first.
+  EXPECT_GT(strict_first, Duration::millis(240));
+  EXPECT_LT(dyn_first, Duration::millis(60));
+  (void)strict_done;
+}
+
+TEST_F(LsTest, StrictLsFailsWhenAnyFileUnreachable) {
+  topo.crash(servers[3]);
+  RepositoryClient client{repo, client_node};
+  const LsResult result = run_task(sim, ls_strict(client, dir));
+  EXPECT_FALSE(result.complete());
+  ASSERT_TRUE(result.failure().has_value());
+  EXPECT_TRUE(result.names().empty());  // nothing is delivered
+}
+
+TEST_F(LsTest, DynamicLsDeliversPartialUnderFailure) {
+  topo.crash(servers[3]);  // two of the eight files are lost
+  RepositoryClient client{repo, client_node};
+  DynSetOptions options;
+  options.membership_refresh = Duration::millis(50);
+  options.retry = RetryPolicy{4, Duration::millis(50)};
+  const LsResult result = run_task(sim, ls_dynamic(client, dir, options));
+  EXPECT_FALSE(result.complete());
+  ASSERT_TRUE(result.failure().has_value());
+  EXPECT_EQ(result.names().size(), 6u);  // all accessible files delivered
+}
+
+TEST_F(LsTest, DynamicLsClosestFirstOrdersByDistance) {
+  RepositoryClient client{repo, client_node};
+  DynSetOptions options;
+  options.order = PickOrder::kClosestFirst;
+  options.prefetch_depth = 1;  // serialize to observe the order
+  const LsResult result = run_task(sim, ls_dynamic(client, dir, options));
+  ASSERT_EQ(result.names().size(), 8u);
+  // Files on servers[0] (2ms) must precede files on servers[3] (120ms).
+  const auto position = [&](const std::string& name) {
+    return std::find(result.names().begin(), result.names().end(), name) -
+           result.names().begin();
+  };
+  EXPECT_LT(position("file0.txt"), position("file3.txt"));
+  EXPECT_LT(position("file4.txt"), position("file7.txt"));
+}
+
+TEST_F(LsTest, FragmentedDirectorySpansNodes) {
+  Directory wide = fs.mkdir_fragmented({servers[0], servers[1]});
+  for (int i = 0; i < 10; ++i) {
+    fs.create_file(wide, servers[2], "wide" + std::to_string(i), "x");
+  }
+  RepositoryClient client{repo, client_node};
+  const LsResult result = run_task(sim, ls_strict(client, wide));
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.names().size(), 10u);
+}
+
+}  // namespace
+}  // namespace weakset

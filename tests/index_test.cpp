@@ -1,0 +1,155 @@
+// Tests for the inverted index and the indexed scan endpoint: tokenisation,
+// posting maintenance, index-vs-sweep routing, staleness rebuilds, and
+// exactness of verified results.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fs/dist_fs.hpp"
+#include "query/query_set.hpp"
+#include "query/scan.hpp"
+
+namespace weakset {
+namespace {
+
+TEST(TokenizeTest, SplitsAndLowercases) {
+  EXPECT_EQ(tokenize("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+  EXPECT_EQ(tokenize("weak-sets_1995"),
+            (std::vector<std::string>{"weak", "sets", "1995"}));
+  EXPECT_TRUE(tokenize("...").empty());
+  EXPECT_TRUE(tokenize("").empty());
+}
+
+TEST(InvertedIndexTest, LookupFindsWholeTokens) {
+  InvertedIndex index;
+  index.index_object(ObjectId{1}, FileInfo{"paper.tex", "by J. Wing"});
+  index.index_object(ObjectId{2}, FileInfo{"menu", "Wing sauce special"});
+  index.index_object(ObjectId{3}, FileInfo{"notes", "nothing relevant"});
+  const auto hits = index.lookup("wing");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], ObjectId{1});
+  EXPECT_EQ(hits[1], ObjectId{2});
+  EXPECT_TRUE(index.lookup("absent").empty());
+}
+
+TEST(InvertedIndexTest, NameTokensAreIndexed) {
+  InvertedIndex index;
+  index.index_object(ObjectId{1}, FileInfo{"golden-palace.menu", "food"});
+  EXPECT_EQ(index.lookup("palace").size(), 1u);
+  EXPECT_EQ(index.lookup("menu").size(), 1u);
+}
+
+TEST(InvertedIndexTest, RemoveDropsPostings) {
+  InvertedIndex index;
+  index.index_object(ObjectId{1}, FileInfo{"a", "alpha beta"});
+  index.index_object(ObjectId{2}, FileInfo{"b", "beta"});
+  index.remove_object(ObjectId{1});
+  EXPECT_TRUE(index.lookup("alpha").empty());
+  EXPECT_EQ(index.lookup("beta").size(), 1u);
+  EXPECT_EQ(index.indexed_objects(), 1u);
+}
+
+TEST(InvertedIndexTest, ReindexReplacesOldTerms) {
+  InvertedIndex index;
+  index.index_object(ObjectId{1}, FileInfo{"f", "old content"});
+  index.index_object(ObjectId{1}, FileInfo{"f", "new content"});
+  EXPECT_TRUE(index.lookup("old").empty());
+  EXPECT_EQ(index.lookup("new").size(), 1u);
+}
+
+TEST(InvertedIndexTest, IsIndexable) {
+  EXPECT_TRUE(InvertedIndex::is_indexable("wing"));
+  EXPECT_TRUE(InvertedIndex::is_indexable("1995"));
+  EXPECT_FALSE(InvertedIndex::is_indexable("two words"));
+  EXPECT_FALSE(InvertedIndex::is_indexable("semi:colon"));
+  EXPECT_FALSE(InvertedIndex::is_indexable(""));
+}
+
+class IndexedScanTest : public ::testing::Test {
+ protected:
+  IndexedScanTest() {
+    client_node = topo.add_node("client");
+    archive = topo.add_node("archive");
+    topo.connect(client_node, archive, Duration::millis(10));
+    repo.add_server(archive);
+    service.install_all();
+    fs.create_unlinked_file(archive, "p1", "weak sets by Wing");
+    fs.create_unlinked_file(archive, "p2", "strong sets by nobody");
+    fs.create_unlinked_file(archive, "p3", "Wing again, on subtyping");
+  }
+  ~IndexedScanTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind (no leaks)
+  }
+
+  Result<std::vector<ObjectRef>> query(PredicateSpec predicate) {
+    RepositoryClient client{repo, client_node};
+    QuerySetView view{client, std::move(predicate), {archive}};
+    return run_task(
+        sim, [](QuerySetView& q) -> Task<Result<std::vector<ObjectRef>>> {
+          co_return co_await q.read_members();
+        }(view));
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node, archive;
+  RpcNetwork net{sim, topo, Rng{55}};
+  Repository repo{net};
+  DistFileSystem fs{repo};
+  IndexedQueryService service{repo};
+};
+
+TEST_F(IndexedScanTest, SingleTokenContainsUsesIndex) {
+  const auto members = query(PredicateSpec::contains("Wing"));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 2u);
+  EXPECT_EQ(service.index_hits(), 1u);
+  EXPECT_EQ(service.sweeps(), 0u);
+  EXPECT_EQ(service.rebuilds(), 1u);
+}
+
+TEST_F(IndexedScanTest, NonIndexablePredicateSweeps) {
+  const auto members = query(PredicateSpec::name_glob("p*"));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 3u);
+  EXPECT_EQ(service.sweeps(), 1u);
+  EXPECT_EQ(service.index_hits(), 0u);
+}
+
+TEST_F(IndexedScanTest, IndexedAndSweepAgree) {
+  const auto indexed = query(PredicateSpec::contains("sets"));
+  // A two-token query forces the sweep over the same corpus.
+  const auto swept = query(PredicateSpec::contains("sets by"));
+  ASSERT_TRUE(indexed.has_value());
+  ASSERT_TRUE(swept.has_value());
+  EXPECT_EQ(indexed.value().size(), 2u);  // p1, p2 ("weak sets", "strong sets")
+  EXPECT_EQ(swept.value().size(), 2u);    // same files, substring match
+}
+
+TEST_F(IndexedScanTest, RebuildOnlyWhenStoreChanges) {
+  (void)query(PredicateSpec::contains("Wing"));
+  (void)query(PredicateSpec::contains("sets"));
+  EXPECT_EQ(service.rebuilds(), 1u);  // second query reuses the index
+  fs.create_unlinked_file(archive, "p4", "Wing, a third paper");
+  const auto members = query(PredicateSpec::contains("Wing"));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 3u);  // fresh content found
+  EXPECT_EQ(service.rebuilds(), 2u);      // exactly one more rebuild
+}
+
+TEST_F(IndexedScanTest, VerificationKeepsResultsExact) {
+  // "wing" as a token appears in p1/p3; a predicate that ALSO requires a
+  // substring the index can't see must still be exact after verification.
+  std::vector<PredicateSpec> both;
+  both.push_back(PredicateSpec::contains("Wing"));
+  both.push_back(PredicateSpec::contains("subtyping"));
+  const auto members = query(PredicateSpec::all_of(std::move(both)));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 1u);  // only p3
+}
+
+}  // namespace
+}  // namespace weakset

@@ -1,0 +1,294 @@
+// Unit tests for the network substrate: topology, partitions, and RPC.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/rpc.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace weakset {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  Topology topo;
+  NodeId a = topo.add_node("a");
+  NodeId b = topo.add_node("b");
+  NodeId c = topo.add_node("c");
+};
+
+TEST_F(TopologyTest, NodesStartUp) {
+  EXPECT_TRUE(topo.is_up(a));
+  EXPECT_TRUE(topo.is_up(b));
+  EXPECT_EQ(topo.node_count(), 3u);
+  EXPECT_EQ(topo.name(a), "a");
+}
+
+TEST_F(TopologyTest, DisconnectedNodesCannotCommunicate) {
+  EXPECT_FALSE(topo.can_communicate(a, b));
+  EXPECT_TRUE(topo.can_communicate(a, a));  // self, while up
+}
+
+TEST_F(TopologyTest, DirectLinkLatency) {
+  topo.connect(a, b, Duration::millis(10));
+  ASSERT_TRUE(topo.can_communicate(a, b));
+  EXPECT_EQ(topo.path_latency(a, b), Duration::millis(10));
+  EXPECT_EQ(topo.path_latency(b, a), Duration::millis(10));
+}
+
+TEST_F(TopologyTest, MultiHopUsesShortestPath) {
+  topo.connect(a, b, Duration::millis(10));
+  topo.connect(b, c, Duration::millis(10));
+  topo.connect(a, c, Duration::millis(50));
+  // a->c direct costs 50; a->b->c costs 20.
+  EXPECT_EQ(topo.path_latency(a, c), Duration::millis(20));
+}
+
+TEST_F(TopologyTest, CrashedNodeUnreachable) {
+  topo.connect(a, b, Duration::millis(5));
+  topo.crash(b);
+  EXPECT_FALSE(topo.can_communicate(a, b));
+  EXPECT_FALSE(topo.can_communicate(b, b));  // down node can't even self-talk
+  topo.restart(b);
+  EXPECT_TRUE(topo.can_communicate(a, b));
+}
+
+TEST_F(TopologyTest, CrashedRelayBreaksPath) {
+  topo.connect(a, b, Duration::millis(5));
+  topo.connect(b, c, Duration::millis(5));
+  EXPECT_TRUE(topo.can_communicate(a, c));
+  topo.crash(b);
+  EXPECT_FALSE(topo.can_communicate(a, c));
+}
+
+TEST_F(TopologyTest, LinkDownBlocksDirectPath) {
+  topo.connect(a, b, Duration::millis(5));
+  topo.set_link_up(a, b, false);
+  EXPECT_FALSE(topo.can_communicate(a, b));
+  EXPECT_FALSE(topo.link_up(a, b));
+  topo.set_link_up(a, b, true);
+  EXPECT_TRUE(topo.can_communicate(a, b));
+}
+
+TEST_F(TopologyTest, ReconnectUpdatesLatency) {
+  topo.connect(a, b, Duration::millis(5));
+  topo.connect(a, b, Duration::millis(9));
+  EXPECT_EQ(topo.path_latency(a, b), Duration::millis(9));
+}
+
+TEST_F(TopologyTest, FullMeshConnectsEveryPair) {
+  topo.connect_full_mesh(Duration::millis(3));
+  EXPECT_TRUE(topo.can_communicate(a, b));
+  EXPECT_TRUE(topo.can_communicate(b, c));
+  EXPECT_TRUE(topo.can_communicate(a, c));
+}
+
+TEST_F(TopologyTest, PartitionCutsCrossGroupLinks) {
+  topo.connect_full_mesh(Duration::millis(1));
+  topo.partition({{a, b}, {c}});
+  EXPECT_TRUE(topo.can_communicate(a, b));
+  EXPECT_FALSE(topo.can_communicate(a, c));
+  EXPECT_FALSE(topo.can_communicate(b, c));
+  // The paper's Figure 2 situation: c exists but is inaccessible.
+  topo.heal();
+  EXPECT_TRUE(topo.can_communicate(a, c));
+}
+
+TEST_F(TopologyTest, VersionBumpsOnMutation) {
+  const auto v0 = topo.version();
+  topo.connect(a, b, Duration::millis(1));
+  EXPECT_GT(topo.version(), v0);
+  const auto v1 = topo.version();
+  topo.crash(a);
+  EXPECT_GT(topo.version(), v1);
+}
+
+// ---------------------------------------------------------------------------
+// RPC
+
+// User-provided constructor keeps this a non-aggregate: GCC 12 miscompiles
+// non-trivial aggregate temporaries inside co_await expressions (see
+// DESIGN.md, key design decision 6).
+struct EchoRequest {
+  explicit EchoRequest(std::string text) : text(std::move(text)) {}
+  std::string text;
+};
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() {
+    topo.connect(client, server, Duration::millis(10));
+    net.register_handler(
+        server, "echo", [this](NodeId, std::any request) -> Task<Result<std::any>> {
+          const auto req = std::any_cast<EchoRequest>(std::move(request));
+          co_await sim.delay(Duration::millis(1));  // service time
+          co_return std::any{std::string{"echo:" + req.text}};
+        });
+  }
+
+  Result<std::string> do_call(Duration timeout = Duration::seconds(2)) {
+    return run_task(sim, net.call_typed<std::string>(
+                             client, server, "echo", EchoRequest{"hi"},
+                             timeout));
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client = topo.add_node("client");
+  NodeId server = topo.add_node("server");
+  RpcNetwork net{sim, topo, Rng{42}};
+};
+
+TEST_F(RpcTest, RoundTripDeliversReply) {
+  const auto result = do_call();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value(), "echo:hi");
+  // Two 10ms hops (plus jitter <= 20% and 1ms service time).
+  EXPECT_GE(sim.now() - SimTime::zero(), Duration::millis(21));
+  EXPECT_LE(sim.now() - SimTime::zero(), Duration::millis(26));
+  EXPECT_EQ(net.stats().completed, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+}
+
+TEST_F(RpcTest, UnknownMethodFails) {
+  const auto result = run_task(
+      sim, net.call_typed<std::string>(client, server, "nope",
+                                       EchoRequest{"x"}));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, FailureKind::kNotFound);
+}
+
+TEST_F(RpcTest, CrashedServerDetectedQuickly) {
+  topo.crash(server);
+  const auto result = do_call();
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, FailureKind::kNodeCrashed);
+  // Fast failure detection, not a full timeout.
+  EXPECT_LT(sim.now() - SimTime::zero(), Duration::millis(10));
+}
+
+TEST_F(RpcTest, PartitionDetectedQuickly) {
+  topo.set_link_up(client, server, false);
+  const auto result = do_call();
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, FailureKind::kPartitioned);
+}
+
+TEST_F(RpcTest, WithoutFastFailCallerTimesOut) {
+  RpcOptions slow;
+  slow.fast_fail_unreachable = false;
+  slow.default_timeout = Duration::millis(500);
+  RpcNetwork net2{sim, topo, Rng{1}, slow};
+  net2.register_handler(server, "echo",
+                        [](NodeId, std::any) -> Task<Result<std::any>> {
+                          co_return std::any{std::string{"never"}};
+                        });
+  topo.crash(server);
+  const auto result =
+      run_task(sim, net2.call_typed<std::string>(client, server, "echo",
+                                                 EchoRequest{"x"}));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, FailureKind::kTimeout);
+  EXPECT_GE(sim.now() - SimTime::zero(), Duration::millis(500));
+}
+
+TEST_F(RpcTest, CrashDuringFlightLosesRequest) {
+  // Crash the server 5ms in: the request (10ms path) is still in flight.
+  sim.schedule(Duration::millis(5), [this] { topo.crash(server); });
+  const auto result = do_call(Duration::millis(300));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, FailureKind::kTimeout);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST_F(RpcTest, PartitionAfterRequestLosesReply) {
+  // Cut the link after the request arrives (>= 12ms covers jitter) but before
+  // the reply lands: reply is dropped, caller times out.
+  sim.schedule(Duration::millis(13), [this] {
+    topo.set_link_up(client, server, false);
+  });
+  const auto result = do_call(Duration::millis(300));
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, FailureKind::kTimeout);
+}
+
+TEST_F(RpcTest, LocalCallsAreCheap) {
+  net.register_handler(client, "local",
+                       [](NodeId, std::any) -> Task<Result<std::any>> {
+                         co_return std::any{42};
+                       });
+  const auto result =
+      run_task(sim, net.call_typed<int>(client, client, "local", 0));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_LT(sim.now() - SimTime::zero(), Duration::millis(1));
+}
+
+TEST_F(RpcTest, ConcurrentCallsInterleave) {
+  std::vector<Result<std::string>> results;
+  // Captureless lambda coroutine: captures would dangle once the temporary
+  // lambda object dies, so state travels via parameters.
+  auto burst = [](RpcNetwork& n, NodeId c, NodeId s,
+                  std::vector<Result<std::string>>& out) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      out.push_back(co_await n.call_typed<std::string>(
+          c, s, "echo", EchoRequest{std::to_string(i)}));
+    }
+  };
+  // Two clients issuing sequential bursts concurrently.
+  sim.spawn(burst(net, client, server, results));
+  sim.spawn(burst(net, client, server, results));
+  sim.run();
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& r : results) EXPECT_TRUE(r.has_value());
+}
+
+TEST_F(TopologyTest, DirectOnlyRoutingIgnoresRelays) {
+  topo.connect(a, b, Duration::millis(5));
+  topo.connect(b, c, Duration::millis(5));
+  EXPECT_TRUE(topo.can_communicate(a, c));  // multi-hop default
+  topo.set_routing(Topology::Routing::kDirectOnly);
+  EXPECT_FALSE(topo.can_communicate(a, c));
+  EXPECT_TRUE(topo.can_communicate(a, b));
+  EXPECT_EQ(topo.path_latency(a, b), Duration::millis(5));
+  topo.set_routing(Topology::Routing::kMultiHop);
+  EXPECT_EQ(topo.path_latency(a, c), Duration::millis(10));
+}
+
+TEST_F(RpcTest, StatsCountOutcomes) {
+  // One success, one fast failure (crashed target), one timeout (crash
+  // mid-flight loses the request).
+  ASSERT_TRUE(do_call().has_value());
+  topo.crash(server);
+  ASSERT_FALSE(do_call().has_value());
+  topo.restart(server);
+  sim.schedule(Duration::millis(5), [this] { topo.crash(server); });
+  ASSERT_FALSE(do_call(Duration::millis(200)).has_value());
+
+  const RpcStats& stats = net.stats();
+  EXPECT_EQ(stats.calls, 3u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.messages_delivered, 2u);  // the successful round trip
+  EXPECT_EQ(stats.messages_dropped, 1u);    // the mid-flight loss
+}
+
+TEST_F(RpcTest, HandlerSeesCallerNode) {
+  NodeId seen = NodeId::invalid();
+  net.register_handler(server, "who",
+                       [&seen](NodeId from, std::any) -> Task<Result<std::any>> {
+                         seen = from;
+                         co_return std::any{0};
+                       });
+  run_task(sim, [](RpcNetwork& n, NodeId c, NodeId s) -> Task<void> {
+    (void)co_await n.call_typed<int>(c, s, "who", 0);
+  }(net, client, server));
+  EXPECT_EQ(seen, client);
+}
+
+}  // namespace
+}  // namespace weakset

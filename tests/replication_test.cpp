@@ -1,0 +1,150 @@
+// Tests for replica convergence: pull anti-entropy vs push replication,
+// loss repair across partitions, and convergence latency.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/client.hpp"
+#include "store/repository.hpp"
+
+namespace weakset {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void build(bool push, Duration pull_interval = Duration::millis(500)) {
+    client_node = topo.add_node("client");
+    primary = topo.add_node("primary");
+    replica = topo.add_node("replica");
+    topo.connect(client_node, primary, Duration::millis(5));
+    topo.connect(client_node, replica, Duration::millis(5));
+    topo.connect(primary, replica, Duration::millis(10));
+    StoreServerOptions opts;
+    opts.pull_interval = pull_interval;
+    opts.push_replication = push;
+    repo.add_server(primary, opts);
+    repo.add_server(replica, opts);
+    coll = repo.create_collection({primary});
+    repo.add_replica(coll, 0, replica);
+  }
+
+  ~ReplicationTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind (no leaks)
+  }
+
+  /// Adds one member via RPC; returns the simulated time of the ack.
+  ObjectRef add_one(const std::string& tag) {
+    const ObjectRef ref = repo.create_object(primary, tag);
+    RepositoryClient writer{repo, client_node,
+                            ClientOptions{{}, ReadPolicy::kPrimaryOnly}};
+    const auto added = run_task(sim, writer.add(coll, ref));
+    EXPECT_TRUE(added.has_value());
+    return ref;
+  }
+
+  /// Simulated time until the replica contains `ref` (runs the sim forward).
+  Duration convergence_time(ObjectRef ref, Duration limit) {
+    const SimTime start = sim.now();
+    const auto* state = repo.server_at(replica)->collection(coll);
+    while (!state->contains(ref) && sim.now() - start < limit) {
+      sim.run_until(sim.now() + Duration::millis(1));
+    }
+    return sim.now() - start;
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node, primary, replica;
+  RpcNetwork net{sim, topo, Rng{101}};
+  Repository repo{net};
+  CollectionId coll;
+};
+
+TEST_F(ReplicationTest, PullConvergesWithinInterval) {
+  build(/*push=*/false, Duration::millis(300));
+  const ObjectRef ref = add_one("x");
+  const Duration lag = convergence_time(ref, Duration::seconds(2));
+  EXPECT_LE(lag, Duration::millis(320));
+  EXPECT_GE(lag, Duration::millis(1));  // not instantaneous
+}
+
+TEST_F(ReplicationTest, PushConvergesInOneRpc) {
+  build(/*push=*/true, Duration::seconds(30));  // pulls effectively off
+  const ObjectRef ref = add_one("x");
+  const Duration lag = convergence_time(ref, Duration::seconds(2));
+  // One 10ms hop (plus jitter and service time), nowhere near the pull
+  // interval.
+  EXPECT_LE(lag, Duration::millis(40));
+}
+
+TEST_F(ReplicationTest, PushBatchesBackToBackMutations) {
+  build(/*push=*/true, Duration::seconds(30));
+  std::vector<ObjectRef> refs;
+  RepositoryClient writer{repo, client_node,
+                          ClientOptions{{}, ReadPolicy::kPrimaryOnly}};
+  run_task(sim, [](Repository& r, RepositoryClient& w, CollectionId c,
+                   NodeId home, std::vector<ObjectRef>& out) -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      const ObjectRef ref = r.create_object(home, "m" + std::to_string(i));
+      out.push_back(ref);
+      (void)co_await w.add(c, ref);
+    }
+  }(repo, writer, coll, primary, refs));
+  sim.run_until(sim.now() + Duration::millis(200));
+  const auto* state = repo.server_at(replica)->collection(coll);
+  EXPECT_EQ(state->size(), 10u);
+  EXPECT_EQ(state->applied_seq(), 10u);
+}
+
+TEST_F(ReplicationTest, PullRepairsPushesLostToPartition) {
+  build(/*push=*/true, Duration::millis(400));
+  // Cut the primary-replica link: the push is lost.
+  topo.set_routing(Topology::Routing::kDirectOnly);
+  topo.set_link_up(primary, replica, false);
+  const ObjectRef ref = add_one("x");
+  sim.run_until(sim.now() + Duration::millis(100));
+  const auto* state = repo.server_at(replica)->collection(coll);
+  EXPECT_FALSE(state->contains(ref));
+
+  // Heal: the next pull (and the next push trigger) repairs.
+  topo.set_link_up(primary, replica, true);
+  const Duration lag = convergence_time(ref, Duration::seconds(2));
+  EXPECT_LE(lag, Duration::millis(520));
+  EXPECT_TRUE(state->contains(ref));
+}
+
+TEST_F(ReplicationTest, RemovalsPropagateToo) {
+  build(/*push=*/true, Duration::seconds(30));
+  const ObjectRef ref = add_one("x");
+  sim.run_until(sim.now() + Duration::millis(100));
+  const auto* state = repo.server_at(replica)->collection(coll);
+  ASSERT_TRUE(state->contains(ref));
+
+  RepositoryClient writer{repo, client_node,
+                          ClientOptions{{}, ReadPolicy::kPrimaryOnly}};
+  ASSERT_TRUE(run_task(sim, writer.remove(coll, ref)).has_value());
+  sim.run_until(sim.now() + Duration::millis(100));
+  EXPECT_FALSE(state->contains(ref));
+}
+
+TEST_F(ReplicationTest, PushKeepsFig6ReadsFresh) {
+  // With push replication, nearest-replica reads barely lag the primary:
+  // the stale-read erosion of E4 disappears.
+  build(/*push=*/true, Duration::seconds(30));
+  (void)add_one("fresh");
+  sim.run_until(sim.now() + Duration::millis(50));
+  RepositoryClient reader{repo, client_node};  // kNearest
+  const auto members = run_task(
+      sim, [](RepositoryClient& r, CollectionId c)
+               -> Task<Result<std::vector<ObjectRef>>> {
+        co_return co_await r.read_all(c);
+      }(reader, coll));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 1u);
+}
+
+}  // namespace
+}  // namespace weakset

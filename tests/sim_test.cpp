@@ -1,0 +1,403 @@
+// Unit tests for the discrete-event simulator, coroutine tasks, and channels.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+
+namespace weakset {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  sim.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::millis(30));
+}
+
+TEST(SimulatorTest, SameInstantIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesClock) {
+  Simulator sim;
+  SimTime inner_time;
+  sim.schedule(Duration::millis(10), [&] {
+    sim.schedule(Duration::millis(5), [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, SimTime::zero() + Duration::millis(15));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(10), [&] { ++fired; });
+  sim.schedule(Duration::millis(20), [&] { ++fired; });
+  sim.schedule(Duration::millis(30), [&] { ++fired; });
+  sim.run_until(SimTime::zero() + Duration::millis(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::millis(20));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulator sim;
+  sim.run_until(SimTime::zero() + Duration::seconds(5));
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::seconds(5));
+}
+
+TEST(SimulatorTest, StepProcessesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(1), [&] { ++fired; });
+  sim.schedule(Duration::millis(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, CancelledTimerNeitherFiresNorAdvancesClock) {
+  Simulator sim;
+  bool fired = false;
+  const auto token = sim.schedule_cancellable(Duration::seconds(10),
+                                              [&fired] { fired = true; });
+  sim.schedule(Duration::millis(5), [] {});
+  token.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+  // The cancelled event is skipped silently: the clock stops at 5ms.
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::millis(5));
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(SimulatorTest, UncancelledTimerFires) {
+  Simulator sim;
+  bool fired = false;
+  const auto token = sim.schedule_cancellable(Duration::millis(10),
+                                              [&fired] { fired = true; });
+  (void)token;
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsHarmless) {
+  Simulator sim;
+  int fires = 0;
+  const auto token =
+      sim.schedule_cancellable(Duration::millis(1), [&fires] { ++fires; });
+  sim.run();
+  token.cancel();
+  sim.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledEventsAtBoundary) {
+  Simulator sim;
+  bool fired = false;
+  const auto token = sim.schedule_cancellable(Duration::millis(10),
+                                              [&fired] { fired = true; });
+  token.cancel();
+  sim.schedule(Duration::millis(20), [] {});
+  // The cancelled event at 10ms must not cause an early event at 20ms to be
+  // processed within a run_until(15ms) window.
+  sim.run_until(SimTime::zero() + Duration::millis(15));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::millis(15));
+}
+
+TEST(SimulatorTest, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(Duration::millis(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+Task<int> add_later(Simulator& sim, int a, int b) {
+  co_await sim.delay(Duration::millis(5));
+  co_return a + b;
+}
+
+TEST(TaskTest, RunTaskReturnsValue) {
+  Simulator sim;
+  const int result = run_task(sim, add_later(sim, 2, 3));
+  EXPECT_EQ(result, 5);
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::millis(5));
+}
+
+Task<int> chain(Simulator& sim) {
+  const int x = co_await add_later(sim, 1, 2);
+  const int y = co_await add_later(sim, x, 10);
+  co_return y;
+}
+
+TEST(TaskTest, TasksCompose) {
+  Simulator sim;
+  EXPECT_EQ(run_task(sim, chain(sim)), 13);
+  EXPECT_EQ(sim.now(), SimTime::zero() + Duration::millis(10));
+}
+
+Task<void> append_after(Simulator& sim, Duration d, std::vector<int>& out,
+                        int tag) {
+  co_await sim.delay(d);
+  out.push_back(tag);
+}
+
+TEST(TaskTest, SpawnedProcessesInterleaveByTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.spawn(append_after(sim, Duration::millis(20), order, 2));
+  sim.spawn(append_after(sim, Duration::millis(10), order, 1));
+  sim.spawn(append_after(sim, Duration::millis(30), order, 3));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+Task<void> yielding_process(Simulator& sim, std::vector<std::string>& log,
+                            std::string name, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    log.push_back(name);
+    co_await sim.yield_now();
+  }
+}
+
+TEST(TaskTest, YieldNowInterleavesFairly) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.spawn(yielding_process(sim, log, "a", 3));
+  sim.spawn(yielding_process(sim, log, "b", 3));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a", "b", "a", "b", "a", "b"}));
+  EXPECT_EQ(sim.now(), SimTime::zero());  // yielding consumes no virtual time
+}
+
+TEST(TaskTest, VoidRunTaskCompletes) {
+  Simulator sim;
+  std::vector<int> out;
+  run_task(sim, append_after(sim, Duration::millis(1), out, 7));
+  EXPECT_EQ(out, std::vector<int>{7});
+}
+
+TEST(OneShotTest, ValueBeforeWait) {
+  Simulator sim;
+  OneShot<int> cell{sim};
+  EXPECT_TRUE(cell.try_set(99));
+  const int got = run_task(sim, [](OneShot<int> c) -> Task<int> {
+    co_return co_await c.wait();
+  }(cell));
+  EXPECT_EQ(got, 99);
+}
+
+TEST(OneShotTest, WaitBeforeValue) {
+  Simulator sim;
+  OneShot<int> cell{sim};
+  std::optional<int> got;
+  sim.spawn([](OneShot<int> c, std::optional<int>& out) -> Task<void> {
+    out = co_await c.wait();
+  }(cell, got));
+  sim.schedule(Duration::millis(10), [cell]() mutable { cell.try_set(5); });
+  sim.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(OneShotTest, FirstSetWins) {
+  Simulator sim;
+  OneShot<int> cell{sim};
+  EXPECT_TRUE(cell.try_set(1));
+  EXPECT_FALSE(cell.try_set(2));
+  const int got = run_task(sim, [](OneShot<int> c) -> Task<int> {
+    co_return co_await c.wait();
+  }(cell));
+  EXPECT_EQ(got, 1);
+}
+
+TEST(AsyncQueueTest, PushThenPop) {
+  Simulator sim;
+  AsyncQueue<int> queue{sim};
+  queue.push(1);
+  queue.push(2);
+  const auto got = run_task(
+      sim, [](AsyncQueue<int>& q) -> Task<std::vector<int>> {
+        std::vector<int> out;
+        out.push_back(*co_await q.pop());
+        out.push_back(*co_await q.pop());
+        co_return out;
+      }(queue));
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(AsyncQueueTest, PopBlocksUntilPush) {
+  Simulator sim;
+  AsyncQueue<int> queue{sim};
+  std::optional<int> got;
+  sim.spawn([](AsyncQueue<int>& q, std::optional<int>& out) -> Task<void> {
+    out = co_await q.pop();
+  }(queue, got));
+  sim.schedule(Duration::millis(3), [&queue] { queue.push(42); });
+  sim.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(AsyncQueueTest, CloseWakesWaitersWithNullopt) {
+  Simulator sim;
+  AsyncQueue<int> queue{sim};
+  bool saw_close = false;
+  sim.spawn([](AsyncQueue<int>& q, bool& flag) -> Task<void> {
+    const auto v = co_await q.pop();
+    flag = !v.has_value();
+  }(queue, saw_close));
+  sim.schedule(Duration::millis(1), [&queue] { queue.close(); });
+  sim.run();
+  EXPECT_TRUE(saw_close);
+}
+
+TEST(AsyncQueueTest, DrainsValuesBeforeReportingClosed) {
+  Simulator sim;
+  AsyncQueue<int> queue{sim};
+  queue.push(7);
+  queue.close();
+  const auto got = run_task(
+      sim, [](AsyncQueue<int>& q) -> Task<std::vector<int>> {
+        std::vector<int> out;
+        for (;;) {
+          const auto v = co_await q.pop();
+          if (!v) break;
+          out.push_back(*v);
+        }
+        co_return out;
+      }(queue));
+  EXPECT_EQ(got, std::vector<int>{7});
+}
+
+TEST(AsyncQueueTest, TwoConsumersShareWork) {
+  Simulator sim;
+  AsyncQueue<int> queue{sim};
+  std::vector<int> a;
+  std::vector<int> b;
+  auto consumer = [](AsyncQueue<int>& q, std::vector<int>& out) -> Task<void> {
+    for (;;) {
+      const auto v = co_await q.pop();
+      if (!v) co_return;
+      out.push_back(*v);
+    }
+  };
+  sim.spawn(consumer(queue, a));
+  sim.spawn(consumer(queue, b));
+  sim.schedule(Duration::millis(1), [&queue] {
+    for (int i = 0; i < 6; ++i) queue.push(i);
+  });
+  sim.schedule(Duration::millis(2), [&queue] { queue.close(); });
+  sim.run();
+  EXPECT_EQ(a.size() + b.size(), 6u);
+}
+
+Task<void> worker(Simulator& sim, Semaphore& sem, int& active, int& peak) {
+  co_await sem.acquire();
+  ++active;
+  peak = std::max(peak, active);
+  co_await sim.delay(Duration::millis(10));
+  --active;
+  sem.release();
+}
+
+TEST(SemaphoreTest, BoundsConcurrency) {
+  Simulator sim;
+  Semaphore sem{sim, 3};
+  int active = 0;
+  int peak = 0;
+  for (int i = 0; i < 10; ++i) sim.spawn(worker(sim, sem, active, peak));
+  sim.run();
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(peak, 3);
+  EXPECT_EQ(sem.available(), 3u);
+}
+
+TEST(SemaphoreTest, ReleaseWithoutWaitersIncrementsCount) {
+  Simulator sim;
+  Semaphore sem{sim, 0};
+  sem.release();
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(GateTest, OpenGateDoesNotBlock) {
+  Simulator sim;
+  Gate gate{sim, /*open=*/true};
+  bool passed = false;
+  sim.spawn([](Gate& g, bool& flag) -> Task<void> {
+    co_await g.wait();
+    flag = true;
+  }(gate, passed));
+  sim.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(GateTest, ClosedGateBlocksUntilOpened) {
+  Simulator sim;
+  Gate gate{sim};
+  SimTime passed_at;
+  sim.spawn([](Simulator& s, Gate& g, SimTime& at) -> Task<void> {
+    co_await g.wait();
+    at = s.now();
+  }(sim, gate, passed_at));
+  sim.schedule(Duration::millis(25), [&gate] { gate.open(); });
+  sim.run();
+  EXPECT_EQ(passed_at, SimTime::zero() + Duration::millis(25));
+}
+
+TEST(GateTest, OpenWakesAllWaiters) {
+  Simulator sim;
+  Gate gate{sim};
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn([](Gate& g, int& count) -> Task<void> {
+      co_await g.wait();
+      ++count;
+    }(gate, woken));
+  }
+  sim.schedule(Duration::millis(1), [&gate] { gate.open(); });
+  sim.run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalSchedules) {
+  auto run_once = [] {
+    Simulator sim;
+    Rng rng{777};
+    std::vector<std::int64_t> stamps;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule(rng.exponential(Duration::millis(5)),
+                   [&stamps, &sim] { stamps.push_back(sim.now().count_nanos()); });
+    }
+    sim.run();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace weakset

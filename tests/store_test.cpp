@@ -1,0 +1,448 @@
+// Unit and integration tests for the object repository substrate: object
+// store, collection state and op-log replication, the reachable construct
+// (paper Figure 2), the store servers, and the client-side read ladder.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "store/client.hpp"
+#include "store/collection.hpp"
+#include "store/object_store.hpp"
+#include "store/reachable.hpp"
+#include "store/repository.hpp"
+
+namespace weakset {
+namespace {
+
+TEST(ObjectStoreTest, PutGetRoundTrip) {
+  ObjectStore store;
+  const ObjectId id{1};
+  EXPECT_EQ(store.put(id, "hello"), 1u);
+  const auto value = store.get(id);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->data(), "hello");
+  EXPECT_EQ(value->version(), 1u);
+}
+
+TEST(ObjectStoreTest, OverwriteBumpsVersion) {
+  ObjectStore store;
+  const ObjectId id{1};
+  store.put(id, "v1");
+  EXPECT_EQ(store.put(id, "v2"), 2u);
+  EXPECT_EQ(store.get(id)->data(), "v2");
+}
+
+TEST(ObjectStoreTest, MissingObjectIsNullopt) {
+  ObjectStore store;
+  EXPECT_FALSE(store.get(ObjectId{9}).has_value());
+  EXPECT_FALSE(store.contains(ObjectId{9}));
+}
+
+TEST(ObjectStoreTest, EraseRemoves) {
+  ObjectStore store;
+  const ObjectId id{2};
+  store.put(id, "x");
+  EXPECT_TRUE(store.erase(id));
+  EXPECT_FALSE(store.erase(id));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+ObjectRef ref(std::uint64_t object, std::uint64_t node = 0) {
+  return ObjectRef{ObjectId{object}, NodeId{node}};
+}
+
+TEST(CollectionStateTest, AddAndContains) {
+  CollectionState state{CollectionId{0}};
+  EXPECT_TRUE(state.add(ref(1)));
+  EXPECT_TRUE(state.contains(ref(1)));
+  EXPECT_EQ(state.size(), 1u);
+}
+
+TEST(CollectionStateTest, DuplicateAddIsNoop) {
+  CollectionState state{CollectionId{0}};
+  EXPECT_TRUE(state.add(ref(1)));
+  const auto version = state.version();
+  EXPECT_FALSE(state.add(ref(1)));
+  EXPECT_EQ(state.version(), version);
+  EXPECT_EQ(state.size(), 1u);
+}
+
+TEST(CollectionStateTest, RemoveMissingIsNoop) {
+  CollectionState state{CollectionId{0}};
+  EXPECT_FALSE(state.remove(ref(7)));
+  EXPECT_EQ(state.version(), 0u);
+}
+
+TEST(CollectionStateTest, RemoveKeepsOthers) {
+  CollectionState state{CollectionId{0}};
+  for (std::uint64_t i = 0; i < 5; ++i) state.add(ref(i));
+  EXPECT_TRUE(state.remove(ref(2)));
+  EXPECT_EQ(state.size(), 4u);
+  EXPECT_FALSE(state.contains(ref(2)));
+  for (const std::uint64_t i : {0u, 1u, 3u, 4u}) {
+    EXPECT_TRUE(state.contains(ref(i))) << i;
+  }
+}
+
+TEST(CollectionStateTest, VersionBumpsOnEffectiveMutation) {
+  CollectionState state{CollectionId{0}};
+  state.add(ref(1));
+  state.add(ref(2));
+  state.remove(ref(1));
+  EXPECT_EQ(state.version(), 3u);
+}
+
+TEST(CollectionStateTest, OpLogIsContiguous) {
+  CollectionState state{CollectionId{0}};
+  state.add(ref(1));
+  state.add(ref(2));
+  state.remove(ref(1));
+  const auto ops = state.ops_since(0);
+  ASSERT_EQ(ops.size(), 3u);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].seq(), i + 1);
+  }
+  EXPECT_EQ(ops[2].kind(), CollectionOp::Kind::kRemove);
+  EXPECT_EQ(state.ops_since(2).size(), 1u);
+  EXPECT_TRUE(state.ops_since(3).empty());
+}
+
+TEST(CollectionStateTest, ReplicaConvergesViaApply) {
+  CollectionState primary{CollectionId{0}};
+  CollectionState replica{CollectionId{0}};
+  primary.add(ref(1));
+  primary.add(ref(2));
+  primary.remove(ref(1));
+  for (const auto& op : primary.ops_since(replica.applied_seq())) {
+    replica.apply(op);
+  }
+  EXPECT_EQ(replica.size(), 1u);
+  EXPECT_TRUE(replica.contains(ref(2)));
+  EXPECT_EQ(replica.applied_seq(), 3u);
+}
+
+TEST(CollectionStateTest, ApplyIsIdempotent) {
+  CollectionState primary{CollectionId{0}};
+  CollectionState replica{CollectionId{0}};
+  primary.add(ref(1));
+  const auto ops = primary.ops_since(0);
+  replica.apply(ops[0]);
+  replica.apply(ops[0]);  // duplicate delivery
+  EXPECT_EQ(replica.size(), 1u);
+  EXPECT_EQ(replica.applied_seq(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// reachable (paper Figure 2)
+
+TEST(ReachableTest, PaperFigure2Scenario) {
+  // "If a is on node N and α, β, γ are on nodes A, B, C ... and there is a
+  // partition between N and C in state σ then reachable(a)σ = {α, β}."
+  Topology topo;
+  const NodeId n = topo.add_node("N");
+  const NodeId a = topo.add_node("A");
+  const NodeId b = topo.add_node("B");
+  const NodeId c = topo.add_node("C");
+  topo.connect_full_mesh(Duration::millis(1));
+
+  const std::vector<ObjectRef> members{
+      ObjectRef{ObjectId{0}, a},   // α
+      ObjectRef{ObjectId{1}, b},   // β
+      ObjectRef{ObjectId{2}, c}};  // γ
+
+  // No partition: everything reachable.
+  EXPECT_EQ(reachable_members(topo, n, members).size(), 3u);
+
+  topo.partition({{n, a, b}, {c}});
+  const auto reachable = reachable_members(topo, n, members);
+  ASSERT_EQ(reachable.size(), 2u);
+  EXPECT_EQ(reachable[0].home(), a);
+  EXPECT_EQ(reachable[1].home(), b);
+  EXPECT_FALSE(is_reachable(topo, n, members[2]));
+
+  topo.heal();
+  EXPECT_EQ(reachable_members(topo, n, members).size(), 3u);
+}
+
+TEST(ReachableTest, CrashedHomeIsUnreachable) {
+  Topology topo;
+  const NodeId client = topo.add_node("client");
+  const NodeId home = topo.add_node("home");
+  topo.connect(client, home, Duration::millis(1));
+  const ObjectRef obj{ObjectId{0}, home};
+  EXPECT_TRUE(is_reachable(topo, client, obj));
+  topo.crash(home);
+  EXPECT_FALSE(is_reachable(topo, client, obj));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end repository fixture
+
+class RepositoryTest : public ::testing::Test {
+ protected:
+  RepositoryTest() {
+    client_node = topo.add_node("client");
+    for (int i = 0; i < 3; ++i) {
+      server_nodes.push_back(topo.add_node("server" + std::to_string(i)));
+    }
+    topo.connect_full_mesh(Duration::millis(5));
+    for (const NodeId node : server_nodes) repo.add_server(node);
+  }
+
+  ~RepositoryTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind (no leaks)
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node;
+  std::vector<NodeId> server_nodes;
+  RpcNetwork net{sim, topo, Rng{7}};
+  Repository repo{net};
+};
+
+TEST_F(RepositoryTest, CreateObjectAndFetch) {
+  const ObjectRef obj = repo.create_object(server_nodes[0], "menu: dumplings");
+  RepositoryClient client{repo, client_node};
+  const auto value = run_task(sim, client.fetch(obj));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value.value().data(), "menu: dumplings");
+}
+
+TEST_F(RepositoryTest, FetchFromCrashedHomeFails) {
+  const ObjectRef obj = repo.create_object(server_nodes[0], "x");
+  topo.crash(server_nodes[0]);
+  RepositoryClient client{repo, client_node};
+  const auto value = run_task(sim, client.fetch(obj));
+  ASSERT_FALSE(value.has_value());
+  EXPECT_EQ(value.error().kind, FailureKind::kNodeCrashed);
+}
+
+TEST_F(RepositoryTest, PutThenFetchSeesNewVersion) {
+  const ObjectRef obj = repo.create_object(server_nodes[1], "v1");
+  RepositoryClient client{repo, client_node};
+  const auto version = run_task(sim, client.put(obj, "v2"));
+  ASSERT_TRUE(version.has_value());
+  EXPECT_EQ(version.value(), 2u);
+  const auto value = run_task(sim, client.fetch(obj));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value.value().data(), "v2");
+}
+
+TEST_F(RepositoryTest, AddRemoveAndReadAll) {
+  const CollectionId coll = repo.create_collection({server_nodes[0]});
+  RepositoryClient client{repo, client_node};
+  const ObjectRef o1 = repo.create_object(server_nodes[1], "a");
+  const ObjectRef o2 = repo.create_object(server_nodes[2], "b");
+
+  EXPECT_TRUE(run_task(sim, client.add(coll, o1)).value_or(false));
+  EXPECT_TRUE(run_task(sim, client.add(coll, o2)).value_or(false));
+  EXPECT_FALSE(run_task(sim, client.add(coll, o2)).value_or(true));
+
+  auto members = run_task(sim, client.read_all(coll));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 2u);
+
+  EXPECT_TRUE(run_task(sim, client.remove(coll, o1)).value_or(false));
+  members = run_task(sim, client.read_all(coll));
+  ASSERT_TRUE(members.has_value());
+  ASSERT_EQ(members.value().size(), 1u);
+  EXPECT_EQ(members.value()[0], o2);
+}
+
+TEST_F(RepositoryTest, FragmentedCollectionSpreadsMembers) {
+  const CollectionId coll =
+      repo.create_collection({server_nodes[0], server_nodes[1]});
+  RepositoryClient client{repo, client_node};
+  std::vector<ObjectRef> objs;
+  for (int i = 0; i < 16; ++i) {
+    objs.push_back(repo.create_object(server_nodes[2], "o"));
+    repo.seed_member(coll, objs.back());
+  }
+  // Both fragments should hold something (hash placement over 16 members).
+  const auto* s0 = repo.server_at(server_nodes[0])->collection(coll);
+  const auto* s1 = repo.server_at(server_nodes[1])->collection(coll);
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_GT(s0->size(), 0u);
+  EXPECT_GT(s1->size(), 0u);
+  EXPECT_EQ(s0->size() + s1->size(), 16u);
+
+  const auto members = run_task(sim, client.read_all(coll));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 16u);
+  const auto size = run_task(sim, client.total_size(coll));
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(size.value(), 16u);
+}
+
+TEST_F(RepositoryTest, ReadAllFailsWhenAFragmentIsUnreachable) {
+  const CollectionId coll =
+      repo.create_collection({server_nodes[0], server_nodes[1]});
+  repo.seed_member(coll, repo.create_object(server_nodes[2], "x"));
+  topo.partition({{client_node, server_nodes[0], server_nodes[2]},
+                  {server_nodes[1]}});
+  RepositoryClient client{repo, client_node};
+  const auto members = run_task(sim, client.read_all(coll));
+  ASSERT_FALSE(members.has_value());
+  EXPECT_EQ(members.error().kind, FailureKind::kPartitioned);
+}
+
+TEST_F(RepositoryTest, ReplicaConvergesOverAntiEntropy) {
+  const CollectionId coll = repo.create_collection({server_nodes[0]});
+  repo.add_replica(coll, 0, server_nodes[1]);
+  RepositoryClient client{repo, client_node};
+  const ObjectRef obj = repo.create_object(server_nodes[2], "x");
+  ASSERT_TRUE(run_task(sim, client.add(coll, obj)).has_value());
+
+  // Replica is stale immediately after the add...
+  const auto* replica = repo.server_at(server_nodes[1])->collection(coll);
+  ASSERT_NE(replica, nullptr);
+  EXPECT_EQ(replica->size(), 0u);
+
+  // ...and converges within a few pull intervals.
+  sim.run_until(sim.now() + Duration::millis(200));
+  EXPECT_EQ(replica->size(), 1u);
+  EXPECT_TRUE(replica->contains(obj));
+}
+
+TEST_F(RepositoryTest, NearestPolicyReadsReplicaWhenCloser) {
+  // Make server 1 a near replica and server 0 a far primary.
+  Topology topo2;  // dedicated topology for asymmetric latencies
+  const NodeId cl = topo2.add_node("client");
+  const NodeId far = topo2.add_node("far-primary");
+  const NodeId near = topo2.add_node("near-replica");
+  topo2.connect(cl, far, Duration::millis(80));
+  topo2.connect(cl, near, Duration::millis(2));
+  topo2.connect(far, near, Duration::millis(10));
+  Simulator sim2;
+  RpcNetwork net2{sim2, topo2, Rng{9}};
+  Repository repo2{net2};
+  repo2.add_server(far);
+  repo2.add_server(near);
+  const CollectionId coll = repo2.create_collection({far});
+  repo2.add_replica(coll, 0, near);
+  repo2.seed_member(coll, ObjectRef{ObjectId{100}, far});
+
+  // Let anti-entropy converge, then read with the nearest policy.
+  sim2.run_until(sim2.now() + Duration::millis(500));
+  RepositoryClient client{repo2, cl};
+  const SimTime start = sim2.now();
+  const auto members = run_task(sim2, client.read_all(coll));
+  const Duration elapsed = sim2.now() - start;
+  repo2.stop_all_daemons();
+  sim2.run();  // drain daemon wakeups so coroutine frames unwind
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 1u);
+  // A primary read would cost >= 160ms round trip; the replica read ~4ms.
+  EXPECT_LT(elapsed, Duration::millis(40));
+}
+
+TEST_F(RepositoryTest, StaleReplicaServesOldMembership) {
+  const CollectionId coll = repo.create_collection({server_nodes[0]});
+  repo.add_replica(coll, 0, server_nodes[1]);
+  const ObjectRef obj = repo.create_object(server_nodes[2], "x");
+  repo.seed_member(coll, obj);
+  sim.run_until(sim.now() + Duration::millis(200));  // replica has obj
+
+  // Sever exactly the primary-replica pair: with direct-only routing, the
+  // client still reaches both, but anti-entropy pulls fail.
+  topo.set_routing(Topology::Routing::kDirectOnly);
+  topo.set_link_up(server_nodes[0], server_nodes[1], false);
+
+  // Remove the member at the primary.
+  RepositoryClient writer{repo, client_node,
+                          ClientOptions{{}, ReadPolicy::kPrimaryOnly}};
+  ASSERT_TRUE(run_task(sim, writer.remove(coll, obj)).has_value());
+
+  // A primary read sees the removal; the replica still serves the member.
+  const auto fresh = run_task(sim, writer.read_all(coll));
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_TRUE(fresh.value().empty());
+
+  const auto* replica = repo.server_at(server_nodes[1])->collection(coll);
+  sim.run_until(sim.now() + Duration::millis(300));  // pulls keep failing
+  EXPECT_EQ(replica->size(), 1u);  // stale: still contains the removed member
+}
+
+TEST_F(RepositoryTest, SnapshotAtomicBlocksMutators) {
+  const CollectionId coll =
+      repo.create_collection({server_nodes[0], server_nodes[1]});
+  std::vector<ObjectRef> objs;
+  for (int i = 0; i < 8; ++i) {
+    objs.push_back(repo.create_object(server_nodes[2], "x"));
+    repo.seed_member(coll, objs.back());
+  }
+  RepositoryClient reader{repo, client_node};
+  RepositoryClient mutator{repo, server_nodes[2]};
+
+  // Concurrently: take an atomic snapshot and try to add a member.
+  const ObjectRef extra = repo.create_object(server_nodes[2], "new");
+  std::optional<std::size_t> snapshot_size;
+  bool mutation_done = false;
+
+  sim.spawn([](RepositoryClient& r, CollectionId c,
+               std::optional<std::size_t>& out) -> Task<void> {
+    const auto snap = co_await r.snapshot_atomic(c);
+    if (snap) out = snap.value().size();
+  }(reader, coll, snapshot_size));
+  sim.spawn([](Simulator& s, RepositoryClient& m, CollectionId c,
+               ObjectRef ref, bool& done) -> Task<void> {
+    co_await s.delay(Duration::millis(1));  // land mid-snapshot
+    (void)co_await m.add(c, ref);
+    done = true;
+  }(sim, mutator, coll, extra, mutation_done));
+  sim.run_until(sim.now() + Duration::seconds(30));
+
+  ASSERT_TRUE(snapshot_size.has_value());
+  // The snapshot is a consistent cut: it must not observe a half-applied
+  // add, so it sees either all 8 original members or all 9.
+  EXPECT_TRUE(*snapshot_size == 8 || *snapshot_size == 9) << *snapshot_size;
+  EXPECT_TRUE(mutation_done);
+}
+
+TEST_F(RepositoryTest, FreezeLeaseExpiresAfterHolderVanishes) {
+  StoreServerOptions opts;
+  opts.freeze_lease = Duration::millis(500);
+  const NodeId node = topo.add_node("leaseful");
+  topo.connect_full_mesh(Duration::millis(5));
+  repo.add_server(node, opts);
+  const CollectionId coll = repo.create_collection({node});
+  RepositoryClient locker{repo, client_node};
+  ASSERT_TRUE(run_task(sim, locker.freeze_all(coll)).has_value());
+
+  // The holder "crashes" (never unfreezes). A mutation must eventually pass
+  // once the lease expires.
+  RepositoryClient mutator{repo, server_nodes[0]};
+  const ObjectRef obj = repo.create_object(server_nodes[0], "x");
+  const SimTime start = sim.now();
+  const auto added = run_task(
+      sim, mutator.repo().net().call_typed<msg::MembershipReply>(
+               mutator.node(), node, "coll.membership",
+               msg::MembershipRequest{coll, obj,
+                                      msg::MembershipRequest::Op::kAdd},
+               Duration::seconds(5)));
+  ASSERT_TRUE(added.has_value());
+  EXPECT_TRUE(added.value().changed());
+  EXPECT_GE(sim.now() - start, Duration::millis(450));
+}
+
+TEST_F(RepositoryTest, ReplicaRejectsMutations) {
+  const CollectionId coll = repo.create_collection({server_nodes[0]});
+  repo.add_replica(coll, 0, server_nodes[1]);
+  RepositoryClient client{repo, client_node};
+  const auto reply = run_task(
+      sim, net.call_typed<msg::MembershipReply>(
+               client_node, server_nodes[1], "coll.membership",
+               msg::MembershipRequest{coll, ref(55, server_nodes[2].raw()),
+                                      msg::MembershipRequest::Op::kAdd}));
+  ASSERT_FALSE(reply.has_value());
+  EXPECT_EQ(reply.error().kind, FailureKind::kNotFound);
+}
+
+}  // namespace
+}  // namespace weakset

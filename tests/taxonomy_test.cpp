@@ -1,0 +1,98 @@
+// Tests for the Garcia-Molina/Wiederhold taxonomy classifier (paper
+// section 4), including the paper's stated mapping of its own design points:
+// "Figure 3 corresponds to a strong consistency (serializable),
+// first-vintage query; the one in Figure 4, to weak consistency,
+// first-vintage. The other two are both no consistency, first-bound."
+
+#include <gtest/gtest.h>
+
+#include "core/iterator.hpp"
+#include "core/local_view.hpp"
+#include "spec/taxonomy.hpp"
+
+namespace weakset {
+namespace {
+
+ObjectRef ref(std::uint64_t id) { return ObjectRef{ObjectId{id}, NodeId{0}}; }
+
+class TaxonomyRunTest : public ::testing::Test {
+ protected:
+  TaxonomyRunTest() : view(sim), recorder(view) {
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      view.add(ref(i), "p" + std::to_string(i));
+    }
+    view.set_latencies(Duration::millis(1), Duration::millis(10));
+  }
+
+  spec::TaxonomyClass run(Semantics semantics) {
+    IteratorOptions options;
+    options.recorder = &recorder;
+    auto iterator = make_elements_iterator(view, semantics, options);
+    (void)run_task(sim, drain(*iterator));
+    return spec::classify_taxonomy(recorder.finish(), view.timeline());
+  }
+
+  /// Schedules an add and a remove landing mid-run.
+  void schedule_churn() {
+    sim.schedule(Duration::millis(15), [this] { view.add(ref(9), "late"); });
+    sim.schedule(Duration::millis(25), [this] { view.remove(ref(0)); });
+  }
+
+  Simulator sim;
+  LocalSetView view;
+  spec::TraceRecorder recorder;
+};
+
+TEST_F(TaxonomyRunTest, ImmutableRunIsStrongFirstVintage) {
+  // No mutation: Figure 3's class per the paper.
+  const auto clazz = run(Semantics::kFig3ImmutableFailAware);
+  EXPECT_EQ(clazz.consistency(), spec::Consistency::kStrong);
+  EXPECT_EQ(clazz.currency(), spec::Currency::kFirstVintage);
+  EXPECT_EQ(clazz.to_string(), "strong/first-vintage");
+}
+
+TEST_F(TaxonomyRunTest, SnapshotUnderChurnIsWeakFirstVintage) {
+  // Figure 4 with concurrent mutation: data is all of the first-state, but
+  // the run is not serializable.
+  schedule_churn();
+  const auto clazz = run(Semantics::kFig4Snapshot);
+  EXPECT_EQ(clazz.consistency(), spec::Consistency::kWeak);
+  EXPECT_EQ(clazz.currency(), spec::Currency::kFirstVintage);
+}
+
+TEST_F(TaxonomyRunTest, GrowOnlyUnderGrowthIsNoneFirstBound) {
+  // Figure 5 with growth: later-state data is yielded.
+  sim.schedule(Duration::millis(15), [this] { view.add(ref(9), "late"); });
+  const auto clazz = run(Semantics::kFig5GrowOnlyPessimistic);
+  EXPECT_EQ(clazz.consistency(), spec::Consistency::kNone);
+  EXPECT_EQ(clazz.currency(), spec::Currency::kFirstBound);
+}
+
+TEST_F(TaxonomyRunTest, OptimisticUnderChurnIsNoneFirstBound) {
+  // Figure 6 with adds and removes.
+  schedule_churn();
+  const auto clazz = run(Semantics::kFig6Optimistic);
+  EXPECT_EQ(clazz.consistency(), spec::Consistency::kNone);
+  EXPECT_EQ(clazz.currency(), spec::Currency::kFirstBound);
+  EXPECT_EQ(clazz.to_string(), "none/first-bound");
+}
+
+TEST_F(TaxonomyRunTest, OptimisticWithoutChurnLooksStrong) {
+  // The taxonomy classifies *runs*, not specifications: in a quiet
+  // environment even the weakest iterator produces a serializable result.
+  const auto clazz = run(Semantics::kFig6Optimistic);
+  EXPECT_EQ(clazz.consistency(), spec::Consistency::kStrong);
+  EXPECT_EQ(clazz.currency(), spec::Currency::kFirstVintage);
+}
+
+TEST_F(TaxonomyRunTest, RemovalOnlyChurnKeepsFirstVintageButNotStrong) {
+  // Mutations happen but every yield is first-state data (a removal cannot
+  // add new-state data): weak consistency, first-vintage.
+  sim.schedule(Duration::millis(15), [this] { view.remove(ref(2)); });
+  const auto clazz = run(Semantics::kFig4Snapshot);
+  EXPECT_EQ(clazz.consistency(), spec::Consistency::kWeak);
+  EXPECT_EQ(clazz.currency(), spec::Currency::kFirstVintage);
+}
+
+}  // namespace
+}  // namespace weakset

@@ -1,0 +1,175 @@
+// Tests for federated weak sets (UnionSetView): merged membership with
+// deduplication, best-effort vs require-all composition, fetch routing, and
+// iteration over a federation under partial failure. Plus a large-scale
+// smoke test of the whole substrate.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/union_view.hpp"
+#include "core/weak_set.hpp"
+
+namespace weakset {
+namespace {
+
+class UnionTest : public ::testing::Test {
+ protected:
+  UnionTest() {
+    client_node = topo.add_node("client");
+    lib_a = topo.add_node("library-a");
+    lib_b = topo.add_node("library-b");
+    topo.connect_full_mesh(Duration::millis(8));
+    repo.add_server(lib_a);
+    repo.add_server(lib_b);
+    coll_a = repo.create_collection({lib_a});
+    coll_b = repo.create_collection({lib_b});
+    // Library A holds p0, p1, shared; library B holds p2, shared.
+    p0 = seed(coll_a, lib_a, "p0");
+    p1 = seed(coll_a, lib_a, "p1");
+    p2 = seed(coll_b, lib_b, "p2");
+    shared = repo.create_object(lib_a, "shared");
+    repo.seed_member(coll_a, shared);
+    repo.seed_member(coll_b, shared);
+  }
+  ~UnionTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind
+  }
+
+  ObjectRef seed(CollectionId coll, NodeId home, const std::string& tag) {
+    const ObjectRef ref = repo.create_object(home, tag);
+    repo.seed_member(coll, ref);
+    return ref;
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node, lib_a, lib_b;
+  RpcNetwork net{sim, topo, Rng{3000}};
+  Repository repo{net};
+  CollectionId coll_a, coll_b;
+  ObjectRef p0, p1, p2, shared;
+};
+
+TEST_F(UnionTest, MergesAndDeduplicates) {
+  RepositoryClient client{repo, client_node};
+  RepoSetView a{client, coll_a};
+  RepoSetView b{client, coll_b};
+  UnionSetView both{{&a, &b}};
+  const auto members = run_task(
+      sim, [](SetView& v) -> Task<Result<std::vector<ObjectRef>>> {
+        co_return co_await v.read_members();
+      }(both));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 4u);  // p0, p1, p2, shared (once)
+}
+
+TEST_F(UnionTest, BestEffortSkipsDeadLibrary) {
+  topo.crash(lib_b);
+  RepositoryClient client{repo, client_node,
+                          ClientOptions{Duration::millis(300), {}}};
+  RepoSetView a{client, coll_a};
+  RepoSetView b{client, coll_b};
+  UnionSetView both{{&a, &b}, UnionMode::kBestEffort};
+  const auto members = run_task(
+      sim, [](SetView& v) -> Task<Result<std::vector<ObjectRef>>> {
+        co_return co_await v.read_members();
+      }(both));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value().size(), 3u);  // library A's holdings only
+  EXPECT_EQ(both.last_skipped(), 1u);
+}
+
+TEST_F(UnionTest, RequireAllFailsOnDeadLibrary) {
+  topo.crash(lib_b);
+  RepositoryClient client{repo, client_node,
+                          ClientOptions{Duration::millis(300), {}}};
+  RepoSetView a{client, coll_a};
+  RepoSetView b{client, coll_b};
+  UnionSetView both{{&a, &b}, UnionMode::kRequireAll};
+  const auto members = run_task(
+      sim, [](SetView& v) -> Task<Result<std::vector<ObjectRef>>> {
+        co_return co_await v.read_members();
+      }(both));
+  EXPECT_FALSE(members.has_value());
+}
+
+TEST_F(UnionTest, IterationDeliversTheFederation) {
+  RepositoryClient client{repo, client_node};
+  RepoSetView a{client, coll_a};
+  RepoSetView b{client, coll_b};
+  UnionSetView both{{&a, &b}};
+  auto iterator = make_elements_iterator(both, Semantics::kFig6Optimistic);
+  const DrainResult result = run_task(sim, drain(*iterator));
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 4u);
+  std::set<std::string> payloads;
+  for (const auto& [r, v] : result.elements()) payloads.insert(v.data());
+  EXPECT_EQ(payloads,
+            (std::set<std::string>{"p0", "p1", "p2", "shared"}));
+}
+
+TEST_F(UnionTest, FederationCannotFreeze) {
+  RepositoryClient client{repo, client_node};
+  RepoSetView a{client, coll_a};
+  UnionSetView only_a{{&a}};
+  const auto frozen = run_task(sim, [](SetView& v) -> Task<Result<void>> {
+    co_return co_await v.freeze();
+  }(only_a));
+  EXPECT_FALSE(frozen.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Large-scale smoke test: the substrate at two orders of magnitude above the
+// unit tests (64 servers, 1024 objects, fragments, replicas, one partition).
+
+TEST(ScaleSmokeTest, SixtyFourServersThousandObjects) {
+  Simulator sim;
+  Topology topo;
+  const NodeId client_node = topo.add_node("client");
+  std::vector<NodeId> servers;
+  for (int i = 0; i < 64; ++i) {
+    servers.push_back(topo.add_node("s" + std::to_string(i)));
+    topo.connect(client_node, servers.back(),
+                 Duration::millis(2 + (i % 32)));
+  }
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    topo.connect(servers[i], servers[(i + 1) % servers.size()],
+                 Duration::millis(5));
+  }
+  RpcNetwork net{sim, topo, Rng{4242}};
+  Repository repo{net};
+  for (const NodeId node : servers) repo.add_server(node);
+
+  // A 4-fragment collection with 1024 members spread over every server.
+  const CollectionId coll = repo.create_collection(
+      {servers[0], servers[16], servers[32], servers[48]});
+  repo.add_replica(coll, 0, servers[1]);
+  for (int i = 0; i < 1024; ++i) {
+    repo.seed_member(
+        coll, repo.create_object(servers[static_cast<std::size_t>(i) % 64],
+                                 "obj" + std::to_string(i)));
+  }
+
+  // One server down at the start, restarting mid-run.
+  topo.crash(servers[63]);
+  sim.schedule(Duration::seconds(30),
+               [&topo, &servers] { topo.restart(servers[63]); });
+
+  RepositoryClient client{repo, client_node};
+  WeakSet set{client, coll};
+  IteratorOptions options;
+  options.retry = RetryPolicy::forever(Duration::millis(500));
+  auto iterator = set.elements(Semantics::kFig6Optimistic, options);
+  const DrainResult result = run_task(sim, drain(*iterator));
+  EXPECT_TRUE(result.finished());
+  EXPECT_EQ(result.count(), 1024u);
+  EXPECT_GT(net.stats().calls, 1024u);
+  repo.stop_all_daemons();
+  sim.run();
+}
+
+}  // namespace
+}  // namespace weakset

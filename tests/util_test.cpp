@@ -1,0 +1,250 @@
+// Unit tests for the util module: Result, Failure, Rng, ids, time, hashing.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "util/failure.hpp"
+#include "util/hash.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace weakset {
+namespace {
+
+TEST(FailureTest, ToStringCoversAllKinds) {
+  EXPECT_EQ(to_string(FailureKind::kTimeout), "timeout");
+  EXPECT_EQ(to_string(FailureKind::kNodeCrashed), "node-crashed");
+  EXPECT_EQ(to_string(FailureKind::kLinkDown), "link-down");
+  EXPECT_EQ(to_string(FailureKind::kPartitioned), "partitioned");
+  EXPECT_EQ(to_string(FailureKind::kUnreachable), "unreachable");
+  EXPECT_EQ(to_string(FailureKind::kNotFound), "not-found");
+  EXPECT_EQ(to_string(FailureKind::kCancelled), "cancelled");
+  EXPECT_EQ(to_string(FailureKind::kExhausted), "exhausted");
+}
+
+TEST(FailureTest, FormatsDetail) {
+  const Failure f{FailureKind::kTimeout, "fetch obj 7"};
+  EXPECT_EQ(to_string(f), "timeout: fetch obj 7");
+  EXPECT_EQ(to_string(Failure{FailureKind::kLinkDown, ""}), "link-down");
+}
+
+TEST(FailureTest, EqualityIgnoresDetail) {
+  const Failure a{FailureKind::kTimeout, "x"};
+  const Failure b{FailureKind::kTimeout, "y"};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, (Failure{FailureKind::kLinkDown, "x"}));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsFailure) {
+  Result<int> r{Failure{FailureKind::kPartitioned, "node 3"}};
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().kind, FailureKind::kPartitioned);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MapPropagatesFailure) {
+  Result<int> ok{10};
+  const auto doubled = ok.map([](int x) { return x * 2; });
+  ASSERT_TRUE(doubled.has_value());
+  EXPECT_EQ(doubled.value(), 20);
+
+  Result<int> bad{Failure{FailureKind::kTimeout}};
+  const auto mapped = bad.map([](int x) { return x * 2; });
+  ASSERT_FALSE(mapped.has_value());
+  EXPECT_EQ(mapped.error().kind, FailureKind::kTimeout);
+}
+
+TEST(ResultTest, VoidSpecialisation) {
+  Result<void> ok = Ok();
+  EXPECT_TRUE(ok.has_value());
+  Result<void> bad{Failure{FailureKind::kCancelled}};
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().kind, FailureKind::kCancelled);
+}
+
+struct TestTag {};
+using TestId = Id<TestTag>;
+
+TEST(IdTest, InvalidByDefault) {
+  TestId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, TestId::invalid());
+}
+
+TEST(IdTest, SequenceMintsDistinctIds) {
+  IdSequence<TestTag> seq;
+  std::set<TestId> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(seq.next());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(seq.minted(), 100u);
+  for (const auto id : seen) EXPECT_TRUE(id.valid());
+}
+
+TEST(IdTest, Hashable) {
+  std::unordered_set<TestId> set;
+  IdSequence<TestTag> seq;
+  for (int i = 0; i < 64; ++i) set.insert(seq.next());
+  EXPECT_EQ(set.size(), 64u);
+}
+
+TEST(TimeTest, DurationArithmetic) {
+  EXPECT_EQ(Duration::millis(3).count_nanos(), 3'000'000);
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1000));
+  EXPECT_EQ(Duration::millis(5) + Duration::millis(7), Duration::millis(12));
+  EXPECT_EQ(Duration::millis(5) * 4, Duration::millis(20));
+  EXPECT_EQ(Duration::millis(20) / 4, Duration::millis(5));
+  EXPECT_LT(Duration::micros(999), Duration::millis(1));
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).as_seconds(), 1.5);
+}
+
+TEST(TimeTest, SimTimeArithmetic) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + Duration::millis(10);
+  EXPECT_EQ((t1 - t0), Duration::millis(10));
+  EXPECT_LT(t0, t1);
+  EXPECT_LT(t1, SimTime::max());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{12345};
+  Rng b{12345};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng{99};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng{3};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng{11};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng{6};
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng{8};
+  const Duration mean = Duration::millis(10);
+  double total = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const Duration d = rng.exponential(mean);
+    EXPECT_GE(d, Duration::zero());
+    total += d.as_millis();
+  }
+  EXPECT_NEAR(total / kSamples, 10.0, 0.5);
+}
+
+TEST(RngTest, UniformDurationInBounds) {
+  Rng rng{10};
+  const Duration lo = Duration::millis(1);
+  const Duration hi = Duration::millis(5);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = rng.uniform_duration(lo, hi);
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng{13};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, PickReturnsMember) {
+  Rng rng{14};
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int p = rng.pick(v);
+    EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent{42};
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(HashTest, Fnv1aStable) {
+  // Known FNV-1a test vector.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a("abc"), fnv1a("acb"));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  const auto h1 = hash_combine(hash_combine(0, 1), 2);
+  const auto h2 = hash_combine(hash_combine(0, 2), 1);
+  EXPECT_NE(h1, h2);
+}
+
+}  // namespace
+}  // namespace weakset

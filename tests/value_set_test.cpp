@@ -1,0 +1,139 @@
+// Tests for ValueSet: the paper's Figure 1 type specification (create, add,
+// remove, size, elements) with value semantics, new(t) object identity, and
+// the immutability constraint by construction. Includes algebraic property
+// sweeps.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/value_set.hpp"
+#include "util/rng.hpp"
+
+namespace weakset {
+namespace {
+
+TEST(ValueSetTest, CreateIsEmpty) {
+  const auto s = ValueSet<int>::create();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(ValueSetTest, AddEnsuresClause) {
+  // t_post = s_pre ∪ {e} ∧ new(t): the result has the element, the original
+  // is untouched, and a new object was minted.
+  const auto s = ValueSet<int>::create();
+  const auto t = s.add(7);
+  EXPECT_TRUE(t.contains(7));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(s.contains(7));  // s_pre unchanged
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(t.same_object(s));
+}
+
+TEST(ValueSetTest, RemoveEnsuresClause) {
+  const auto s = ValueSet<int>::create().add(1).add(2);
+  const auto t = s.remove(1);
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_TRUE(s.contains(1));  // original value untouched
+  EXPECT_FALSE(t.same_object(s));
+}
+
+TEST(ValueSetTest, AddExistingIsValueIdentity) {
+  const auto s = ValueSet<int>::create().add(1);
+  const auto t = s.add(1);
+  EXPECT_EQ(t, s);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ValueSetTest, RemoveMissingIsValueIdentity) {
+  const auto s = ValueSet<int>::create().add(1);
+  const auto t = s.remove(9);
+  EXPECT_EQ(t, s);
+}
+
+TEST(ValueSetTest, ValueEqualityIsExtensional) {
+  const auto a = ValueSet<int>::create().add(1).add(2);
+  const auto b = ValueSet<int>::create().add(2).add(1);
+  EXPECT_EQ(a, b);               // same value...
+  EXPECT_FALSE(a.same_object(b));  // ...different objects
+}
+
+TEST(ValueSetTest, ElementsYieldsEachExactlyOnceThenReturns) {
+  auto s = ValueSet<std::string>::create().add("b").add("a").add("c");
+  auto cursor = s.elements();
+  std::set<std::string> yielded;
+  for (;;) {
+    const auto e = cursor.next();
+    if (!e) break;
+    EXPECT_TRUE(yielded.insert(*e).second) << "duplicate yield";
+  }
+  EXPECT_EQ(yielded, (std::set<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(cursor.yielded(), 3u);
+  // Terminated: further invocations keep returning.
+  EXPECT_FALSE(cursor.next().has_value());
+}
+
+TEST(ValueSetTest, CursorSnapshotsSFirst) {
+  // The immutability constraint by construction: mutations after the first
+  // call create NEW sets; the cursor's s_first is untouched.
+  auto s = ValueSet<int>::create().add(1).add(2);
+  auto cursor = s.elements();
+  ASSERT_TRUE(cursor.next().has_value());
+  s = s.add(3).remove(1);  // rebinding the variable, not mutating the value
+  ASSERT_TRUE(cursor.next().has_value());
+  EXPECT_FALSE(cursor.next().has_value());  // exactly the original 2
+}
+
+TEST(ValueSetTest, SortedRangeAccess) {
+  const auto s = ValueSet<int>::create().add(3).add(1).add(2);
+  std::vector<int> out(s.begin(), s.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+class ValueSetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValueSetSweep, AgreesWithStdSetUnderRandomOps) {
+  Rng rng{GetParam()};
+  auto subject = ValueSet<int>::create();
+  std::set<int> model;
+  for (int i = 0; i < 300; ++i) {
+    const int value = static_cast<int>(rng.uniform(40));
+    if (rng.bernoulli(0.6)) {
+      subject = subject.add(value);
+      model.insert(value);
+    } else {
+      subject = subject.remove(value);
+      model.erase(value);
+    }
+    ASSERT_EQ(subject.size(), model.size());
+  }
+  std::vector<int> got(subject.begin(), subject.end());
+  std::vector<int> want(model.begin(), model.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(ValueSetSweep, OldVersionsSurviveNewOperations) {
+  // Persistence: every intermediate version keeps its exact value.
+  Rng rng{GetParam() ^ 0xabc};
+  std::vector<ValueSet<int>> versions;
+  std::vector<std::size_t> sizes;
+  auto current = ValueSet<int>::create();
+  for (int i = 0; i < 50; ++i) {
+    current = current.add(static_cast<int>(rng.uniform(1000)));
+    versions.push_back(current);
+    sizes.push_back(current.size());
+  }
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    EXPECT_EQ(versions[i].size(), sizes[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueSetSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace weakset

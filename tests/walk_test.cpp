@@ -1,0 +1,158 @@
+// Tests for hierarchical directories (Entry) and the recursive walk: paths,
+// cross-node subtrees, filters, and unreachable-subtree skipping.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "fs/walk.hpp"
+#include "query/predicate.hpp"
+
+namespace weakset {
+namespace {
+
+TEST(EntryTest, FileRoundTrip) {
+  const Entry entry = Entry::file("paper.tex", "\\begin{document}");
+  const Entry decoded = Entry::decode(entry.encode());
+  EXPECT_EQ(decoded.kind(), Entry::Kind::kFile);
+  EXPECT_EQ(decoded.name(), "paper.tex");
+  EXPECT_EQ(decoded.contents(), "\\begin{document}");
+}
+
+TEST(EntryTest, SubdirRoundTrip) {
+  const Directory dir{CollectionId{42}, NodeId{7}};
+  const Entry entry = Entry::subdir("src", dir);
+  const Entry decoded = Entry::decode(entry.encode());
+  EXPECT_TRUE(decoded.is_subdir());
+  EXPECT_EQ(decoded.name(), "src");
+  EXPECT_EQ(decoded.dir().id(), CollectionId{42});
+  EXPECT_EQ(decoded.dir().home(), NodeId{7});
+}
+
+TEST(EntryTest, PlainFileInfoDecodesAsFile) {
+  const FileInfo plain{"menu", "dumplings"};
+  const Entry decoded = Entry::decode(plain.encode());
+  EXPECT_EQ(decoded.kind(), Entry::Kind::kFile);
+  EXPECT_EQ(decoded.contents(), "dumplings");
+}
+
+class WalkTest : public ::testing::Test {
+ protected:
+  WalkTest() {
+    client_node = topo.add_node("client");
+    for (int i = 0; i < 3; ++i) {
+      servers.push_back(topo.add_node("srv" + std::to_string(i)));
+    }
+    topo.connect_full_mesh(Duration::millis(5));
+    for (const NodeId node : servers) repo.add_server(node);
+
+    //   /               (srv0)
+    //     readme        (file, srv0)
+    //     src/          (dir on srv1, entry object on srv0)
+    //       main.cpp    (file, srv1)
+    //       deep/       (dir on srv2, entry on srv1)
+    //         notes.txt (file, srv2)
+    //     docs/         (dir on srv2)
+    //       guide.md    (file, srv2)
+    root = fs.mkdir(servers[0]);
+    fs.create_file(root, servers[0], "readme", "hello");
+    const Directory src =
+        fs.make_subdir(root, servers[1], servers[0], "src");
+    fs.create_file(src, servers[1], "main.cpp", "int main() {}");
+    const Directory deep =
+        fs.make_subdir(src, servers[2], servers[1], "deep");
+    fs.create_file(deep, servers[2], "notes.txt", "todo");
+    const Directory docs =
+        fs.make_subdir(root, servers[2], servers[0], "docs");
+    fs.create_file(docs, servers[2], "guide.md", "# guide");
+  }
+  ~WalkTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind (no leaks)
+  }
+
+  std::set<std::string> paths(const WalkResult& result) {
+    std::set<std::string> out;
+    for (const FoundFile& file : result.files()) out.insert(file.path());
+    return out;
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node;
+  std::vector<NodeId> servers;
+  RpcNetwork net{sim, topo, Rng{91}};
+  Repository repo{net};
+  DistFileSystem fs{repo};
+  Directory root;
+};
+
+TEST_F(WalkTest, FindsEveryFileWithFullPaths) {
+  RepositoryClient client{repo, client_node};
+  const WalkResult result = run_task(sim, walk(client, root));
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.directories_visited(), 4u);
+  EXPECT_EQ(paths(result),
+            (std::set<std::string>{"readme", "src/main.cpp",
+                                   "src/deep/notes.txt", "docs/guide.md"}));
+}
+
+TEST_F(WalkTest, DeliversContents) {
+  RepositoryClient client{repo, client_node};
+  const WalkResult result = run_task(sim, walk(client, root));
+  const auto it = std::find_if(
+      result.files().begin(), result.files().end(),
+      [](const FoundFile& f) { return f.path() == "src/main.cpp"; });
+  ASSERT_NE(it, result.files().end());
+  EXPECT_EQ(it->contents(), "int main() {}");
+}
+
+TEST_F(WalkTest, FilterSelectsMatchingFiles) {
+  RepositoryClient client{repo, client_node};
+  const PredicateSpec pred = PredicateSpec::name_glob("*.cpp");
+  const WalkResult result = run_task(
+      sim, walk(client, root,
+                [pred](const FileInfo& f) { return pred.matches(f); }));
+  EXPECT_EQ(paths(result), (std::set<std::string>{"src/main.cpp"}));
+  EXPECT_TRUE(result.complete());  // filtering skips files, not directories
+}
+
+TEST_F(WalkTest, UnreachableSubtreeIsSkippedNotFatal) {
+  // srv2 hosts docs/ (and deep/): crash it. The walk must still deliver the
+  // rest and report the damage.
+  topo.crash(servers[2]);
+  RepositoryClient client{repo, client_node};
+  DynSetOptions options;
+  options.membership_refresh = Duration::millis(50);
+  options.retry = RetryPolicy{3, Duration::millis(50)};
+  const WalkResult result = run_task(sim, walk(client, root, nullptr, options));
+  EXPECT_FALSE(result.complete());
+  // readme and src/main.cpp are reachable; the deep/docs files are not.
+  EXPECT_EQ(paths(result),
+            (std::set<std::string>{"readme", "src/main.cpp"}));
+  EXPECT_GE(result.incomplete_directories(), 1u);
+}
+
+TEST_F(WalkTest, SubdirEntryHomeDownHidesTheSubtree) {
+  // The *entry object* for src/ lives on srv0... crash srv1 instead: the
+  // subdirectory collection (and main.cpp, and the deep/ entry object) are
+  // gone, but the entry itself was fetched from srv0's directory? No — the
+  // src/ entry object lives on srv0, so it IS delivered; iterating the src
+  // collection (homed on srv1) then fails, and deep/ is never discovered.
+  topo.crash(servers[1]);
+  RepositoryClient client{repo, client_node};
+  DynSetOptions options;
+  options.membership_refresh = Duration::millis(50);
+  options.retry = RetryPolicy{3, Duration::millis(50)};
+  const WalkResult result = run_task(sim, walk(client, root, nullptr, options));
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(paths(result),
+            (std::set<std::string>{"readme", "docs/guide.md"}));
+  // src/ was visited (incomplete); deep/ was never even discovered.
+  EXPECT_EQ(result.directories_visited(), 3u);
+}
+
+}  // namespace
+}  // namespace weakset
