@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "weakset::weakset_util" for configuration "RelWithDebInfo"
+set_property(TARGET weakset::weakset_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(weakset::weakset_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libweakset_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets weakset::weakset_util )
+list(APPEND _cmake_import_check_files_for_weakset::weakset_util "${_IMPORT_PREFIX}/lib/libweakset_util.a" )
+
+# Import target "weakset::weakset_sim" for configuration "RelWithDebInfo"
+set_property(TARGET weakset::weakset_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(weakset::weakset_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libweakset_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets weakset::weakset_sim )
+list(APPEND _cmake_import_check_files_for_weakset::weakset_sim "${_IMPORT_PREFIX}/lib/libweakset_sim.a" )
+
+# Import target "weakset::weakset_net" for configuration "RelWithDebInfo"
+set_property(TARGET weakset::weakset_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(weakset::weakset_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libweakset_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets weakset::weakset_net )
+list(APPEND _cmake_import_check_files_for_weakset::weakset_net "${_IMPORT_PREFIX}/lib/libweakset_net.a" )
+
+# Import target "weakset::weakset_store" for configuration "RelWithDebInfo"
+set_property(TARGET weakset::weakset_store APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(weakset::weakset_store PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libweakset_store.a"
+  )
+
+list(APPEND _cmake_import_check_targets weakset::weakset_store )
+list(APPEND _cmake_import_check_files_for_weakset::weakset_store "${_IMPORT_PREFIX}/lib/libweakset_store.a" )
+
+# Import target "weakset::weakset_spec" for configuration "RelWithDebInfo"
+set_property(TARGET weakset::weakset_spec APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(weakset::weakset_spec PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libweakset_spec.a"
+  )
+
+list(APPEND _cmake_import_check_targets weakset::weakset_spec )
+list(APPEND _cmake_import_check_files_for_weakset::weakset_spec "${_IMPORT_PREFIX}/lib/libweakset_spec.a" )
+
+# Import target "weakset::weakset_core" for configuration "RelWithDebInfo"
+set_property(TARGET weakset::weakset_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(weakset::weakset_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libweakset_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets weakset::weakset_core )
+list(APPEND _cmake_import_check_files_for_weakset::weakset_core "${_IMPORT_PREFIX}/lib/libweakset_core.a" )
+
+# Import target "weakset::weakset_dynset" for configuration "RelWithDebInfo"
+set_property(TARGET weakset::weakset_dynset APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(weakset::weakset_dynset PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libweakset_dynset.a"
+  )
+
+list(APPEND _cmake_import_check_targets weakset::weakset_dynset )
+list(APPEND _cmake_import_check_files_for_weakset::weakset_dynset "${_IMPORT_PREFIX}/lib/libweakset_dynset.a" )
+
+# Import target "weakset::weakset_fs" for configuration "RelWithDebInfo"
+set_property(TARGET weakset::weakset_fs APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(weakset::weakset_fs PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libweakset_fs.a"
+  )
+
+list(APPEND _cmake_import_check_targets weakset::weakset_fs )
+list(APPEND _cmake_import_check_files_for_weakset::weakset_fs "${_IMPORT_PREFIX}/lib/libweakset_fs.a" )
+
+# Import target "weakset::weakset_query" for configuration "RelWithDebInfo"
+set_property(TARGET weakset::weakset_query APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(weakset::weakset_query PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libweakset_query.a"
+  )
+
+list(APPEND _cmake_import_check_targets weakset::weakset_query )
+list(APPEND _cmake_import_check_files_for_weakset::weakset_query "${_IMPORT_PREFIX}/lib/libweakset_query.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_index.dir/bench_e11_index.cpp.o"
+  "CMakeFiles/bench_e11_index.dir/bench_e11_index.cpp.o.d"
+  "bench_e11_index"
+  "bench_e11_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

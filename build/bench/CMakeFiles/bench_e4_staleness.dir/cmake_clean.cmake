@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_staleness.dir/bench_e4_staleness.cpp.o"
+  "CMakeFiles/bench_e4_staleness.dir/bench_e4_staleness.cpp.o.d"
+  "bench_e4_staleness"
+  "bench_e4_staleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

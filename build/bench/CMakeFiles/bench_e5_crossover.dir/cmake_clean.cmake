@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_crossover.dir/bench_e5_crossover.cpp.o"
+  "CMakeFiles/bench_e5_crossover.dir/bench_e5_crossover.cpp.o.d"
+  "bench_e5_crossover"
+  "bench_e5_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_ordering.dir/bench_e6_ordering.cpp.o"
+  "CMakeFiles/bench_e6_ordering.dir/bench_e6_ordering.cpp.o.d"
+  "bench_e6_ordering"
+  "bench_e6_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

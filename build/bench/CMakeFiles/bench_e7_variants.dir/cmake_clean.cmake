@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_variants.dir/bench_e7_variants.cpp.o"
+  "CMakeFiles/bench_e7_variants.dir/bench_e7_variants.cpp.o.d"
+  "bench_e7_variants"
+  "bench_e7_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

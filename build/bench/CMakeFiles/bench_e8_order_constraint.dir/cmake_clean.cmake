@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_order_constraint.dir/bench_e8_order_constraint.cpp.o"
+  "CMakeFiles/bench_e8_order_constraint.dir/bench_e8_order_constraint.cpp.o.d"
+  "bench_e8_order_constraint"
+  "bench_e8_order_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_order_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

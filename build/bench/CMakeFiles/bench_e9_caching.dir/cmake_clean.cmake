@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_caching.dir/bench_e9_caching.cpp.o"
+  "CMakeFiles/bench_e9_caching.dir/bench_e9_caching.cpp.o.d"
+  "bench_e9_caching"
+  "bench_e9_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

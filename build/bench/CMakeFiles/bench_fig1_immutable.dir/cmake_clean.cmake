@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_immutable.dir/bench_fig1_immutable.cpp.o"
+  "CMakeFiles/bench_fig1_immutable.dir/bench_fig1_immutable.cpp.o.d"
+  "bench_fig1_immutable"
+  "bench_fig1_immutable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_immutable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

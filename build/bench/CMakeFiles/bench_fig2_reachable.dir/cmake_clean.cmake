@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_reachable.dir/bench_fig2_reachable.cpp.o"
+  "CMakeFiles/bench_fig2_reachable.dir/bench_fig2_reachable.cpp.o.d"
+  "bench_fig2_reachable"
+  "bench_fig2_reachable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_reachable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

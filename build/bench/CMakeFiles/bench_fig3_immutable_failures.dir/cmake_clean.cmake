@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_immutable_failures.dir/bench_fig3_immutable_failures.cpp.o"
+  "CMakeFiles/bench_fig3_immutable_failures.dir/bench_fig3_immutable_failures.cpp.o.d"
+  "bench_fig3_immutable_failures"
+  "bench_fig3_immutable_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_immutable_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_snapshot.dir/bench_fig4_snapshot.cpp.o"
+  "CMakeFiles/bench_fig4_snapshot.dir/bench_fig4_snapshot.cpp.o.d"
+  "bench_fig4_snapshot"
+  "bench_fig4_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

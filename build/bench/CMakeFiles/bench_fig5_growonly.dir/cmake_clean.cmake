@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_growonly.dir/bench_fig5_growonly.cpp.o"
+  "CMakeFiles/bench_fig5_growonly.dir/bench_fig5_growonly.cpp.o.d"
+  "bench_fig5_growonly"
+  "bench_fig5_growonly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_growonly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

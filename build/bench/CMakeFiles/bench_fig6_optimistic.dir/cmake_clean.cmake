@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_optimistic.dir/bench_fig6_optimistic.cpp.o"
+  "CMakeFiles/bench_fig6_optimistic.dir/bench_fig6_optimistic.cpp.o.d"
+  "bench_fig6_optimistic"
+  "bench_fig6_optimistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_optimistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

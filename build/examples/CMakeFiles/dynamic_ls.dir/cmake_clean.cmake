@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_ls.dir/dynamic_ls.cpp.o"
+  "CMakeFiles/dynamic_ls.dir/dynamic_ls.cpp.o.d"
+  "dynamic_ls"
+  "dynamic_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executable_specs.dir/executable_specs.cpp.o"
+  "CMakeFiles/executable_specs.dir/executable_specs.cpp.o.d"
+  "executable_specs"
+  "executable_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executable_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_search.dir/library_search.cpp.o"
+  "CMakeFiles/library_search.dir/library_search.cpp.o.d"
+  "library_search"
+  "library_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/restaurant_guide.cpp" "examples/CMakeFiles/restaurant_guide.dir/restaurant_guide.cpp.o" "gcc" "examples/CMakeFiles/restaurant_guide.dir/restaurant_guide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/weakset_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/weakset_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dynset/CMakeFiles/weakset_dynset.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/weakset_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/weakset_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/weakset_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/weakset_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/weakset_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/weakset_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

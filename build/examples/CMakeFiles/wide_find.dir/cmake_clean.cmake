@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_find.dir/wide_find.cpp.o"
+  "CMakeFiles/wide_find.dir/wide_find.cpp.o.d"
+  "wide_find"
+  "wide_find.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_find.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/www_faces.dir/www_faces.cpp.o"
+  "CMakeFiles/www_faces.dir/www_faces.cpp.o.d"
+  "www_faces"
+  "www_faces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/www_faces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for www_faces.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fig1_iterator.cpp" "src/core/CMakeFiles/weakset_core.dir/fig1_iterator.cpp.o" "gcc" "src/core/CMakeFiles/weakset_core.dir/fig1_iterator.cpp.o.d"
+  "/root/repo/src/core/grow_only_iterator.cpp" "src/core/CMakeFiles/weakset_core.dir/grow_only_iterator.cpp.o" "gcc" "src/core/CMakeFiles/weakset_core.dir/grow_only_iterator.cpp.o.d"
+  "/root/repo/src/core/immutable_iterator.cpp" "src/core/CMakeFiles/weakset_core.dir/immutable_iterator.cpp.o" "gcc" "src/core/CMakeFiles/weakset_core.dir/immutable_iterator.cpp.o.d"
+  "/root/repo/src/core/iterator.cpp" "src/core/CMakeFiles/weakset_core.dir/iterator.cpp.o" "gcc" "src/core/CMakeFiles/weakset_core.dir/iterator.cpp.o.d"
+  "/root/repo/src/core/mobile.cpp" "src/core/CMakeFiles/weakset_core.dir/mobile.cpp.o" "gcc" "src/core/CMakeFiles/weakset_core.dir/mobile.cpp.o.d"
+  "/root/repo/src/core/optimistic_iterator.cpp" "src/core/CMakeFiles/weakset_core.dir/optimistic_iterator.cpp.o" "gcc" "src/core/CMakeFiles/weakset_core.dir/optimistic_iterator.cpp.o.d"
+  "/root/repo/src/core/snapshot_iterator.cpp" "src/core/CMakeFiles/weakset_core.dir/snapshot_iterator.cpp.o" "gcc" "src/core/CMakeFiles/weakset_core.dir/snapshot_iterator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/weakset_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/weakset_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/weakset_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/weakset_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/weakset_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakset_core.dir/fig1_iterator.cpp.o"
+  "CMakeFiles/weakset_core.dir/fig1_iterator.cpp.o.d"
+  "CMakeFiles/weakset_core.dir/grow_only_iterator.cpp.o"
+  "CMakeFiles/weakset_core.dir/grow_only_iterator.cpp.o.d"
+  "CMakeFiles/weakset_core.dir/immutable_iterator.cpp.o"
+  "CMakeFiles/weakset_core.dir/immutable_iterator.cpp.o.d"
+  "CMakeFiles/weakset_core.dir/iterator.cpp.o"
+  "CMakeFiles/weakset_core.dir/iterator.cpp.o.d"
+  "CMakeFiles/weakset_core.dir/mobile.cpp.o"
+  "CMakeFiles/weakset_core.dir/mobile.cpp.o.d"
+  "CMakeFiles/weakset_core.dir/optimistic_iterator.cpp.o"
+  "CMakeFiles/weakset_core.dir/optimistic_iterator.cpp.o.d"
+  "CMakeFiles/weakset_core.dir/snapshot_iterator.cpp.o"
+  "CMakeFiles/weakset_core.dir/snapshot_iterator.cpp.o.d"
+  "libweakset_core.a"
+  "libweakset_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakset_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakset_dynset.dir/dynamic_set.cpp.o"
+  "CMakeFiles/weakset_dynset.dir/dynamic_set.cpp.o.d"
+  "libweakset_dynset.a"
+  "libweakset_dynset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakset_dynset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakset_fs.dir/ls.cpp.o"
+  "CMakeFiles/weakset_fs.dir/ls.cpp.o.d"
+  "CMakeFiles/weakset_fs.dir/walk.cpp.o"
+  "CMakeFiles/weakset_fs.dir/walk.cpp.o.d"
+  "libweakset_fs.a"
+  "libweakset_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakset_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

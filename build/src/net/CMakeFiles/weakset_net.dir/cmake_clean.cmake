@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakset_net.dir/rpc.cpp.o"
+  "CMakeFiles/weakset_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/weakset_net.dir/topology.cpp.o"
+  "CMakeFiles/weakset_net.dir/topology.cpp.o.d"
+  "libweakset_net.a"
+  "libweakset_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakset_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakset_query.dir/index.cpp.o"
+  "CMakeFiles/weakset_query.dir/index.cpp.o.d"
+  "CMakeFiles/weakset_query.dir/predicate.cpp.o"
+  "CMakeFiles/weakset_query.dir/predicate.cpp.o.d"
+  "CMakeFiles/weakset_query.dir/query_set.cpp.o"
+  "CMakeFiles/weakset_query.dir/query_set.cpp.o.d"
+  "CMakeFiles/weakset_query.dir/scan.cpp.o"
+  "CMakeFiles/weakset_query.dir/scan.cpp.o.d"
+  "libweakset_query.a"
+  "libweakset_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakset_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

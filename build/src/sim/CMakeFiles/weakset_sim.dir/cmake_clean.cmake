@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakset_sim.dir/simulator.cpp.o"
+  "CMakeFiles/weakset_sim.dir/simulator.cpp.o.d"
+  "libweakset_sim.a"
+  "libweakset_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakset_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

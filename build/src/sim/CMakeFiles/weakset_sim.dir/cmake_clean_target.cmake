@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libweakset_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakset_spec.dir/render.cpp.o"
+  "CMakeFiles/weakset_spec.dir/render.cpp.o.d"
+  "CMakeFiles/weakset_spec.dir/specs.cpp.o"
+  "CMakeFiles/weakset_spec.dir/specs.cpp.o.d"
+  "CMakeFiles/weakset_spec.dir/taxonomy.cpp.o"
+  "CMakeFiles/weakset_spec.dir/taxonomy.cpp.o.d"
+  "libweakset_spec.a"
+  "libweakset_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakset_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakset_store.dir/client.cpp.o"
+  "CMakeFiles/weakset_store.dir/client.cpp.o.d"
+  "CMakeFiles/weakset_store.dir/collection.cpp.o"
+  "CMakeFiles/weakset_store.dir/collection.cpp.o.d"
+  "CMakeFiles/weakset_store.dir/repository.cpp.o"
+  "CMakeFiles/weakset_store.dir/repository.cpp.o.d"
+  "CMakeFiles/weakset_store.dir/server.cpp.o"
+  "CMakeFiles/weakset_store.dir/server.cpp.o.d"
+  "libweakset_store.a"
+  "libweakset_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakset_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakset_util.dir/failure.cpp.o"
+  "CMakeFiles/weakset_util.dir/failure.cpp.o.d"
+  "CMakeFiles/weakset_util.dir/log.cpp.o"
+  "CMakeFiles/weakset_util.dir/log.cpp.o.d"
+  "CMakeFiles/weakset_util.dir/rng.cpp.o"
+  "CMakeFiles/weakset_util.dir/rng.cpp.o.d"
+  "libweakset_util.a"
+  "libweakset_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakset_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_matrix_test.dir/conformance_matrix_test.cpp.o"
+  "CMakeFiles/conformance_matrix_test.dir/conformance_matrix_test.cpp.o.d"
+  "conformance_matrix_test"
+  "conformance_matrix_test.pdb"
+  "conformance_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynset_test.dir/dynset_test.cpp.o"
+  "CMakeFiles/dynset_test.dir/dynset_test.cpp.o.d"
+  "dynset_test"
+  "dynset_test.pdb"
+  "dynset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

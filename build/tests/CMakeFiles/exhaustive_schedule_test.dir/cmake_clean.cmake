@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_schedule_test.dir/exhaustive_schedule_test.cpp.o"
+  "CMakeFiles/exhaustive_schedule_test.dir/exhaustive_schedule_test.cpp.o.d"
+  "exhaustive_schedule_test"
+  "exhaustive_schedule_test.pdb"
+  "exhaustive_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hoard_test.dir/hoard_test.cpp.o"
+  "CMakeFiles/hoard_test.dir/hoard_test.cpp.o.d"
+  "hoard_test"
+  "hoard_test.pdb"
+  "hoard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hoard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_set_test.dir/value_set_test.cpp.o"
+  "CMakeFiles/value_set_test.dir/value_set_test.cpp.o.d"
+  "value_set_test"
+  "value_set_test.pdb"
+  "value_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

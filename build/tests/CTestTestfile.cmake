@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/core_local_test[1]_include.cmake")
+include("/root/repo/build/tests/core_repo_test[1]_include.cmake")
+include("/root/repo/build/tests/dynset_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/variants_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/replication_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/value_set_test[1]_include.cmake")
+include("/root/repo/build/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/walk_test[1]_include.cmake")
+include("/root/repo/build/tests/hoard_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/mobile_test[1]_include.cmake")
+include("/root/repo/build/tests/facade_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/union_test[1]_include.cmake")
