@@ -21,6 +21,7 @@ namespace {
 
 void BM_ScaleWithFragments(benchmark::State& state) {
   const int fragments = static_cast<int>(state.range(0));
+  const auto prefetch_window = static_cast<std::size_t>(state.range(1));
   const int n = 32;
   for (auto _ : state) {
     WorldConfig config;
@@ -59,25 +60,26 @@ void BM_ScaleWithFragments(benchmark::State& state) {
     state.counters["snapshot_rpcs"] =
         static_cast<double>(world.net->stats().calls - calls_before);
 
-    // Full optimistic iteration.
+    // Full optimistic iteration (element fetches go through the prefetch
+    // pipeline at the swept window; 1 = serial).
     WeakSet set{client, coll};
     calls_before = world.net->stats().calls;
     start = world.sim.now();
-    auto iterator = set.elements(Semantics::kFig6Optimistic);
+    IteratorOptions options;
+    options.prefetch_window = prefetch_window;
+    auto iterator = set.elements(Semantics::kFig6Optimistic, options);
     const DrainResult result = run_task(world.sim, drain(*iterator));
     assert(result.finished());
     (void)result;
     state.counters["iterate_ms"] = (world.sim.now() - start).as_millis();
     state.counters["iterate_rpcs"] =
         static_cast<double>(world.net->stats().calls - calls_before);
+    state.counters["prefetch_hits"] =
+        static_cast<double>(iterator->stats().prefetch_hits);
   }
 }
 BENCHMARK(BM_ScaleWithFragments)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Arg(16)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {1, 8}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cassert>
+
 #include "bench_common.hpp"
 #include "fs/ls.hpp"
 
@@ -81,6 +83,40 @@ void BM_DynamicLs(benchmark::State& state) {
 }
 BENCHMARK(BM_DynamicLs)
     ->ArgsProduct({{8, 32, 128}, {1, 4, 16}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig1DrainPrefetch(benchmark::State& state) {
+  // The ISSUE 1 acceptance scenario: a Fig 1 drain of 200 elements over the
+  // default 4-server world (far servers), sweeping the iterator's prefetch
+  // window. Window 1 is the serial pre-pipeline behaviour; the batched
+  // pipeline must cut simulated drain time by >= 2x at window 8.
+  const int elements = static_cast<int>(state.range(0));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    World world{WorldConfig{}};
+    const CollectionId coll = world.make_collection(elements);
+    RepositoryClient client{*world.repo, world.client_node};
+    WeakSet set{client, coll};
+    IteratorOptions options;
+    options.prefetch_window = window;
+    auto iterator = set.elements(Semantics::kFig1Immutable, options);
+    const std::uint64_t calls_before = world.net->stats().calls;
+    const SimTime start = world.sim.now();
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+    assert(result.finished());
+    state.counters["drain_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["yielded"] = static_cast<double>(result.count());
+    state.counters["rpcs"] =
+        static_cast<double>(world.net->stats().calls - calls_before);
+    const IteratorStats& stats = iterator->stats();
+    state.counters["hits"] = static_cast<double>(stats.prefetch_hits);
+    state.counters["misses"] = static_cast<double>(stats.prefetch_misses);
+    state.counters["batches"] = static_cast<double>(stats.prefetch_batches);
+  }
+}
+BENCHMARK(BM_Fig1DrainPrefetch)
+    ->ArgsProduct({{200}, {1, 2, 4, 8, 16, 32}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

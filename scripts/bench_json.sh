@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the prefetch-sweep benchmarks with JSON output and assembles them
+# into one BENCH_prefetch.json, starting the perf trajectory for the fetch
+# pipeline (ISSUE 1).
+#
+# Usage: scripts/bench_json.sh [build-dir] [output-file]
+
+set -euo pipefail
+build_dir="${1:-build}"
+out="${2:-BENCH_prefetch.json}"
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: ${build_dir}/bench not found — configure and build first:" >&2
+  echo "  cmake -B ${build_dir} && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+for bench in bench_e1_latency bench_e10_scale; do
+  bin="${build_dir}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not found or not executable" >&2
+    exit 1
+  fi
+  echo "running ${bench}..." >&2
+  "${bin}" --benchmark_format=json >"${tmp}/${bench}.json" 2>/dev/null
+done
+
+# One top-level object keyed by bench binary, each value the unmodified
+# google-benchmark JSON document.
+{
+  echo '{'
+  echo '  "bench_e1_latency":'
+  cat "${tmp}/bench_e1_latency.json"
+  echo '  ,'
+  echo '  "bench_e10_scale":'
+  cat "${tmp}/bench_e10_scale.json"
+  echo '}'
+} >"${out}"
+
+echo "wrote ${out}" >&2

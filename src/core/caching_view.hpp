@@ -55,6 +55,35 @@ class CachingSetView final : public SetView {
     co_return value;
   }
 
+  Task<std::vector<Result<VersionedValue>>> fetch_many(
+      std::vector<ObjectRef> refs) override {
+    // Serve hits locally, batch the misses through the inner view, and admit
+    // every batch result — a prefetch window's worth of fetches warms the
+    // cache in one go.
+    std::vector<std::optional<Result<VersionedValue>>> slots(refs.size());
+    std::vector<ObjectRef> misses;
+    std::vector<std::size_t> miss_index;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      if (auto hit = cache_.get(refs[i], now())) {
+        slots[i] = std::move(*hit);
+      } else {
+        misses.push_back(refs[i]);
+        miss_index.push_back(i);
+      }
+    }
+    if (!misses.empty()) {
+      auto fetched = co_await inner_.fetch_many(std::move(misses));
+      for (std::size_t j = 0; j < fetched.size(); ++j) {
+        if (fetched[j]) cache_.put(refs[miss_index[j]], fetched[j].value(), now());
+        slots[miss_index[j]] = std::move(fetched[j]);
+      }
+    }
+    std::vector<Result<VersionedValue>> out;
+    out.reserve(refs.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    co_return out;
+  }
+
   [[nodiscard]] Simulator& sim() override { return inner_.sim(); }
 
   [[nodiscard]] ObjectCache& cache() noexcept { return cache_; }

@@ -13,9 +13,11 @@ Task<Step> Fig1Iterator::step() {
   std::vector<ObjectRef> candidates = unyielded(s_first_);
   if (candidates.empty()) co_return Step::finished();
   // Failure-free model: fetch the first candidate without consulting the
-  // failure detector.
+  // failure detector. The prefetch window pipelines the fetches of the
+  // candidates behind it.
+  prefetch_sync(candidates);
   const ObjectRef ref = candidates.front();
-  Result<VersionedValue> value = co_await view().fetch(ref);
+  Result<VersionedValue> value = co_await fetch_element(ref);
   if (!value) co_return Step::failed(std::move(value).error());
   co_return Step::yielded(ref, std::move(value).value());
 }

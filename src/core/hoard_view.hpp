@@ -100,6 +100,36 @@ class HoardingSetView final : public SetView {
     co_return value;
   }
 
+  Task<std::vector<Result<VersionedValue>>> fetch_many(
+      std::vector<ObjectRef> refs) override {
+    // Hoard hits serve locally (they are the point of hoarding); misses go
+    // out batched while connected, and every result joins the hoard.
+    std::vector<std::optional<Result<VersionedValue>>> slots(refs.size());
+    std::vector<ObjectRef> misses;
+    std::vector<std::size_t> miss_index;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      if (auto hit = cache_.get(refs[i], sim_.now())) {
+        slots[i] = std::move(*hit);
+      } else {
+        misses.push_back(refs[i]);
+        miss_index.push_back(i);
+      }
+    }
+    if (!misses.empty()) {
+      auto fetched = co_await inner_.fetch_many(std::move(misses));
+      for (std::size_t j = 0; j < fetched.size(); ++j) {
+        if (fetched[j]) {
+          cache_.put(refs[miss_index[j]], fetched[j].value(), sim_.now());
+        }
+        slots[miss_index[j]] = std::move(fetched[j]);
+      }
+    }
+    std::vector<Result<VersionedValue>> out;
+    out.reserve(refs.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    co_return out;
+  }
+
   [[nodiscard]] Simulator& sim() override { return sim_; }
 
  private:

@@ -7,9 +7,15 @@
 #include "core/grow_only_iterator.hpp"
 #include "core/immutable_iterator.hpp"
 #include "core/optimistic_iterator.hpp"
+#include "core/prefetcher.hpp"
 #include "core/snapshot_iterator.hpp"
 
 namespace weakset {
+
+ElementsIterator::ElementsIterator(SetView& view, IteratorOptions options)
+    : view_(view), options_(std::move(options)) {}
+
+ElementsIterator::~ElementsIterator() = default;
 
 Task<Step> ElementsIterator::next() {
   assert(!done_ && "next() called after the iterator terminated");
@@ -49,7 +55,10 @@ Task<Step> ElementsIterator::next() {
     }
     recorder->record(outcome, element);
   }
-  if (done_) co_await on_terminal();
+  if (done_) {
+    co_await prefetch_quiesce();
+    co_await on_terminal();
+  }
   co_return result;
 }
 
@@ -73,15 +82,43 @@ std::vector<ObjectRef> ElementsIterator::unyielded(
   return out;
 }
 
+void ElementsIterator::prefetch_sync(
+    const std::vector<ObjectRef>& candidates) {
+  if (options_.prefetch_window <= 1) return;
+  if (!prefetcher_) {
+    prefetcher_ = std::make_unique<Prefetcher>(
+        view_, options_.prefetch_window, stats_);
+  }
+  prefetcher_->sync(candidates);
+}
+
+Task<Result<VersionedValue>> ElementsIterator::fetch_element(ObjectRef ref) {
+  ++stats_.fetch_attempts;
+  if (prefetcher_) co_return co_await prefetcher_->fetch(ref);
+  co_return co_await view_.fetch(ref);
+}
+
+void ElementsIterator::prefetch_drop(ObjectRef ref) {
+  if (prefetcher_) prefetcher_->drop(ref);
+}
+
+Task<void> ElementsIterator::prefetch_quiesce() {
+  if (prefetcher_) co_await prefetcher_->quiesce();
+}
+
 Task<std::optional<Step>> ElementsIterator::try_yield(
     std::vector<ObjectRef> candidates) {
+  prefetch_sync(candidates);
   for (const ObjectRef ref : candidates) {
+    // Reachability is decided *now*, against the live failure detector, even
+    // when the payload was prefetched earlier — so the per-figure failure
+    // behaviour is unchanged by pipelining.
     if (!view_.is_reachable(ref)) {
       ++stats_.skipped_unreachable;
+      prefetch_drop(ref);
       continue;
     }
-    ++stats_.fetch_attempts;
-    Result<VersionedValue> value = co_await view_.fetch(ref);
+    Result<VersionedValue> value = co_await fetch_element(ref);
     if (value) co_return Step::yielded(ref, std::move(value).value());
     ++stats_.fetch_failures;
     // Transient fetch failure (e.g. the partition arose between the

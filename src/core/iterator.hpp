@@ -67,6 +67,13 @@ struct IteratorOptions {
   PickOrder order = PickOrder::kGiven;
   /// Fig 6 only: blocking behaviour under failure.
   RetryPolicy retry = RetryPolicy{50, Duration::millis(100)};
+  /// How many element fetches to keep in flight ahead of next(). 1 disables
+  /// pipelining (the serial fetch-on-demand behaviour); larger windows issue
+  /// batched fetches (SetView::fetch_many) for upcoming candidates while the
+  /// current element is being consumed. Purely a performance knob: yield
+  /// order and failure semantics are revalidated at yield time (see
+  /// core/prefetcher.hpp and DESIGN.md).
+  std::size_t prefetch_window = 8;
   /// Optional spec-layer recorder (nullptr: no recording overhead).
   spec::TraceRecorder* recorder = nullptr;
 };
@@ -78,11 +85,21 @@ struct IteratorStats {
   std::uint64_t fetch_failures = 0;  ///< element fetches that failed
   std::uint64_t skipped_unreachable = 0;  ///< candidates the failure
                                           ///< detector ruled out
+  // Prefetch pipeline (all zero when prefetch_window <= 1). Invariant:
+  // prefetch_hits + prefetch_misses == fetch_attempts.
+  std::uint64_t prefetch_hits = 0;    ///< fetches served from the window
+  std::uint64_t prefetch_misses = 0;  ///< fetches that had to wait or go out
+  std::uint64_t prefetch_batches = 0;          ///< batched fetches issued
+  std::uint64_t prefetch_batched_objects = 0;  ///< refs across those batches
+  std::uint64_t prefetch_invalidated = 0;  ///< window entries discarded by
+                                           ///< membership/reachability change
 };
+
+class Prefetcher;
 
 class ElementsIterator {
  public:
-  virtual ~ElementsIterator() = default;
+  virtual ~ElementsIterator();  // out-of-line: Prefetcher is incomplete here
   ElementsIterator(const ElementsIterator&) = delete;
   ElementsIterator& operator=(const ElementsIterator&) = delete;
 
@@ -101,8 +118,9 @@ class ElementsIterator {
   [[nodiscard]] const IteratorStats& stats() const noexcept { return stats_; }
 
  protected:
-  ElementsIterator(SetView& view, IteratorOptions options)
-      : view_(view), options_(std::move(options)) {}
+  // Out-of-line like the destructor: inline special members would
+  // instantiate ~unique_ptr over the incomplete Prefetcher.
+  ElementsIterator(SetView& view, IteratorOptions options);
 
   /// The semantics-specific body of one invocation.
   virtual Task<Step> step() = 0;
@@ -127,6 +145,24 @@ class ElementsIterator {
   /// nullopt if every candidate was unreachable or failed to fetch.
   Task<std::optional<Step>> try_yield(std::vector<ObjectRef> candidates);
 
+  /// Reconciles the prefetch window with the current candidate list (no-op
+  /// when prefetch_window <= 1). Call once per invocation, after computing
+  /// the candidates and before fetching any of them.
+  void prefetch_sync(const std::vector<ObjectRef>& candidates);
+
+  /// Fetches one element's payload, through the prefetch window when one is
+  /// active. Counts the fetch attempt.
+  Task<Result<VersionedValue>> fetch_element(ObjectRef ref);
+
+  /// Discards any prefetched entry for `ref` (yield-time revalidation found
+  /// it unreachable or removed).
+  void prefetch_drop(ObjectRef ref);
+
+  /// Awaits any still-in-flight prefetch batches (discarding their results).
+  /// next() runs this on the terminal step so no detached batch worker —
+  /// which holds the view pointer — survives a finished or failed run.
+  Task<void> prefetch_quiesce();
+
   [[nodiscard]] SetView& view() noexcept { return view_; }
   [[nodiscard]] const IteratorOptions& options() const noexcept {
     return options_;
@@ -145,6 +181,7 @@ class ElementsIterator {
   bool started_ = false;
   bool done_ = false;
   IteratorStats stats_;
+  std::unique_ptr<Prefetcher> prefetcher_;  // created lazily when window > 1
 };
 
 /// The points in the design space (section 3).

@@ -155,6 +155,35 @@ class LocalSetView final : public SetView, public spec::GroundTruth {
     co_return it->second;
   }
 
+  Task<std::vector<Result<VersionedValue>>> fetch_many(
+      std::vector<ObjectRef> refs) override {
+    // Batched read: full latency for the first object, a quarter for each
+    // extra — the same overlapped-read shape as the store server's
+    // fetch_batch, so Layer A tests see realistic pipelining gains.
+    Duration cost = fetch_latency_;
+    if (refs.size() > 1) {
+      cost = cost + (fetch_latency_ / 4) *
+                        static_cast<std::int64_t>(refs.size() - 1);
+    }
+    co_await sim_.delay(cost);
+    std::vector<Result<VersionedValue>> out;
+    out.reserve(refs.size());
+    for (const ObjectRef ref : refs) {
+      if (!is_reachable(ref)) {
+        out.emplace_back(Failure{FailureKind::kUnreachable,
+                                 "scripted partition"});
+        continue;
+      }
+      const auto it = payloads_.find(ref);
+      if (it == payloads_.end()) {
+        out.emplace_back(Failure{FailureKind::kNotFound, "no payload"});
+      } else {
+        out.emplace_back(it->second);
+      }
+    }
+    co_return out;
+  }
+
   [[nodiscard]] Simulator& sim() override { return sim_; }
 
   // -- spec::GroundTruth -------------------------------------------------------

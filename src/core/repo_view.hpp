@@ -51,6 +51,11 @@ class RepoSetView final : public SetView {
     return client_.fetch(ref);
   }
 
+  Task<std::vector<Result<VersionedValue>>> fetch_many(
+      std::vector<ObjectRef> refs) override {
+    return client_.fetch_many(std::move(refs));
+  }
+
   [[nodiscard]] Simulator& sim() override { return client_.repo().sim(); }
 
   [[nodiscard]] CollectionId collection() const noexcept {

@@ -11,6 +11,7 @@
 //   freeze/unfreeze   the distributed lock behind true immutability
 //   is_reachable      the transport layer's failure detector
 //   fetch             retrieve an element's payload (the act of yielding)
+//   fetch_many        batched fetch: many payloads in per-node round trips
 
 #include <functional>
 #include <optional>
@@ -64,6 +65,19 @@ class SetView {
   /// Retrieves the payload behind `ref` — yielding an element means actually
   /// delivering its object to the client.
   virtual Task<Result<VersionedValue>> fetch(ObjectRef ref) = 0;
+
+  /// Retrieves several payloads; results align with `refs` by index and the
+  /// call itself never fails (per-ref failures travel in the results). The
+  /// default degrades to one fetch() per ref; distributed views override it
+  /// to batch refs into per-node scatter-gather RPCs, which is what makes
+  /// iterator prefetching cheap over a wide-area repository.
+  virtual Task<std::vector<Result<VersionedValue>>> fetch_many(
+      std::vector<ObjectRef> refs) {
+    std::vector<Result<VersionedValue>> out;
+    out.reserve(refs.size());
+    for (const ObjectRef ref : refs) out.push_back(co_await fetch(ref));
+    co_return out;
+  }
 
   [[nodiscard]] virtual Simulator& sim() = 0;
 };

@@ -92,6 +92,44 @@ class UnionSetView final : public SetView {
     co_return last;
   }
 
+  Task<std::vector<Result<VersionedValue>>> fetch_many(
+      std::vector<ObjectRef> refs) override {
+    // Mirror fetch(): each ref goes to the first part that can reach it and
+    // falls through to later parts on failure — but grouped, so each part
+    // sees one batched call per round instead of a ref at a time.
+    std::vector<std::optional<Result<VersionedValue>>> slots(refs.size());
+    for (SetView* part : parts_) {
+      std::vector<ObjectRef> sub;
+      std::vector<std::size_t> sub_index;
+      for (std::size_t i = 0; i < refs.size(); ++i) {
+        const bool resolved = slots[i].has_value() && slots[i]->has_value();
+        if (!resolved && part->is_reachable(refs[i])) {
+          sub.push_back(refs[i]);
+          sub_index.push_back(i);
+        }
+      }
+      if (sub.empty()) continue;
+      auto fetched = co_await part->fetch_many(std::move(sub));
+      for (std::size_t j = 0; j < fetched.size(); ++j) {
+        // A success wins; a failure is kept only until a later part answers.
+        if (fetched[j] || !slots[sub_index[j]].has_value()) {
+          slots[sub_index[j]] = std::move(fetched[j]);
+        }
+      }
+    }
+    std::vector<Result<VersionedValue>> out;
+    out.reserve(refs.size());
+    for (auto& slot : slots) {
+      if (slot.has_value()) {
+        out.push_back(std::move(*slot));
+      } else {
+        out.push_back(Failure{FailureKind::kUnreachable,
+                              "no federation part reaches it"});
+      }
+    }
+    co_return out;
+  }
+
   [[nodiscard]] Simulator& sim() override { return parts_.front()->sim(); }
 
   /// Parts skipped during the last best-effort read.

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <type_traits>
+#include <variant>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -149,30 +151,24 @@ Detached run_detached(Task<void> task);
 /// Intended for test/bench/example entry points.
 template <typename T>
 T run_task(Simulator& sim, Task<T> task) {
-  std::optional<T> slot;
-  sim.spawn([](Task<T> inner, std::optional<T>& out) -> Task<void> {
-    out = co_await std::move(inner);
+  // Task<void> has no value to store; a monostate marks completion so both
+  // cases share one driver loop.
+  using Slot = std::conditional_t<std::is_void_v<T>, std::monostate, T>;
+  std::optional<Slot> slot;
+  sim.spawn([](Task<T> inner, std::optional<Slot>& out) -> Task<void> {
+    if constexpr (std::is_void_v<T>) {
+      co_await std::move(inner);
+      out.emplace();
+    } else {
+      out = co_await std::move(inner);
+    }
   }(std::move(task), slot));
   std::size_t steps = 0;
   while (!slot.has_value() && sim.step()) {
     assert(++steps < Simulator::kDefaultMaxEvents && "runaway simulation");
   }
   assert(slot.has_value() && "task did not complete (deadlocked process?)");
-  return std::move(*slot);
-}
-
-inline void run_task(Simulator& sim, Task<void> task) {
-  bool done = false;
-  sim.spawn([](Task<void> inner, bool& flag) -> Task<void> {
-    co_await std::move(inner);
-    flag = true;
-  }(std::move(task), done));
-  std::size_t steps = 0;
-  while (!done && sim.step()) {
-    assert(++steps < Simulator::kDefaultMaxEvents && "runaway simulation");
-  }
-  assert(done && "task did not complete (deadlocked process?)");
-  (void)done;
+  if constexpr (!std::is_void_v<T>) return std::move(*slot);
 }
 
 }  // namespace weakset

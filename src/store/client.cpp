@@ -1,6 +1,10 @@
 #include "store/client.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
 namespace weakset {
 
@@ -178,6 +182,79 @@ Task<Result<bool>> RepositoryClient::remove(CollectionId id, ObjectRef ref) {
 Task<Result<VersionedValue>> RepositoryClient::fetch(ObjectRef ref) {
   return call<VersionedValue>(ref.home(), "store.fetch",
                               msg::FetchRequest{ref.id()});
+}
+
+namespace {
+/// One (group index, reply) arrival of the fetch_many scatter-gather.
+using BatchArrival = std::pair<std::size_t, Result<msg::FetchBatchReply>>;
+
+Task<void> fetch_batch_into(RpcNetwork& net, NodeId from, NodeId home,
+                            std::vector<ObjectId> ids,
+                            std::optional<Duration> timeout, std::size_t group,
+                            std::shared_ptr<AsyncQueue<BatchArrival>> arrivals) {
+  Result<msg::FetchBatchReply> reply =
+      co_await net.call_typed<msg::FetchBatchReply>(
+          from, home, "store.fetch_batch",
+          msg::FetchBatchRequest{std::move(ids)}, timeout);
+  arrivals->push(BatchArrival{group, std::move(reply)});
+}
+}  // namespace
+
+Task<std::vector<Result<VersionedValue>>> RepositoryClient::fetch_many(
+    std::vector<ObjectRef> refs) {
+  // Group the refs by home node, preserving each group's request order.
+  std::vector<NodeId> homes;
+  std::vector<std::vector<std::size_t>> group_indices;  // group -> refs index
+  std::unordered_map<NodeId, std::size_t> group_of;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const auto [it, inserted] =
+        group_of.try_emplace(refs[i].home(), homes.size());
+    if (inserted) {
+      homes.push_back(refs[i].home());
+      group_indices.emplace_back();
+    }
+    group_indices[it->second].push_back(i);
+  }
+
+  // Scatter one batched RPC per home node; all nodes proceed in parallel.
+  // The gather must outlive this frame if abandoned, so the arrival queue is
+  // heap-shared (cf. read_fragment_quorum).
+  Simulator& sim = repo_.sim();
+  auto arrivals = std::make_shared<AsyncQueue<BatchArrival>>(sim);
+  for (std::size_t g = 0; g < homes.size(); ++g) {
+    std::vector<ObjectId> ids;
+    ids.reserve(group_indices[g].size());
+    for (const std::size_t i : group_indices[g]) ids.push_back(refs[i].id());
+    sim.spawn(fetch_batch_into(repo_.net(), node_, homes[g], std::move(ids),
+                               options_.rpc_timeout, g, arrivals));
+  }
+
+  std::vector<std::optional<Result<VersionedValue>>> slots(refs.size());
+  for (std::size_t answered = 0; answered < homes.size(); ++answered) {
+    std::optional<BatchArrival> arrival = co_await arrivals->pop();
+    if (!arrival) break;  // cannot happen: queue is never closed
+    auto& [group, reply] = *arrival;
+    const std::vector<std::size_t>& indices = group_indices[group];
+    if (reply.has_value()) {
+      auto results = std::move(reply).value().take_results();
+      assert(results.size() == indices.size() &&
+             "fetch_batch reply shape mismatch");
+      for (std::size_t j = 0; j < indices.size(); ++j) {
+        slots[indices[j]] = std::move(results[j]);
+      }
+    } else {
+      // Transport failure: every ref homed at this node shares it.
+      for (const std::size_t i : indices) slots[i] = reply.error();
+    }
+  }
+
+  std::vector<Result<VersionedValue>> out;
+  out.reserve(refs.size());
+  for (auto& slot : slots) {
+    assert(slot.has_value() && "fetch_many left a ref unanswered");
+    out.push_back(std::move(*slot));
+  }
+  co_return out;
 }
 
 Task<Result<std::uint64_t>> RepositoryClient::put(ObjectRef ref,

@@ -85,6 +85,13 @@ class RepositoryClient {
   /// Fetches the payload behind `ref` from its home node.
   Task<Result<VersionedValue>> fetch(ObjectRef ref);
 
+  /// Fetches many payloads at once: groups the refs by home node, issues one
+  /// batched store.fetch_batch RPC per node (all nodes in parallel), and
+  /// gathers the per-ref results, aligned with `refs` by index. A node that
+  /// cannot be reached fails all of its refs; the call itself never fails.
+  Task<std::vector<Result<VersionedValue>>> fetch_many(
+      std::vector<ObjectRef> refs);
+
   /// Writes the payload behind `ref`; returns the new version.
   Task<Result<std::uint64_t>> put(ObjectRef ref, std::string data);
 

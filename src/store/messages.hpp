@@ -12,6 +12,7 @@
 
 #include "store/collection.hpp"
 #include "store/object.hpp"
+#include "util/result.hpp"
 
 namespace weakset::msg {
 
@@ -23,6 +24,41 @@ class FetchRequest {
 
  private:
   ObjectId id_;
+};
+
+/// store.fetch_batch: read many objects' payloads in one round trip. The
+/// server charges one full disk read for the first object and only a small
+/// per-object increment for the rest (the reads overlap at the disk queue),
+/// so a batch costs one RTT + a little, instead of N of each. Per-object
+/// failures (e.g. kNotFound) travel inside the reply; the RPC as a whole
+/// fails only on transport failures.
+class FetchBatchRequest {
+ public:
+  explicit FetchBatchRequest(std::vector<ObjectId> ids)
+      : ids_(std::move(ids)) {}
+  [[nodiscard]] const std::vector<ObjectId>& ids() const noexcept {
+    return ids_;
+  }
+
+ private:
+  std::vector<ObjectId> ids_;
+};
+
+/// Reply to store.fetch_batch: one Result per requested id, in request order.
+class FetchBatchReply {
+ public:
+  explicit FetchBatchReply(std::vector<Result<VersionedValue>> results)
+      : results_(std::move(results)) {}
+  [[nodiscard]] const std::vector<Result<VersionedValue>>& results()
+      const noexcept {
+    return results_;
+  }
+  [[nodiscard]] std::vector<Result<VersionedValue>>&& take_results() && {
+    return std::move(results_);
+  }
+
+ private:
+  std::vector<Result<VersionedValue>> results_;
 };
 
 /// store.put: create/overwrite an object's payload. Reply: new version.

@@ -23,6 +23,8 @@ void StoreServer::register_handlers() {
     };
   };
   net_.register_handler(node_, "store.fetch", bind(&StoreServer::handle_fetch));
+  net_.register_handler(node_, "store.fetch_batch",
+                        bind(&StoreServer::handle_fetch_batch));
   net_.register_handler(node_, "store.put", bind(&StoreServer::handle_put));
   net_.register_handler(node_, "coll.snapshot",
                         bind(&StoreServer::handle_snapshot));
@@ -123,6 +125,30 @@ Task<Result<std::any>> StoreServer::handle_fetch(std::any request) {
                       "object " + std::to_string(req.id().raw())};
   }
   co_return std::any{*value};
+}
+
+Task<Result<std::any>> StoreServer::handle_fetch_batch(std::any request) {
+  const auto req = std::any_cast<msg::FetchBatchRequest>(std::move(request));
+  // Overlapped disk reads: the first object pays the full read latency, each
+  // further object only the incremental cost of another read in the queue.
+  Duration cost = options_.object_read_latency;
+  if (req.ids().size() > 1) {
+    cost = cost + options_.batch_read_increment *
+                      static_cast<std::int64_t>(req.ids().size() - 1);
+  }
+  co_await net_.sim().delay(cost);
+  std::vector<Result<VersionedValue>> results;
+  results.reserve(req.ids().size());
+  for (const ObjectId id : req.ids()) {
+    const auto value = objects_.get(id);
+    if (value) {
+      results.emplace_back(*value);
+    } else {
+      results.emplace_back(Failure{FailureKind::kNotFound,
+                                   "object " + std::to_string(id.raw())});
+    }
+  }
+  co_return std::any{msg::FetchBatchReply{std::move(results)}};
 }
 
 Task<Result<std::any>> StoreServer::handle_put(std::any request) {

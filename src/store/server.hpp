@@ -33,6 +33,10 @@ class MutationSink {
 struct StoreServerOptions {
   /// Simulated disk read for object payloads.
   Duration object_read_latency = Duration::millis(2);
+  /// Incremental disk cost per extra object of a store.fetch_batch: the first
+  /// object pays object_read_latency in full, each further one only this
+  /// much (the reads overlap at the disk queue).
+  Duration batch_read_increment = Duration::micros(250);
   /// Simulated disk write for object payloads.
   Duration object_write_latency = Duration::millis(4);
   /// In-memory membership operation cost.
@@ -119,6 +123,7 @@ class StoreServer {
 
   // Handler bodies.
   Task<Result<std::any>> handle_fetch(std::any request);
+  Task<Result<std::any>> handle_fetch_batch(std::any request);
   Task<Result<std::any>> handle_put(std::any request);
   Task<Result<std::any>> handle_snapshot(std::any request);
   Task<Result<std::any>> handle_membership(std::any request);

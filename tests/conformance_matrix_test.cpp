@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <tuple>
 
 #include "core/iterator.hpp"
 #include "core/local_view.hpp"
@@ -70,11 +71,12 @@ class Harness {
     }
   }
 
-  RunResult run(Semantics semantics) {
+  RunResult run(Semantics semantics, std::size_t prefetch_window = 1) {
     spec::TraceRecorder recorder{view_};
     IteratorOptions options;
     options.recorder = &recorder;
     options.retry = RetryPolicy{500, Duration::millis(25)};
+    options.prefetch_window = prefetch_window;
     auto iterator = make_elements_iterator(view_, semantics, options);
     DrainResult drained = run_task(sim_, drain(*iterator));
     return RunResult{recorder.finish(), &view_.timeline(),
@@ -87,11 +89,19 @@ class Harness {
   Rng rng_;
 };
 
-class MatrixSweep : public ::testing::TestWithParam<std::uint64_t> {};
+// Each matrix cell runs at prefetch window 1 (the serial fetch path) and 8
+// (the pipelined path): the figure specifications must hold identically —
+// prefetching is a performance knob, not a semantics change.
+class MatrixSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+ protected:
+  [[nodiscard]] std::uint64_t seed() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] std::size_t window() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(MatrixSweep, Fig1HoldsInItsEnvironment) {
-  Harness harness{GetParam(), Environment{}};
-  const RunResult run = harness.run(Semantics::kFig1Immutable);
+  Harness harness{seed(), Environment{}};
+  const RunResult run = harness.run(Semantics::kFig1Immutable, window());
   EXPECT_TRUE(run.drained.finished());
   const auto report = spec::check_fig1(run.trace);
   EXPECT_TRUE(report.satisfied())
@@ -104,8 +114,9 @@ TEST_P(MatrixSweep, Fig1HoldsInItsEnvironment) {
 TEST_P(MatrixSweep, Fig3HoldsUnderTransientUnreachability) {
   Environment env;
   env.allow_unreachability = true;
-  Harness harness{GetParam(), env};
-  const RunResult run = harness.run(Semantics::kFig3ImmutableFailAware);
+  Harness harness{seed(), env};
+  const RunResult run =
+      harness.run(Semantics::kFig3ImmutableFailAware, window());
   const auto report = spec::check_fig3(run.trace);
   EXPECT_TRUE(report.satisfied())
       << (report.violations().empty() ? "-" : report.violations().front());
@@ -118,8 +129,8 @@ TEST_P(MatrixSweep, Fig4HoldsUnderArbitraryMutation) {
   Environment env;
   env.allow_adds = true;
   env.allow_removes = true;
-  Harness harness{GetParam(), env};
-  const RunResult run = harness.run(Semantics::kFig4Snapshot);
+  Harness harness{seed(), env};
+  const RunResult run = harness.run(Semantics::kFig4Snapshot, window());
   EXPECT_TRUE(run.drained.finished());
   const auto report = spec::check_fig4(run.trace);
   EXPECT_TRUE(report.satisfied())
@@ -129,8 +140,9 @@ TEST_P(MatrixSweep, Fig4HoldsUnderArbitraryMutation) {
 TEST_P(MatrixSweep, Fig5HoldsUnderGrowOnlyMutation) {
   Environment env;
   env.allow_adds = true;
-  Harness harness{GetParam(), env};
-  const RunResult run = harness.run(Semantics::kFig5GrowOnlyPessimistic);
+  Harness harness{seed(), env};
+  const RunResult run =
+      harness.run(Semantics::kFig5GrowOnlyPessimistic, window());
   EXPECT_TRUE(run.drained.finished());
   const auto report = spec::check_fig5(run.trace);
   EXPECT_TRUE(report.satisfied())
@@ -149,11 +161,11 @@ TEST_P(MatrixSweep, Fig6HoldsUnderChurnAndUnreachability) {
   env.allow_adds = true;
   env.allow_removes = true;
   env.allow_unreachability = true;
-  Harness harness{GetParam(), env};
-  const RunResult run = harness.run(Semantics::kFig6Optimistic);
+  Harness harness{seed(), env};
+  const RunResult run = harness.run(Semantics::kFig6Optimistic, window());
   const auto report = spec::check_fig6(run.trace, *run.timeline);
   EXPECT_TRUE(report.satisfied())
-      << "seed " << GetParam() << ": "
+      << "seed " << seed() << " window " << window() << ": "
       << (report.violations().empty() ? "-" : report.violations().front());
   // Never a hard failure — blocked at worst.
   if (!run.drained.finished()) {
@@ -171,8 +183,8 @@ TEST_P(MatrixSweep, RemovalsBreakFig5ButNotFig6) {
   Environment env;
   env.allow_adds = true;
   env.allow_removes = true;
-  Harness harness{GetParam(), env};
-  const RunResult run = harness.run(Semantics::kFig6Optimistic);
+  Harness harness{seed(), env};
+  const RunResult run = harness.run(Semantics::kFig6Optimistic, window());
   const auto conformance = spec::classify(run.trace, *run.timeline);
   EXPECT_TRUE(conformance.fig6());
   // With at least one effective removal inside the window, fig5 cannot hold.
@@ -184,8 +196,10 @@ TEST_P(MatrixSweep, RemovalsBreakFig5ButNotFig6) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MatrixSweep,
-                         ::testing::Range<std::uint64_t>(100, 115));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MatrixSweep,
+    ::testing::Combine(::testing::Range<std::uint64_t>(100, 115),
+                       ::testing::Values<std::size_t>(1, 8)));
 
 }  // namespace
 }  // namespace weakset

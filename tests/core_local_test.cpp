@@ -182,8 +182,12 @@ TEST_F(LocalIteratorTest, Fig4MayYieldElementsRemovedMidRun) {
   populate(3);
   view.set_latencies(Duration::millis(1), Duration::millis(10));
   // obj0 is yielded in the first invocation (~11ms); remove it afterwards.
+  // Serial fetches, so the removal actually lands mid-run — the pipelined
+  // window finishes the whole 3-element drain before 20ms.
   sim.schedule(Duration::millis(20), [this] { view.remove(ref(0)); });
-  const DrainResult result = run(Semantics::kFig4Snapshot);
+  IteratorOptions options;
+  options.prefetch_window = 1;
+  const DrainResult result = run(Semantics::kFig4Snapshot, options);
   EXPECT_TRUE(result.finished());
   EXPECT_EQ(result.count(), 3u);  // all of s_first, including removed obj0
   EXPECT_TRUE(spec::check_fig4(trace).satisfied());

@@ -157,6 +157,9 @@ TEST_F(RepoIteratorTest, Fig4OverFragmentsTakesConsistentCut) {
   }(sim, mutator, repo, set.id(), servers[3]));
 
   const DrainResult result = drain_with_trace(set, Semantics::kFig4Snapshot);
+  repo.stop_all_daemons();
+  sim.run();  // unwind the mutator — the pipelined drain can finish before
+              // its last add, and its client dies with this scope
   EXPECT_TRUE(result.finished());
   // The snapshot is one consistent cut: it contains the 12 originals plus
   // some prefix of the concurrent adds.
@@ -331,7 +334,9 @@ TEST_P(ChaosSweep, Fig6CompletesThroughChaosAndSatisfiesItsSpec) {
   // Chaos only on member homes; the fragment primary stays up so membership
   // reads stay possible (primary chaos is E5's restart-strategy territory).
   ChaosOptions chaos_options;
-  chaos_options.mean_uptime = Duration::millis(800);
+  // Dense enough that the first outage lands inside even a fully pipelined
+  // drain (which finishes well before the serial path's would).
+  chaos_options.mean_uptime = Duration::millis(200);
   chaos_options.outage = Duration::millis(300);
   chaos_options.deadline = sim.now() + Duration::seconds(6);
   ChaosInjector chaos{sim, topo,
