@@ -7,10 +7,13 @@
 // RPC message cost of a loose read_all, an atomic snapshot, and a full
 // optimistic iteration.
 //
-// Expected shape: read_all grows linearly in fragments (one snapshot RPC
-// each, issued sequentially); snapshot_atomic grows steeper (freeze +
-// read + unfreeze per fragment — 3 sequential rounds); the full iteration
-// is dominated by element fetches, so fragmentation barely moves it.
+// Expected shape: read_all issues its per-fragment RPCs in parallel
+// (DESIGN.md decision 9), so it grows with the max-of-fragments round trip
+// plus the per-entry serving cost; snapshot_atomic still grows linearly and
+// steeply (freeze + read + unfreeze per fragment — 3 sequential rounds);
+// the full iteration is dominated by element fetches, so fragmentation
+// barely moves it. bench_e13_membership decomposes the read_all gain
+// (serial vs fan-out vs delta).
 
 #include <benchmark/benchmark.h>
 

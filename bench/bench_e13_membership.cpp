@@ -1,0 +1,237 @@
+// E13 — membership refresh cost: what the parallel fan-out and the
+// versioned delta-sync protocol buy on the Fig 5/6 hot path, where every
+// next() re-reads the visible membership (DESIGN.md decision 9).
+//
+// Two sweeps:
+//
+//   BM_MembershipRefresh: full fig6 iterations over a fragmented set, mode ×
+//   mutation rate. Modes: serial full reads (one snapshot RPC per fragment,
+//   issued sequentially — the pre-fan-out behaviour), fan-out full reads
+//   (parallel, delta off), and fan-out delta reads. Reports the mean
+//   refresh latency per next() and the entries shipped; under low churn the
+//   delta path should cut the per-next() refresh cost by >= 2x against the
+//   serial baseline, because an unchanged fragment costs one near-empty
+//   delta RPC instead of re-shipping its whole member list.
+//
+//   BM_ReadAllFanout: a single read_all as the fragment count grows across
+//   hosts at 2..100ms, serial loop vs fan-out. Serial grows with the *sum*
+//   of the per-fragment round-trips; fan-out with their *max*.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+/// The pre-fan-out baseline: membership assembled by one snapshot RPC per
+/// fragment, issued sequentially. Everything else delegates to the real
+/// RepoSetView so iteration behaviour is identical.
+class SerialReadView final : public SetView {
+ public:
+  SerialReadView(RepositoryClient& client, CollectionId id)
+      : inner_(client, id) {}
+
+  Task<Result<std::vector<ObjectRef>>> read_members() override {
+    RepositoryClient& client = inner_.client();
+    Simulator& sim = client.repo().sim();
+    const SimTime start = sim.now();
+    const std::size_t fragments =
+        client.repo().meta(inner_.collection()).fragment_count();
+    std::vector<ObjectRef> all;
+    for (std::size_t f = 0; f < fragments; ++f) {
+      auto reply = co_await client.read_fragment(inner_.collection(), f);
+      if (!reply) co_return std::move(reply).error();
+      auto members = std::move(reply).value().take_members();
+      members_shipped += members.size();
+      all.insert(all.end(), members.begin(), members.end());
+    }
+    ++reads;
+    read_time = read_time + (sim.now() - start);
+    co_return all;
+  }
+
+  Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
+      std::function<void()> on_cut) override {
+    return inner_.snapshot_atomic(std::move(on_cut));
+  }
+  Task<Result<void>> freeze() override { return inner_.freeze(); }
+  Task<void> unfreeze() override { return inner_.unfreeze(); }
+  Task<Result<void>> pin_grow_only() override {
+    return inner_.pin_grow_only();
+  }
+  Task<void> unpin_grow_only() override { return inner_.unpin_grow_only(); }
+  [[nodiscard]] bool is_reachable(ObjectRef ref) const override {
+    return inner_.is_reachable(ref);
+  }
+  [[nodiscard]] std::optional<Duration> distance(
+      ObjectRef ref) const override {
+    return inner_.distance(ref);
+  }
+  Task<Result<VersionedValue>> fetch(ObjectRef ref) override {
+    return inner_.fetch(ref);
+  }
+  Task<std::vector<Result<VersionedValue>>> fetch_many(
+      std::vector<ObjectRef> refs) override {
+    return inner_.fetch_many(std::move(refs));
+  }
+  [[nodiscard]] Simulator& sim() override { return inner_.sim(); }
+
+  Duration read_time = Duration::zero();
+  std::uint64_t reads = 0;
+  std::uint64_t members_shipped = 0;
+
+ private:
+  RepoSetView inner_;
+};
+
+enum class Mode { kSerialFull, kFanoutFull, kFanoutDelta };
+
+void BM_MembershipRefresh(benchmark::State& state) {
+  const auto mode = static_cast<Mode>(state.range(0));
+  const int churn_level = static_cast<int>(state.range(1));
+  const int n = 1024;
+  const int fragments = 4;
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 4;
+    config.near = Duration::millis(2);
+    config.far = Duration::millis(8);
+    config.mesh = Duration::millis(10);
+    World world{config};
+    const CollectionId coll = world.make_collection(n, fragments);
+    ClientOptions copts;
+    copts.delta_reads = mode == Mode::kFanoutDelta;
+    RepositoryClient client{*world.repo, world.client_node, copts};
+
+    if (churn_level > 0) {
+      const Duration mean =
+          churn_level == 1 ? Duration::millis(50) : Duration::millis(5);
+      world.spawn_churn(coll, mean, 0.3,
+                        world.sim.now() + Duration::millis(600), 42);
+    }
+
+    SerialReadView serial_view{client, coll};
+    RepoSetView fanout_view{client, coll};
+    SetView& view =
+        mode == Mode::kSerialFull
+            ? static_cast<SetView&>(serial_view)
+            : static_cast<SetView&>(fanout_view);
+
+    const std::uint64_t calls_before = world.net->stats().calls;
+    const SimTime start = world.sim.now();
+    auto iterator = make_elements_iterator(view, Semantics::kFig6Optimistic);
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+    assert(result.finished());
+
+    state.counters["iterate_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["rpcs"] =
+        static_cast<double>(world.net->stats().calls - calls_before);
+    state.counters["churn_adds"] = static_cast<double>(world.churn_adds);
+    state.counters["churn_removes"] =
+        static_cast<double>(world.churn_removes);
+
+    // The headline metric: mean membership refresh latency per next().
+    if (mode == Mode::kSerialFull) {
+      state.counters["refresh_ms_per_next"] =
+          serial_view.reads == 0
+              ? 0.0
+              : serial_view.read_time.as_millis() /
+                    static_cast<double>(serial_view.reads);
+      state.counters["membership_reads"] =
+          static_cast<double>(serial_view.reads);
+      state.counters["members_shipped"] =
+          static_cast<double>(serial_view.members_shipped);
+      state.counters["ops_shipped"] = 0;
+      state.counters["full_fragments"] =
+          static_cast<double>(serial_view.reads) * fragments;
+      state.counters["delta_fragments"] = 0;
+    } else {
+      const ClientReadStats& stats = client.read_stats();
+      state.counters["refresh_ms_per_next"] =
+          stats.read_alls == 0
+              ? 0.0
+              : stats.read_all_time.as_millis() /
+                    static_cast<double>(stats.read_alls);
+      state.counters["membership_reads"] =
+          static_cast<double>(stats.read_alls);
+      state.counters["members_shipped"] =
+          static_cast<double>(stats.members_shipped);
+      state.counters["ops_shipped"] = static_cast<double>(stats.ops_shipped);
+      state.counters["full_fragments"] =
+          static_cast<double>(stats.fragment_reads_full);
+      state.counters["delta_fragments"] =
+          static_cast<double>(stats.fragment_reads_delta);
+    }
+  }
+}
+// mode: 0 = serial full, 1 = fan-out full, 2 = fan-out delta.
+// churn: 0 = frozen set, 1 = low (mean 50ms), 2 = high (mean 5ms).
+BENCHMARK(BM_MembershipRefresh)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReadAllFanout(benchmark::State& state) {
+  const int fragments = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 8;
+    config.near = Duration::millis(2);
+    config.far = Duration::millis(100);
+    World world{config};
+    const CollectionId coll = world.make_collection(64, fragments);
+    ClientOptions copts;
+    copts.delta_reads = false;  // isolate the fan-out effect
+    RepositoryClient client{*world.repo, world.client_node, copts};
+
+    // Serial loop: one fragment round-trip after another (sum of RTTs).
+    std::uint64_t calls_before = world.net->stats().calls;
+    SimTime start = world.sim.now();
+    const auto serial = run_task(
+        world.sim,
+        [](RepositoryClient& c, CollectionId id, int frags)
+            -> Task<Result<std::size_t>> {
+          std::size_t total = 0;
+          for (int f = 0; f < frags; ++f) {
+            auto reply =
+                co_await c.read_fragment(id, static_cast<std::size_t>(f));
+            if (!reply) co_return std::move(reply).error();
+            total += reply.value().members().size();
+          }
+          co_return total;
+        }(client, coll, fragments));
+    assert(serial.has_value() && serial.value() == 64u);
+    (void)serial;
+    state.counters["serial_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["serial_rpcs"] =
+        static_cast<double>(world.net->stats().calls - calls_before);
+
+    // Fan-out: all fragment RPCs in flight together (max of RTTs).
+    calls_before = world.net->stats().calls;
+    start = world.sim.now();
+    const auto fanout = run_task(
+        world.sim, [](RepositoryClient& c, CollectionId id)
+                       -> Task<Result<std::vector<ObjectRef>>> {
+          co_return co_await c.read_all(id);
+        }(client, coll));
+    assert(fanout.has_value() && fanout.value().size() == 64u);
+    (void)fanout;
+    state.counters["fanout_ms"] = (world.sim.now() - start).as_millis();
+    state.counters["fanout_rpcs"] =
+        static_cast<double>(world.net->stats().calls - calls_before);
+  }
+}
+BENCHMARK(BM_ReadAllFanout)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+BENCHMARK_MAIN();

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Runs the prefetch-sweep benchmarks with JSON output and assembles them
-# into one BENCH_prefetch.json, starting the perf trajectory for the fetch
-# pipeline (ISSUE 1).
+# Runs the perf-trajectory benchmarks with JSON output and assembles them
+# into committed JSON documents:
+#   BENCH_prefetch.json   — fetch-pipeline sweeps (ISSUE 1: e1, e10)
+#   BENCH_membership.json — membership refresh sweeps (ISSUE 2: e13)
 #
-# Usage: scripts/bench_json.sh [build-dir] [output-file]
+# Usage: scripts/bench_json.sh [build-dir] [prefetch-out] [membership-out]
 
 set -euo pipefail
 build_dir="${1:-build}"
-out="${2:-BENCH_prefetch.json}"
+prefetch_out="${2:-BENCH_prefetch.json}"
+membership_out="${3:-BENCH_membership.json}"
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: ${build_dir}/bench not found — configure and build first:" >&2
@@ -18,18 +20,23 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "${tmp}"' EXIT
 
-for bench in bench_e1_latency bench_e10_scale; do
-  bin="${build_dir}/bench/${bench}"
+run_bench() {
+  local bench="$1"
+  local bin="${build_dir}/bench/${bench}"
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not found or not executable" >&2
     exit 1
   fi
   echo "running ${bench}..." >&2
   "${bin}" --benchmark_format=json >"${tmp}/${bench}.json" 2>/dev/null
-done
+}
 
-# One top-level object keyed by bench binary, each value the unmodified
-# google-benchmark JSON document.
+run_bench bench_e1_latency
+run_bench bench_e10_scale
+run_bench bench_e13_membership
+
+# One top-level object per output file, keyed by bench binary, each value
+# the unmodified google-benchmark JSON document.
 {
   echo '{'
   echo '  "bench_e1_latency":'
@@ -38,6 +45,13 @@ done
   echo '  "bench_e10_scale":'
   cat "${tmp}/bench_e10_scale.json"
   echo '}'
-} >"${out}"
+} >"${prefetch_out}"
+echo "wrote ${prefetch_out}" >&2
 
-echo "wrote ${out}" >&2
+{
+  echo '{'
+  echo '  "bench_e13_membership":'
+  cat "${tmp}/bench_e13_membership.json"
+  echo '}'
+} >"${membership_out}"
+echo "wrote ${membership_out}" >&2

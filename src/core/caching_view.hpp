@@ -26,6 +26,9 @@ class CachingSetView final : public SetView {
   Task<Result<std::vector<ObjectRef>>> read_members() override {
     return inner_.read_members();
   }
+  [[nodiscard]] MembershipReadMode last_read_mode() const override {
+    return inner_.last_read_mode();
+  }
   Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
       std::function<void()> on_cut) override {
     return inner_.snapshot_atomic(std::move(on_cut));

@@ -4,7 +4,7 @@ namespace weakset {
 
 Task<Step> Fig1Iterator::step() {
   if (!loaded_) {
-    Result<std::vector<ObjectRef>> members = co_await view().read_members();
+    Result<std::vector<ObjectRef>> members = co_await read_members_tracked();
     if (!members) co_return Step::failed(std::move(members).error());
     s_first_ = std::move(members).value();
     loaded_ = true;

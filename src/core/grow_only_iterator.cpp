@@ -15,8 +15,9 @@ Task<Step> GrowOnlyPessimisticIterator::step() {
     if (!pinned) co_return Step::failed(pinned.error());
     pinned_ = true;
   }
-  // Each invocation reads the *current* state (s_pre).
-  Result<std::vector<ObjectRef>> members = co_await view().read_members();
+  // Each invocation reads the *current* state (s_pre) — the hot path the
+  // delta-sync protocol makes near-free when nothing changed.
+  Result<std::vector<ObjectRef>> members = co_await read_members_tracked();
   if (!members) co_return Step::failed(std::move(members).error());
 
   std::vector<ObjectRef> candidates = unyielded(members.value());

@@ -62,13 +62,23 @@ class HoardingSetView final : public SetView {
   Task<Result<std::vector<ObjectRef>>> read_members() override {
     Result<std::vector<ObjectRef>> live = co_await inner_.read_members();
     if (live) {
+      served_from_hoard_ = false;
       co_return live;
     }
     if (hoarded_membership_) {
       ++stats_.stale_membership_serves;
+      served_from_hoard_ = true;
       co_return *hoarded_membership_;
     }
+    served_from_hoard_ = false;
     co_return live;  // no hoard to fall back on: propagate the failure
+  }
+
+  [[nodiscard]] MembershipReadMode last_read_mode() const override {
+    // A hoard serve ships the (locally) full hoarded membership; otherwise
+    // report whatever the live inner read did.
+    if (served_from_hoard_) return MembershipReadMode{1, 0};
+    return inner_.last_read_mode();
   }
 
   /// Snapshots need the live system; disconnected snapshots would be a
@@ -138,6 +148,7 @@ class HoardingSetView final : public SetView {
   mutable ObjectCache cache_;
   std::optional<std::vector<ObjectRef>> hoarded_membership_;
   HoardStats stats_;
+  bool served_from_hoard_ = false;
 };
 
 }  // namespace weakset

@@ -21,7 +21,7 @@ Task<Step> ImmutableIterator::step() {
       if (!frozen) co_return Step::failed(frozen.error());
       frozen_ = true;
     }
-    Result<std::vector<ObjectRef>> members = co_await view().read_members();
+    Result<std::vector<ObjectRef>> members = co_await read_members_tracked();
     if (!members) co_return Step::failed(std::move(members).error());
     s_first_ = std::move(members).value();
     loaded_ = true;

@@ -82,6 +82,17 @@ std::vector<ObjectRef> ElementsIterator::unyielded(
   return out;
 }
 
+Task<Result<std::vector<ObjectRef>>> ElementsIterator::read_members_tracked() {
+  Result<std::vector<ObjectRef>> members = co_await view_.read_members();
+  ++stats_.membership_reads;
+  if (members.has_value()) {
+    const SetView::MembershipReadMode mode = view_.last_read_mode();
+    stats_.membership_full_fragments += mode.full;
+    stats_.membership_delta_fragments += mode.delta;
+  }
+  co_return members;
+}
+
 void ElementsIterator::prefetch_sync(
     const std::vector<ObjectRef>& candidates) {
   if (options_.prefetch_window <= 1) return;

@@ -93,6 +93,12 @@ struct IteratorStats {
   std::uint64_t prefetch_batched_objects = 0;  ///< refs across those batches
   std::uint64_t prefetch_invalidated = 0;  ///< window entries discarded by
                                            ///< membership/reachability change
+  // Membership refresh path (how each read_members() was served; Fig 5/6
+  // re-read membership on every invocation, so these count the delta-sync
+  // protocol's effect on the hot path).
+  std::uint64_t membership_reads = 0;           ///< read_members() calls
+  std::uint64_t membership_full_fragments = 0;  ///< fragments shipped full
+  std::uint64_t membership_delta_fragments = 0;  ///< fragments as deltas
 };
 
 class Prefetcher;
@@ -140,6 +146,11 @@ class ElementsIterator {
   /// Candidates from `members` that are not yet yielded, in pick order.
   [[nodiscard]] std::vector<ObjectRef> unyielded(
       const std::vector<ObjectRef>& members) const;
+
+  /// Reads the visible membership through the view, folding how it was
+  /// served (full vs delta fragments) into the stats. Iterators that read
+  /// membership per invocation use this instead of view().read_members().
+  Task<Result<std::vector<ObjectRef>>> read_members_tracked();
 
   /// Tries to fetch candidates in order; yields the first success. Returns
   /// nullopt if every candidate was unreachable or failed to fetch.

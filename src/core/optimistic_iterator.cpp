@@ -9,7 +9,7 @@ Task<Step> OptimisticIterator::step() {
     ++attempts;
     // Read the current visible state (a nearby replica is fine: optimism
     // embraces staleness for availability).
-    Result<std::vector<ObjectRef>> members = co_await view().read_members();
+    Result<std::vector<ObjectRef>> members = co_await read_members_tracked();
     if (members) {
       std::vector<ObjectRef> candidates = unyielded(members.value());
       if (candidates.empty()) {

@@ -19,6 +19,11 @@ class RepoSetView final : public SetView {
     return client_.read_all(collection_);
   }
 
+  [[nodiscard]] MembershipReadMode last_read_mode() const override {
+    return MembershipReadMode{client_.last_read_full(),
+                              client_.last_read_delta()};
+  }
+
   Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
       std::function<void()> on_cut) override {
     return client_.snapshot_atomic(collection_, std::move(on_cut));

@@ -26,12 +26,28 @@ namespace weakset {
 
 class SetView {
  public:
+  /// How the last read_members() was served, in fragment counts: shipped in
+  /// full vs served incrementally through the delta-sync protocol
+  /// (DESIGN.md decision 9). Purely observational — IteratorStats folds
+  /// these into its membership counters.
+  struct MembershipReadMode {
+    std::uint64_t full = 0;
+    std::uint64_t delta = 0;
+  };
+
   virtual ~SetView() = default;
 
   /// One loose read of the membership as visible to this client. Under
   /// distribution this may be stale (replica reads) and is not atomic across
   /// fragments.
   virtual Task<Result<std::vector<ObjectRef>>> read_members() = 0;
+
+  /// How the most recent read_members() was served. The default says "one
+  /// full read": a view that doesn't know about delta sync ships the whole
+  /// membership. Distributed views report their real fragment counts.
+  [[nodiscard]] virtual MembershipReadMode last_read_mode() const {
+    return MembershipReadMode{1, 0};
+  }
 
   /// An atomic snapshot of the whole logical set — the "one atomic action"
   /// that the Figure 4 semantics requires. `on_cut`, if set, is invoked at

@@ -41,6 +41,10 @@ class UnionSetView final : public SetView {
     return read(mode_);
   }
 
+  [[nodiscard]] MembershipReadMode last_read_mode() const override {
+    return last_read_mode_;
+  }
+
   Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
       std::function<void()> on_cut) override {
     // No cross-domain atomicity: a require-all read, cut marked at the end.
@@ -142,6 +146,7 @@ class UnionSetView final : public SetView {
     std::vector<ObjectRef> members;
     std::unordered_set<ObjectRef> seen;
     last_skipped_ = 0;
+    last_read_mode_ = MembershipReadMode{};
     std::optional<Failure> first_failure;
     for (SetView* part : parts_) {
       Result<std::vector<ObjectRef>> part_read =
@@ -151,6 +156,9 @@ class UnionSetView final : public SetView {
         ++last_skipped_;
         continue;
       }
+      const MembershipReadMode part_mode = part->last_read_mode();
+      last_read_mode_.full += part_mode.full;
+      last_read_mode_.delta += part_mode.delta;
       for (const ObjectRef ref : part_read.value()) {
         if (seen.insert(ref).second) members.push_back(ref);
       }
@@ -164,6 +172,7 @@ class UnionSetView final : public SetView {
   std::vector<SetView*> parts_;
   UnionMode mode_;
   std::size_t last_skipped_ = 0;
+  MembershipReadMode last_read_mode_;
 };
 
 }  // namespace weakset

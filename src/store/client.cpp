@@ -48,37 +48,34 @@ Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment(
 }
 
 namespace {
-Task<void> snapshot_into(RpcNetwork& net, NodeId from, NodeId host,
-                         CollectionId id, std::optional<Duration> timeout,
-                         AsyncQueue<Result<msg::SnapshotReply>>& arrivals) {
+// All read_all workers are free-function coroutines (never member
+// coroutines holding `this`): an abandoned gather must not leave a worker
+// dereferencing a dead client. Cache mutation happens only in read_all's
+// own frame, after gathering.
+
+Task<void> snapshot_into(
+    RpcNetwork& net, NodeId from, NodeId host, CollectionId id,
+    std::optional<Duration> timeout,
+    std::shared_ptr<AsyncQueue<Result<msg::SnapshotReply>>> arrivals) {
   Result<msg::SnapshotReply> reply =
       co_await net.call_typed<msg::SnapshotReply>(
           from, host, "coll.snapshot", msg::SnapshotRequest{id}, timeout);
-  arrivals.push(std::move(reply));
+  arrivals->push(std::move(reply));
 }
-}  // namespace
 
-Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment_quorum(
-    CollectionId id, const FragmentMeta& fragment) {
-  std::vector<NodeId> hosts;
-  hosts.push_back(fragment.primary());
-  hosts.insert(hosts.end(), fragment.replicas().begin(),
-               fragment.replicas().end());
-  const std::size_t needed = std::min(options_.quorum, hosts.size());
-
+/// Quorum fragment read: scatter to `hosts`, gather the first `needed`
+/// successful replies, return the freshest (highest version).
+Task<Result<msg::SnapshotReply>> quorum_snapshot(
+    RpcNetwork& net, NodeId from, std::vector<NodeId> hosts, CollectionId id,
+    std::size_t needed, std::optional<Duration> timeout) {
   // Scatter to every host; gather replies in ARRIVAL order so a small
   // quorum completes as soon as the nearest hosts answer. The gather must
   // outlive this frame if abandoned, so the arrival queue is heap-shared.
-  Simulator& sim = repo_.sim();
+  Simulator& sim = net.sim();
   auto arrivals =
       std::make_shared<AsyncQueue<Result<msg::SnapshotReply>>>(sim);
   for (const NodeId host : hosts) {
-    sim.spawn([](RpcNetwork& net, NodeId from, NodeId to, CollectionId coll,
-                 std::optional<Duration> timeout,
-                 std::shared_ptr<AsyncQueue<Result<msg::SnapshotReply>>> queue)
-                  -> Task<void> {
-      co_await snapshot_into(net, from, to, coll, timeout, *queue);
-    }(repo_.net(), node_, host, id, options_.rpc_timeout, arrivals));
+    sim.spawn(snapshot_into(net, from, host, id, timeout, arrivals));
   }
 
   std::optional<msg::SnapshotReply> freshest;
@@ -102,16 +99,187 @@ Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment_quorum(
   co_return std::move(*freshest);
 }
 
+/// One (fragment index, normalised reply) arrival of the read_all
+/// scatter-gather. Every reply form — plain snapshot, quorum-selected
+/// snapshot, delta — normalises to a DeltaReply; snapshot-path replies
+/// carry seq 0, which is fine because only delta-path replies reach the
+/// cache.
+using FragmentArrival = std::pair<std::size_t, Result<msg::DeltaReply>>;
+using FragmentQueue = std::shared_ptr<AsyncQueue<FragmentArrival>>;
+
+Task<void> snapshot_fragment_into(RpcNetwork& net, NodeId from, NodeId host,
+                                  CollectionId id,
+                                  std::optional<Duration> timeout,
+                                  std::size_t index, FragmentQueue arrivals) {
+  Result<msg::SnapshotReply> reply =
+      co_await net.call_typed<msg::SnapshotReply>(
+          from, host, "coll.snapshot", msg::SnapshotRequest{id}, timeout);
+  if (!reply.has_value()) {
+    arrivals->push(FragmentArrival{index, std::move(reply).error()});
+    co_return;
+  }
+  const std::uint64_t version = reply.value().version();
+  arrivals->push(FragmentArrival{
+      index, msg::DeltaReply::full_snapshot(
+                 std::move(reply).value().take_members(), version, 0)});
+}
+
+Task<void> delta_fragment_into(RpcNetwork& net, NodeId from, NodeId host,
+                               CollectionId id, std::uint64_t since_seq,
+                               std::optional<Duration> timeout,
+                               std::size_t index, FragmentQueue arrivals) {
+  Result<msg::DeltaReply> reply = co_await net.call_typed<msg::DeltaReply>(
+      from, host, "coll.read_delta", msg::DeltaRequest{id, since_seq},
+      timeout);
+  arrivals->push(FragmentArrival{index, std::move(reply)});
+}
+
+Task<void> quorum_fragment_into(RpcNetwork& net, NodeId from,
+                                std::vector<NodeId> hosts, CollectionId id,
+                                std::size_t needed,
+                                std::optional<Duration> timeout,
+                                std::size_t index, FragmentQueue arrivals) {
+  Result<msg::SnapshotReply> reply = co_await quorum_snapshot(
+      net, from, std::move(hosts), id, needed, timeout);
+  if (!reply.has_value()) {
+    arrivals->push(FragmentArrival{index, std::move(reply).error()});
+    co_return;
+  }
+  const std::uint64_t version = reply.value().version();
+  arrivals->push(FragmentArrival{
+      index, msg::DeltaReply::full_snapshot(
+                 std::move(reply).value().take_members(), version, 0)});
+}
+
+std::vector<NodeId> fragment_hosts(const FragmentMeta& fragment) {
+  std::vector<NodeId> hosts;
+  hosts.push_back(fragment.primary());
+  hosts.insert(hosts.end(), fragment.replicas().begin(),
+               fragment.replicas().end());
+  return hosts;
+}
+}  // namespace
+
+Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment_quorum(
+    CollectionId id, const FragmentMeta& fragment) {
+  const std::size_t count = 1 + fragment.replicas().size();
+  co_return co_await quorum_snapshot(repo_.net(), node_,
+                                     fragment_hosts(fragment), id,
+                                     std::min(options_.quorum, count),
+                                     options_.rpc_timeout);
+}
+
+const std::vector<ObjectRef>& RepositoryClient::absorb_delta(
+    const CacheKey& key, msg::DeltaReply reply) {
+  FragmentCacheEntry& entry = delta_cache_[key];
+  entry.seq = reply.seq();
+  entry.version = reply.version();
+  if (reply.is_delta()) {
+    ++read_stats_.fragment_reads_delta;
+    ++last_read_delta_;
+    read_stats_.ops_shipped += reply.ops().size();
+    // Replaying the host's ops over the previous materialisation reproduces
+    // the host's member order exactly (MemberList is the same structure the
+    // server mutates), so a delta-synced read and a full read of the same
+    // host state return identical sequences.
+    for (const CollectionOp& op : reply.ops()) {
+      if (op.kind() == CollectionOp::Kind::kAdd) {
+        entry.members.insert(op.ref());
+      } else {
+        entry.members.erase(op.ref());
+      }
+    }
+  } else {
+    ++read_stats_.fragment_reads_full;
+    ++last_read_full_;
+    read_stats_.members_shipped += reply.members().size();
+    entry.members.assign(std::move(reply).take_members());
+  }
+  return entry.members.members();
+}
+
 Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all(
     CollectionId id) {
-  const std::size_t fragments = repo_.meta(id).fragment_count();
-  std::vector<ObjectRef> members;
+  const CollectionMeta& meta = repo_.meta(id);
+  const std::size_t fragments = meta.fragment_count();
+  Simulator& sim = repo_.sim();
+  const SimTime start = sim.now();
+  ++read_stats_.read_alls;
+  last_read_full_ = 0;
+  last_read_delta_ = 0;
+
+  // Scatter: one worker per fragment, every per-fragment RPC (or quorum
+  // sub-scatter) in flight at once, so whole-set latency is the max of the
+  // fragment reads instead of their sum. The gather must outlive this frame
+  // if abandoned, so the arrival queue is heap-shared (cf. fetch_many).
+  auto arrivals = std::make_shared<AsyncQueue<FragmentArrival>>(sim);
+  std::vector<std::optional<Result<msg::DeltaReply>>> slots(fragments);
+  // Which host answers each delta-path fragment; invalid() marks fragments
+  // read without the cache (full-only policies, unreachable fragments).
+  std::vector<NodeId> delta_hosts(fragments, NodeId::invalid());
+  std::size_t spawned = 0;
   for (std::size_t f = 0; f < fragments; ++f) {
-    auto reply = co_await read_fragment(id, f);
-    if (!reply) co_return std::move(reply).error();
-    auto part = std::move(reply).value().take_members();
-    members.insert(members.end(), part.begin(), part.end());
+    const FragmentMeta& frag = meta.fragments()[f];
+    if (options_.read_policy == ReadPolicy::kQuorum) {
+      std::vector<NodeId> hosts = fragment_hosts(frag);
+      const std::size_t needed = std::min(options_.quorum, hosts.size());
+      sim.spawn(quorum_fragment_into(repo_.net(), node_, std::move(hosts),
+                                     id, needed, options_.rpc_timeout, f,
+                                     arrivals));
+      ++spawned;
+      continue;
+    }
+    const auto host = pick_read_host(frag);
+    if (!host) {
+      slots[f] = Failure{FailureKind::kPartitioned,
+                         "no reachable host for fragment"};
+      continue;
+    }
+    if (options_.delta_reads) {
+      delta_hosts[f] = *host;
+      const auto it = delta_cache_.find(CacheKey{id, f, *host});
+      const std::uint64_t since =
+          it == delta_cache_.end() ? 0 : it->second.seq;
+      sim.spawn(delta_fragment_into(repo_.net(), node_, *host, id, since,
+                                    options_.rpc_timeout, f, arrivals));
+    } else {
+      sim.spawn(snapshot_fragment_into(repo_.net(), node_, *host, id,
+                                       options_.rpc_timeout, f, arrivals));
+    }
+    ++spawned;
   }
+  for (std::size_t answered = 0; answered < spawned; ++answered) {
+    std::optional<FragmentArrival> arrival = co_await arrivals->pop();
+    if (!arrival) break;  // cannot happen: queue is never closed
+    slots[arrival->first] = std::move(arrival->second);
+  }
+
+  // Deterministic assembly in fragment order. On failure, report the
+  // lowest-index failing fragment (what the serial path reported) — after
+  // the cache has absorbed whatever succeeded.
+  std::vector<ObjectRef> members;
+  std::optional<Failure> first_failure;
+  for (std::size_t f = 0; f < fragments; ++f) {
+    assert(slots[f].has_value() && "read_all left a fragment unanswered");
+    Result<msg::DeltaReply>& slot = *slots[f];
+    if (!slot.has_value()) {
+      if (!first_failure) first_failure = std::move(slot).error();
+      continue;
+    }
+    if (delta_hosts[f].valid()) {
+      const std::vector<ObjectRef>& part = absorb_delta(
+          CacheKey{id, f, delta_hosts[f]}, std::move(slot).value());
+      members.insert(members.end(), part.begin(), part.end());
+    } else {
+      ++read_stats_.fragment_reads_full;
+      ++last_read_full_;
+      read_stats_.members_shipped += slot.value().entry_count();
+      std::vector<ObjectRef> part = std::move(slot).value().take_members();
+      members.insert(members.end(), part.begin(), part.end());
+    }
+  }
+  read_stats_.read_all_time = read_stats_.read_all_time + (sim.now() - start);
+  if (first_failure) co_return std::move(*first_failure);
   co_return members;
 }
 
@@ -145,20 +313,11 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::snapshot_atomic(
 }
 
 Task<Result<std::uint64_t>> RepositoryClient::total_size(CollectionId id) {
-  const CollectionMeta& meta = repo_.meta(id);
-  std::uint64_t total = 0;
-  for (std::size_t f = 0; f < meta.fragment_count(); ++f) {
-    const auto host = pick_read_host(meta.fragments()[f]);
-    if (!host) {
-      co_return Failure{FailureKind::kPartitioned,
-                        "no reachable host for fragment"};
-    }
-    auto reply = co_await call<std::uint64_t>(*host, "coll.size",
-                                              msg::SizeRequest{id});
-    if (!reply) co_return std::move(reply).error();
-    total += reply.value();
-  }
-  co_return total;
+  // Folded onto the membership read path: one parallel fan-out (delta-cached
+  // when enabled) instead of a second, serial per-fragment RPC loop.
+  Result<std::vector<ObjectRef>> members = co_await read_all(id);
+  if (!members) co_return std::move(members).error();
+  co_return static_cast<std::uint64_t>(members.value().size());
 }
 
 Task<Result<bool>> RepositoryClient::mutate(CollectionId id, ObjectRef ref,

@@ -13,8 +13,10 @@
 //   - freeze_all / unfreeze_all     the distributed lock itself (section 3.1)
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "net/rpc.hpp"
@@ -37,6 +39,25 @@ struct ClientOptions {
   ReadPolicy read_policy = ReadPolicy::kNearest;
   /// For kQuorum: how many hosts must answer (capped at primary+replicas).
   std::size_t quorum = 2;
+  /// Incremental membership reads: read_all keeps a per-(fragment, host)
+  /// materialisation and asks each host only for the ops since its last
+  /// answer (coll.read_delta), falling back to a full snapshot transparently
+  /// (first contact, host switch, truncated server log). Purely a transfer
+  /// optimisation: the same host would have answered a full read with the
+  /// same membership. kQuorum reads always ship full snapshots (a quorum
+  /// compares whole replies from multiple hosts).
+  bool delta_reads = true;
+};
+
+/// Counters for the client's membership read path (observability; the E13
+/// bench reads these).
+struct ClientReadStats {
+  std::uint64_t read_alls = 0;             ///< read_all calls
+  std::uint64_t fragment_reads_full = 0;   ///< fragments shipped in full
+  std::uint64_t fragment_reads_delta = 0;  ///< fragments served as deltas
+  std::uint64_t members_shipped = 0;       ///< members in full replies
+  std::uint64_t ops_shipped = 0;           ///< ops in delta replies
+  Duration read_all_time = Duration::zero();  ///< summed read_all latency
 };
 
 class RepositoryClient {
@@ -60,8 +81,11 @@ class RepositoryClient {
   Task<Result<msg::SnapshotReply>> read_fragment(CollectionId id,
                                                  std::size_t fragment);
 
-  /// Reads every fragment, one RPC at a time (NOT atomic: mutations may
-  /// interleave between fragments). Fails if any fragment is unreadable.
+  /// Reads every fragment concurrently and gathers (NOT atomic: mutations
+  /// may interleave across fragments) — whole-set latency is the max of the
+  /// per-fragment reads, not their sum. With delta_reads on, each fragment
+  /// host ships only the ops since its previous answer. Fails if any
+  /// fragment is unreadable, reporting the lowest-index failing fragment.
   Task<Result<std::vector<ObjectRef>>> read_all(CollectionId id);
 
   /// Atomic whole-collection snapshot: freezes every fragment primary (in
@@ -72,7 +96,8 @@ class RepositoryClient {
   Task<Result<std::vector<ObjectRef>>> snapshot_atomic(
       CollectionId id, std::function<void()> on_cut = {});
 
-  /// Total membership count across fragments (loose, like read_all).
+  /// Total membership count across fragments (loose, like read_all — it IS
+  /// a read_all, so it rides the same parallel fan-out and delta cache).
   Task<Result<std::uint64_t>> total_size(CollectionId id);
 
   // -- membership writes (always at the responsible fragment primary) -------
@@ -112,7 +137,40 @@ class RepositoryClient {
   /// Releases this client's pins (best effort).
   Task<void> unpin_all(CollectionId id);
 
+  // -- observability ---------------------------------------------------------
+
+  [[nodiscard]] const ClientReadStats& read_stats() const noexcept {
+    return read_stats_;
+  }
+  /// How the most recent read_all was served: fragments shipped in full vs
+  /// fragments served as deltas (full + delta == fragment count on success).
+  [[nodiscard]] std::uint64_t last_read_full() const noexcept {
+    return last_read_full_;
+  }
+  [[nodiscard]] std::uint64_t last_read_delta() const noexcept {
+    return last_read_delta_;
+  }
+
  private:
+  /// Client-side materialisation of one fragment's membership as last
+  /// answered by one specific host, plus that host's op cursor and version.
+  /// Keyed per host: each host's op sequence is monotone, so a cached cursor
+  /// can never run ahead of the host it came from — switching hosts (e.g.
+  /// kNearest failing over to a replica) simply starts a fresh entry with a
+  /// full read, and reads regress across a host switch exactly as full
+  /// snapshot reads would.
+  struct FragmentCacheEntry {
+    MemberList members;
+    std::uint64_t seq = 0;
+    std::uint64_t version = 0;
+  };
+  using CacheKey = std::tuple<CollectionId, std::size_t, NodeId>;
+
+  /// Folds one fragment reply into the cache entry for `key`, counting it in
+  /// the read stats; returns the entry's materialised members.
+  const std::vector<ObjectRef>& absorb_delta(const CacheKey& key,
+                                             msg::DeltaReply reply);
+
   /// Host to read `fragment` from under the current policy; nullopt if no
   /// host is reachable.
   [[nodiscard]] std::optional<NodeId> pick_read_host(
@@ -137,6 +195,10 @@ class RepositoryClient {
   NodeId node_;
   ClientOptions options_;
   std::uint64_t token_;
+  std::map<CacheKey, FragmentCacheEntry> delta_cache_;
+  ClientReadStats read_stats_;
+  std::uint64_t last_read_full_ = 0;
+  std::uint64_t last_read_delta_ = 0;
 };
 
 }  // namespace weakset

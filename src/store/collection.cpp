@@ -1,18 +1,20 @@
 #include "store/collection.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace weakset {
 
-void CollectionState::insert_member(ObjectRef ref) {
+bool MemberList::insert(ObjectRef ref) {
+  if (contains(ref)) return false;
   index_.emplace(ref, members_.size());
   members_.push_back(ref);
-  ++version_;
+  return true;
 }
 
-void CollectionState::erase_member(ObjectRef ref) {
+bool MemberList::erase(ObjectRef ref) {
   const auto it = index_.find(ref);
-  assert(it != index_.end());
+  if (it == index_.end()) return false;
   const std::size_t pos = it->second;
   // Swap-with-last keeps removal O(1); membership order is not part of set
   // semantics ("order among elements does not matter", section 1).
@@ -21,32 +23,62 @@ void CollectionState::erase_member(ObjectRef ref) {
   members_.pop_back();
   index_.erase(it);
   if (last != ref) index_[last] = pos;
-  ++version_;
+  return true;
+}
+
+void MemberList::assign(std::vector<ObjectRef> members) {
+  members_ = std::move(members);
+  index_.clear();
+  index_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const auto [it, inserted] = index_.emplace(members_[i], i);
+    (void)it;
+    assert(inserted && "duplicate member in snapshot install");
+  }
+}
+
+void CollectionState::record(CollectionOp::Kind kind, ObjectRef ref,
+                             std::uint64_t seq) {
+  assert(seq == last_seq_ + 1 && "log sequences must stay contiguous");
+  log_.emplace_back(kind, ref, seq);
+  last_seq_ = seq;
+  if (log_cap_ != 0) {
+    while (log_.size() > log_cap_) log_.pop_front();
+  }
 }
 
 bool CollectionState::add(ObjectRef ref) {
-  if (contains(ref)) return false;
-  insert_member(ref);
-  log_.emplace_back(CollectionOp::Kind::kAdd, ref, last_seq() + 1);
+  if (!list_.insert(ref)) return false;
+  ++version_;
+  record(CollectionOp::Kind::kAdd, ref, last_seq_ + 1);
   return true;
 }
 
 bool CollectionState::remove(ObjectRef ref) {
-  if (!contains(ref)) return false;
-  erase_member(ref);
-  log_.emplace_back(CollectionOp::Kind::kRemove, ref, last_seq() + 1);
+  if (!list_.erase(ref)) return false;
+  ++version_;
+  record(CollectionOp::Kind::kRemove, ref, last_seq_ + 1);
   return true;
+}
+
+void CollectionState::set_log_cap(std::size_t cap) {
+  log_cap_ = cap;
+  if (log_cap_ != 0) {
+    while (log_.size() > log_cap_) log_.pop_front();
+  }
 }
 
 std::vector<CollectionOp> CollectionState::ops_since(
     std::uint64_t after_seq) const {
   std::vector<CollectionOp> out;
-  // Log sequences are contiguous from 1, so the slice starts at index
-  // after_seq (clamped).
-  if (after_seq < log_.size()) {
-    out.assign(log_.begin() + static_cast<std::ptrdiff_t>(after_seq),
-               log_.end());
-  }
+  if (after_seq >= last_seq_) return out;
+  assert(can_serve_ops_since(after_seq) &&
+         "caller must snapshot-resync past a truncated log");
+  // The retained window is contiguous, so the slice starts at the offset of
+  // seq after_seq+1 from the log floor.
+  const std::size_t skip =
+      static_cast<std::size_t>(after_seq + 1 - log_floor_seq());
+  out.assign(log_.begin() + static_cast<std::ptrdiff_t>(skip), log_.end());
   return out;
 }
 
@@ -54,11 +86,24 @@ void CollectionState::apply(const CollectionOp& op) {
   if (op.seq() <= applied_seq_) return;  // duplicate delivery
   assert(op.seq() == applied_seq_ + 1 && "replica log gap");
   applied_seq_ = op.seq();
-  if (op.kind() == CollectionOp::Kind::kAdd) {
-    if (!contains(op.ref())) insert_member(op.ref());
-  } else {
-    if (contains(op.ref())) erase_member(op.ref());
-  }
+  const bool effective = op.kind() == CollectionOp::Kind::kAdd
+                             ? list_.insert(op.ref())
+                             : list_.erase(op.ref());
+  if (effective) ++version_;
+  // Re-log regardless of local effect: the replica's log must mirror the
+  // primary's sequence window so its own delta readers see the same stream.
+  record(op.kind(), op.ref(), op.seq());
+}
+
+void CollectionState::install(std::vector<ObjectRef> members,
+                              std::uint64_t version, std::uint64_t seq) {
+  list_.assign(std::move(members));
+  version_ = version;
+  last_seq_ = seq;
+  applied_seq_ = seq;
+  // The ops behind the snapshot are unknown; an empty log at floor seq+1
+  // forces delta readers of this replica to take one full read and resync.
+  log_.clear();
 }
 
 }  // namespace weakset

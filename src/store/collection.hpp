@@ -2,7 +2,8 @@
 
 // CollectionState: the server-side representation of one fragment of a
 // collection object — an ordered, duplicate-free membership list with a
-// version counter and an operation log for replication.
+// version counter and an operation log for replication and incremental
+// (delta) membership reads.
 //
 // The paper (section 3, "dimension" discussion): "the collection object
 // itself may be distributed; logically there is a single object, but
@@ -11,9 +12,13 @@
 // Whenever there is such distributed state, there is always the possibility
 // of inconsistent data." Fragments model the scattering; the op log plus
 // pull-based anti-entropy (see StoreServer) model the replicas and their
-// staleness.
+// staleness. The same log doubles as the server side of the client-facing
+// delta-sync protocol (coll.read_delta, DESIGN.md decision 9): it is bounded
+// (set_log_cap), and a reader whose cursor has fallen off the retained
+// window is resynced with a full snapshot.
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -43,9 +48,42 @@ class CollectionOp {
   std::uint64_t seq_ = 0;
 };
 
+/// An ordered, duplicate-free membership list: push-back insertion,
+/// swap-with-last O(1) removal ("order among elements does not matter",
+/// section 1 — but it must be *deterministic*). Shared between the
+/// server-side fragment state and the client-side delta cache precisely so
+/// that both sides, replaying the same op sequence, materialise the same
+/// member order — a delta-synced read yields members in the exact order a
+/// full snapshot would have.
+class MemberList {
+ public:
+  /// Adds `ref`; returns false (no change) if already present.
+  bool insert(ObjectRef ref);
+
+  /// Removes `ref` (swap-with-last); returns false if not present.
+  bool erase(ObjectRef ref);
+
+  [[nodiscard]] bool contains(ObjectRef ref) const {
+    return index_.count(ref) > 0;
+  }
+  [[nodiscard]] const std::vector<ObjectRef>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+
+  /// Replaces the whole list (full-snapshot install). `members` must be
+  /// duplicate-free.
+  void assign(std::vector<ObjectRef> members);
+
+ private:
+  std::vector<ObjectRef> members_;
+  std::unordered_map<ObjectRef, std::size_t> index_;  // ref -> members_ index
+};
+
 /// Membership state of one collection fragment. Primaries mutate through
 /// add()/remove(), which append to the log; replicas converge by applying
-/// the primary's log in order through apply().
+/// the primary's log in order through apply() — and log the applied ops
+/// themselves, so a replica can serve delta reads too.
 class CollectionState {
  public:
   explicit CollectionState(CollectionId id) : id_(id) {}
@@ -60,29 +98,54 @@ class CollectionState {
   bool remove(ObjectRef ref);
 
   [[nodiscard]] bool contains(ObjectRef ref) const {
-    return index_.count(ref) > 0;
+    return list_.contains(ref);
   }
-  /// Current members in insertion order.
+  /// Current members in insertion order (with swap-with-last removal).
   [[nodiscard]] const std::vector<ObjectRef>& members() const noexcept {
-    return members_;
+    return list_.members();
   }
-  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return list_.size(); }
 
   /// Bumped on every effective mutation.
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
-  /// Highest op sequence number in the log (0 if empty).
-  [[nodiscard]] std::uint64_t last_seq() const noexcept {
-    return log_.empty() ? 0 : log_.back().seq();
+  /// Highest op sequence number ever logged here (0 if none). Survives log
+  /// truncation.
+  [[nodiscard]] std::uint64_t last_seq() const noexcept { return last_seq_; }
+
+  /// Bounds the op log to the most recent `cap` ops (0 = unbounded). The
+  /// log is the retained history window for delta reads and anti-entropy;
+  /// readers further behind than the window get a full snapshot instead.
+  void set_log_cap(std::size_t cap);
+
+  /// Lowest op sequence still retained (last_seq() + 1 when the log is
+  /// empty).
+  [[nodiscard]] std::uint64_t log_floor_seq() const noexcept {
+    return last_seq_ - log_.size() + 1;
   }
 
-  /// Ops with seq > `after_seq`, for anti-entropy transfer to replicas.
+  /// True if every op with seq > `after_seq` is still in the log — i.e. an
+  /// incremental catch-up from `after_seq` is possible without a snapshot.
+  [[nodiscard]] bool can_serve_ops_since(std::uint64_t after_seq) const noexcept {
+    return after_seq + 1 >= log_floor_seq();
+  }
+
+  /// Ops with seq > `after_seq`, for anti-entropy transfer and delta reads.
+  /// Requires can_serve_ops_since(after_seq).
   [[nodiscard]] std::vector<CollectionOp> ops_since(
       std::uint64_t after_seq) const;
 
   /// Replica side: applies a primary op. Ops at or below the already-applied
   /// sequence are ignored (idempotent); ops must otherwise arrive in order.
+  /// Applied ops are re-logged locally so the replica can serve deltas.
   void apply(const CollectionOp& op);
+
+  /// Replica side: installs a full snapshot received from the primary
+  /// (anti-entropy recovery after the primary's log was truncated past this
+  /// replica's cursor). Resets the local log; delta readers of this replica
+  /// resync with a full read on their next request.
+  void install(std::vector<ObjectRef> members, std::uint64_t version,
+               std::uint64_t seq);
 
   /// Replica side: highest primary sequence applied so far.
   [[nodiscard]] std::uint64_t applied_seq() const noexcept {
@@ -90,13 +153,13 @@ class CollectionState {
   }
 
  private:
-  void insert_member(ObjectRef ref);
-  void erase_member(ObjectRef ref);
+  void record(CollectionOp::Kind kind, ObjectRef ref, std::uint64_t seq);
 
   CollectionId id_;
-  std::vector<ObjectRef> members_;
-  std::unordered_map<ObjectRef, std::size_t> index_;  // ref -> members_ index
-  std::vector<CollectionOp> log_;
+  MemberList list_;
+  std::deque<CollectionOp> log_;  // most recent ops, contiguous seqs
+  std::size_t log_cap_ = 0;       // 0 = unbounded
+  std::uint64_t last_seq_ = 0;
   std::uint64_t version_ = 0;
   std::uint64_t applied_seq_ = 0;
 };

@@ -103,6 +103,72 @@ class SnapshotReply {
   std::uint64_t version_;
 };
 
+/// coll.read_delta: incremental membership read. The client presents the op
+/// sequence cursor of its cached materialisation of this fragment (0 = no
+/// cache); the server answers with just the ops since that cursor when its
+/// retained log window still covers it, and with a full snapshot otherwise
+/// (first contact, truncated log, or a delta that would outweigh the
+/// snapshot). See DESIGN.md decision 9.
+class DeltaRequest {
+ public:
+  DeltaRequest(CollectionId id, std::uint64_t since_seq)
+      : id_(id), since_seq_(since_seq) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t since_seq() const noexcept { return since_seq_; }
+
+ private:
+  CollectionId id_;
+  std::uint64_t since_seq_;
+};
+
+/// Reply to coll.read_delta: either the ops since the presented cursor or a
+/// full membership snapshot, plus the server's current version and op
+/// cursor. The client advances its cache to (version, seq) either way.
+class DeltaReply {
+ public:
+  static DeltaReply delta(std::vector<CollectionOp> ops, std::uint64_t version,
+                          std::uint64_t seq) {
+    return DeltaReply{true, {}, std::move(ops), version, seq};
+  }
+  static DeltaReply full_snapshot(std::vector<ObjectRef> members,
+                                  std::uint64_t version, std::uint64_t seq) {
+    return DeltaReply{false, std::move(members), {}, version, seq};
+  }
+
+  [[nodiscard]] bool is_delta() const noexcept { return is_delta_; }
+  [[nodiscard]] const std::vector<ObjectRef>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] std::vector<ObjectRef>&& take_members() && {
+    return std::move(members_);
+  }
+  [[nodiscard]] const std::vector<CollectionOp>& ops() const noexcept {
+    return ops_;
+  }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  /// Entries shipped on the wire (members or ops) — the cost-model unit.
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return is_delta_ ? ops_.size() : members_.size();
+  }
+
+ private:
+  DeltaReply(bool is_delta, std::vector<ObjectRef> members,
+             std::vector<CollectionOp> ops, std::uint64_t version,
+             std::uint64_t seq)
+      : is_delta_(is_delta),
+        members_(std::move(members)),
+        ops_(std::move(ops)),
+        version_(version),
+        seq_(seq) {}
+
+  bool is_delta_;
+  std::vector<ObjectRef> members_;
+  std::vector<CollectionOp> ops_;
+  std::uint64_t version_;
+  std::uint64_t seq_;
+};
+
 /// coll.add / coll.remove: mutate one fragment's membership.
 /// Reply: MembershipReply.
 class MembershipRequest {
@@ -210,16 +276,39 @@ class PullRequest {
   std::uint64_t after_seq_;
 };
 
-/// Reply to coll.pull.
+/// Reply to coll.pull: the ops after the replica's cursor — or, when the
+/// primary's bounded log no longer reaches back that far, a full snapshot
+/// (members + version + seq) the replica installs wholesale.
 class PullReply {
  public:
-  explicit PullReply(std::vector<CollectionOp> ops) : ops_(std::move(ops)) {}
+  explicit PullReply(std::vector<CollectionOp> ops)
+      : is_snapshot_(false), ops_(std::move(ops)), version_(0), seq_(0) {}
+  static PullReply snapshot(std::vector<ObjectRef> members,
+                            std::uint64_t version, std::uint64_t seq) {
+    PullReply reply{{}};
+    reply.is_snapshot_ = true;
+    reply.members_ = std::move(members);
+    reply.version_ = version;
+    reply.seq_ = seq;
+    return reply;
+  }
+
+  [[nodiscard]] bool is_snapshot() const noexcept { return is_snapshot_; }
   [[nodiscard]] const std::vector<CollectionOp>& ops() const noexcept {
     return ops_;
   }
+  [[nodiscard]] std::vector<ObjectRef>&& take_members() && {
+    return std::move(members_);
+  }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
 
  private:
+  bool is_snapshot_;
   std::vector<CollectionOp> ops_;
+  std::vector<ObjectRef> members_;
+  std::uint64_t version_;
+  std::uint64_t seq_;
 };
 
 }  // namespace weakset::msg

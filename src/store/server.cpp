@@ -28,6 +28,8 @@ void StoreServer::register_handlers() {
   net_.register_handler(node_, "store.put", bind(&StoreServer::handle_put));
   net_.register_handler(node_, "coll.snapshot",
                         bind(&StoreServer::handle_snapshot));
+  net_.register_handler(node_, "coll.read_delta",
+                        bind(&StoreServer::handle_read_delta));
   net_.register_handler(node_, "coll.membership",
                         bind(&StoreServer::handle_membership));
   net_.register_handler(node_, "coll.size", bind(&StoreServer::handle_size));
@@ -59,6 +61,7 @@ CollectionState& StoreServer::host_primary(CollectionId id) {
   auto entry = std::make_unique<Hosted>(id);
   entry->primary = NodeId::invalid();
   entry->unfrozen = std::make_unique<Gate>(net_.sim(), /*open=*/true);
+  entry->state.set_log_cap(options_.membership_log_cap);
   auto [it, inserted] = collections_.emplace(id, std::move(entry));
   assert(inserted && "collection already hosted here");
   return it->second->state;
@@ -68,6 +71,7 @@ CollectionState& StoreServer::host_replica(CollectionId id, NodeId primary) {
   auto entry = std::make_unique<Hosted>(id);
   entry->primary = primary;
   entry->unfrozen = std::make_unique<Gate>(net_.sim(), /*open=*/true);
+  entry->state.set_log_cap(options_.membership_log_cap);
   auto [it, inserted] = collections_.emplace(id, std::move(entry));
   assert(inserted && "collection already hosted here");
   net_.sim().spawn(pull_loop(id, primary));
@@ -109,7 +113,23 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
         node_, primary, "coll.pull",
         msg::PullRequest{id, state->applied_seq()});
     if (!reply) continue;  // primary unreachable; retry next round
-    for (const CollectionOp& op : reply.value().ops()) state->apply(op);
+    state = collection(id);  // re-resolve: the map may have changed under
+    if (state == nullptr) co_return;  // the co_await
+    if (reply.value().is_snapshot()) {
+      // The primary's log was truncated past our cursor: install the full
+      // membership and resume op-by-op from its seq.
+      const std::uint64_t version = reply.value().version();
+      const std::uint64_t seq = reply.value().seq();
+      state->install(std::move(reply).value().take_members(), version, seq);
+      continue;
+    }
+    // Apply the contiguous prefix only (cf. the coll.sync handler): a racing
+    // push may have advanced applied_seq during the pull's round trip.
+    for (const CollectionOp& op : reply.value().ops()) {
+      if (op.seq() <= state->applied_seq()) continue;
+      if (op.seq() != state->applied_seq() + 1) break;
+      state->apply(op);
+    }
   }
 }
 
@@ -165,7 +185,40 @@ Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
   if (state == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
+  // Shipping the whole membership costs per member — the cost delta reads
+  // avoid (coll.read_delta charges per *change* instead).
+  co_await net_.sim().delay(options_.membership_entry_cost *
+                            static_cast<std::int64_t>(state->size()));
   co_return std::any{msg::SnapshotReply{state->members(), state->version()}};
+}
+
+Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
+  const auto req = std::any_cast<msg::DeltaRequest>(std::move(request));
+  co_await net_.sim().delay(options_.membership_latency);
+  CollectionState* state = collection(req.id());
+  if (state == nullptr) {
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
+  // Serve ops when the cursor is inside the retained log window *and* the
+  // delta is no larger than the membership itself; otherwise resync the
+  // reader with a full snapshot. since_seq > last_seq means the reader
+  // followed a fresher host here by mistake (the client keys its cache per
+  // host precisely to avoid this) — treated as a resync, not an error.
+  const bool can_delta = req.since_seq() != 0 &&
+                         req.since_seq() <= state->last_seq() &&
+                         state->can_serve_ops_since(req.since_seq()) &&
+                         state->last_seq() - req.since_seq() <= state->size();
+  if (!can_delta) {
+    co_await net_.sim().delay(options_.membership_entry_cost *
+                              static_cast<std::int64_t>(state->size()));
+    co_return std::any{msg::DeltaReply::full_snapshot(
+        state->members(), state->version(), state->last_seq())};
+  }
+  std::vector<CollectionOp> ops = state->ops_since(req.since_seq());
+  co_await net_.sim().delay(options_.membership_entry_cost *
+                            static_cast<std::int64_t>(ops.size()));
+  co_return std::any{msg::DeltaReply::delta(std::move(ops), state->version(),
+                                            state->last_seq())};
 }
 
 Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
@@ -297,6 +350,9 @@ Task<void> StoreServer::push_to(CollectionId id, Hosted::PushTarget& target) {
   // a push fails (the pull loop then repairs).
   Hosted& entry = hosted(id);
   while (!stopping_ && target.acked_seq < entry.state.last_seq()) {
+    if (!entry.state.can_serve_ops_since(target.acked_seq)) {
+      break;  // log truncated past the target's cursor: pull will snapshot
+    }
     const std::uint64_t before = target.acked_seq;
     auto reply = co_await net_.call_typed<std::uint64_t>(
         node_, target.node, "coll.sync",
@@ -317,7 +373,18 @@ Task<Result<std::any>> StoreServer::handle_pull(std::any request) {
   if (state == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
-  co_return std::any{msg::PullReply{state->ops_since(req.after_seq())}};
+  // A replica that fell behind the bounded log window cannot catch up op by
+  // op any more: send the whole membership for wholesale install.
+  if (!state->can_serve_ops_since(req.after_seq())) {
+    co_await net_.sim().delay(options_.membership_entry_cost *
+                              static_cast<std::int64_t>(state->size()));
+    co_return std::any{msg::PullReply::snapshot(
+        state->members(), state->version(), state->last_seq())};
+  }
+  std::vector<CollectionOp> ops = state->ops_since(req.after_seq());
+  co_await net_.sim().delay(options_.membership_entry_cost *
+                            static_cast<std::int64_t>(ops.size()));
+  co_return std::any{msg::PullReply{std::move(ops)}};
 }
 
 }  // namespace weakset

@@ -39,8 +39,18 @@ struct StoreServerOptions {
   Duration batch_read_increment = Duration::micros(250);
   /// Simulated disk write for object payloads.
   Duration object_write_latency = Duration::millis(4);
-  /// In-memory membership operation cost.
+  /// In-memory membership operation cost (fixed part of every membership
+  /// RPC).
   Duration membership_latency = Duration::micros(100);
+  /// Serialisation/transfer cost per membership entry shipped in a reply —
+  /// a member of a full snapshot or an op of a delta. This is what makes
+  /// whole-set reads scale with set size and delta reads scale with change
+  /// rate (precedent: batch_read_increment for payload batches).
+  Duration membership_entry_cost = Duration::micros(25);
+  /// Membership ops retained per fragment (primaries and replicas) for
+  /// incremental reads and anti-entropy; a reader whose cursor has fallen
+  /// off this window is resynced with a full snapshot. 0 = unbounded.
+  std::size_t membership_log_cap = 1024;
   /// How long a freeze lives without being released (crash safety).
   Duration freeze_lease = Duration::seconds(10);
   /// Replica anti-entropy period.
@@ -126,6 +136,7 @@ class StoreServer {
   Task<Result<std::any>> handle_fetch_batch(std::any request);
   Task<Result<std::any>> handle_put(std::any request);
   Task<Result<std::any>> handle_snapshot(std::any request);
+  Task<Result<std::any>> handle_read_delta(std::any request);
   Task<Result<std::any>> handle_membership(std::any request);
   Task<Result<std::any>> handle_size(std::any request);
   Task<Result<std::any>> handle_freeze(std::any request);

@@ -15,11 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
+#include <string>
 #include <tuple>
 
 #include "core/iterator.hpp"
 #include "core/local_view.hpp"
+#include "core/repo_view.hpp"
 #include "spec/specs.hpp"
 #include "util/rng.hpp"
 
@@ -200,6 +203,199 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, MatrixSweep,
     ::testing::Combine(::testing::Range<std::uint64_t>(100, 115),
                        ::testing::Values<std::size_t>(1, 8)));
+
+// ---------------------------------------------------------------------------
+// Delta-sync equivalence sweep (repo-backed): ReadPolicy × figure × seed.
+//
+// Each cell runs the identical scripted distributed world twice — delta
+// reads off and on — and asserts the yielded sequence and the run outcome
+// (finished, or failed with which kind) are byte-for-byte identical. The
+// per-entry serving cost is pinned to zero so the two runs have identical
+// event timelines (same RPC count, same service times, same jitter draws):
+// the only difference left is the wire protocol, which must be invisible.
+
+struct RepoRun {
+  std::vector<ObjectRef> yields;
+  bool finished = false;
+  std::optional<FailureKind> failure;
+  std::uint64_t delta_fragments = 0;  ///< fragments served incrementally
+  std::uint64_t full_fragments = 0;   ///< fragments shipped in full
+};
+
+struct RepoScript {
+  bool adds = false;
+  bool removes = false;
+  bool partition = false;  ///< cut client <-> fragment-1 primary mid-run
+};
+
+RepoScript script_for(Semantics semantics) {
+  RepoScript script;
+  switch (semantics) {
+    case Semantics::kFig1Immutable:
+      break;
+    case Semantics::kFig3ImmutableFailAware:
+      script.partition = true;
+      break;
+    case Semantics::kFig4Snapshot:
+      script.adds = script.removes = true;
+      break;
+    case Semantics::kFig5GrowOnlyPessimistic:
+      script.adds = true;
+      script.partition = true;
+      break;
+    case Semantics::kFig6Optimistic:
+      script.adds = script.removes = true;
+      script.partition = true;
+      break;
+  }
+  return script;
+}
+
+RepoRun run_repo_figure(Semantics semantics, ReadPolicy policy, bool delta,
+                        std::uint64_t seed) {
+  Simulator sim;
+  Topology topo;
+  const NodeId client_node = topo.add_node("client");
+  std::vector<NodeId> servers;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(topo.add_node("s" + std::to_string(i)));
+  }
+  topo.connect_full_mesh(Duration::millis(5));
+  RpcNetwork net{sim, topo, Rng{seed}};
+  Repository repo{net};
+  StoreServerOptions server_options;
+  // Zero per-entry serving cost: a delta and a full reply then cost the
+  // same simulated time, making the two runs' timelines identical.
+  server_options.membership_entry_cost = Duration::zero();
+  for (const NodeId node : servers) repo.add_server(node, server_options);
+
+  // Two fragments (s0, s1); fragment 0 also has a replica on s2, so
+  // kNearest/kQuorum have a host choice to make. Objects are homed on s0/s2
+  // only: the scripted partition isolates s1, so it breaks *membership
+  // reads* of fragment 1, never element fetches.
+  const CollectionId coll = repo.create_collection({servers[0], servers[1]});
+  repo.add_replica(coll, 0, servers[2]);
+  const CollectionMeta& meta = repo.meta(coll);
+  std::vector<ObjectRef> objects;
+  for (int i = 0; i < 8; ++i) {
+    const NodeId home = servers[i % 2 == 0 ? 0 : 2];
+    objects.push_back(repo.create_object(home, "p" + std::to_string(i)));
+    repo.seed_member(coll, objects.back());
+  }
+
+  // Scripted world: times drawn from a seed-fixed RNG, applied directly at
+  // the responsible fragment primary's state (same draws in both runs).
+  auto mutate = [&repo, &meta, coll](ObjectRef ref, bool add) {
+    const NodeId primary = meta.fragments()[meta.fragment_of(ref)].primary();
+    CollectionState* state = repo.server_at(primary)->collection(coll);
+    if (add) {
+      state->add(ref);
+    } else {
+      state->remove(ref);
+    }
+  };
+  const RepoScript script = script_for(semantics);
+  Rng script_rng{seed + 1};
+  std::vector<ObjectRef> extra;
+  for (int i = 0; i < 6; ++i) {
+    const NodeId home = servers[i % 2 == 0 ? 0 : 2];
+    extra.push_back(repo.create_object(home, "x" + std::to_string(i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    const Duration at =
+        Duration::millis(static_cast<int>(script_rng.uniform(300)));
+    if (script.adds && script_rng.bernoulli(0.7)) {
+      const ObjectRef ref = extra[static_cast<std::size_t>(i)];
+      sim.schedule(at, [mutate, ref] { mutate(ref, true); });
+    }
+    if (script.removes && script_rng.bernoulli(0.4)) {
+      const ObjectRef ref =
+          objects[script_rng.uniform(objects.size())];
+      sim.schedule(at, [mutate, ref] { mutate(ref, false); });
+    }
+  }
+  if (script.partition) {
+    // Late enough that the refresh-per-next figures have absorbed deltas
+    // before the cut; early enough that it lands inside the run.
+    sim.schedule(Duration::millis(60), [&topo, client_node, &servers] {
+      topo.partition({{client_node, servers[0], servers[2]}, {servers[1]}});
+    });
+    sim.schedule(Duration::millis(200), [&topo] { topo.heal(); });
+  }
+
+  ClientOptions client_options;
+  client_options.read_policy = policy;
+  client_options.delta_reads = delta;
+  RepositoryClient client{repo, client_node, client_options};
+  RepoSetView view{client, coll};
+  IteratorOptions options;
+  options.retry = RetryPolicy{500, Duration::millis(25)};
+  auto iterator = make_elements_iterator(view, semantics, options);
+  const DrainResult drained = run_task(sim, drain(*iterator));
+
+  RepoRun run;
+  for (const ObjectRef ref : iterator->yielded()) run.yields.push_back(ref);
+  run.finished = drained.finished();
+  if (drained.failure()) run.failure = drained.failure()->kind;
+  run.delta_fragments = client.read_stats().fragment_reads_delta;
+  run.full_fragments = client.read_stats().fragment_reads_full;
+
+  repo.stop_all_daemons();
+  sim.run();  // drain daemons so coroutine frames unwind
+  return run;
+}
+
+class DeltaEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<ReadPolicy, std::uint64_t>> {
+ protected:
+  [[nodiscard]] ReadPolicy policy() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] std::uint64_t seed() const { return std::get<1>(GetParam()); }
+
+  void expect_equivalent(Semantics semantics) {
+    const RepoRun off = run_repo_figure(semantics, policy(), false, seed());
+    const RepoRun on = run_repo_figure(semantics, policy(), true, seed());
+    EXPECT_EQ(off.yields, on.yields)
+        << to_string(semantics) << " seed " << seed()
+        << ": delta sync changed the yielded sequence";
+    EXPECT_EQ(off.finished, on.finished) << to_string(semantics);
+    EXPECT_EQ(off.failure, on.failure) << to_string(semantics);
+    // The delta-off run must never touch the delta path; on the figures
+    // that re-read membership per next() (fig5/fig6), the delta-on run must
+    // actually exercise it — except under kQuorum, which always compares
+    // full snapshots from multiple hosts. Fig1/fig3 read once (never a
+    // second read to serve incrementally) and fig4 uses snapshot_atomic.
+    EXPECT_EQ(off.delta_fragments, 0u);
+    const bool refreshes = semantics == Semantics::kFig5GrowOnlyPessimistic ||
+                           semantics == Semantics::kFig6Optimistic;
+    if (policy() != ReadPolicy::kQuorum && refreshes) {
+      EXPECT_GT(on.delta_fragments, 0u)
+          << to_string(semantics) << ": delta path never used";
+    }
+  }
+};
+
+TEST_P(DeltaEquivalenceSweep, Fig1) {
+  expect_equivalent(Semantics::kFig1Immutable);
+}
+TEST_P(DeltaEquivalenceSweep, Fig3) {
+  expect_equivalent(Semantics::kFig3ImmutableFailAware);
+}
+TEST_P(DeltaEquivalenceSweep, Fig4) {
+  expect_equivalent(Semantics::kFig4Snapshot);
+}
+TEST_P(DeltaEquivalenceSweep, Fig5) {
+  expect_equivalent(Semantics::kFig5GrowOnlyPessimistic);
+}
+TEST_P(DeltaEquivalenceSweep, Fig6) {
+  expect_equivalent(Semantics::kFig6Optimistic);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, DeltaEquivalenceSweep,
+    ::testing::Combine(::testing::Values(ReadPolicy::kPrimaryOnly,
+                                         ReadPolicy::kNearest,
+                                         ReadPolicy::kQuorum),
+                       ::testing::Range<std::uint64_t>(300, 306)));
 
 }  // namespace
 }  // namespace weakset

@@ -135,6 +135,90 @@ TEST(CollectionStateTest, ApplyIsIdempotent) {
   EXPECT_EQ(replica.applied_seq(), 1u);
 }
 
+TEST(CollectionStateTest, BoundedLogTruncatesButSeqSurvives) {
+  CollectionState state{CollectionId{0}};
+  state.set_log_cap(4);
+  for (std::uint64_t i = 0; i < 10; ++i) state.add(ref(i));
+  EXPECT_EQ(state.last_seq(), 10u);
+  EXPECT_EQ(state.log_floor_seq(), 7u);  // ops 7..10 retained
+  EXPECT_FALSE(state.can_serve_ops_since(5));  // op 6 already dropped
+  EXPECT_TRUE(state.can_serve_ops_since(6));
+  const auto ops = state.ops_since(6);
+  ASSERT_EQ(ops.size(), 4u);
+  EXPECT_EQ(ops.front().seq(), 7u);
+  EXPECT_EQ(ops.back().seq(), 10u);
+}
+
+TEST(CollectionStateTest, CapZeroKeepsEverything) {
+  CollectionState state{CollectionId{0}};
+  for (std::uint64_t i = 0; i < 100; ++i) state.add(ref(i));
+  EXPECT_EQ(state.log_floor_seq(), 1u);
+  EXPECT_TRUE(state.can_serve_ops_since(0));
+  EXPECT_EQ(state.ops_since(0).size(), 100u);
+}
+
+TEST(CollectionStateTest, ShrinkingCapTrimsRetroactively) {
+  CollectionState state{CollectionId{0}};
+  for (std::uint64_t i = 0; i < 8; ++i) state.add(ref(i));
+  state.set_log_cap(3);
+  EXPECT_EQ(state.log_floor_seq(), 6u);
+  EXPECT_EQ(state.ops_since(5).size(), 3u);
+}
+
+TEST(CollectionStateTest, InstallReplacesStateAndResetsLog) {
+  CollectionState replica{CollectionId{0}};
+  replica.add(ref(99));  // pre-existing divergent state
+  replica.install({ref(1), ref(2), ref(3)}, /*version=*/7, /*seq=*/42);
+  EXPECT_EQ(replica.size(), 3u);
+  EXPECT_FALSE(replica.contains(ref(99)));
+  EXPECT_EQ(replica.version(), 7u);
+  EXPECT_EQ(replica.last_seq(), 42u);
+  EXPECT_EQ(replica.applied_seq(), 42u);
+  // The local log restarts at the install point: readers behind it must
+  // take a snapshot, readers at it have nothing to catch up.
+  EXPECT_FALSE(replica.can_serve_ops_since(41));
+  EXPECT_TRUE(replica.can_serve_ops_since(42));
+  EXPECT_TRUE(replica.ops_since(42).empty());
+  // And the log resumes cleanly past the installed sequence.
+  EXPECT_TRUE(replica.add(ref(4)));
+  EXPECT_EQ(replica.ops_since(42).size(), 1u);
+  EXPECT_EQ(replica.ops_since(42).front().seq(), 43u);
+}
+
+TEST(CollectionStateTest, ReplicaRelogsAppliedOpsAndServesDeltas) {
+  // A replica that converged via apply() must itself be able to serve the
+  // delta-read protocol — its log mirrors the primary's window.
+  CollectionState primary{CollectionId{0}};
+  CollectionState replica{CollectionId{0}};
+  primary.add(ref(1));
+  primary.add(ref(2));
+  primary.remove(ref(1));
+  for (const auto& op : primary.ops_since(0)) replica.apply(op);
+  EXPECT_EQ(replica.last_seq(), 3u);
+  EXPECT_TRUE(replica.can_serve_ops_since(0));
+  EXPECT_EQ(replica.ops_since(0), primary.ops_since(0));
+}
+
+TEST(CollectionStateTest, ReplayPreservesMemberOrder) {
+  // Delta-synced clients replay the op stream over a MemberList; the result
+  // must be the exact order a full snapshot would ship (swap-with-last
+  // removal included), or delta and full reads would yield differently.
+  CollectionState primary{CollectionId{0}};
+  for (std::uint64_t i = 0; i < 5; ++i) primary.add(ref(i));
+  primary.remove(ref(1));  // swap-with-last: 4 moves into slot 1
+  MemberList mirror;
+  for (const auto& op : primary.ops_since(0)) {
+    if (op.kind() == CollectionOp::Kind::kAdd) {
+      mirror.insert(op.ref());
+    } else {
+      mirror.erase(op.ref());
+    }
+  }
+  EXPECT_EQ(mirror.members(), primary.members());
+  const std::vector<ObjectRef> expected{ref(0), ref(4), ref(2), ref(3)};
+  EXPECT_EQ(primary.members(), expected);
+}
+
 // ---------------------------------------------------------------------------
 // reachable (paper Figure 2)
 
