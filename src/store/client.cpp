@@ -172,8 +172,6 @@ Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment_quorum(
 const std::vector<ObjectRef>& RepositoryClient::absorb_delta(
     const CacheKey& key, msg::DeltaReply reply) {
   FragmentCacheEntry& entry = delta_cache_[key];
-  entry.seq = reply.seq();
-  entry.version = reply.version();
   if (reply.is_delta()) {
     ++read_stats_.fragment_reads_delta;
     ++last_read_delta_;
@@ -181,18 +179,31 @@ const std::vector<ObjectRef>& RepositoryClient::absorb_delta(
     // Replaying the host's ops over the previous materialisation reproduces
     // the host's member order exactly (MemberList is the same structure the
     // server mutates), so a delta-synced read and a full read of the same
-    // host state return identical sequences.
+    // host state return identical sequences. Ops at or below the entry's
+    // cursor are skipped (cf. the server's coll.sync handler): overlapping
+    // read_alls on one client send the same `since` cursor, and whichever
+    // absorbs second would otherwise re-replay a prefix the entry already
+    // applied — re-removing a member that was later re-added permutes the
+    // cached order relative to the host.
     for (const CollectionOp& op : reply.ops()) {
+      if (op.seq() <= entry.seq) continue;
       if (op.kind() == CollectionOp::Kind::kAdd) {
         entry.members.insert(op.ref());
       } else {
         entry.members.erase(op.ref());
       }
     }
+    entry.seq = std::max(entry.seq, reply.seq());
+    entry.version = std::max(entry.version, reply.version());
   } else {
     ++read_stats_.fragment_reads_full;
     ++last_read_full_;
     read_stats_.members_shipped += reply.members().size();
+    // A snapshot install is wholesale: members, version and cursor are one
+    // consistent host state, even if an overlapping absorb left the entry
+    // ahead of it (the next delta read simply catches up from here).
+    entry.seq = reply.seq();
+    entry.version = reply.version();
     entry.members.assign(std::move(reply).take_members());
   }
   return entry.members.members();
@@ -260,7 +271,15 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all(
   std::vector<ObjectRef> members;
   std::optional<Failure> first_failure;
   for (std::size_t f = 0; f < fragments; ++f) {
-    assert(slots[f].has_value() && "read_all left a fragment unanswered");
+    if (!slots[f].has_value()) {
+      // Aborted gather (queue closed early): "cannot happen", but must
+      // degrade to a reported failure, not an empty-optional dereference.
+      if (!first_failure) {
+        first_failure =
+            Failure{FailureKind::kPartitioned, "read_all gather aborted"};
+      }
+      continue;
+    }
     Result<msg::DeltaReply>& slot = *slots[f];
     if (!slot.has_value()) {
       if (!first_failure) first_failure = std::move(slot).error();
@@ -410,7 +429,13 @@ Task<std::vector<Result<VersionedValue>>> RepositoryClient::fetch_many(
   std::vector<Result<VersionedValue>> out;
   out.reserve(refs.size());
   for (auto& slot : slots) {
-    assert(slot.has_value() && "fetch_many left a ref unanswered");
+    if (!slot.has_value()) {
+      // Aborted gather (queue closed early): degrade to a per-ref failure
+      // rather than dereferencing an empty optional (cf. read_all).
+      out.emplace_back(
+          Failure{FailureKind::kUnreachable, "fetch gather aborted"});
+      continue;
+    }
     out.push_back(std::move(*slot));
   }
   co_return out;

@@ -189,6 +189,10 @@ Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
   // avoid (coll.read_delta charges per *change* instead).
   co_await net_.sim().delay(options_.membership_entry_cost *
                             static_cast<std::int64_t>(state->size()));
+  state = collection(req.id());  // re-resolve: the map may have changed
+  if (state == nullptr) {        // under the co_await (cf. pull_loop)
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
   co_return std::any{msg::SnapshotReply{state->members(), state->version()}};
 }
 
@@ -211,14 +215,24 @@ Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
   if (!can_delta) {
     co_await net_.sim().delay(options_.membership_entry_cost *
                               static_cast<std::int64_t>(state->size()));
+    state = collection(req.id());  // re-resolve: the map may have changed
+    if (state == nullptr) {        // under the co_await (cf. pull_loop)
+      co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+    }
     co_return std::any{msg::DeltaReply::full_snapshot(
         state->members(), state->version(), state->last_seq())};
   }
+  // Slice the ops and the cursor they run up to at the same instant: a
+  // mutation (or replica sync) landing during the shipping delay below would
+  // otherwise advance last_seq past the ops actually shipped, and the client
+  // — which stores the reply's seq as its cursor — would skip the missed ops
+  // forever.
+  const std::uint64_t version = state->version();
+  const std::uint64_t last_seq = state->last_seq();
   std::vector<CollectionOp> ops = state->ops_since(req.since_seq());
   co_await net_.sim().delay(options_.membership_entry_cost *
                             static_cast<std::int64_t>(ops.size()));
-  co_return std::any{msg::DeltaReply::delta(std::move(ops), state->version(),
-                                            state->last_seq())};
+  co_return std::any{msg::DeltaReply::delta(std::move(ops), version, last_seq)};
 }
 
 Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
@@ -378,6 +392,10 @@ Task<Result<std::any>> StoreServer::handle_pull(std::any request) {
   if (!state->can_serve_ops_since(req.after_seq())) {
     co_await net_.sim().delay(options_.membership_entry_cost *
                               static_cast<std::int64_t>(state->size()));
+    state = collection(req.id());  // re-resolve: the map may have changed
+    if (state == nullptr) {        // under the co_await (cf. pull_loop)
+      co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+    }
     co_return std::any{msg::PullReply::snapshot(
         state->members(), state->version(), state->last_seq())};
   }

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -513,6 +514,121 @@ TEST_F(RepositoryTest, FreezeLeaseExpiresAfterHolderVanishes) {
   ASSERT_TRUE(added.has_value());
   EXPECT_TRUE(added.value().changed());
   EXPECT_GE(sim.now() - start, Duration::millis(450));
+}
+
+TEST_F(RepositoryTest, DeltaReplyCursorMatchesShippedOps) {
+  // Regression: handle_read_delta used to read the reply's cursor *after*
+  // the per-op shipping delay. A mutation landing inside that window was
+  // then covered by the cursor without being shipped — and because the
+  // client's next read asks only for ops after the cursor, the mutation
+  // was skipped forever. The cursor must be sliced at the same instant as
+  // the ops.
+  StoreServerOptions sopts;
+  sopts.membership_entry_cost = Duration::millis(100);  // wide race window
+  const NodeId host = topo.add_node("slow-shipper");
+  topo.connect_full_mesh(Duration::millis(5));
+  repo.add_server(host, sopts);
+  const CollectionId coll = repo.create_collection({host});
+
+  ClientOptions copts;
+  copts.read_policy = ReadPolicy::kPrimaryOnly;
+  copts.delta_reads = true;
+  RepositoryClient client{repo, client_node, copts};
+  RepositoryClient mutator{repo, server_nodes[0]};
+  const ObjectRef a = repo.create_object(server_nodes[0], "a");
+  const ObjectRef b = repo.create_object(server_nodes[1], "b");
+  const ObjectRef c = repo.create_object(server_nodes[2], "c");
+
+  ASSERT_TRUE(run_task(sim, client.add(coll, a)).has_value());
+  ASSERT_TRUE(run_task(sim, client.read_all(coll)).has_value());  // prime
+  ASSERT_TRUE(run_task(sim, client.add(coll, b)).has_value());
+
+  // The refresh ships one op for ~100ms; the add of c lands mid-shipping.
+  std::optional<Result<std::vector<ObjectRef>>> racing;
+  sim.spawn([](RepositoryClient& cl, CollectionId id,
+               std::optional<Result<std::vector<ObjectRef>>>& out)
+                -> Task<void> {
+    out = co_await cl.read_all(id);
+  }(client, coll, racing));
+  sim.spawn([](Simulator& s, RepositoryClient& m, CollectionId id,
+               ObjectRef ref) -> Task<void> {
+    co_await s.delay(Duration::millis(40));
+    (void)co_await m.add(id, ref);
+  }(sim, mutator, coll, c));
+  sim.run_until(sim.now() + Duration::seconds(5));
+
+  // The racing read legitimately predates c...
+  ASSERT_TRUE(racing.has_value());
+  ASSERT_TRUE(racing->has_value());
+  EXPECT_EQ(racing->value(), (std::vector<ObjectRef>{a, b}));
+  // ...but its cursor must not cover c's op: the next refresh ships it.
+  const auto members = run_task(sim, client.read_all(coll));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value(), (std::vector<ObjectRef>{a, b, c}));
+}
+
+TEST_F(RepositoryTest, OverlappingReadAllsDoNotReplayAbsorbedOps) {
+  // Two reads on one client may overlap (an iterator refresh racing a
+  // total_size); both then present the same cursor. Here the first read
+  // ships a long delta while the membership shrinks underneath it, so the
+  // second resyncs with a (cheap, fast) full snapshot and absorbs first.
+  // Absorbing the older delta afterwards must not replay ops the snapshot
+  // already covers — that would materialise a membership the host never
+  // had, breaking the delta-read == full-read equivalence.
+  StoreServerOptions sopts;
+  sopts.membership_entry_cost = Duration::millis(10);
+  const NodeId host = topo.add_node("churny");
+  topo.connect_full_mesh(Duration::millis(5));
+  repo.add_server(host, sopts);
+  const CollectionId coll = repo.create_collection({host});
+  std::vector<ObjectRef> objs;
+  for (int i = 0; i < 22; ++i) {
+    objs.push_back(repo.create_object(
+        server_nodes[static_cast<std::size_t>(i) % 3],
+        "o" + std::to_string(i)));
+  }
+  CollectionState* state = repo.server_at(host)->collection(coll);
+  ASSERT_NE(state, nullptr);
+  for (int i = 0; i < 12; ++i) repo.seed_member(coll, objs[static_cast<std::size_t>(i)]);
+
+  ClientOptions copts;
+  copts.read_policy = ReadPolicy::kPrimaryOnly;
+  copts.delta_reads = true;
+  RepositoryClient client{repo, client_node, copts};
+  ASSERT_TRUE(run_task(sim, client.read_all(coll)).has_value());  // prime
+
+  // Ten primary-side adds: the next delta refresh ships them for ~100ms.
+  for (int i = 12; i < 22; ++i) state->add(objs[static_cast<std::size_t>(i)]);
+  std::optional<Result<std::vector<ObjectRef>>> slow_read;
+  sim.spawn([](RepositoryClient& cl, CollectionId id,
+               std::optional<Result<std::vector<ObjectRef>>>& out)
+                -> Task<void> {
+    out = co_await cl.read_all(id);
+  }(client, coll, slow_read));
+  // Mid-shipping, 20 members vanish: a fresh read now takes the snapshot
+  // path (delta larger than the set) and returns well before the delta.
+  sim.schedule(Duration::millis(20), [state, &objs] {
+    for (int i = 0; i < 20; ++i) state->remove(objs[static_cast<std::size_t>(i)]);
+  });
+  std::optional<Result<std::uint64_t>> overlapping_size;
+  sim.spawn([](Simulator& s, RepositoryClient& cl, CollectionId id,
+               std::optional<Result<std::uint64_t>>& out) -> Task<void> {
+    co_await s.delay(Duration::millis(25));
+    out = co_await cl.total_size(id);
+  }(sim, client, coll, overlapping_size));
+  sim.run_until(sim.now() + Duration::seconds(5));
+
+  ASSERT_TRUE(overlapping_size.has_value());
+  ASSERT_TRUE(overlapping_size->has_value());
+  EXPECT_EQ(overlapping_size->value(), 2u);
+  // The delta absorbed last must yield exactly the host's membership, not
+  // the snapshot with ten stale adds replayed on top.
+  ASSERT_TRUE(slow_read.has_value());
+  ASSERT_TRUE(slow_read->has_value());
+  EXPECT_EQ(slow_read->value(), state->members());
+  const auto members = run_task(sim, client.read_all(coll));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(members.value(), state->members());
 }
 
 TEST_F(RepositoryTest, ReplicaRejectsMutations) {
