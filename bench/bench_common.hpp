@@ -9,14 +9,38 @@
 // deterministic) and reports its metrics through counters.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/weak_set.hpp"
 #include "fs/dist_fs.hpp"
+#include "obs/metrics.hpp"
 #include "query/scan.hpp"
 #include "spec/repo_truth.hpp"
 #include "spec/specs.hpp"
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands
+/// --metrics-out=FILE: the flag is stripped before google-benchmark sees the
+/// argv (it rejects unknown flags), and on exit the process-global metrics
+/// registry — where every component deposits its telemetry by default — is
+/// exported as JSON. Runs are deterministic in simulated time, so two
+/// invocations with the same seed produce byte-identical files.
+#define WEAKSET_BENCHMARK_MAIN()                                             \
+  int main(int argc, char** argv) {                                          \
+    const std::optional<std::string> weakset_metrics_out =                   \
+        ::weakset::obs::extract_metrics_out(argc, argv);                     \
+    ::benchmark::Initialize(&argc, argv);                                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+    ::benchmark::RunSpecifiedBenchmarks();                                   \
+    ::benchmark::Shutdown();                                                 \
+    if (weakset_metrics_out &&                                               \
+        !::weakset::obs::global().write_json_file(*weakset_metrics_out)) {   \
+      return 1;                                                              \
+    }                                                                        \
+    return 0;                                                                \
+  }                                                                          \
+  int main(int, char**)
 
 namespace weakset::bench {
 

@@ -89,4 +89,4 @@ BENCHMARK(BM_ScaleWithFragments)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

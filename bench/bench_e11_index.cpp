@@ -92,4 +92,4 @@ BENCHMARK(BM_IndexedScan)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

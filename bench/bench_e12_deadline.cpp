@@ -57,4 +57,4 @@ BENCHMARK(BM_QualityVsBudget)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

@@ -234,4 +234,4 @@ BENCHMARK(BM_ReadAllFanout)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

@@ -123,4 +123,4 @@ BENCHMARK(BM_Fig1DrainPrefetch)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

@@ -93,4 +93,4 @@ BENCHMARK(BM_Availability)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

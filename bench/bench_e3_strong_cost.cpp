@@ -108,4 +108,4 @@ BENCHMARK(BM_StrongSemanticsCost)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

@@ -85,4 +85,4 @@ BENCHMARK(BM_StalenessErosion)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

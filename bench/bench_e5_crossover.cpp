@@ -120,4 +120,4 @@ BENCHMARK(BM_Crossover)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

@@ -62,4 +62,4 @@ BENCHMARK(BM_PrefetchOrdering)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

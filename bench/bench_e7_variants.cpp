@@ -200,4 +200,4 @@ BENCHMARK(BM_QuorumFreshness)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

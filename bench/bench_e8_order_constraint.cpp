@@ -67,4 +67,4 @@ BENCHMARK(BM_OrderConstraint)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

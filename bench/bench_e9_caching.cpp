@@ -110,4 +110,4 @@ BENCHMARK(BM_AvailabilityFromCache)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

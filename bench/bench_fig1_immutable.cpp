@@ -71,4 +71,4 @@ BENCHMARK(BM_Fig1Iteration)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

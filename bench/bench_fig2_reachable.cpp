@@ -53,4 +53,4 @@ BENCHMARK(BM_ReachableEvaluation)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

@@ -59,4 +59,4 @@ BENCHMARK(BM_Fig3UnderPartition)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

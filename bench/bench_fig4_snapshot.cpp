@@ -103,4 +103,4 @@ BENCHMARK(BM_Fig4UnderChurn)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

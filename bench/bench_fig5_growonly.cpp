@@ -95,4 +95,4 @@ BENCHMARK(BM_Fig5FailFast)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

@@ -107,4 +107,4 @@ BENCHMARK(BM_Fig6TransientPartition)
 }  // namespace
 }  // namespace weakset::bench
 
-BENCHMARK_MAIN();
+WEAKSET_BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary: executes each binary's *first* benchmark (the
+# cheapest configuration by convention — sweeps register ascending sizes), so
+# CI proves all 19 experiment harnesses still start, run one deterministic
+# simulated workload, and exit cleanly, without paying for full sweeps.
+#
+# Usage: scripts/bench_smoke.sh [build-dir]
+
+set -euo pipefail
+build_dir="${1:-build}"
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: ${build_dir}/bench not found — configure and build first:" >&2
+  echo "  cmake -B ${build_dir} && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+shopt -s nullglob
+benches=("${build_dir}"/bench/bench_*)
+if [[ ${#benches[@]} -eq 0 ]]; then
+  echo "error: no bench binaries under ${build_dir}/bench" >&2
+  exit 1
+fi
+
+failed=0
+for bin in "${benches[@]}"; do
+  [[ -x "${bin}" && -f "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  first="$("${bin}" --benchmark_list_tests 2>/dev/null | head -n 1)"
+  if [[ -z "${first}" ]]; then
+    echo "FAIL ${name}: lists no benchmarks" >&2
+    failed=1
+    continue
+  fi
+  # Anchor the filter to exactly the first benchmark (names are regexes).
+  escaped="$(printf '%s' "${first}" | sed 's/[][\\.^$*+?(){}|]/\\&/g')"
+  echo "smoke ${name}: ${first}" >&2
+  if ! "${bin}" --benchmark_filter="^${escaped}$" >/dev/null 2>&1; then
+    echo "FAIL ${name}" >&2
+    failed=1
+  fi
+done
+
+if [[ ${failed} -ne 0 ]]; then
+  echo "bench smoke: FAILURES" >&2
+  exit 1
+fi
+echo "bench smoke: all bench binaries ran their first benchmark cleanly" >&2

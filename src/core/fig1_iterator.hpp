@@ -18,6 +18,10 @@ class Fig1Iterator final : public ElementsIterator {
   Fig1Iterator(SetView& view, IteratorOptions options)
       : ElementsIterator(view, std::move(options)) {}
 
+  [[nodiscard]] Semantics semantics() const noexcept override {
+    return Semantics::kFig1Immutable;
+  }
+
  protected:
   Task<Step> step() override;
 

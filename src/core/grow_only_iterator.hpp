@@ -26,6 +26,10 @@ class GrowOnlyPessimisticIterator final : public ElementsIterator {
   GrowOnlyPessimisticIterator(SetView& view, IteratorOptions options)
       : ElementsIterator(view, std::move(options)) {}
 
+  [[nodiscard]] Semantics semantics() const noexcept override {
+    return Semantics::kFig5GrowOnlyPessimistic;
+  }
+
  protected:
   Task<Step> step() override;
   Task<void> on_terminal() override;

@@ -21,6 +21,10 @@ class ImmutableIterator final : public ElementsIterator {
   ImmutableIterator(SetView& view, IteratorOptions options)
       : ElementsIterator(view, std::move(options)) {}
 
+  [[nodiscard]] Semantics semantics() const noexcept override {
+    return Semantics::kFig3ImmutableFailAware;
+  }
+
  protected:
   Task<Step> step() override;
   Task<void> on_terminal() override;

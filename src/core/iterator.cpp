@@ -13,13 +13,46 @@
 namespace weakset {
 
 ElementsIterator::ElementsIterator(SetView& view, IteratorOptions options)
-    : view_(view), options_(std::move(options)) {}
+    : view_(view),
+      options_(std::move(options)),
+      metrics_(obs::sink(options_.metrics)) {}
 
 ElementsIterator::~ElementsIterator() = default;
+
+const std::string& ElementsIterator::metric_prefix() {
+  if (metric_prefix_.empty()) {
+    metric_prefix_ = "iter.";
+    metric_prefix_ += to_string(semantics());
+    metric_prefix_ += '.';
+  }
+  return metric_prefix_;
+}
+
+void ElementsIterator::fold_stats_into_metrics() {
+  const std::string& p = metric_prefix_;
+  metrics_.add(p + "runs");
+  metrics_.add(p + "fetch_attempts", stats_.fetch_attempts);
+  metrics_.add(p + "fetch_failures", stats_.fetch_failures);
+  metrics_.add(p + "skipped_unreachable", stats_.skipped_unreachable);
+  metrics_.add(p + "prefetch_hits", stats_.prefetch_hits);
+  metrics_.add(p + "prefetch_misses", stats_.prefetch_misses);
+  metrics_.add(p + "prefetch_batches", stats_.prefetch_batches);
+  metrics_.add(p + "prefetch_batched_objects",
+               stats_.prefetch_batched_objects);
+  metrics_.add(p + "prefetch_invalidated", stats_.prefetch_invalidated);
+  metrics_.add(p + "membership_reads", stats_.membership_reads);
+  metrics_.add(p + "membership_full_fragments",
+               stats_.membership_full_fragments);
+  metrics_.add(p + "membership_delta_fragments",
+               stats_.membership_delta_fragments);
+}
 
 Task<Step> ElementsIterator::next() {
   assert(!done_ && "next() called after the iterator terminated");
   ++stats_.invocations;
+  const std::string& prefix = metric_prefix();
+  metrics_.add(prefix + "invocations");
+  const SimTime invoked_at = view_.sim().now();
   spec::TraceRecorder* recorder = options_.recorder;
   if (recorder != nullptr) {
     if (!started_) recorder->begin();
@@ -29,10 +62,21 @@ Task<Step> ElementsIterator::next() {
 
   Step result = co_await step();
 
+  // Yield latency is the paper's user-visible cost: how long one invocation
+  // held the caller before suspending (or terminating).
+  metrics_.record(prefix + "yield_latency_ns", view_.sim().now() - invoked_at);
   if (result.is_yield()) {
     note_yield(result.ref());
+    metrics_.add(prefix + "yields");
   } else {
     done_ = true;
+    if (result.kind() == Step::Kind::kFinished) {
+      metrics_.add(prefix + "finished");
+    } else if (result.failure().kind == FailureKind::kExhausted) {
+      metrics_.add(prefix + "blocked");
+    } else {
+      metrics_.add(prefix + "failed");
+    }
   }
   if (recorder != nullptr) {
     spec::StepOutcome outcome = spec::StepOutcome::kReturned;
@@ -58,6 +102,7 @@ Task<Step> ElementsIterator::next() {
   if (done_) {
     co_await prefetch_quiesce();
     co_await on_terminal();
+    fold_stats_into_metrics();  // after cleanup: the stats are final
   }
   co_return result;
 }
@@ -98,7 +143,7 @@ void ElementsIterator::prefetch_sync(
   if (options_.prefetch_window <= 1) return;
   if (!prefetcher_) {
     prefetcher_ = std::make_unique<Prefetcher>(
-        view_, options_.prefetch_window, stats_);
+        view_, options_.prefetch_window, stats_, metrics_);
   }
   prefetcher_->sync(candidates);
 }

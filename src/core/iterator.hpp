@@ -11,14 +11,18 @@
 // with ground-truth pre/post observations for the spec checkers.
 
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "core/set_view.hpp"
 #include "core/step.hpp"
+#include "obs/metrics.hpp"
 #include "spec/trace.hpp"
 
 namespace weakset {
+
+enum class Semantics;
 
 /// How an iterator picks among the reachable, not-yet-yielded candidates.
 enum class PickOrder {
@@ -76,6 +80,10 @@ struct IteratorOptions {
   std::size_t prefetch_window = 8;
   /// Optional spec-layer recorder (nullptr: no recording overhead).
   spec::TraceRecorder* recorder = nullptr;
+  /// Telemetry sink: per-figure invocation/yield counters, yield latency
+  /// histograms, terminal IteratorStats fold. nullptr = the process-global
+  /// registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-run observability counters (reported by benches; no semantic role).
@@ -122,6 +130,10 @@ class ElementsIterator {
   }
   [[nodiscard]] bool done() const noexcept { return done_; }
   [[nodiscard]] const IteratorStats& stats() const noexcept { return stats_; }
+
+  /// Which point of the design space this iterator implements. Keys the
+  /// per-figure telemetry namespace ("iter.<figure>.*").
+  [[nodiscard]] virtual Semantics semantics() const noexcept = 0;
 
  protected:
   // Out-of-line like the destructor: inline special members would
@@ -185,8 +197,16 @@ class ElementsIterator {
     yielded_index_.insert(ref);
   }
 
+  /// "iter.<figure>." — resolved on the first next() call (the vtable is not
+  /// ready in the base constructor).
+  const std::string& metric_prefix();
+  /// Folds the run's IteratorStats into the registry (terminal step only).
+  void fold_stats_into_metrics();
+
   SetView& view_;
   IteratorOptions options_;
+  obs::MetricsRegistry& metrics_;
+  std::string metric_prefix_;
   std::vector<ObjectRef> yielded_;
   std::unordered_set<ObjectRef> yielded_index_;
   bool started_ = false;

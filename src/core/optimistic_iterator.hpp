@@ -24,6 +24,10 @@ class OptimisticIterator final : public ElementsIterator {
   OptimisticIterator(SetView& view, IteratorOptions options)
       : ElementsIterator(view, std::move(options)) {}
 
+  [[nodiscard]] Semantics semantics() const noexcept override {
+    return Semantics::kFig6Optimistic;
+  }
+
  protected:
   Task<Step> step() override;
 };

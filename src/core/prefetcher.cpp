@@ -8,11 +8,13 @@
 
 namespace weakset {
 
-Prefetcher::Prefetcher(SetView& view, std::size_t window, IteratorStats& stats)
+Prefetcher::Prefetcher(SetView& view, std::size_t window, IteratorStats& stats,
+                       obs::MetricsRegistry& metrics)
     : view_(view),
       window_(window),
       low_water_((window + 1) / 2),
-      stats_(stats) {
+      stats_(stats),
+      metrics_(metrics) {
   assert(window_ >= 2 && "window 1 is the iterator's serial path");
 }
 
@@ -48,6 +50,12 @@ void Prefetcher::sync(const std::vector<ObjectRef>& candidates) {
   if (refs.empty()) return;
   ++stats_.prefetch_batches;
   stats_.prefetch_batched_objects += refs.size();
+  // Occupancy is sampled right after a refill: how full the pipeline runs in
+  // steady state (a full window means fetches hide behind consumption).
+  metrics_.record_value("iter.prefetch.window_occupancy",
+                        static_cast<std::int64_t>(slots_.size()));
+  metrics_.add("iter.prefetch.batches");
+  metrics_.add("iter.prefetch.batched_objects", refs.size());
   view_.sim().spawn(batch_worker(&view_, std::move(refs), std::move(batch)));
 }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/set_view.hpp"
+#include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 
 namespace weakset {
@@ -45,8 +46,10 @@ struct IteratorStats;
 class Prefetcher {
  public:
   /// `window` must be >= 2 (window 1 is the iterator's serial path, which
-  /// never constructs a prefetcher). `stats` receives the prefetch counters.
-  Prefetcher(SetView& view, std::size_t window, IteratorStats& stats);
+  /// never constructs a prefetcher). `stats` receives the prefetch counters;
+  /// `metrics` receives the window-occupancy histogram.
+  Prefetcher(SetView& view, std::size_t window, IteratorStats& stats,
+             obs::MetricsRegistry& metrics);
 
   /// Reconciles the window with the current candidate list (in pick order):
   /// drops entries whose ref is no longer a candidate, and — once the window
@@ -84,6 +87,7 @@ class Prefetcher {
   std::size_t window_;
   std::size_t low_water_;
   IteratorStats& stats_;
+  obs::MetricsRegistry& metrics_;
   std::unordered_map<ObjectRef, std::shared_ptr<Slot>> slots_;
 };
 

@@ -21,6 +21,10 @@ class SnapshotIterator final : public ElementsIterator {
   SnapshotIterator(SetView& view, IteratorOptions options)
       : ElementsIterator(view, std::move(options)) {}
 
+  [[nodiscard]] Semantics semantics() const noexcept override {
+    return Semantics::kFig4Snapshot;
+  }
+
  protected:
   Task<Step> step() override;
 

@@ -18,6 +18,15 @@ void DynamicSet::close() {
     state_->finished = true;
     state_->arrivals.close();
   }
+  // Terminal stats fold: one session's counters land in the registry once.
+  const DynSetStats& s = state_->stats;
+  obs::MetricsRegistry& m = state_->metrics;
+  m.add("dynset.sessions");
+  m.add("dynset.fetches_started", s.fetches_started);
+  m.add("dynset.fetches_ok", s.fetches_ok);
+  m.add("dynset.fetches_failed", s.fetches_failed);
+  m.add("dynset.membership_reads", s.membership_reads);
+  m.add("dynset.membership_read_failures", s.membership_read_failures);
 }
 
 Task<Step> DynamicSet::iterate() {
@@ -93,8 +102,13 @@ void DynamicSet::pump(const std::shared_ptr<State>& state) {
     }
     ++state->in_flight;
     ++state->stats.fetches_started;
+    state->issue_seq[ref] = state->next_issue++;
     state->view->sim().spawn(fetch_one(state, ref));
   }
+  // Occupancy after every pump: how full the prefetch pipeline actually
+  // runs (depth-limited vs starved by the fetch queue).
+  state->metrics.record_value("dynset.inflight",
+                              static_cast<std::int64_t>(state->in_flight));
 }
 
 Task<void> DynamicSet::fetch_one(std::shared_ptr<State> state, ObjectRef ref) {
@@ -104,9 +118,25 @@ Task<void> DynamicSet::fetch_one(std::shared_ptr<State> state, ObjectRef ref) {
   if (value) {
     ++state->stats.fetches_ok;
     state->made_progress = true;
+    // Arrival order vs issue order: distance 0 means the pipeline delivered
+    // in the closest-first order it was asked for.
+    const std::uint64_t arrival = state->next_arrival++;
+    const auto seq = state->issue_seq.find(ref);
+    if (seq != state->issue_seq.end()) {
+      const std::uint64_t issued = seq->second;
+      const std::uint64_t distance =
+          issued > arrival ? issued - arrival : arrival - issued;
+      state->metrics.record_value(
+          "dynset.arrival_order_distance",
+          static_cast<std::int64_t>(distance));
+      state->metrics.add(distance == 0 ? "dynset.in_order_arrivals"
+                                       : "dynset.out_of_order_arrivals");
+      state->issue_seq.erase(seq);
+    }
     state->arrivals.push(Step::yielded(ref, std::move(value).value()));
   } else {
     ++state->stats.fetches_failed;
+    state->issue_seq.erase(ref);
     state->deferred.insert(ref);
   }
   pump(state);

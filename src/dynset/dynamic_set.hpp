@@ -36,6 +36,7 @@
 
 #include "core/iterator.hpp"
 #include "core/set_view.hpp"
+#include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 
 namespace weakset {
@@ -65,6 +66,9 @@ struct DynSetOptions {
   /// with kTimeout. nullopt: no budget. (The interactive-latency knob of the
   /// dynamic-sets design: a user waits only so long for a directory page.)
   std::optional<Duration> session_budget;
+  /// Telemetry sink: in-flight occupancy histogram, arrival-order counters,
+  /// terminal DynSetStats fold. nullptr = the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters of one dynamic-set session (used by the latency benchmarks).
@@ -112,11 +116,21 @@ class DynamicSet {
   /// DynamicSet may be destroyed while a last wakeup is still queued.
   struct State {
     State(SetView& view, DynSetOptions options)
-        : view(&view), options(options), arrivals(view.sim()) {}
+        : view(&view),
+          options(options),
+          metrics(obs::sink(options.metrics)),
+          arrivals(view.sim()) {}
 
     SetView* view;
     DynSetOptions options;
+    obs::MetricsRegistry& metrics;
     DynSetStats stats;
+    /// Fetch issue order (sequence number per in-flight ref) vs completion
+    /// order: how far the pipeline reorders arrivals (closest-first works
+    /// when near elements really do land before far ones).
+    std::unordered_map<ObjectRef, std::uint64_t> issue_seq;
+    std::uint64_t next_issue = 0;
+    std::uint64_t next_arrival = 0;
 
     std::deque<ObjectRef> fetch_queue_;
     std::unordered_set<ObjectRef> seen;      // queued, in flight, delivered

@@ -19,6 +19,10 @@ Task<Result<std::any>> RpcNetwork::call(NodeId from, NodeId to,
                                         std::string method, std::any request,
                                         Duration timeout) {
   ++stats_.calls;
+  metrics_.add("rpc.calls");
+  const SimTime call_started = sim_.now();
+  const std::uint64_t call_span =
+      metrics_.begin_span(method, topology_.name(to), call_started);
   OneShot<Result<std::any>> reply{sim_};
 
   // Arm the timeout first: it must fire even if everything else is dropped.
@@ -42,31 +46,52 @@ Task<Result<std::any>> RpcNetwork::call(NodeId from, NodeId to,
     // Deliver the request after the path latency. Reachability is re-checked
     // at delivery time: a partition or crash occurring while the message is
     // in flight loses the message.
-    sim_.schedule(*request_latency, [this, from, to, method, reply,
+    sim_.schedule(*request_latency, [this, from, to, method, reply, call_span,
                                      req = std::move(request)]() mutable {
       if (!topology_.is_up(to) || !topology_.can_communicate(from, to)) {
         ++stats_.messages_dropped;
+        metrics_.add("rpc.messages_dropped");
         return;  // lost; the caller's timeout will fire
       }
       ++stats_.messages_delivered;
-      sim_.spawn(serve(from, to, std::move(method), std::move(req), reply));
+      metrics_.add("rpc.messages_delivered");
+      sim_.spawn(serve(from, to, std::move(method), std::move(req), reply,
+                       call_span));
     });
   }
 
   Result<std::any> outcome = co_await reply.wait();
   timeout_timer.cancel();
+  // `method` stays valid across the co_await: the delivery lambda captured
+  // its own copy, so the frame's parameter was never moved from.
+  metrics_.record("rpc." + method + ".latency_ns", sim_.now() - call_started);
   if (outcome) {
     ++stats_.completed;
+    metrics_.add("rpc.completed");
+    metrics_.add("rpc." + method + ".ok");
+    metrics_.end_span(call_span, sim_.now(), "ok");
   } else {
     ++stats_.failed;
-    if (outcome.error().kind == FailureKind::kTimeout) ++stats_.timeouts;
+    metrics_.add("rpc.failed");
+    metrics_.add("rpc." + method + ".failed");
+    if (outcome.error().kind == FailureKind::kTimeout) {
+      ++stats_.timeouts;
+      metrics_.add("rpc.timeouts");
+      metrics_.add("rpc." + method + ".timeouts");
+      metrics_.end_span(call_span, sim_.now(), "timeout");
+    } else {
+      metrics_.end_span(call_span, sim_.now(), "failed");
+    }
   }
   co_return outcome;
 }
 
 Task<void> RpcNetwork::serve(NodeId from, NodeId to, std::string method,
                              std::any request,
-                             OneShot<Result<std::any>> reply_to) {
+                             OneShot<Result<std::any>> reply_to,
+                             std::uint64_t call_span) {
+  const std::uint64_t serve_span = metrics_.begin_span(
+      method + "#serve", topology_.name(from), sim_.now(), call_span);
   Result<std::any> result =
       Failure{FailureKind::kNotFound, "no handler for " + method};
   const auto it = handlers_.find(key(to, method));
@@ -80,16 +105,21 @@ Task<void> RpcNetwork::serve(NodeId from, NodeId to, std::string method,
   const auto reply_latency = delivery_latency(to, from);
   if (!reply_latency) {
     ++stats_.messages_dropped;
+    metrics_.add("rpc.messages_dropped");
+    metrics_.end_span(serve_span, sim_.now(), "dropped");
     co_return;
   }
+  metrics_.end_span(serve_span, sim_.now(), result ? "ok" : "failed");
   sim_.schedule(*reply_latency,
                 [this, from, to, reply_to, res = std::move(result)]() mutable {
                   if (!topology_.is_up(from) ||
                       !topology_.can_communicate(to, from)) {
                     ++stats_.messages_dropped;
+                    metrics_.add("rpc.messages_dropped");
                     return;
                   }
                   ++stats_.messages_delivered;
+                  metrics_.add("rpc.messages_delivered");
                   reply_to.try_set(std::move(res));
                 });
 }

@@ -23,6 +23,7 @@
 #include <unordered_map>
 
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -45,6 +46,9 @@ struct RpcOptions {
   bool fast_fail_unreachable = true;
   /// How long the transport takes to signal an unreachable destination.
   Duration detection_delay = Duration::millis(2);
+  /// Telemetry sink: per-op latency histograms, outcome counters, and call
+  /// spans land here. nullptr = the process-global registry (obs::global()).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters for benchmarks (message cost of the different semantics).
@@ -68,7 +72,11 @@ class RpcNetwork {
 
   RpcNetwork(Simulator& sim, Topology& topology, Rng rng,
              RpcOptions options = {})
-      : sim_(sim), topology_(topology), rng_(rng), options_(options) {}
+      : sim_(sim),
+        topology_(topology),
+        rng_(rng),
+        options_(options),
+        metrics_(obs::sink(options.metrics)) {}
   RpcNetwork(const RpcNetwork&) = delete;
   RpcNetwork& operator=(const RpcNetwork&) = delete;
 
@@ -110,6 +118,7 @@ class RpcNetwork {
   [[nodiscard]] Simulator& sim() noexcept { return sim_; }
   [[nodiscard]] Topology& topology() noexcept { return topology_; }
   [[nodiscard]] const RpcOptions& options() const noexcept { return options_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
  private:
   static std::string key(NodeId node, const std::string& method) {
@@ -132,14 +141,17 @@ class RpcNetwork {
   /// if no live path exists right now.
   std::optional<Duration> delivery_latency(NodeId from, NodeId to);
 
-  /// Server-side: runs the handler and sends the reply back.
+  /// Server-side: runs the handler and sends the reply back. `call_span` is
+  /// the caller's span id; the serve span nests under it.
   Task<void> serve(NodeId from, NodeId to, std::string method,
-                   std::any request, OneShot<Result<std::any>> reply_to);
+                   std::any request, OneShot<Result<std::any>> reply_to,
+                   std::uint64_t call_span);
 
   Simulator& sim_;
   Topology& topology_;
   Rng rng_;
   RpcOptions options_;
+  obs::MetricsRegistry& metrics_;
   std::unordered_map<std::string, Handler> handlers_;
   RpcStats stats_;
 };

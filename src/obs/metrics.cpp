@@ -1,0 +1,340 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace weakset::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Bucket layout: values 0..15 get exact buckets 0..15; for larger values the
+// power-of-two range [2^m, 2^(m+1)) is split into 16 linear sub-buckets.
+// Index = ((m - 3) << 4) + sub keeps the whole sequence contiguous:
+// [16, 32) -> 16..31, [32, 64) -> 32..47, and so on.
+namespace {
+constexpr std::size_t kSubBits = 4;
+constexpr std::int64_t kSub = std::int64_t{1} << kSubBits;
+}  // namespace
+
+std::size_t Histogram::bucket_index(std::int64_t value) noexcept {
+  if (value < 0) value = 0;
+  if (value < kSub) return static_cast<std::size_t>(value);
+  const int msb = std::bit_width(static_cast<std::uint64_t>(value)) - 1;
+  const int shift = msb - static_cast<int>(kSubBits);
+  const auto sub =
+      static_cast<std::size_t>((value >> shift) & (kSub - 1));
+  return ((static_cast<std::size_t>(msb) - kSubBits + 1) << kSubBits) + sub;
+}
+
+std::int64_t Histogram::bucket_lower(std::size_t index) noexcept {
+  const std::size_t group = index >> kSubBits;
+  const auto sub = static_cast<std::int64_t>(index & (kSub - 1));
+  if (group == 0) return sub;
+  return (kSub + sub) << (group - 1);
+}
+
+std::int64_t Histogram::bucket_upper(std::size_t index) noexcept {
+  // Upper bound is the next bucket's lower bound minus one; saturate at the
+  // top of the int64 range.
+  const std::int64_t next = bucket_lower(index + 1);
+  if (next <= bucket_lower(index)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return next - 1;
+}
+
+void Histogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  const std::size_t index = bucket_index(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based: the smallest rank r such that
+  // r >= q * count (at least 1).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      // The bucket's upper bound, clamped to the exact observed max (so the
+      // top percentiles never exceed a value that was actually recorded).
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>> Histogram::nonzero_buckets()
+    const {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) out.emplace_back(bucket_lower(i), buckets_[i]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string{name}, delta);
+  }
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::record_value(std::string_view name, std::int64_t value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string{name}, Histogram{}).first;
+  }
+  it->second.record(value);
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::begin_span(std::string op, std::string peer,
+                                          SimTime at, std::uint64_t parent) {
+  const std::uint64_t id = next_span_id_++;
+  ++spans_started_;
+  Span span;
+  span.id = id;
+  span.parent = parent;
+  span.op = std::move(op);
+  span.peer = std::move(peer);
+  span.start = at;
+  span.end = at;
+  open_spans_.emplace(id, std::move(span));
+  return id;
+}
+
+void MetricsRegistry::end_span(std::uint64_t id, SimTime at,
+                               std::string_view outcome) {
+  const auto it = open_spans_.find(id);
+  if (it == open_spans_.end()) return;  // unknown or already closed
+  ++spans_finished_;
+  Span span = std::move(it->second);
+  open_spans_.erase(it);
+  span.end = at;
+  span.outcome = std::string{outcome};
+  if (spans_.size() < span_cap_) {
+    spans_.push_back(std::move(span));
+  } else {
+    ++spans_dropped_;
+  }
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) add(name, value);
+  for (const auto& [name, histogram] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram{}).first;
+    }
+    it->second.merge(histogram);
+  }
+  spans_started_ += other.spans_started_;
+  spans_finished_ += other.spans_finished_;
+  spans_dropped_ += other.spans_dropped_;
+  for (const Span& span : other.spans_) {
+    if (spans_.size() < span_cap_) {
+      spans_.push_back(span);
+    } else {
+      ++spans_dropped_;
+    }
+  }
+}
+
+namespace {
+/// Minimal JSON string escaping (the names used here are ASCII identifiers,
+/// but be correct anyway).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  // Built with sequential appends only: `"literal" + std::to_string(...)`
+  // trips GCC 12's -Wrestrict false positive at -O2, and appends skip the
+  // temporaries anyway.
+  std::string out;
+  const auto field = [&out](const char* key, auto value) {
+    out += key;
+    out += std::to_string(value);
+  };
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += json_escape(name);
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    out += json_escape(name);
+    out += "\": {";
+    field("\"count\": ", h.count());
+    field(", \"sum\": ", h.sum());
+    field(", \"min\": ", h.min());
+    field(", \"max\": ", h.max());
+    field(", \"p50\": ", h.percentile(0.50));
+    field(", \"p90\": ", h.percentile(0.90));
+    field(", \"p95\": ", h.percentile(0.95));
+    field(", \"p99\": ", h.percentile(0.99));
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [lower, count] : h.nonzero_buckets()) {
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      field("[", lower);
+      field(", ", count);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": {\n";
+  field("    \"started\": ", spans_started_);
+  field(",\n    \"finished\": ", spans_finished_);
+  field(",\n    \"dropped\": ", spans_dropped_);
+  field(",\n    \"cap\": ", span_cap_);
+  out += ",\n    \"log\": [";
+  first = true;
+  for (const Span& span : spans_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    field("      {\"id\": ", span.id);
+    field(", \"parent\": ", span.parent);
+    out += ", \"op\": \"";
+    out += json_escape(span.op);
+    out += "\", \"peer\": \"";
+    out += json_escape(span.peer);
+    out += "\"";
+    field(", \"start_ns\": ", span.start.count_nanos());
+    field(", \"end_ns\": ", span.end.count_nanos());
+    out += ", \"outcome\": \"";
+    out += json_escape(span.outcome);
+    out += "\"}";
+  }
+  out += first ? "]\n" : "\n    ]\n";
+  out += "  }\n}";
+  return out;
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream file{path};
+  if (!file) return false;
+  file << to_json() << "\n";
+  return static_cast<bool>(file);
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  histograms_.clear();
+  spans_.clear();
+  open_spans_.clear();
+  next_span_id_ = 1;
+  spans_started_ = 0;
+  spans_finished_ = 0;
+  spans_dropped_ = 0;
+}
+
+MetricsRegistry& global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::optional<std::string> extract_metrics_out(int& argc, char** argv) {
+  constexpr std::string_view kFlag = "--metrics-out=";
+  std::optional<std::string> path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      path = std::string{arg.substr(kFlag.size())};
+      continue;  // strip: downstream flag parsers must not see it
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+}  // namespace weakset::obs

@@ -163,7 +163,7 @@ T run_task(Simulator& sim, Task<T> task) {
       out = co_await std::move(inner);
     }
   }(std::move(task), slot));
-  std::size_t steps = 0;
+  [[maybe_unused]] std::size_t steps = 0;  // only read when assert() is live
   while (!slot.has_value() && sim.step()) {
     assert(++steps < Simulator::kDefaultMaxEvents && "runaway simulation");
   }

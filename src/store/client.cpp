@@ -176,6 +176,10 @@ const std::vector<ObjectRef>& RepositoryClient::absorb_delta(
     ++read_stats_.fragment_reads_delta;
     ++last_read_delta_;
     read_stats_.ops_shipped += reply.ops().size();
+    // Delta cache hit: the host shipped only the ops since our cursor.
+    metrics_.add("store.client.delta_cache_hits");
+    metrics_.add("store.client.fragment_reads_delta");
+    metrics_.add("store.client.ops_shipped", reply.ops().size());
     // Replaying the host's ops over the previous materialisation reproduces
     // the host's member order exactly (MemberList is the same structure the
     // server mutates), so a delta-synced read and a full read of the same
@@ -199,6 +203,11 @@ const std::vector<ObjectRef>& RepositoryClient::absorb_delta(
     ++read_stats_.fragment_reads_full;
     ++last_read_full_;
     read_stats_.members_shipped += reply.members().size();
+    // Delta cache miss (first contact, host switch, or truncated server
+    // log): the host resynced us with a full snapshot.
+    metrics_.add("store.client.delta_cache_misses");
+    metrics_.add("store.client.fragment_reads_full");
+    metrics_.add("store.client.members_shipped", reply.members().size());
     // A snapshot install is wholesale: members, version and cursor are one
     // consistent host state, even if an overlapping absorb left the entry
     // ahead of it (the next delta read simply catches up from here).
@@ -216,6 +225,7 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all(
   Simulator& sim = repo_.sim();
   const SimTime start = sim.now();
   ++read_stats_.read_alls;
+  metrics_.add("store.client.read_alls");
   last_read_full_ = 0;
   last_read_delta_ = 0;
 
@@ -293,17 +303,24 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all(
       ++read_stats_.fragment_reads_full;
       ++last_read_full_;
       read_stats_.members_shipped += slot.value().entry_count();
+      // Cache-bypassing full read (quorum policy, or delta reads disabled).
+      metrics_.add("store.client.fragment_reads_full");
+      metrics_.add("store.client.members_shipped",
+                   slot.value().entry_count());
       std::vector<ObjectRef> part = std::move(slot).value().take_members();
       members.insert(members.end(), part.begin(), part.end());
     }
   }
   read_stats_.read_all_time = read_stats_.read_all_time + (sim.now() - start);
+  metrics_.record("store.client.read_all_latency_ns", sim.now() - start);
   if (first_failure) co_return std::move(*first_failure);
   co_return members;
 }
 
 Task<Result<std::vector<ObjectRef>>> RepositoryClient::snapshot_atomic(
     CollectionId id, std::function<void()> on_cut) {
+  const SimTime start = repo_.sim().now();
+  metrics_.add("store.client.snapshots_atomic");
   auto frozen = co_await freeze_all(id);
   if (!frozen) co_return std::move(frozen).error();
   // Read the primaries directly: they are frozen, so the union of fragment
@@ -328,6 +345,8 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::snapshot_atomic(
     if (on_cut) on_cut();
   }
   co_await unfreeze_all(id);
+  metrics_.record("store.client.snapshot_atomic_latency_ns",
+                  repo_.sim().now() - start);
   co_return outcome;
 }
 
@@ -399,6 +418,10 @@ Task<std::vector<Result<VersionedValue>>> RepositoryClient::fetch_many(
   // heap-shared (cf. read_fragment_quorum).
   Simulator& sim = repo_.sim();
   auto arrivals = std::make_shared<AsyncQueue<BatchArrival>>(sim);
+  metrics_.add("store.client.fetch_manys");
+  metrics_.add("store.client.fetch_batch_rpcs", homes.size());
+  metrics_.record_value("store.client.fetch_many_size",
+                        static_cast<std::int64_t>(refs.size()));
   for (std::size_t g = 0; g < homes.size(); ++g) {
     std::vector<ObjectId> ids;
     ids.reserve(group_indices[g].size());

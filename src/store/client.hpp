@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/rpc.hpp"
+#include "obs/metrics.hpp"
 #include "store/messages.hpp"
 #include "store/repository.hpp"
 
@@ -47,6 +48,9 @@ struct ClientOptions {
   /// same membership. kQuorum reads always ship full snapshots (a quorum
   /// compares whole replies from multiple hosts).
   bool delta_reads = true;
+  /// Telemetry sink: read_all latency histogram, delta-cache hit/miss
+  /// counters, batch-fetch shape. nullptr = the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters for the client's membership read path (observability; the E13
@@ -66,6 +70,7 @@ class RepositoryClient {
       : repo_(repo),
         node_(node),
         options_(options),
+        metrics_(obs::sink(options.metrics)),
         token_(repo.next_client_token()) {}
 
   [[nodiscard]] NodeId node() const noexcept { return node_; }
@@ -194,6 +199,7 @@ class RepositoryClient {
   Repository& repo_;
   NodeId node_;
   ClientOptions options_;
+  obs::MetricsRegistry& metrics_;
   std::uint64_t token_;
   std::map<CacheKey, FragmentCacheEntry> delta_cache_;
   ClientReadStats read_stats_;

@@ -10,7 +10,10 @@ namespace weakset {
 
 StoreServer::StoreServer(RpcNetwork& net, NodeId node,
                          StoreServerOptions options)
-    : net_(net), node_(node), options_(options) {
+    : net_(net),
+      node_(node),
+      options_(options),
+      metrics_(obs::sink(options.metrics)) {
   register_handlers();
 }
 
@@ -48,10 +51,12 @@ void StoreServer::register_handlers() {
         }
         // Apply the contiguous prefix; a gap (push overtaken by loss) leaves
         // applied_seq behind and the primary (or pull) resends from there.
+        metrics_.add("store.replica.push_syncs");
         for (const CollectionOp& op : req.ops()) {
           if (op.seq() <= state->applied_seq()) continue;
           if (op.seq() != state->applied_seq() + 1) break;
           state->apply(op);
+          metrics_.add("store.replica.push_ops_applied");
         }
         co_return std::any{state->applied_seq()};
       });
@@ -109,15 +114,20 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
     if (stopping_) co_return;
     CollectionState* state = collection(id);
     if (state == nullptr) co_return;  // unhosted; stop the daemon
+    metrics_.add("store.replica.pull_rounds");
     auto reply = co_await net_.call_typed<msg::PullReply>(
         node_, primary, "coll.pull",
         msg::PullRequest{id, state->applied_seq()});
-    if (!reply) continue;  // primary unreachable; retry next round
+    if (!reply) {
+      metrics_.add("store.replica.pull_failures");
+      continue;  // primary unreachable; retry next round
+    }
     state = collection(id);  // re-resolve: the map may have changed under
     if (state == nullptr) co_return;  // the co_await
     if (reply.value().is_snapshot()) {
       // The primary's log was truncated past our cursor: install the full
       // membership and resume op-by-op from its seq.
+      metrics_.add("store.replica.snapshot_installs");
       const std::uint64_t version = reply.value().version();
       const std::uint64_t seq = reply.value().seq();
       state->install(std::move(reply).value().take_members(), version, seq);
@@ -129,6 +139,7 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
       if (op.seq() <= state->applied_seq()) continue;
       if (op.seq() != state->applied_seq() + 1) break;
       state->apply(op);
+      metrics_.add("store.replica.pull_ops_applied");
     }
   }
 }
@@ -138,6 +149,7 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
 
 Task<Result<std::any>> StoreServer::handle_fetch(std::any request) {
   const auto req = std::any_cast<msg::FetchRequest>(std::move(request));
+  metrics_.add("store.server.fetches");
   co_await net_.sim().delay(options_.object_read_latency);
   const auto value = objects_.get(req.id());
   if (!value) {
@@ -149,6 +161,10 @@ Task<Result<std::any>> StoreServer::handle_fetch(std::any request) {
 
 Task<Result<std::any>> StoreServer::handle_fetch_batch(std::any request) {
   const auto req = std::any_cast<msg::FetchBatchRequest>(std::move(request));
+  metrics_.add("store.server.batch_fetches");
+  metrics_.add("store.server.batch_objects", req.ids().size());
+  metrics_.record_value("store.server.batch_size",
+                        static_cast<std::int64_t>(req.ids().size()));
   // Overlapped disk reads: the first object pays the full read latency, each
   // further object only the incremental cost of another read in the queue.
   Duration cost = options_.object_read_latency;
@@ -187,8 +203,13 @@ Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
   }
   // Shipping the whole membership costs per member — the cost delta reads
   // avoid (coll.read_delta charges per *change* instead).
-  co_await net_.sim().delay(options_.membership_entry_cost *
-                            static_cast<std::int64_t>(state->size()));
+  const Duration ship_cost = options_.membership_entry_cost *
+                             static_cast<std::int64_t>(state->size());
+  metrics_.add("store.server.snapshot_reads");
+  metrics_.add("store.server.snapshot_members_shipped", state->size());
+  metrics_.add("store.server.ship_cost_ns",
+               static_cast<std::uint64_t>(ship_cost.count_nanos()));
+  co_await net_.sim().delay(ship_cost);
   state = collection(req.id());  // re-resolve: the map may have changed
   if (state == nullptr) {        // under the co_await (cf. pull_loop)
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
@@ -213,8 +234,13 @@ Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
                          state->can_serve_ops_since(req.since_seq()) &&
                          state->last_seq() - req.since_seq() <= state->size();
   if (!can_delta) {
-    co_await net_.sim().delay(options_.membership_entry_cost *
-                              static_cast<std::int64_t>(state->size()));
+    const Duration ship_cost = options_.membership_entry_cost *
+                               static_cast<std::int64_t>(state->size());
+    metrics_.add("store.server.delta_resyncs");
+    metrics_.add("store.server.snapshot_members_shipped", state->size());
+    metrics_.add("store.server.ship_cost_ns",
+                 static_cast<std::uint64_t>(ship_cost.count_nanos()));
+    co_await net_.sim().delay(ship_cost);
     state = collection(req.id());  // re-resolve: the map may have changed
     if (state == nullptr) {        // under the co_await (cf. pull_loop)
       co_return Failure{FailureKind::kNotFound, "collection not hosted"};
@@ -230,8 +256,13 @@ Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
   const std::uint64_t version = state->version();
   const std::uint64_t last_seq = state->last_seq();
   std::vector<CollectionOp> ops = state->ops_since(req.since_seq());
-  co_await net_.sim().delay(options_.membership_entry_cost *
-                            static_cast<std::int64_t>(ops.size()));
+  const Duration ship_cost =
+      options_.membership_entry_cost * static_cast<std::int64_t>(ops.size());
+  metrics_.add("store.server.delta_reads");
+  metrics_.add("store.server.delta_ops_shipped", ops.size());
+  metrics_.add("store.server.ship_cost_ns",
+               static_cast<std::uint64_t>(ship_cost.count_nanos()));
+  co_await net_.sim().delay(ship_cost);
   co_return std::any{msg::DeltaReply::delta(std::move(ops), version, last_seq)};
 }
 
@@ -255,6 +286,7 @@ Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
   if (!is_add && entry.pin_count > 0) {
     // Grow-only pin active: the removal is accepted but deferred; the member
     // lingers as a "ghost" until the last pin is released (section 3.3).
+    metrics_.add("store.server.mutations_deferred");
     entry.deferred_removes.push_back(req.ref());
     co_return std::any{
         msg::MembershipReply{entry.state.contains(req.ref()),
@@ -268,7 +300,11 @@ Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
                               : CollectionOp::Kind::kRemove,
                        req.ref());
   }
-  if (changed) trigger_pushes(req.id());
+  if (changed) {
+    metrics_.add(is_add ? "store.server.adds_applied"
+                        : "store.server.removes_applied");
+    trigger_pushes(req.id());
+  }
   co_return std::any{msg::MembershipReply{changed, entry.state.version()}};
 }
 
@@ -368,6 +404,7 @@ Task<void> StoreServer::push_to(CollectionId id, Hosted::PushTarget& target) {
       break;  // log truncated past the target's cursor: pull will snapshot
     }
     const std::uint64_t before = target.acked_seq;
+    metrics_.add("store.server.pushes");
     auto reply = co_await net_.call_typed<std::uint64_t>(
         node_, target.node, "coll.sync",
         msg::SyncRequest{id, entry.state.ops_since(target.acked_seq)});
@@ -387,11 +424,17 @@ Task<Result<std::any>> StoreServer::handle_pull(std::any request) {
   if (state == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
+  metrics_.add("store.server.pulls_served");
   // A replica that fell behind the bounded log window cannot catch up op by
   // op any more: send the whole membership for wholesale install.
   if (!state->can_serve_ops_since(req.after_seq())) {
-    co_await net_.sim().delay(options_.membership_entry_cost *
-                              static_cast<std::int64_t>(state->size()));
+    const Duration ship_cost = options_.membership_entry_cost *
+                               static_cast<std::int64_t>(state->size());
+    metrics_.add("store.server.pull_snapshots");
+    metrics_.add("store.server.snapshot_members_shipped", state->size());
+    metrics_.add("store.server.ship_cost_ns",
+                 static_cast<std::uint64_t>(ship_cost.count_nanos()));
+    co_await net_.sim().delay(ship_cost);
     state = collection(req.id());  // re-resolve: the map may have changed
     if (state == nullptr) {        // under the co_await (cf. pull_loop)
       co_return Failure{FailureKind::kNotFound, "collection not hosted"};
@@ -400,8 +443,12 @@ Task<Result<std::any>> StoreServer::handle_pull(std::any request) {
         state->members(), state->version(), state->last_seq())};
   }
   std::vector<CollectionOp> ops = state->ops_since(req.after_seq());
-  co_await net_.sim().delay(options_.membership_entry_cost *
-                            static_cast<std::int64_t>(ops.size()));
+  const Duration ship_cost =
+      options_.membership_entry_cost * static_cast<std::int64_t>(ops.size());
+  metrics_.add("store.server.pull_ops_shipped", ops.size());
+  metrics_.add("store.server.ship_cost_ns",
+               static_cast<std::uint64_t>(ship_cost.count_nanos()));
+  co_await net_.sim().delay(ship_cost);
   co_return std::any{msg::PullReply{std::move(ops)}};
 }
 

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "net/rpc.hpp"
+#include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "store/collection.hpp"
 #include "store/object_store.hpp"
@@ -59,6 +60,9 @@ struct StoreServerOptions {
   /// each mutation (convergence in ~one RPC). Pull anti-entropy still runs
   /// underneath and repairs pushes lost to partitions.
   bool push_replication = false;
+  /// Telemetry sink: snapshot-vs-delta read counters, bytes-equivalent ship
+  /// cost, anti-entropy activity. nullptr = the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class StoreServer {
@@ -146,6 +150,7 @@ class StoreServer {
   RpcNetwork& net_;
   NodeId node_;
   StoreServerOptions options_;
+  obs::MetricsRegistry& metrics_;
   ObjectStore objects_;
   std::unordered_map<CollectionId, std::unique_ptr<Hosted>> collections_;
   bool stopping_ = false;

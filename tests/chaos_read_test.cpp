@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/weak_set.hpp"
 #include "net/chaos.hpp"
+#include "obs/metrics.hpp"
 
 namespace weakset {
 namespace {
@@ -207,3 +209,17 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChaosReadSweep,
 
 }  // namespace
 }  // namespace weakset
+
+// Custom main (linked without gtest_main): understands --metrics-out=FILE so
+// CI can export the run's simulated-time telemetry as a JSON artifact.
+int main(int argc, char** argv) {
+  const std::optional<std::string> metrics_out =
+      weakset::obs::extract_metrics_out(argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  const int rc = RUN_ALL_TESTS();
+  if (metrics_out &&
+      !weakset::obs::global().write_json_file(*metrics_out)) {
+    return 1;
+  }
+  return rc;
+}

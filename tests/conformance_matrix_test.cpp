@@ -23,6 +23,7 @@
 #include "core/iterator.hpp"
 #include "core/local_view.hpp"
 #include "core/repo_view.hpp"
+#include "obs/metrics.hpp"
 #include "spec/specs.hpp"
 #include "util/rng.hpp"
 
@@ -399,3 +400,17 @@ INSTANTIATE_TEST_SUITE_P(
 
 }  // namespace
 }  // namespace weakset
+
+// Custom main (linked without gtest_main): understands --metrics-out=FILE so
+// CI can export the run's simulated-time telemetry as a JSON artifact.
+int main(int argc, char** argv) {
+  const std::optional<std::string> metrics_out =
+      weakset::obs::extract_metrics_out(argc, argv);
+  ::testing::InitGoogleTest(&argc, argv);
+  const int rc = RUN_ALL_TESTS();
+  if (metrics_out &&
+      !weakset::obs::global().write_json_file(*metrics_out)) {
+    return 1;
+  }
+  return rc;
+}
