@@ -1,0 +1,120 @@
+// E14 — durability cost and recovery time: what the per-node WAL +
+// checkpoint engine (DESIGN.md decision 11) charges at run time and how fast
+// an amnesia-crashed node comes back, as the two knobs sweep:
+//
+//   checkpoint_interval: longer intervals write fewer checkpoints but leave
+//   a longer WAL tail to replay at recovery — the headline tradeoff
+//   (recovery_ms and ops_replayed should grow with the interval, checkpoints
+//   and checkpoint_bytes shrink).
+//
+//   fsync_interval: the group-commit window. 0 pays one fsync per append;
+//   wider windows batch appends into fewer fsyncs at the price of a longer
+//   durable-ack wait for the clients.
+//
+// One scenario per cell: a 2-server world (fragment primary + replica),
+// strict durable acks, 256 seeded members, ~250 scripted RPC mutations of
+// churn, then an amnesia crash of the primary and a restart. All quantities
+// come from the wal.* telemetry as before/after deltas, so the numbers are
+// exactly this cell's — the process-global registry also accumulates the
+// full export for BENCH_recovery.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cassert>
+
+#include "bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+void BM_RecoveryTradeoff(benchmark::State& state) {
+  const auto checkpoint_ms = static_cast<int>(state.range(0));
+  const auto fsync_ms = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    WorldConfig config;
+    config.servers = 2;
+    config.near = Duration::millis(2);
+    config.far = Duration::millis(5);
+    config.mesh = Duration::millis(5);
+    config.server_options.durability.durable_acks = true;
+    config.server_options.durability.fsync_interval =
+        Duration::millis(fsync_ms);
+    config.server_options.durability.checkpoint_interval =
+        Duration::millis(checkpoint_ms);
+    obs::MetricsRegistry& reg = obs::global();
+    const auto hist_sum = [&reg](const char* name) -> std::int64_t {
+      const obs::Histogram* h = reg.histogram(name);
+      return h == nullptr ? 0 : h->sum();
+    };
+    // Run-time durability cost: everything the engine wrote between world
+    // start and the crash (seeding + churn).
+    const std::uint64_t fsyncs_before = reg.counter("wal.fsyncs");
+    const std::uint64_t appends_before = reg.counter("wal.appends");
+    const std::uint64_t checkpoints_before = reg.counter("wal.checkpoints");
+    const std::int64_t ckpt_bytes_before = hist_sum("wal.checkpoint_bytes");
+
+    World world{config};
+    const CollectionId coll = world.make_collection(256, 1);
+    world.repo->add_replica(coll, 0, world.servers[1]);
+
+    // Membership mutations through the RPC client, all durably acked before
+    // the crash window opens.
+    world.spawn_churn(coll, Duration::millis(1), 0.3,
+                      SimTime{} + Duration::millis(490), 42);
+    world.sim.run_until(SimTime{} + Duration::millis(500));
+
+    state.counters["fsyncs"] =
+        static_cast<double>(reg.counter("wal.fsyncs") - fsyncs_before);
+    state.counters["wal_appends"] =
+        static_cast<double>(reg.counter("wal.appends") - appends_before);
+    state.counters["checkpoints"] = static_cast<double>(
+        reg.counter("wal.checkpoints") - checkpoints_before);
+    state.counters["checkpoint_kb"] =
+        static_cast<double>(hist_sum("wal.checkpoint_bytes") -
+                            ckpt_bytes_before) /
+        1024.0;
+
+    // Recovery side: snapshot at the crash instant.
+    const std::uint64_t replayed_before = reg.counter("wal.ops_replayed");
+    const std::uint64_t lost_before = reg.counter("wal.records_lost");
+    const std::int64_t recovery_ns_before = hist_sum("wal.recovery");
+
+    world.topo.crash(world.servers[0], Topology::CrashKind::kAmnesia);
+    world.sim.run_until(SimTime{} + Duration::millis(520));
+    world.topo.restart(world.servers[0]);
+    world.sim.run_until(SimTime{} + Duration::millis(800));
+
+    // The recovered primary serves the full durable membership again.
+    RepositoryClient client{*world.repo, world.client_node};
+    const auto members = run_task(
+        world.sim,
+        [](RepositoryClient& c,
+           CollectionId id) -> Task<Result<std::vector<ObjectRef>>> {
+          co_return co_await c.read_all(id);
+        }(client, coll));
+    assert(members.has_value());
+
+    state.counters["recovery_ms"] =
+        static_cast<double>(hist_sum("wal.recovery") - recovery_ns_before) /
+        1e6;
+    state.counters["ops_replayed"] =
+        static_cast<double>(reg.counter("wal.ops_replayed") - replayed_before);
+    state.counters["records_lost"] =
+        static_cast<double>(reg.counter("wal.records_lost") - lost_before);
+    state.counters["members_after"] =
+        static_cast<double>(members.value().size());
+    state.counters["churn_adds"] = static_cast<double>(world.churn_adds);
+    state.counters["churn_removes"] =
+        static_cast<double>(world.churn_removes);
+  }
+}
+// checkpoint_interval ms x fsync_interval ms (0 = fsync every append).
+BENCHMARK(BM_RecoveryTradeoff)
+    ->ArgsProduct({{25, 100, 400}, {0, 2, 10}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+WEAKSET_BENCHMARK_MAIN();

@@ -3,13 +3,16 @@
 # into committed JSON documents:
 #   BENCH_prefetch.json   — fetch-pipeline sweeps (ISSUE 1: e1, e10)
 #   BENCH_membership.json — membership refresh sweeps (ISSUE 2: e13)
+#   BENCH_recovery.json   — WAL/checkpoint recovery sweeps (ISSUE 4: e14)
 #
-# Usage: scripts/bench_json.sh [build-dir] [prefetch-out] [membership-out]
+# Usage: scripts/bench_json.sh [build-dir] [prefetch-out] [membership-out] \
+#                              [recovery-out]
 
 set -euo pipefail
 build_dir="${1:-build}"
 prefetch_out="${2:-BENCH_prefetch.json}"
 membership_out="${3:-BENCH_membership.json}"
+recovery_out="${4:-BENCH_recovery.json}"
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: ${build_dir}/bench not found — configure and build first:" >&2
@@ -34,6 +37,7 @@ run_bench() {
 run_bench bench_e1_latency
 run_bench bench_e10_scale
 run_bench bench_e13_membership
+run_bench bench_e14_recovery
 
 # One top-level object per output file, keyed by bench binary, each value
 # the unmodified google-benchmark JSON document.
@@ -55,3 +59,11 @@ echo "wrote ${prefetch_out}" >&2
   echo '}'
 } >"${membership_out}"
 echo "wrote ${membership_out}" >&2
+
+{
+  echo '{'
+  echo '  "bench_e14_recovery":'
+  cat "${tmp}/bench_e14_recovery.json"
+  echo '}'
+} >"${recovery_out}"
+echo "wrote ${recovery_out}" >&2

@@ -90,13 +90,24 @@ def main():
                         help="print only failures and the summary line")
     args = parser.parse_args()
 
-    try:
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-        with open(args.current) as f:
-            current = json.load(f)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"error: {err}", file=sys.stderr)
+    def load(path, role):
+        """Parsed JSON, or None after naming the offending file on stderr."""
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except OSError as err:
+            print(f"error: cannot read {role} file {path!r}: {err}",
+                  file=sys.stderr)
+        except json.JSONDecodeError as err:
+            print(f"error: cannot parse {role} file {path!r}: {err}",
+                  file=sys.stderr)
+        return None
+
+    baseline = load(args.baseline, "baseline")
+    if baseline is None:
+        return 2
+    current = load(args.current, "current")
+    if current is None:
         return 2
 
     overrides = []

@@ -18,7 +18,20 @@ Task<Step> GrowOnlyPessimisticIterator::step() {
   // Each invocation reads the *current* state (s_pre) — the hot path the
   // delta-sync protocol makes near-free when nothing changed.
   Result<std::vector<ObjectRef>> members = co_await read_members_tracked();
-  if (!members) co_return Step::failed(std::move(members).error());
+  if (!members) {
+    // Grow-only makes the remembered member list sound forever, so a failed
+    // refresh need not end the run while known members are still yieldable.
+    // We cannot *terminate* on stale knowledge, though — the set may have
+    // grown behind the outage — so an exhausted remembered list fails with
+    // the refresh error.
+    std::vector<ObjectRef> remembered = unyielded(known_);
+    if (remembered.empty()) co_return Step::failed(std::move(members).error());
+    std::optional<Step> stale_yield = co_await try_yield(std::move(remembered));
+    if (stale_yield) co_return std::move(*stale_yield);
+    co_return Step::failed(Failure{
+        FailureKind::kUnreachable, "known member of s_pre is unreachable"});
+  }
+  known_ = members.value();
 
   std::vector<ObjectRef> candidates = unyielded(members.value());
   if (candidates.empty()) co_return Step::finished();  // yielded = s_pre

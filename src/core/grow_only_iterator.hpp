@@ -10,8 +10,12 @@
 // an element that we know is in the set, we fail."
 //
 // Reads go to fragment primaries (the view must be configured fresh —
-// pessimism is pointless over stale replicas). A read failure is itself a
-// detected failure and terminates the run, per the pessimistic stance.
+// pessimism is pointless over stale replicas). When a refresh fails, the
+// iterator falls back to the members it last read: under the grow-only
+// environment constraint a known member is a member forever, so yielding
+// from the remembered set is sound. It fails — per the pessimistic stance —
+// only once no unyielded known member is reachable (or none was ever read):
+// "because we cannot reach an element that we know is in the set, we fail."
 //
 // "Notice that since the set may grow faster than the iterator yields
 // elements from it, an iterator satisfying this specification may never
@@ -36,6 +40,7 @@ class GrowOnlyPessimisticIterator final : public ElementsIterator {
 
  private:
   bool pinned_ = false;
+  std::vector<ObjectRef> known_;  ///< last successfully-read member list
 };
 
 }  // namespace weakset

@@ -27,6 +27,11 @@ struct ChaosOptions {
   /// Probability that an injected failure is a node crash (else: one of the
   /// victim's links is cut).
   double crash_bias = 0.5;
+  /// Probability that an injected crash is an amnesia crash (volatile state
+  /// lost, durable recovery on restart) rather than a transient one. The
+  /// draw is skipped entirely at 0.0 so pre-existing seeds keep their exact
+  /// RNG streams.
+  double amnesia_bias = 0.0;
   /// No injections after this instant; everything is healed by
   /// deadline + outage.
   SimTime deadline = SimTime::max();
@@ -55,6 +60,9 @@ class ChaosInjector {
   void stop() noexcept { stopped_ = true; }
 
   [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t amnesia_crashes() const noexcept {
+    return amnesia_crashes_;
+  }
   [[nodiscard]] std::uint64_t link_cuts() const noexcept {
     return link_cuts_;
   }
@@ -65,8 +73,15 @@ class ChaosInjector {
       co_await sim_.delay(rng.exponential(options_.mean_uptime));
       if (stopped_ || sim_.now() >= options_.deadline) co_return;
       if (rng.bernoulli(options_.crash_bias)) {
+        // Short-circuit: no amnesia draw at bias 0, so pre-amnesia seeds
+        // observe byte-identical RNG streams.
+        const Topology::CrashKind kind =
+            options_.amnesia_bias > 0.0 && rng.bernoulli(options_.amnesia_bias)
+                ? Topology::CrashKind::kAmnesia
+                : Topology::CrashKind::kTransient;
         ++crashes_;
-        topology_.crash(victim);
+        if (kind == Topology::CrashKind::kAmnesia) ++amnesia_crashes_;
+        topology_.crash(victim, kind);
         co_await sim_.delay(options_.outage);
         topology_.restart(victim);
       } else {
@@ -90,6 +105,7 @@ class ChaosInjector {
   ChaosOptions options_;
   bool stopped_ = false;
   std::uint64_t crashes_ = 0;
+  std::uint64_t amnesia_crashes_ = 0;
   std::uint64_t link_cuts_ = 0;
 };
 

@@ -9,7 +9,8 @@ namespace weakset {
 
 NodeId Topology::add_node(std::string name) {
   const NodeId id{nodes_.size()};
-  nodes_.push_back(Node{std::move(name), /*up=*/true, {}});
+  nodes_.push_back(Node{std::move(name), /*up=*/true,
+                        CrashKind::kTransient, {}});
   node_ids_.push_back(id);
   bump();
   return id;
@@ -51,17 +52,44 @@ void Topology::connect_full_mesh(Duration latency) {
   }
 }
 
-void Topology::crash(NodeId node) {
-  nodes_[index(node)].up = false;
+void Topology::crash(NodeId node, CrashKind kind) {
+  Node& n = nodes_[index(node)];
+  if (!n.up) return;  // already down: the outage keeps its original kind
+  n.up = false;
+  n.last_crash = kind;
   bump();
+  for (auto& listener : listeners_) {
+    if (listener && listener->on_crash) listener->on_crash(node, kind);
+  }
 }
 
 void Topology::restart(NodeId node) {
-  nodes_[index(node)].up = true;
+  Node& n = nodes_[index(node)];
+  if (n.up) return;
+  n.up = true;
   bump();
+  for (auto& listener : listeners_) {
+    if (listener && listener->on_restart) {
+      listener->on_restart(node, n.last_crash);
+    }
+  }
 }
 
 bool Topology::is_up(NodeId node) const { return nodes_[index(node)].up; }
+
+Topology::CrashKind Topology::last_crash_kind(NodeId node) const {
+  return nodes_[index(node)].last_crash;
+}
+
+std::size_t Topology::add_liveness_listener(LivenessListener listener) {
+  listeners_.push_back(std::move(listener));
+  return listeners_.size() - 1;
+}
+
+void Topology::remove_liveness_listener(std::size_t token) {
+  assert(token < listeners_.size());
+  listeners_[token].reset();
+}
 
 void Topology::set_link_up(NodeId a, NodeId b, bool up) {
   const std::size_t ia = index(a);

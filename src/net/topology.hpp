@@ -8,6 +8,8 @@
 // to network partitions, which implies that a process at one node may not be
 // able to access objects residing at a node in a different partition."
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -51,12 +53,36 @@ class Topology {
 
   // -- failure injection -----------------------------------------------------
 
-  /// Takes a node down (a crash). Messages to/through it are lost.
-  void crash(NodeId node);
-  /// Brings a crashed node back. Volatile state recovery is the concern of
-  /// higher layers (the store); the topology only tracks liveness.
+  /// How a crash treats the node's volatile state. kTransient is the
+  /// historical behaviour — the node is merely unreachable and resurrects
+  /// with its memory intact (indistinguishable from a long partition).
+  /// kAmnesia is a real power loss: liveness listeners (the store layer)
+  /// wipe volatile state at crash time and run durable recovery on restart.
+  enum class CrashKind : std::uint8_t { kTransient, kAmnesia };
+
+  /// Listener for crash/restart transitions, dispatched synchronously from
+  /// crash()/restart(). restart is passed the kind that took the node down.
+  struct LivenessListener {
+    std::function<void(NodeId, CrashKind)> on_crash;
+    std::function<void(NodeId, CrashKind)> on_restart;
+  };
+
+  /// Takes a node down (a crash). Messages to/through it are lost. Crashing
+  /// an already-down node is a no-op (the kind does not change mid-outage).
+  void crash(NodeId node) { crash(node, CrashKind::kTransient); }
+  void crash(NodeId node, CrashKind kind);
+  /// Brings a crashed node back and notifies listeners with the crash kind
+  /// that took it down. No-op if the node is already up.
   void restart(NodeId node);
   [[nodiscard]] bool is_up(NodeId node) const;
+  /// Kind of the most recent crash of `node` (meaningful once it crashed).
+  [[nodiscard]] CrashKind last_crash_kind(NodeId node) const;
+
+  /// Registers a liveness listener; returns a token for remove. Listeners
+  /// must outlive the topology or deregister first (the Repository does so
+  /// in its destructor).
+  std::size_t add_liveness_listener(LivenessListener listener);
+  void remove_liveness_listener(std::size_t token);
 
   /// Cuts or restores a single link (both directions).
   void set_link_up(NodeId a, NodeId b, bool up);
@@ -100,6 +126,7 @@ class Topology {
   struct Node {
     std::string name;
     bool up = true;
+    CrashKind last_crash = CrashKind::kTransient;
     std::vector<Link> links;
   };
 
@@ -109,6 +136,8 @@ class Topology {
 
   std::vector<Node> nodes_;
   std::vector<NodeId> node_ids_;
+  // nullopt slots are removed listeners; indices stay stable as tokens.
+  std::vector<std::optional<LivenessListener>> listeners_;
   std::uint64_t version_ = 0;
   Routing routing_ = Routing::kMultiHop;
 };

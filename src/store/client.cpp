@@ -126,11 +126,12 @@ Task<void> snapshot_fragment_into(RpcNetwork& net, NodeId from, NodeId host,
 
 Task<void> delta_fragment_into(RpcNetwork& net, NodeId from, NodeId host,
                                CollectionId id, std::uint64_t since_seq,
+                               std::uint64_t since_incarnation,
                                std::optional<Duration> timeout,
                                std::size_t index, FragmentQueue arrivals) {
   Result<msg::DeltaReply> reply = co_await net.call_typed<msg::DeltaReply>(
-      from, host, "coll.read_delta", msg::DeltaRequest{id, since_seq},
-      timeout);
+      from, host, "coll.read_delta",
+      msg::DeltaRequest{id, since_seq, since_incarnation}, timeout);
   arrivals->push(FragmentArrival{index, std::move(reply)});
 }
 
@@ -213,6 +214,7 @@ const std::vector<ObjectRef>& RepositoryClient::absorb_delta(
     // ahead of it (the next delta read simply catches up from here).
     entry.seq = reply.seq();
     entry.version = reply.version();
+    entry.incarnation = reply.incarnation();
     entry.members.assign(std::move(reply).take_members());
   }
   return entry.members.members();
@@ -261,8 +263,11 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all(
       const auto it = delta_cache_.find(CacheKey{id, f, *host});
       const std::uint64_t since =
           it == delta_cache_.end() ? 0 : it->second.seq;
+      const std::uint64_t since_incarnation =
+          it == delta_cache_.end() ? 0 : it->second.incarnation;
       sim.spawn(delta_fragment_into(repo_.net(), node_, *host, id, since,
-                                    options_.rpc_timeout, f, arrivals));
+                                    since_incarnation, options_.rpc_timeout,
+                                    f, arrivals));
     } else {
       sim.spawn(snapshot_fragment_into(repo_.net(), node_, *host, id,
                                        options_.rpc_timeout, f, arrivals));

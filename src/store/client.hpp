@@ -168,6 +168,10 @@ class RepositoryClient {
     MemberList members;
     std::uint64_t seq = 0;
     std::uint64_t version = 0;
+    /// Incarnation of the op stream `seq` belongs to; presented with the
+    /// cursor so a host that recovered from amnesia (new stream) resyncs us
+    /// with a snapshot instead of serving unrelated sequence numbers.
+    std::uint64_t incarnation = 0;
   };
   using CacheKey = std::tuple<CollectionId, std::size_t, NodeId>;
 

@@ -45,6 +45,7 @@ void CollectionState::record(CollectionOp::Kind kind, ObjectRef ref,
   if (log_cap_ != 0) {
     while (log_.size() > log_cap_) log_.pop_front();
   }
+  if (op_observer_) op_observer_(log_.back());
 }
 
 bool CollectionState::add(ObjectRef ref) {
@@ -104,6 +105,37 @@ void CollectionState::install(std::vector<ObjectRef> members,
   // The ops behind the snapshot are unknown; an empty log at floor seq+1
   // forces delta readers of this replica to take one full read and resync.
   log_.clear();
+}
+
+void CollectionState::wipe_volatile() {
+  list_.assign({});
+  log_.clear();
+  last_seq_ = 0;
+  version_ = 0;
+  applied_seq_ = 0;
+  incarnation_ = 1;
+}
+
+void CollectionState::restore(std::vector<ObjectRef> members,
+                              std::uint64_t version, std::uint64_t last_seq,
+                              std::uint64_t applied_seq,
+                              std::uint64_t incarnation) {
+  list_.assign(std::move(members));
+  version_ = version;
+  last_seq_ = last_seq;
+  applied_seq_ = applied_seq;
+  incarnation_ = incarnation;
+  log_.clear();
+}
+
+void CollectionState::replay(const CollectionOp& op) {
+  assert(op.seq() == last_seq_ + 1 && "WAL replay must stay contiguous");
+  const bool effective = op.kind() == CollectionOp::Kind::kAdd
+                             ? list_.insert(op.ref())
+                             : list_.erase(op.ref());
+  if (effective) ++version_;
+  record(op.kind(), op.ref(), op.seq());
+  applied_seq_ = op.seq();
 }
 
 }  // namespace weakset

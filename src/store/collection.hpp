@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -152,6 +153,43 @@ class CollectionState {
     return applied_seq_;
   }
 
+  // -- durability hooks (DESIGN.md decision 11) ----------------------------
+
+  /// Incarnation of this fragment's op-sequence stream. Starts at 1; a
+  /// primary that recovers from an amnesia crash bumps it, so sequence
+  /// numbers it reissues can never be confused with pre-crash ops a reader
+  /// or replica already absorbed.
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+  void set_incarnation(std::uint64_t incarnation) noexcept {
+    incarnation_ = incarnation;
+  }
+
+  /// Observer fired on every logged op (primary mutations, replica applies,
+  /// and recovery replays alike) — the server's WAL append hook.
+  void set_op_observer(std::function<void(const CollectionOp&)> observer) {
+    op_observer_ = std::move(observer);
+  }
+
+  /// Amnesia crash: volatile state is gone. Resets everything to the
+  /// freshly-constructed state (incarnation included — recovery restores the
+  /// durable one).
+  void wipe_volatile();
+
+  /// Recovery: reinstates a checkpointed snapshot, cursors and all. The log
+  /// is cleared (its contents are not in the checkpoint), so post-recovery
+  /// delta readers and replicas resync via snapshot.
+  void restore(std::vector<ObjectRef> members, std::uint64_t version,
+               std::uint64_t last_seq, std::uint64_t applied_seq,
+               std::uint64_t incarnation);
+
+  /// Recovery: replays one WAL record on top of a restored checkpoint. Ops
+  /// must arrive contiguously from last_seq() + 1. Every replayed op was
+  /// effective when first logged, and replay starts from the same base
+  /// state, so the version counter is reproduced faithfully.
+  void replay(const CollectionOp& op);
+
  private:
   void record(CollectionOp::Kind kind, ObjectRef ref, std::uint64_t seq);
 
@@ -162,6 +200,8 @@ class CollectionState {
   std::uint64_t last_seq_ = 0;
   std::uint64_t version_ = 0;
   std::uint64_t applied_seq_ = 0;
+  std::uint64_t incarnation_ = 1;
+  std::function<void(const CollectionOp&)> op_observer_;
 };
 
 }  // namespace weakset

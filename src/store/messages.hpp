@@ -111,14 +111,25 @@ class SnapshotReply {
 /// snapshot). See DESIGN.md decision 9.
 class DeltaRequest {
  public:
-  DeltaRequest(CollectionId id, std::uint64_t since_seq)
-      : id_(id), since_seq_(since_seq) {}
+  DeltaRequest(CollectionId id, std::uint64_t since_seq,
+               std::uint64_t since_incarnation = 0)
+      : id_(id),
+        since_seq_(since_seq),
+        since_incarnation_(since_incarnation) {}
   [[nodiscard]] CollectionId id() const noexcept { return id_; }
   [[nodiscard]] std::uint64_t since_seq() const noexcept { return since_seq_; }
+  /// Incarnation of the op stream the cursor belongs to. A server whose
+  /// fragment is on a different incarnation (amnesia recovery happened in
+  /// between) answers with a full snapshot — the cursor's sequence numbers
+  /// no longer name the same ops.
+  [[nodiscard]] std::uint64_t since_incarnation() const noexcept {
+    return since_incarnation_;
+  }
 
  private:
   CollectionId id_;
   std::uint64_t since_seq_;
+  std::uint64_t since_incarnation_;
 };
 
 /// Reply to coll.read_delta: either the ops since the presented cursor or a
@@ -127,12 +138,14 @@ class DeltaRequest {
 class DeltaReply {
  public:
   static DeltaReply delta(std::vector<CollectionOp> ops, std::uint64_t version,
-                          std::uint64_t seq) {
-    return DeltaReply{true, {}, std::move(ops), version, seq};
+                          std::uint64_t seq, std::uint64_t incarnation = 0) {
+    return DeltaReply{true, {}, std::move(ops), version, seq, incarnation};
   }
   static DeltaReply full_snapshot(std::vector<ObjectRef> members,
-                                  std::uint64_t version, std::uint64_t seq) {
-    return DeltaReply{false, std::move(members), {}, version, seq};
+                                  std::uint64_t version, std::uint64_t seq,
+                                  std::uint64_t incarnation = 0) {
+    return DeltaReply{false, std::move(members), {}, version, seq,
+                      incarnation};
   }
 
   [[nodiscard]] bool is_delta() const noexcept { return is_delta_; }
@@ -147,6 +160,11 @@ class DeltaReply {
   }
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
   [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  /// Incarnation the cursor (version, seq) belongs to; the client stores it
+  /// alongside its cache so the next delta request names its stream.
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
   /// Entries shipped on the wire (members or ops) — the cost-model unit.
   [[nodiscard]] std::size_t entry_count() const noexcept {
     return is_delta_ ? ops_.size() : members_.size();
@@ -155,18 +173,20 @@ class DeltaReply {
  private:
   DeltaReply(bool is_delta, std::vector<ObjectRef> members,
              std::vector<CollectionOp> ops, std::uint64_t version,
-             std::uint64_t seq)
+             std::uint64_t seq, std::uint64_t incarnation)
       : is_delta_(is_delta),
         members_(std::move(members)),
         ops_(std::move(ops)),
         version_(version),
-        seq_(seq) {}
+        seq_(seq),
+        incarnation_(incarnation) {}
 
   bool is_delta_;
   std::vector<ObjectRef> members_;
   std::vector<CollectionOp> ops_;
   std::uint64_t version_;
   std::uint64_t seq_;
+  std::uint64_t incarnation_;
 };
 
 /// coll.add / coll.remove: mutate one fragment's membership.
@@ -245,35 +265,69 @@ class PinRequest {
 };
 
 /// coll.sync: push replication — primary sends a batch of contiguous ops to
-/// a replica. Reply: the replica's applied_seq after applying what it could
-/// (the primary uses it as the ack cursor). Complements pull anti-entropy:
-/// pushes convergence latency down to one RPC, pulls repair lost pushes.
+/// a replica. Reply: SyncReply (the primary uses applied_seq as the ack
+/// cursor). Complements pull anti-entropy: pushes convergence latency down
+/// to one RPC, pulls repair lost pushes.
 class SyncRequest {
  public:
-  SyncRequest(CollectionId id, std::vector<CollectionOp> ops)
-      : id_(id), ops_(std::move(ops)) {}
+  SyncRequest(CollectionId id, std::vector<CollectionOp> ops,
+              std::uint64_t incarnation = 0)
+      : id_(id), ops_(std::move(ops)), incarnation_(incarnation) {}
   [[nodiscard]] CollectionId id() const noexcept { return id_; }
   [[nodiscard]] const std::vector<CollectionOp>& ops() const noexcept {
     return ops_;
+  }
+  /// Incarnation of the primary's op stream. A replica on a different
+  /// incarnation applies nothing (its cursor is from another stream) and
+  /// lets pull anti-entropy snapshot-resync it.
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
   }
 
  private:
   CollectionId id_;
   std::vector<CollectionOp> ops_;
+  std::uint64_t incarnation_;
+};
+
+/// Reply to coll.sync: the replica's ack cursor plus the incarnation it is
+/// on, so a primary that recovered onto a new incarnation stops pushing ops
+/// at a stale replica (and vice versa) instead of spinning.
+class SyncReply {
+ public:
+  SyncReply(std::uint64_t applied_seq, std::uint64_t incarnation)
+      : applied_seq_(applied_seq), incarnation_(incarnation) {}
+  [[nodiscard]] std::uint64_t applied_seq() const noexcept {
+    return applied_seq_;
+  }
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+
+ private:
+  std::uint64_t applied_seq_;
+  std::uint64_t incarnation_;
 };
 
 /// coll.pull: anti-entropy — replica asks primary for ops after a sequence
 /// number. Reply: PullReply.
 class PullRequest {
  public:
-  PullRequest(CollectionId id, std::uint64_t after_seq)
-      : id_(id), after_seq_(after_seq) {}
+  PullRequest(CollectionId id, std::uint64_t after_seq,
+              std::uint64_t incarnation = 0)
+      : id_(id), after_seq_(after_seq), incarnation_(incarnation) {}
   [[nodiscard]] CollectionId id() const noexcept { return id_; }
   [[nodiscard]] std::uint64_t after_seq() const noexcept { return after_seq_; }
+  /// Incarnation the replica's cursor belongs to; on mismatch the primary
+  /// answers with a snapshot.
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
 
  private:
   CollectionId id_;
   std::uint64_t after_seq_;
+  std::uint64_t incarnation_;
 };
 
 /// Reply to coll.pull: the ops after the replica's cursor — or, when the
@@ -281,15 +335,22 @@ class PullRequest {
 /// (members + version + seq) the replica installs wholesale.
 class PullReply {
  public:
-  explicit PullReply(std::vector<CollectionOp> ops)
-      : is_snapshot_(false), ops_(std::move(ops)), version_(0), seq_(0) {}
+  explicit PullReply(std::vector<CollectionOp> ops,
+                     std::uint64_t incarnation = 0)
+      : is_snapshot_(false),
+        ops_(std::move(ops)),
+        version_(0),
+        seq_(0),
+        incarnation_(incarnation) {}
   static PullReply snapshot(std::vector<ObjectRef> members,
-                            std::uint64_t version, std::uint64_t seq) {
+                            std::uint64_t version, std::uint64_t seq,
+                            std::uint64_t incarnation = 0) {
     PullReply reply{{}};
     reply.is_snapshot_ = true;
     reply.members_ = std::move(members);
     reply.version_ = version;
     reply.seq_ = seq;
+    reply.incarnation_ = incarnation;
     return reply;
   }
 
@@ -302,6 +363,11 @@ class PullReply {
   }
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
   [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  /// Incarnation of the op stream the reply's cursor belongs to; a replica
+  /// installing a snapshot adopts it.
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
 
  private:
   bool is_snapshot_;
@@ -309,6 +375,7 @@ class PullReply {
   std::vector<ObjectRef> members_;
   std::uint64_t version_;
   std::uint64_t seq_;
+  std::uint64_t incarnation_;
 };
 
 }  // namespace weakset::msg

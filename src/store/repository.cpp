@@ -2,6 +2,24 @@
 
 namespace weakset {
 
+Repository::Repository(RpcNetwork& net) : net_(net) {
+  liveness_token_ = net_.topology().add_liveness_listener(
+      {.on_crash =
+           [this](NodeId node, Topology::CrashKind kind) {
+             if (StoreServer* server = server_at(node)) server->on_crash(kind);
+           },
+       .on_restart =
+           [this](NodeId node, Topology::CrashKind kind) {
+             if (StoreServer* server = server_at(node)) {
+               server->on_restart(kind);
+             }
+           }});
+}
+
+Repository::~Repository() {
+  net_.topology().remove_liveness_listener(liveness_token_);
+}
+
 StoreServer& Repository::add_server(NodeId node, StoreServerOptions options) {
   auto [it, inserted] = servers_.emplace(
       node, std::make_unique<StoreServer>(net_, node, options));

@@ -76,7 +76,10 @@ class Repository : public MutationSink {
   using MutationObserver =
       std::function<void(CollectionId, CollectionOp::Kind, ObjectRef)>;
 
-  explicit Repository(RpcNetwork& net) : net_(net) {}
+  /// Registers with the topology's liveness listeners, so crash/restart
+  /// transitions reach the store servers (amnesia wipe + recovery).
+  explicit Repository(RpcNetwork& net);
+  ~Repository() override;
   Repository(const Repository&) = delete;
   Repository& operator=(const Repository&) = delete;
 
@@ -136,6 +139,7 @@ class Repository : public MutationSink {
   IdSequence<CollectionTag> collection_ids_;
   std::uint64_t client_tokens_ = 0;
   std::vector<MutationObserver> observers_;
+  std::size_t liveness_token_ = 0;
 };
 
 }  // namespace weakset

@@ -1,12 +1,40 @@
 #include "store/server.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <utility>
 
 #include "store/messages.hpp"
 #include "util/log.hpp"
 
 namespace weakset {
+namespace {
+
+// Durable object names on the per-server SimDisk.
+constexpr const char kWalFile[] = "wal";
+constexpr const char kCheckpointFile[] = "checkpoint";
+
+wal::WalRecord to_wal_record(CollectionId id, const CollectionOp& op,
+                             std::uint64_t incarnation) {
+  wal::WalRecord rec;
+  rec.collection = id.raw();
+  rec.kind = op.kind() == CollectionOp::Kind::kRemove ? 1 : 0;
+  rec.object = op.ref().id().raw();
+  rec.home = op.ref().home().raw();
+  rec.seq = op.seq();
+  rec.incarnation = incarnation;
+  return rec;
+}
+
+CollectionOp to_collection_op(const wal::WalRecord& rec) {
+  return CollectionOp{rec.kind == 1 ? CollectionOp::Kind::kRemove
+                                    : CollectionOp::Kind::kAdd,
+                      ObjectRef{ObjectId{rec.object}, NodeId{rec.home}},
+                      rec.seq};
+}
+
+}  // namespace
 
 StoreServer::StoreServer(RpcNetwork& net, NodeId node,
                          StoreServerOptions options)
@@ -14,6 +42,16 @@ StoreServer::StoreServer(RpcNetwork& net, NodeId node,
       node_(node),
       options_(options),
       metrics_(obs::sink(options.metrics)) {
+  if (options_.durability.enabled) {
+    SimDiskOptions disk_options = options_.durability.disk;
+    // Every server draws its own crash lottery: fork the configured seed by
+    // node id so same-seed runs stay byte-identical but servers differ.
+    disk_options.seed ^= 0x9e3779b97f4a7c15ull * (node_.raw() + 1);
+    disk_ = std::make_unique<SimDisk>(net_.sim(), disk_options);
+    wal_ = std::make_unique<wal::WalWriter>(net_.sim(), *disk_, kWalFile,
+                                            options_.durability.fsync_interval,
+                                            &metrics_);
+  }
   register_handlers();
 }
 
@@ -44,21 +82,36 @@ void StoreServer::register_handlers() {
       node_, "coll.sync",
       [this](NodeId, std::any request) -> Task<Result<std::any>> {
         const auto req = std::any_cast<msg::SyncRequest>(std::move(request));
+        if (!serving_) {
+          co_return Failure{FailureKind::kUnreachable, "node recovering"};
+        }
+        const std::uint64_t epoch = epoch_;
         co_await net_.sim().delay(options_.membership_latency);
+        if (epoch != epoch_) {
+          co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+        }
         CollectionState* state = collection(req.id());
         if (state == nullptr) {
           co_return Failure{FailureKind::kNotFound, "collection not hosted"};
         }
-        // Apply the contiguous prefix; a gap (push overtaken by loss) leaves
-        // applied_seq behind and the primary (or pull) resends from there.
         metrics_.add("store.replica.push_syncs");
-        for (const CollectionOp& op : req.ops()) {
-          if (op.seq() <= state->applied_seq()) continue;
-          if (op.seq() != state->applied_seq() + 1) break;
-          state->apply(op);
-          metrics_.add("store.replica.push_ops_applied");
+        // An incarnation mismatch (one side recovered from amnesia) means
+        // the ops belong to a different sequence stream: apply nothing and
+        // report our incarnation so the primary stops pushing; pull
+        // anti-entropy snapshot-resyncs us.
+        if (req.incarnation() == state->incarnation()) {
+          // Apply the contiguous prefix; a gap (push overtaken by loss)
+          // leaves applied_seq behind and the primary (or pull) resends
+          // from there.
+          for (const CollectionOp& op : req.ops()) {
+            if (op.seq() <= state->applied_seq()) continue;
+            if (op.seq() != state->applied_seq() + 1) break;
+            state->apply(op);
+            metrics_.add("store.replica.push_ops_applied");
+          }
         }
-        co_return std::any{state->applied_seq()};
+        co_return std::any{
+            msg::SyncReply{state->applied_seq(), state->incarnation()}};
       });
 }
 
@@ -69,6 +122,7 @@ CollectionState& StoreServer::host_primary(CollectionId id) {
   entry->state.set_log_cap(options_.membership_log_cap);
   auto [it, inserted] = collections_.emplace(id, std::move(entry));
   assert(inserted && "collection already hosted here");
+  install_wal_observer(*it->second);
   return it->second->state;
 }
 
@@ -79,6 +133,7 @@ CollectionState& StoreServer::host_replica(CollectionId id, NodeId primary) {
   entry->state.set_log_cap(options_.membership_log_cap);
   auto [it, inserted] = collections_.emplace(id, std::move(entry));
   assert(inserted && "collection already hosted here");
+  install_wal_observer(*it->second);
   net_.sim().spawn(pull_loop(id, primary));
   return it->second->state;
 }
@@ -112,12 +167,15 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
   for (;;) {
     co_await sim.delay(options_.pull_interval);
     if (stopping_) co_return;
+    if (!serving_) continue;  // recovering: resume pulling afterwards
     CollectionState* state = collection(id);
     if (state == nullptr) co_return;  // unhosted; stop the daemon
     metrics_.add("store.replica.pull_rounds");
+    const std::uint64_t epoch = epoch_;
     auto reply = co_await net_.call_typed<msg::PullReply>(
         node_, primary, "coll.pull",
-        msg::PullRequest{id, state->applied_seq()});
+        msg::PullRequest{id, state->applied_seq(), state->incarnation()});
+    if (epoch != epoch_) continue;  // crashed meanwhile: the reply is stale
     if (!reply) {
       metrics_.add("store.replica.pull_failures");
       continue;  // primary unreachable; retry next round
@@ -125,12 +183,18 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
     state = collection(id);  // re-resolve: the map may have changed under
     if (state == nullptr) co_return;  // the co_await
     if (reply.value().is_snapshot()) {
-      // The primary's log was truncated past our cursor: install the full
-      // membership and resume op-by-op from its seq.
+      // The primary's log was truncated past our cursor (or the sequence
+      // stream changed incarnation): install the full membership and resume
+      // op-by-op from its seq.
       metrics_.add("store.replica.snapshot_installs");
       const std::uint64_t version = reply.value().version();
       const std::uint64_t seq = reply.value().seq();
+      const std::uint64_t incarnation = reply.value().incarnation();
       state->install(std::move(reply).value().take_members(), version, seq);
+      state->set_incarnation(incarnation);
+      // Nothing of the installed membership is in the WAL: checkpoint soon
+      // so a crash does not set this replica all the way back.
+      arm_checkpoint();
       continue;
     }
     // Apply the contiguous prefix only (cf. the coll.sync handler): a racing
@@ -149,6 +213,9 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
 
 Task<Result<std::any>> StoreServer::handle_fetch(std::any request) {
   const auto req = std::any_cast<msg::FetchRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
   metrics_.add("store.server.fetches");
   co_await net_.sim().delay(options_.object_read_latency);
   const auto value = objects_.get(req.id());
@@ -161,6 +228,9 @@ Task<Result<std::any>> StoreServer::handle_fetch(std::any request) {
 
 Task<Result<std::any>> StoreServer::handle_fetch_batch(std::any request) {
   const auto req = std::any_cast<msg::FetchBatchRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
   metrics_.add("store.server.batch_fetches");
   metrics_.add("store.server.batch_objects", req.ids().size());
   metrics_.record_value("store.server.batch_size",
@@ -189,6 +259,9 @@ Task<Result<std::any>> StoreServer::handle_fetch_batch(std::any request) {
 
 Task<Result<std::any>> StoreServer::handle_put(std::any request) {
   auto req = std::any_cast<msg::PutRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
   co_await net_.sim().delay(options_.object_write_latency);
   const ObjectId id = req.id();
   co_return std::any{objects_.put(id, std::move(req).take_data())};
@@ -196,7 +269,14 @@ Task<Result<std::any>> StoreServer::handle_put(std::any request) {
 
 Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
   const auto req = std::any_cast<msg::SnapshotRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  const std::uint64_t epoch = epoch_;
   co_await net_.sim().delay(options_.membership_latency);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
   CollectionState* state = collection(req.id());
   if (state == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
@@ -210,6 +290,9 @@ Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
   metrics_.add("store.server.ship_cost_ns",
                static_cast<std::uint64_t>(ship_cost.count_nanos()));
   co_await net_.sim().delay(ship_cost);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
   state = collection(req.id());  // re-resolve: the map may have changed
   if (state == nullptr) {        // under the co_await (cf. pull_loop)
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
@@ -219,17 +302,28 @@ Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
 
 Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
   const auto req = std::any_cast<msg::DeltaRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  const std::uint64_t epoch = epoch_;
   co_await net_.sim().delay(options_.membership_latency);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
   CollectionState* state = collection(req.id());
   if (state == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
-  // Serve ops when the cursor is inside the retained log window *and* the
-  // delta is no larger than the membership itself; otherwise resync the
-  // reader with a full snapshot. since_seq > last_seq means the reader
-  // followed a fresher host here by mistake (the client keys its cache per
-  // host precisely to avoid this) — treated as a resync, not an error.
+  // Serve ops when the cursor names this fragment's op stream (same
+  // incarnation — an amnesia recovery in between starts a new stream whose
+  // sequence numbers are unrelated), is inside the retained log window,
+  // *and* the delta is no larger than the membership itself; otherwise
+  // resync the reader with a full snapshot. since_seq > last_seq means the
+  // reader followed a fresher host here by mistake (the client keys its
+  // cache per host precisely to avoid this) — treated as a resync, not an
+  // error.
   const bool can_delta = req.since_seq() != 0 &&
+                         req.since_incarnation() == state->incarnation() &&
                          req.since_seq() <= state->last_seq() &&
                          state->can_serve_ops_since(req.since_seq()) &&
                          state->last_seq() - req.since_seq() <= state->size();
@@ -241,12 +335,16 @@ Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
     metrics_.add("store.server.ship_cost_ns",
                  static_cast<std::uint64_t>(ship_cost.count_nanos()));
     co_await net_.sim().delay(ship_cost);
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
     state = collection(req.id());  // re-resolve: the map may have changed
     if (state == nullptr) {        // under the co_await (cf. pull_loop)
       co_return Failure{FailureKind::kNotFound, "collection not hosted"};
     }
     co_return std::any{msg::DeltaReply::full_snapshot(
-        state->members(), state->version(), state->last_seq())};
+        state->members(), state->version(), state->last_seq(),
+        state->incarnation())};
   }
   // Slice the ops and the cursor they run up to at the same instant: a
   // mutation (or replica sync) landing during the shipping delay below would
@@ -255,6 +353,7 @@ Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
   // forever.
   const std::uint64_t version = state->version();
   const std::uint64_t last_seq = state->last_seq();
+  const std::uint64_t incarnation = state->incarnation();
   std::vector<CollectionOp> ops = state->ops_since(req.since_seq());
   const Duration ship_cost =
       options_.membership_entry_cost * static_cast<std::int64_t>(ops.size());
@@ -263,12 +362,23 @@ Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
   metrics_.add("store.server.ship_cost_ns",
                static_cast<std::uint64_t>(ship_cost.count_nanos()));
   co_await net_.sim().delay(ship_cost);
-  co_return std::any{msg::DeltaReply::delta(std::move(ops), version, last_seq)};
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
+  co_return std::any{
+      msg::DeltaReply::delta(std::move(ops), version, last_seq, incarnation)};
 }
 
 Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
   const auto req = std::any_cast<msg::MembershipRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  const std::uint64_t epoch = epoch_;
   co_await net_.sim().delay(options_.membership_latency);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
   const auto it = collections_.find(req.id());
   if (it == collections_.end()) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
@@ -280,8 +390,15 @@ Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
   }
   // Honour an active freeze: mutators wait until the lock is released or its
   // lease expires. (The waiting RPC may time out at the caller meanwhile —
-  // exactly the cost of strong semantics the paper warns about.)
-  while (entry.frozen_by != 0) co_await entry.unfrozen->wait();
+  // exactly the cost of strong semantics the paper warns about.) An amnesia
+  // crash releases the freeze and wakes the gate; the epoch check catches
+  // that case.
+  while (entry.frozen_by != 0) {
+    co_await entry.unfrozen->wait();
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
+  }
   const bool is_add = req.op() == msg::MembershipRequest::Op::kAdd;
   if (!is_add && entry.pin_count > 0) {
     // Grow-only pin active: the removal is accepted but deferred; the member
@@ -294,23 +411,44 @@ Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
   }
   const bool changed =
       is_add ? entry.state.add(req.ref()) : entry.state.remove(req.ref());
+  // The op observer inside add()/remove() just appended our WAL record;
+  // capture its index before anything else can append.
+  const std::uint64_t wal_index = last_wal_index_;
   if (changed && sink_ != nullptr) {
     sink_->on_mutation(req.id(),
                        is_add ? CollectionOp::Kind::kAdd
                               : CollectionOp::Kind::kRemove,
                        req.ref());
   }
+  const std::uint64_t version = entry.state.version();
   if (changed) {
     metrics_.add(is_add ? "store.server.adds_applied"
                         : "store.server.removes_applied");
     trigger_pushes(req.id());
+    if (options_.durability.enabled && options_.durability.durable_acks) {
+      // Strict commit: hold the ack until the WAL record is fsynced. A
+      // crash first means the mutation's durability is unknown — fail the
+      // RPC; the caller retries or reports.
+      const bool durable = co_await wal_->wait_durable(wal_index);
+      if (!durable || epoch != epoch_) {
+        co_return Failure{FailureKind::kNodeCrashed,
+                          "mutation lost to crash during commit"};
+      }
+    }
   }
-  co_return std::any{msg::MembershipReply{changed, entry.state.version()}};
+  co_return std::any{msg::MembershipReply{changed, version}};
 }
 
 Task<Result<std::any>> StoreServer::handle_size(std::any request) {
   const auto req = std::any_cast<msg::SizeRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  const std::uint64_t epoch = epoch_;
   co_await net_.sim().delay(options_.membership_latency);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
   CollectionState* state = collection(req.id());
   if (state == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
@@ -326,7 +464,14 @@ void StoreServer::release_freeze(Hosted& entry) {
 
 Task<Result<std::any>> StoreServer::handle_freeze(std::any request) {
   const auto req = std::any_cast<msg::FreezeRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  const std::uint64_t epoch = epoch_;
   co_await net_.sim().delay(options_.membership_latency);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
   const auto it = collections_.find(req.id());
   if (it == collections_.end()) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
@@ -337,6 +482,9 @@ Task<Result<std::any>> StoreServer::handle_freeze(std::any request) {
     // Queue behind the current holder (if any), then take the lock.
     while (entry.frozen_by != 0 && entry.frozen_by != req.token()) {
       co_await entry.unfrozen->wait();
+      if (epoch != epoch_) {
+        co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+      }
     }
     entry.frozen_by = req.token();
     entry.unfrozen->close();
@@ -359,7 +507,14 @@ Task<Result<std::any>> StoreServer::handle_freeze(std::any request) {
 
 Task<Result<std::any>> StoreServer::handle_pin(std::any request) {
   const auto req = std::any_cast<msg::PinRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  const std::uint64_t epoch = epoch_;
   co_await net_.sim().delay(options_.membership_latency);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
   const auto it = collections_.find(req.id());
   if (it == collections_.end()) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
@@ -386,6 +541,7 @@ void StoreServer::add_push_target(CollectionId id, NodeId replica) {
 
 void StoreServer::trigger_pushes(CollectionId id) {
   if (!options_.push_replication) return;
+  if (!serving_) return;
   Hosted& entry = hosted(id);
   for (Hosted::PushTarget& target : entry.push_targets) {
     if (!target.in_flight && target.acked_seq < entry.state.last_seq()) {
@@ -399,17 +555,27 @@ Task<void> StoreServer::push_to(CollectionId id, Hosted::PushTarget& target) {
   // One pusher per target at a time; loops until the target is caught up or
   // a push fails (the pull loop then repairs).
   Hosted& entry = hosted(id);
+  const std::uint64_t epoch = epoch_;
   while (!stopping_ && target.acked_seq < entry.state.last_seq()) {
     if (!entry.state.can_serve_ops_since(target.acked_seq)) {
       break;  // log truncated past the target's cursor: pull will snapshot
     }
     const std::uint64_t before = target.acked_seq;
     metrics_.add("store.server.pushes");
-    auto reply = co_await net_.call_typed<std::uint64_t>(
+    auto reply = co_await net_.call_typed<msg::SyncReply>(
         node_, target.node, "coll.sync",
-        msg::SyncRequest{id, entry.state.ops_since(target.acked_seq)});
+        msg::SyncRequest{id, entry.state.ops_since(target.acked_seq),
+                         entry.state.incarnation()});
+    if (epoch != epoch_) {
+      // Amnesia crash during the push: the wipe already reset the target's
+      // cursor and in_flight marker — touch nothing.
+      co_return;
+    }
     if (!reply) break;  // unreachable replica: give up until next mutation
-    target.acked_seq = reply.value();
+    if (reply.value().incarnation() != entry.state.incarnation()) {
+      break;  // replica on another op stream: pull will snapshot-resync it
+    }
+    target.acked_seq = reply.value().applied_seq();
     if (target.acked_seq <= before) {
       break;  // replica not advancing (gap?): let anti-entropy repair
     }
@@ -419,15 +585,25 @@ Task<void> StoreServer::push_to(CollectionId id, Hosted::PushTarget& target) {
 
 Task<Result<std::any>> StoreServer::handle_pull(std::any request) {
   const auto req = std::any_cast<msg::PullRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  const std::uint64_t epoch = epoch_;
   co_await net_.sim().delay(options_.membership_latency);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
   CollectionState* state = collection(req.id());
   if (state == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
   metrics_.add("store.server.pulls_served");
   // A replica that fell behind the bounded log window cannot catch up op by
-  // op any more: send the whole membership for wholesale install.
-  if (!state->can_serve_ops_since(req.after_seq())) {
+  // op any more — and one whose cursor belongs to another incarnation
+  // (amnesia recovery on either side) cannot catch up at all: send the
+  // whole membership for wholesale install.
+  if (req.incarnation() != state->incarnation() ||
+      !state->can_serve_ops_since(req.after_seq())) {
     const Duration ship_cost = options_.membership_entry_cost *
                                static_cast<std::int64_t>(state->size());
     metrics_.add("store.server.pull_snapshots");
@@ -435,21 +611,272 @@ Task<Result<std::any>> StoreServer::handle_pull(std::any request) {
     metrics_.add("store.server.ship_cost_ns",
                  static_cast<std::uint64_t>(ship_cost.count_nanos()));
     co_await net_.sim().delay(ship_cost);
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
     state = collection(req.id());  // re-resolve: the map may have changed
     if (state == nullptr) {        // under the co_await (cf. pull_loop)
       co_return Failure{FailureKind::kNotFound, "collection not hosted"};
     }
     co_return std::any{msg::PullReply::snapshot(
-        state->members(), state->version(), state->last_seq())};
+        state->members(), state->version(), state->last_seq(),
+        state->incarnation())};
   }
   std::vector<CollectionOp> ops = state->ops_since(req.after_seq());
+  const std::uint64_t incarnation = state->incarnation();
   const Duration ship_cost =
       options_.membership_entry_cost * static_cast<std::int64_t>(ops.size());
   metrics_.add("store.server.pull_ops_shipped", ops.size());
   metrics_.add("store.server.ship_cost_ns",
                static_cast<std::uint64_t>(ship_cost.count_nanos()));
   co_await net_.sim().delay(ship_cost);
-  co_return std::any{msg::PullReply{std::move(ops)}};
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
+  co_return std::any{msg::PullReply{std::move(ops), incarnation}};
+}
+
+// ---------------------------------------------------------------------------
+// Durability: WAL hook, checkpoints, crash wipe, recovery
+// (DESIGN.md decision 11)
+
+void StoreServer::install_wal_observer(Hosted& entry) {
+  if (!options_.durability.enabled) return;
+  CollectionState* state = &entry.state;
+  state->set_op_observer([this, state](const CollectionOp& op) {
+    if (wal_suspended_) return;  // recovery replay: already on disk
+    last_wal_index_ =
+        wal_->append(to_wal_record(state->id(), op, state->incarnation()));
+    arm_checkpoint();
+  });
+}
+
+void StoreServer::arm_checkpoint() {
+  if (!options_.durability.enabled || checkpoint_armed_) return;
+  checkpoint_armed_ = true;
+  const std::uint64_t epoch = epoch_;
+  checkpoint_timer_ = net_.sim().schedule_cancellable(
+      options_.durability.checkpoint_interval, [this, epoch] {
+        checkpoint_armed_ = false;
+        if (epoch != epoch_ || stopping_) return;
+        net_.sim().spawn(checkpoint_task(epoch));
+      });
+}
+
+Task<void> StoreServer::checkpoint_task(std::uint64_t epoch) {
+  co_await write_checkpoint(epoch);
+}
+
+std::vector<CollectionId> StoreServer::hosted_ids_sorted() const {
+  std::vector<CollectionId> ids;
+  ids.reserve(collections_.size());
+  for (const auto& [id, entry] : collections_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end(),
+            [](CollectionId a, CollectionId b) { return a.raw() < b.raw(); });
+  return ids;
+}
+
+Task<bool> StoreServer::write_checkpoint(std::uint64_t epoch) {
+  // Snapshot every hosted fragment at this one instant; the WAL mark taken
+  // at the same instant is exactly the prefix the image covers, so the
+  // truncation below is safe even though appends continue during the write.
+  wal::CheckpointImage image;
+  for (const CollectionId id : hosted_ids_sorted()) {
+    const CollectionState& state = collections_.at(id)->state;
+    wal::CollectionImage coll;
+    coll.collection = id.raw();
+    coll.incarnation = state.incarnation();
+    coll.version = state.version();
+    coll.last_seq = state.last_seq();
+    coll.applied_seq = state.applied_seq();
+    coll.members.reserve(state.size());
+    for (const ObjectRef ref : state.members()) {
+      coll.members.emplace_back(ref.id().raw(), ref.home().raw());
+    }
+    image.collections.push_back(std::move(coll));
+  }
+  const std::uint64_t wal_mark = disk_->log_next_index(kWalFile);
+  const SimTime start = net_.sim().now();
+  std::string bytes = wal::encode(image);
+  metrics_.record_value("wal.checkpoint_bytes",
+                        static_cast<std::int64_t>(bytes.size()));
+  const bool written = co_await disk_->write_file(kCheckpointFile,
+                                                  std::move(bytes));
+  if (!written || epoch != epoch_) co_return false;
+  disk_->truncate_log_prefix(kWalFile, wal_mark);
+  wal_->notify_progress();
+  metrics_.add("wal.checkpoints");
+  metrics_.record("wal.checkpoint", net_.sim().now() - start);
+  co_return true;
+}
+
+void StoreServer::on_crash(Topology::CrashKind kind) {
+  if (kind != Topology::CrashKind::kAmnesia) return;
+  metrics_.add("store.server.amnesia_crashes");
+  ++epoch_;
+  serving_ = false;
+  wiped_ = true;
+  checkpoint_timer_.cancel();
+  checkpoint_armed_ = false;
+
+  // How many appended-but-unsynced records the crash lottery will decide on.
+  const std::uint64_t next_before =
+      disk_ ? disk_->log_next_index(kWalFile) : 0;
+  if (disk_) disk_->crash();
+  if (wal_) wal_->on_crash();
+  const std::uint64_t next_after = disk_ ? disk_->log_next_index(kWalFile) : 0;
+
+  // Wipe volatile state in place (in-flight handlers hold Hosted&; they
+  // observe the epoch bump and abandon their work). Capture the pre-crash
+  // membership of primary fragments first: the ground-truth mutation sink
+  // must learn what the crash un-did.
+  const std::vector<CollectionId> ids = hosted_ids_sorted();
+  std::vector<std::vector<ObjectRef>> pre_members(ids.size());
+  std::vector<std::uint64_t> pre_incarnation(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Hosted& entry = *collections_.at(ids[i]);
+    if (!entry.primary.valid()) pre_members[i] = entry.state.members();
+    pre_incarnation[i] = entry.state.incarnation();
+    entry.frozen_by = 0;
+    entry.lease_timer.cancel();
+    entry.unfrozen->open();  // waiters resume, fail on the epoch check
+    entry.pin_count = 0;
+    entry.deferred_removes.clear();
+    for (Hosted::PushTarget& target : entry.push_targets) {
+      target.acked_seq = 0;
+      target.in_flight = false;
+    }
+    entry.state.wipe_volatile();
+  }
+
+  // Reconstruct the durable image immediately (zero simulated time), so
+  // ground-truth observers see exactly the post-recovery state throughout
+  // the outage; recover() charges the clock at restart. Replayed ops
+  // re-record through the op observer — suspend WAL appends meanwhile.
+  wal_suspended_ = true;
+  plan_ = reconstruct_from_disk();
+  plan_.records_lost = next_before - next_after;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Hosted& entry = *collections_.at(ids[i]);
+    if (entry.primary.valid()) continue;
+    // A recovered primary starts a fresh op-sequence stream: ops it lost may
+    // already have escaped to replicas and reader caches, so sequence
+    // numbers it reissues must not collide with them. Bumping the
+    // *pre-crash* incarnation (not the durable one) is equivalent to the
+    // persist-the-epoch-before-first-use discipline — see DESIGN.md.
+    entry.state.set_incarnation(pre_incarnation[i] + 1);
+  }
+  wal_suspended_ = false;
+
+  // Ground truth: the crash silently un-did every non-durable effective
+  // mutation (and resurrected members whose removal was not durable). Emit
+  // compensating events so the membership timeline matches reality.
+  if (sink_ != nullptr) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      Hosted& entry = *collections_.at(ids[i]);
+      if (entry.primary.valid()) continue;
+      std::vector<ObjectRef> before = pre_members[i];
+      std::vector<ObjectRef> after = entry.state.members();
+      std::sort(before.begin(), before.end());
+      std::sort(after.begin(), after.end());
+      std::vector<ObjectRef> lost;
+      std::set_difference(before.begin(), before.end(), after.begin(),
+                          after.end(), std::back_inserter(lost));
+      std::vector<ObjectRef> resurrected;
+      std::set_difference(after.begin(), after.end(), before.begin(),
+                          before.end(), std::back_inserter(resurrected));
+      for (const ObjectRef ref : lost) {
+        sink_->on_mutation(ids[i], CollectionOp::Kind::kRemove, ref);
+      }
+      for (const ObjectRef ref : resurrected) {
+        sink_->on_mutation(ids[i], CollectionOp::Kind::kAdd, ref);
+      }
+    }
+  }
+}
+
+StoreServer::RecoveryPlan StoreServer::reconstruct_from_disk() {
+  RecoveryPlan plan;
+  if (!disk_) return plan;  // durability off: amnesia really loses it all
+
+  if (const auto bytes = disk_->peek_file(kCheckpointFile)) {
+    plan.checkpoint_bytes = bytes->size();
+    if (const auto image = wal::decode_checkpoint(*bytes)) {
+      for (const wal::CollectionImage& coll : image->collections) {
+        const auto it = collections_.find(CollectionId{coll.collection});
+        if (it == collections_.end()) continue;
+        std::vector<ObjectRef> members;
+        members.reserve(coll.members.size());
+        for (const auto& [object, home] : coll.members) {
+          members.emplace_back(ObjectId{object}, NodeId{home});
+        }
+        it->second->state.restore(std::move(members), coll.version,
+                                  coll.last_seq, coll.applied_seq,
+                                  coll.incarnation);
+      }
+    }
+  }
+
+  const SimDisk::LogContents log = disk_->peek_log(kWalFile);
+  if (log.torn) ++plan.torn_tails;
+  // Replay each fragment's contiguous tail on top of its checkpoint; stop a
+  // fragment's replay at the first gap (e.g. records straddling a replica
+  // snapshot install that never reached a checkpoint — anti-entropy refills
+  // that stretch).
+  std::unordered_map<std::uint64_t, bool> stopped;
+  for (const std::string& bytes : log.records) {
+    plan.wal_bytes += bytes.size();
+    const auto rec = wal::decode_record(bytes);
+    if (!rec) {  // corrupt mid-log record: trust nothing after it
+      ++plan.torn_tails;
+      break;
+    }
+    if (stopped[rec->collection]) continue;
+    const auto it = collections_.find(CollectionId{rec->collection});
+    if (it == collections_.end()) continue;
+    CollectionState& state = it->second->state;
+    if (rec->incarnation != state.incarnation() ||
+        rec->seq <= state.last_seq()) {
+      continue;  // another stream, or already inside the checkpoint
+    }
+    if (rec->seq != state.last_seq() + 1) {
+      stopped[rec->collection] = true;
+      continue;
+    }
+    state.replay(to_collection_op(*rec));
+    ++plan.ops_replayed;
+  }
+  return plan;
+}
+
+void StoreServer::on_restart(Topology::CrashKind kind) {
+  (void)kind;
+  if (!wiped_) return;  // transient outage: memory intact, nothing to do
+  net_.sim().spawn(recover(epoch_));
+}
+
+Task<void> StoreServer::recover(std::uint64_t epoch) {
+  const SimTime start = net_.sim().now();
+  if (disk_) {
+    // The in-memory image was already reconstructed at crash time (so
+    // ground truth stayed observable); what recovery owes the clock is the
+    // durable reads it is notionally doing now.
+    co_await disk_->read_file(kCheckpointFile);
+    if (epoch != epoch_) co_return;  // crashed again mid-recovery
+    co_await disk_->read_log(kWalFile);
+    if (epoch != epoch_) co_return;
+    // Persist the incarnation bump (and fold the replayed tail away) before
+    // the first post-recovery op can escape.
+    const bool ok = co_await write_checkpoint(epoch);
+    if (!ok || epoch != epoch_) co_return;
+  }
+  wiped_ = false;
+  serving_ = true;
+  metrics_.add("wal.recoveries");
+  metrics_.record("wal.recovery", net_.sim().now() - start);
+  metrics_.add("wal.ops_replayed", plan_.ops_replayed);
+  metrics_.add("wal.records_lost", plan_.records_lost);
+  metrics_.add("wal.torn_tails_detected", plan_.torn_tails);
 }
 
 }  // namespace weakset

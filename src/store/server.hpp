@@ -12,13 +12,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "net/rpc.hpp"
+#include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "store/collection.hpp"
 #include "store/object_store.hpp"
+#include "wal/sim_disk.hpp"
+#include "wal/wal.hpp"
 
 namespace weakset {
 
@@ -29,6 +33,32 @@ class MutationSink {
   virtual ~MutationSink() = default;
   virtual void on_mutation(CollectionId id, CollectionOp::Kind kind,
                            ObjectRef ref) = 0;
+};
+
+/// Per-server durability model (DESIGN.md decision 11): a simulated local
+/// disk holding a write-ahead log of applied membership ops plus periodic
+/// whole-server checkpoints. Object payloads already live "on disk" (the
+/// read/write latencies of StoreServerOptions model that device) and are not
+/// part of this; what the WAL protects is the volatile fragment state an
+/// amnesia crash (Topology::CrashKind::kAmnesia) would otherwise erase.
+struct DurabilityOptions {
+  /// Master switch. Off: amnesia crashes lose everything not recoverable
+  /// via anti-entropy.
+  bool enabled = true;
+  /// Strict commits: membership mutations ack only once their WAL record is
+  /// durable (group commit). Off by default — the historical asynchronous
+  /// behaviour, which keeps ack latencies (and every pre-existing baseline)
+  /// unchanged while still making recovery possible.
+  bool durable_acks = false;
+  /// Group-commit window: the first append after a clean flush waits this
+  /// long before the fsync, batching later appends into it.
+  Duration fsync_interval = Duration::millis(2);
+  /// Delay between a mutation and the checkpoint write it arms. Longer
+  /// intervals mean fewer checkpoint writes but a longer WAL tail to replay
+  /// (and re-fsync) at recovery — the E14 tradeoff.
+  Duration checkpoint_interval = Duration::millis(250);
+  /// Cost model and crash lottery of the simulated disk.
+  SimDiskOptions disk;
 };
 
 struct StoreServerOptions {
@@ -60,6 +90,8 @@ struct StoreServerOptions {
   /// each mutation (convergence in ~one RPC). Pull anti-entropy still runs
   /// underneath and repairs pushes lost to partitions.
   bool push_replication = false;
+  /// Durable storage engine: WAL + checkpoints + amnesia recovery.
+  DurabilityOptions durability;
   /// Telemetry sink: snapshot-vs-delta read counters, bytes-equivalent ship
   /// cost, anti-entropy activity. nullptr = the process-global registry.
   obs::MetricsRegistry* metrics = nullptr;
@@ -103,6 +135,27 @@ class StoreServer {
   /// locally hosted fragment `id` (no-op unless push_replication is on).
   void add_push_target(CollectionId id, NodeId replica);
 
+  // -- crash / recovery (DESIGN.md decision 11) ----------------------------
+
+  /// Liveness notification: the node just crashed. kTransient keeps all
+  /// state (the historical behaviour); kAmnesia wipes volatile state and
+  /// synchronously reconstructs the durable image, so in-memory state equals
+  /// what recovery will serve. The Repository wires this to the Topology's
+  /// liveness listeners.
+  void on_crash(Topology::CrashKind kind);
+
+  /// Liveness notification: the node came back. After an amnesia crash this
+  /// starts the recovery process (checkpoint + WAL read costs, then a fresh
+  /// checkpoint persisting the incarnation bump); RPCs are refused until it
+  /// completes.
+  void on_restart(Topology::CrashKind kind);
+
+  /// False while recovering from an amnesia crash (RPC handlers refuse).
+  [[nodiscard]] bool serving() const noexcept { return serving_; }
+
+  /// The simulated durable device; nullptr when durability is disabled.
+  [[nodiscard]] SimDisk* disk() noexcept { return disk_.get(); }
+
  private:
   struct Hosted {
     explicit Hosted(CollectionId id) : state(id) {}
@@ -127,6 +180,16 @@ class StoreServer {
     std::vector<PushTarget> push_targets;
   };
 
+  /// What crash-time reconstruction found; recovery reports it as metrics
+  /// once the (timed) restart-side recovery completes.
+  struct RecoveryPlan {
+    std::uint64_t ops_replayed = 0;
+    std::uint64_t records_lost = 0;
+    std::uint64_t torn_tails = 0;
+    std::uint64_t checkpoint_bytes = 0;
+    std::uint64_t wal_bytes = 0;
+  };
+
   void register_handlers();
   Hosted& hosted(CollectionId id);
   Task<void> pull_loop(CollectionId id, NodeId primary);
@@ -134,6 +197,26 @@ class StoreServer {
   /// Primary side: pushes pending ops of `id` to every lagging target.
   void trigger_pushes(CollectionId id);
   Task<void> push_to(CollectionId id, Hosted::PushTarget& target);
+
+  /// Hooks the fragment's op log into the WAL (no-op when durability is
+  /// off).
+  void install_wal_observer(Hosted& entry);
+  /// Arms the (cancellable) checkpoint timer if it is not already armed.
+  void arm_checkpoint();
+  /// Snapshots every hosted fragment at one instant, writes the checkpoint
+  /// atomically, and truncates the WAL prefix it covers. False if a crash
+  /// interrupted (durable state untouched).
+  Task<bool> write_checkpoint(std::uint64_t epoch);
+  /// Fire-and-forget wrapper for the checkpoint timer.
+  Task<void> checkpoint_task(std::uint64_t epoch);
+  /// Restart-side recovery: charges the durable read costs, persists the
+  /// incarnation bump with a fresh checkpoint, then reopens for RPCs.
+  Task<void> recover(std::uint64_t epoch);
+  /// Crash-side reconstruction: rebuilds every fragment from the durable
+  /// checkpoint + WAL tail (zero simulated time — the clock is charged by
+  /// recover() at restart). Returns what it found.
+  RecoveryPlan reconstruct_from_disk();
+  [[nodiscard]] std::vector<CollectionId> hosted_ids_sorted() const;
 
   // Handler bodies.
   Task<Result<std::any>> handle_fetch(std::any request);
@@ -155,6 +238,24 @@ class StoreServer {
   std::unordered_map<CollectionId, std::unique_ptr<Hosted>> collections_;
   bool stopping_ = false;
   MutationSink* sink_ = nullptr;
+
+  // Durability (DESIGN.md decision 11).
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<wal::WalWriter> wal_;
+  /// False from an amnesia crash until recovery completes; handlers refuse.
+  bool serving_ = true;
+  /// Bumped on every amnesia wipe; coroutines suspended across the wipe
+  /// compare epochs and abandon their work instead of touching fresh state.
+  std::uint64_t epoch_ = 0;
+  /// True between an amnesia crash and the end of recovery.
+  bool wiped_ = false;
+  /// Set during recovery replay so re-logged ops do not re-append.
+  bool wal_suspended_ = false;
+  bool checkpoint_armed_ = false;
+  Simulator::TimerToken checkpoint_timer_;
+  /// WAL index of the most recent append (the durable_acks wait cursor).
+  std::uint64_t last_wal_index_ = 0;
+  RecoveryPlan plan_;
 };
 
 }  // namespace weakset

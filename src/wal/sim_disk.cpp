@@ -1,0 +1,128 @@
+#include "wal/sim_disk.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace weakset {
+
+std::uint64_t SimDisk::pending_bytes(const LogFile& f) {
+  std::uint64_t total = 0;
+  for (std::uint64_t idx = f.durable_upto; idx < f.next; ++idx) {
+    total += f.records[static_cast<std::size_t>(idx - f.start)].size();
+  }
+  return total;
+}
+
+SimDisk::LogContents SimDisk::durable_contents(const LogFile& f) {
+  LogContents out;
+  out.start = f.start;
+  out.torn = f.torn_at.has_value();
+  out.records.reserve(static_cast<std::size_t>(f.durable_upto - f.start));
+  for (std::uint64_t idx = f.start; idx < f.durable_upto; ++idx) {
+    out.records.push_back(f.records[static_cast<std::size_t>(idx - f.start)]);
+  }
+  return out;
+}
+
+std::uint64_t SimDisk::append_record(const std::string& file,
+                                     std::string bytes) {
+  LogFile& f = logs_[file];
+  const std::uint64_t idx = f.next;
+  // Appending over the spot where a crash tore a record overwrites the tear.
+  if (f.torn_at && *f.torn_at == idx) f.torn_at.reset();
+  f.records.push_back(std::move(bytes));
+  ++f.next;
+  return idx;
+}
+
+Task<std::uint64_t> SimDisk::sync(const std::string& file) {
+  const std::uint64_t gen = generation_;
+  const LogFile& f = logs_[file];
+  const std::uint64_t target = f.next;
+  co_await sim_.delay(write_cost(pending_bytes(f)) + options_.fsync_latency);
+  if (generation_ != gen) co_return logs_[file].durable_upto;
+  LogFile& g = logs_[file];
+  if (target > g.durable_upto) g.durable_upto = target;
+  co_return g.durable_upto;
+}
+
+void SimDisk::truncate_log_prefix(const std::string& file,
+                                  std::uint64_t upto) {
+  LogFile& f = logs_[file];
+  if (upto > f.next) upto = f.next;
+  if (upto > f.durable_upto) f.durable_upto = upto;
+  if (upto > f.start) {
+    f.records.erase(f.records.begin(),
+                    f.records.begin() +
+                        static_cast<std::ptrdiff_t>(upto - f.start));
+    f.start = upto;
+  }
+  if (f.torn_at && *f.torn_at < upto) f.torn_at.reset();
+}
+
+Task<SimDisk::LogContents> SimDisk::read_log(const std::string& file) {
+  LogContents out = peek_log(file);
+  std::uint64_t bytes = 0;
+  for (const std::string& rec : out.records) bytes += rec.size();
+  co_await sim_.delay(read_cost(bytes));
+  co_return out;
+}
+
+SimDisk::LogContents SimDisk::peek_log(const std::string& file) const {
+  const auto it = logs_.find(file);
+  if (it == logs_.end()) return LogContents{};
+  return durable_contents(it->second);
+}
+
+std::uint64_t SimDisk::log_next_index(const std::string& file) const {
+  const auto it = logs_.find(file);
+  return it == logs_.end() ? 0 : it->second.next;
+}
+
+std::uint64_t SimDisk::log_durable_upto(const std::string& file) const {
+  const auto it = logs_.find(file);
+  return it == logs_.end() ? 0 : it->second.durable_upto;
+}
+
+std::uint64_t SimDisk::log_pending_bytes(const std::string& file) const {
+  const auto it = logs_.find(file);
+  return it == logs_.end() ? 0 : pending_bytes(it->second);
+}
+
+Task<bool> SimDisk::write_file(const std::string& file, std::string bytes) {
+  const std::uint64_t gen = generation_;
+  co_await sim_.delay(write_cost(bytes.size()) + options_.fsync_latency);
+  if (generation_ != gen) co_return false;  // crash mid-write: old content
+  files_[file] = std::move(bytes);
+  co_return true;
+}
+
+Task<std::optional<std::string>> SimDisk::read_file(const std::string& file) {
+  std::optional<std::string> content = peek_file(file);
+  co_await sim_.delay(read_cost(content ? content->size() : 0));
+  co_return content;
+}
+
+std::optional<std::string> SimDisk::peek_file(const std::string& file) const {
+  const auto it = files_.find(file);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+void SimDisk::crash() {
+  ++generation_;
+  for (auto& [name, f] : logs_) {
+    (void)name;
+    const std::uint64_t lost = f.next - f.durable_upto;
+    // The lottery: how many pending records reached the platter anyway.
+    const std::uint64_t kept = rng_.uniform(lost + 1);
+    f.durable_upto += kept;
+    if (kept < lost && rng_.bernoulli(options_.torn_tail_probability)) {
+      f.torn_at = f.durable_upto;
+    }
+    f.records.resize(static_cast<std::size_t>(f.durable_upto - f.start));
+    f.next = f.durable_upto;
+  }
+}
+
+}  // namespace weakset

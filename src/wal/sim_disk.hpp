@@ -1,0 +1,144 @@
+#pragma once
+
+// A simulated local disk on the virtual clock (DESIGN.md decision 11).
+//
+// Two kinds of durable object:
+//
+//   * Append-only logs: append_record() is pure memory (the OS page cache);
+//     only sync() — the fsync — costs simulated time and advances the
+//     durable frontier. Records keep *absolute* indices for their whole
+//     life, so a WAL index is a stable durability cursor even after the
+//     checkpointer truncates the durable prefix away.
+//
+//   * Atomic whole files (checkpoints): write_file() charges the write cost
+//     and then replaces the content atomically — a crash mid-write leaves
+//     the previous content intact, never a half-written file.
+//
+// crash() models power loss: every byte not yet fsynced is up for grabs. A
+// seeded RNG decides how many pending records made it to the platter, and
+// whether the first lost record was torn mid-write (reported to readers so
+// recovery can count checksum-discarded tails). Atomic files always survive
+// whole. Determinism: per-log draws iterate a std::map in key order.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace weakset {
+
+struct SimDiskOptions {
+  Duration write_latency = Duration::micros(50);   ///< per write/fsync issue
+  Duration write_per_byte = Duration::nanos(15);
+  Duration fsync_latency = Duration::micros(500);  ///< the barrier itself
+  Duration read_latency = Duration::micros(100);
+  Duration read_per_byte = Duration::nanos(8);
+  /// When a crash loses pending records, probability that the first lost
+  /// record was additionally torn mid-sector (detected by checksum on read).
+  double torn_tail_probability = 0.4;
+  std::uint64_t seed = 0x0d15c;
+};
+
+class SimDisk {
+ public:
+  SimDisk(Simulator& sim, const SimDiskOptions& options)
+      : sim_(sim), options_(options), rng_(options.seed) {}
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  // --- append-only logs ---------------------------------------------------
+
+  /// Appends one record to `file` (creating it on first use) and returns the
+  /// record's absolute index. Costs no simulated time: the bytes sit in the
+  /// page cache until sync().
+  std::uint64_t append_record(const std::string& file, std::string bytes);
+
+  /// Flushes everything appended to `file` so far. Cost scales with the
+  /// pending byte count. Returns the durable frontier afterwards; a crash
+  /// during the fsync leaves the frontier wherever the crash lottery put it.
+  Task<std::uint64_t> sync(const std::string& file);
+
+  /// Drops all records with index < `upto` — durable or not: the caller
+  /// asserts (via a checkpoint) that their effects are durable elsewhere.
+  /// The durable frontier advances to at least min(upto, next).
+  void truncate_log_prefix(const std::string& file, std::uint64_t upto);
+
+  struct LogContents {
+    std::vector<std::string> records;  ///< durable records, oldest first
+    std::uint64_t start = 0;           ///< absolute index of records[0]
+    bool torn = false;                 ///< a torn tail follows these records
+  };
+
+  /// Reads the durable contents of `file`, charging read cost.
+  Task<LogContents> read_log(const std::string& file);
+  /// Same contents, free of charge (for invariants and crash-time capture).
+  [[nodiscard]] LogContents peek_log(const std::string& file) const;
+
+  /// Absolute index the next append to `file` will get.
+  [[nodiscard]] std::uint64_t log_next_index(const std::string& file) const;
+  /// Records with index < this are durable.
+  [[nodiscard]] std::uint64_t log_durable_upto(const std::string& file) const;
+  [[nodiscard]] std::uint64_t log_pending_bytes(const std::string& file) const;
+
+  // --- atomic whole files -------------------------------------------------
+
+  /// Writes `file` atomically: charges the write cost, then replaces the
+  /// content in one step. Returns false (old content retained) if the node
+  /// crashed while the write was in flight.
+  Task<bool> write_file(const std::string& file, std::string bytes);
+
+  Task<std::optional<std::string>> read_file(const std::string& file);
+  [[nodiscard]] std::optional<std::string> peek_file(
+      const std::string& file) const;
+
+  // --- failure ------------------------------------------------------------
+
+  /// Power loss at this instant. Pending (unsynced) log records survive only
+  /// by lottery; in-flight sync()/write_file() calls observe the generation
+  /// bump and complete without effect.
+  void crash();
+
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
+ private:
+  struct LogFile {
+    std::vector<std::string> records;  ///< records[i] has index start + i
+    std::uint64_t start = 0;           ///< absolute index of records[0]
+    std::uint64_t next = 0;            ///< index the next append gets
+    std::uint64_t durable_upto = 0;    ///< indices < this are durable
+    /// Absolute index of a crash-torn record (the tear sits where the next
+    /// append will land); cleared once overwritten or truncated past.
+    std::optional<std::uint64_t> torn_at;
+  };
+
+  [[nodiscard]] Duration write_cost(std::uint64_t bytes) const {
+    return options_.write_latency +
+           Duration::nanos(options_.write_per_byte.count_nanos() *
+                           static_cast<std::int64_t>(bytes));
+  }
+  [[nodiscard]] Duration read_cost(std::uint64_t bytes) const {
+    return options_.read_latency +
+           Duration::nanos(options_.read_per_byte.count_nanos() *
+                           static_cast<std::int64_t>(bytes));
+  }
+  [[nodiscard]] static std::uint64_t pending_bytes(const LogFile& f);
+  [[nodiscard]] static LogContents durable_contents(const LogFile& f);
+
+  Simulator& sim_;
+  SimDiskOptions options_;
+  Rng rng_;
+  std::uint64_t generation_ = 0;
+  // std::map: crash() draws per-log lottery numbers in key order, keeping
+  // same-seed runs byte-identical.
+  std::map<std::string, LogFile> logs_;
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace weakset

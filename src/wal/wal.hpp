@@ -1,0 +1,119 @@
+#pragma once
+
+// Write-ahead log records, checkpoint images, and the per-server group-commit
+// writer (DESIGN.md decision 11).
+//
+// The codec layer is deliberately store-agnostic: records carry raw 64-bit
+// ids, so weakset_wal depends only on sim/obs/util and the store layer does
+// the CollectionOp <-> WalRecord conversion. Every encoded blob ends with an
+// FNV-1a checksum; decode returns nullopt on any mismatch, which is how a
+// torn tail manifests to recovery.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "wal/sim_disk.hpp"
+
+namespace weakset::wal {
+
+/// One applied mutation, as it goes to disk.
+struct WalRecord {
+  std::uint64_t collection = 0;
+  std::uint8_t kind = 0;  ///< 0 = add, 1 = remove
+  std::uint64_t object = 0;
+  std::uint64_t home = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t incarnation = 0;
+};
+
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
+
+[[nodiscard]] std::string encode(const WalRecord& rec);
+/// nullopt on short, trailing-garbage, or checksum-failing input.
+[[nodiscard]] std::optional<WalRecord> decode_record(std::string_view bytes);
+
+/// Snapshot of one hosted collection, as it goes into a checkpoint.
+struct CollectionImage {
+  std::uint64_t collection = 0;
+  std::uint64_t incarnation = 0;
+  std::uint64_t version = 0;
+  std::uint64_t last_seq = 0;
+  std::uint64_t applied_seq = 0;
+  /// (object id, home node id) pairs.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> members;
+};
+
+/// A whole-server checkpoint: every hosted collection at one instant.
+struct CheckpointImage {
+  std::vector<CollectionImage> collections;
+};
+
+[[nodiscard]] std::string encode(const CheckpointImage& image);
+[[nodiscard]] std::optional<CheckpointImage> decode_checkpoint(
+    std::string_view bytes);
+
+/// Group-commit WAL writer for one server. append() is synchronous (page
+/// cache); durability arrives in batches: the first append after a clean
+/// flush arms a timer at `fsync_interval`, and the flush it fires keeps
+/// fsyncing until the durable frontier catches the append frontier. Strict
+/// writers co_await wait_durable(index) before acking.
+class WalWriter {
+ public:
+  WalWriter(Simulator& sim, SimDisk& disk, std::string file,
+            Duration fsync_interval, obs::MetricsRegistry* metrics);
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends (no simulated time) and returns the record's absolute index.
+  std::uint64_t append(const WalRecord& rec);
+
+  /// Resolves true once the record at `index` is durable; false if the node
+  /// crashed first (the record may or may not have survived the lottery —
+  /// the caller must treat the mutation's durability as unknown).
+  Task<bool> wait_durable(std::uint64_t index);
+
+  /// Power loss: forget all in-flight flush state and fail pending waiters.
+  /// The owning server bumps its epoch first; stale flush coroutines see the
+  /// generation change and touch nothing.
+  void on_crash();
+
+  /// Wakes wait_durable() waiters to re-check the frontier — called after a
+  /// checkpoint truncation advances durability without an fsync.
+  void notify_progress();
+
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  [[nodiscard]] std::uint64_t next_index() const {
+    return disk_.log_next_index(file_);
+  }
+
+ private:
+  void arm_flush();
+  Task<void> flush(std::uint64_t gen);
+  void wake_waiters();
+
+  Simulator& sim_;
+  SimDisk& disk_;
+  std::string file_;
+  Duration fsync_interval_;
+  obs::MetricsRegistry* metrics_;
+
+  std::uint64_t crash_generation_ = 0;
+  bool flush_armed_ = false;
+  bool flush_running_ = false;
+  Simulator::TimerToken flush_timer_;
+  /// Oldest not-yet-durable append, for the commit-latency histogram.
+  std::optional<SimTime> oldest_pending_at_;
+  /// Swapped-and-opened on every durability advance; waiters hold the old
+  /// (now permanently open) gate and loop to re-check the frontier.
+  std::shared_ptr<Gate> flush_done_;
+};
+
+}  // namespace weakset::wal

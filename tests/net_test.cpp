@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "net/rpc.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
@@ -275,6 +279,156 @@ TEST_F(RpcTest, StatsCountOutcomes) {
   EXPECT_EQ(stats.timeouts, 1u);
   EXPECT_EQ(stats.messages_delivered, 2u);  // the successful round trip
   EXPECT_EQ(stats.messages_dropped, 1u);    // the mid-flight loss
+}
+
+TEST_F(TopologyTest, CrashRestartReachabilityRoundTrips) {
+  topo.connect(a, b, Duration::millis(5));
+  topo.connect(b, c, Duration::millis(5));
+  // Round-trip every node through a crash; reachability must come back
+  // exactly as it was.
+  for (const NodeId victim : topo.nodes()) {
+    const bool ab = topo.can_communicate(a, b);
+    const bool ac = topo.can_communicate(a, c);
+    const bool bc = topo.can_communicate(b, c);
+    topo.crash(victim);
+    EXPECT_FALSE(topo.can_communicate(victim, victim));
+    topo.restart(victim);
+    EXPECT_EQ(topo.can_communicate(a, b), ab);
+    EXPECT_EQ(topo.can_communicate(a, c), ac);
+    EXPECT_EQ(topo.can_communicate(b, c), bc);
+  }
+}
+
+TEST_F(TopologyTest, CrashKindIsStickyAcrossDoubleCrash) {
+  // Crashing an already-down node is a no-op: the kind of the outage in
+  // progress does not change, and no second listener dispatch fires.
+  int crash_events = 0;
+  int restart_events = 0;
+  topo.add_liveness_listener(
+      {.on_crash = [&](NodeId, Topology::CrashKind) { ++crash_events; },
+       .on_restart = [&](NodeId, Topology::CrashKind) { ++restart_events; }});
+  topo.crash(a, Topology::CrashKind::kAmnesia);
+  topo.crash(a, Topology::CrashKind::kTransient);  // no-op: already down
+  EXPECT_EQ(crash_events, 1);
+  EXPECT_EQ(topo.last_crash_kind(a), Topology::CrashKind::kAmnesia);
+  topo.restart(a);
+  topo.restart(a);  // no-op: already up
+  EXPECT_EQ(restart_events, 1);
+}
+
+TEST_F(TopologyTest, LivenessListenerReceivesCrashKind) {
+  std::vector<std::pair<NodeId, Topology::CrashKind>> crashes;
+  std::vector<std::pair<NodeId, Topology::CrashKind>> restarts;
+  topo.add_liveness_listener(
+      {.on_crash =
+           [&](NodeId n, Topology::CrashKind k) { crashes.emplace_back(n, k); },
+       .on_restart = [&](NodeId n, Topology::CrashKind k) {
+         restarts.emplace_back(n, k);
+       }});
+  topo.crash(a, Topology::CrashKind::kAmnesia);
+  topo.restart(a);
+  topo.crash(b);  // default: transient
+  topo.restart(b);
+  ASSERT_EQ(crashes.size(), 2u);
+  EXPECT_EQ(crashes[0], std::make_pair(a, Topology::CrashKind::kAmnesia));
+  EXPECT_EQ(crashes[1], std::make_pair(b, Topology::CrashKind::kTransient));
+  // restart reports the kind that took the node down.
+  ASSERT_EQ(restarts.size(), 2u);
+  EXPECT_EQ(restarts[0], std::make_pair(a, Topology::CrashKind::kAmnesia));
+  EXPECT_EQ(restarts[1], std::make_pair(b, Topology::CrashKind::kTransient));
+}
+
+TEST_F(TopologyTest, RemovedLivenessListenerStopsFiring) {
+  int first = 0;
+  int second = 0;
+  const std::size_t token = topo.add_liveness_listener(
+      {.on_crash = [&](NodeId, Topology::CrashKind) { ++first; },
+       .on_restart = [&](NodeId, Topology::CrashKind) { ++first; }});
+  topo.add_liveness_listener(
+      {.on_crash = [&](NodeId, Topology::CrashKind) { ++second; },
+       .on_restart = [&](NodeId, Topology::CrashKind) { ++second; }});
+  topo.crash(a);
+  topo.restart(a);
+  EXPECT_EQ(first, 2);
+  EXPECT_EQ(second, 2);
+  topo.remove_liveness_listener(token);
+  topo.crash(a);
+  topo.restart(a);
+  EXPECT_EQ(first, 2);   // removed: silent
+  EXPECT_EQ(second, 4);  // survivor keeps its slot (stable tokens)
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  Topology topo;
+  NodeId a = topo.add_node("a");
+  NodeId b = topo.add_node("b");
+  NodeId c = topo.add_node("c");
+
+  void SetUp() override { topo.connect_full_mesh(Duration::millis(5)); }
+};
+
+TEST_F(ChaosTest, CountersMatchInjectedFailures) {
+  ChaosOptions options;
+  options.mean_uptime = Duration::millis(200);
+  options.outage = Duration::millis(50);
+  options.crash_bias = 0.5;
+  options.deadline = SimTime{} + Duration::seconds(5);
+  ChaosInjector chaos(sim, topo, {a, b, c}, 0xc0ffee, options);
+  sim.run();
+  // Everything healed at the end, and both failure modes were exercised.
+  EXPECT_GT(chaos.crashes(), 0u);
+  EXPECT_GT(chaos.link_cuts(), 0u);
+  EXPECT_EQ(chaos.amnesia_crashes(), 0u);  // bias 0: never drawn
+  for (const NodeId n : topo.nodes()) EXPECT_TRUE(topo.is_up(n));
+  EXPECT_TRUE(topo.can_communicate(a, b));
+  EXPECT_TRUE(topo.can_communicate(a, c));
+}
+
+TEST_F(ChaosTest, AmnesiaBiasSplitsCrashKinds) {
+  ChaosOptions options;
+  options.mean_uptime = Duration::millis(200);
+  options.outage = Duration::millis(50);
+  options.crash_bias = 1.0;  // crashes only
+  options.amnesia_bias = 0.5;
+  options.deadline = SimTime{} + Duration::seconds(5);
+  std::uint64_t amnesia_seen = 0;
+  std::uint64_t transient_seen = 0;
+  topo.add_liveness_listener(
+      {.on_crash =
+           [&](NodeId, Topology::CrashKind k) {
+             (k == Topology::CrashKind::kAmnesia ? amnesia_seen
+                                                 : transient_seen)++;
+           },
+       .on_restart = [](NodeId, Topology::CrashKind) {}});
+  ChaosInjector chaos(sim, topo, {a, b, c}, 0xc0ffee, options);
+  sim.run();
+  EXPECT_EQ(chaos.link_cuts(), 0u);
+  EXPECT_GT(chaos.amnesia_crashes(), 0u);
+  EXPECT_LT(chaos.amnesia_crashes(), chaos.crashes());  // both kinds occurred
+  EXPECT_EQ(amnesia_seen, chaos.amnesia_crashes());
+  EXPECT_EQ(transient_seen, chaos.crashes() - chaos.amnesia_crashes());
+}
+
+TEST_F(ChaosTest, SameSeedIsDeterministic) {
+  ChaosOptions options;
+  options.mean_uptime = Duration::millis(100);
+  options.deadline = SimTime{} + Duration::seconds(3);
+  options.amnesia_bias = 0.3;
+  auto run_once = [&options]() {
+    Simulator sim;
+    Topology topo;
+    const NodeId x = topo.add_node("x");
+    const NodeId y = topo.add_node("y");
+    const NodeId z = topo.add_node("z");
+    topo.connect_full_mesh(Duration::millis(5));
+    ChaosInjector chaos(sim, topo, {x, y, z}, 42, options);
+    sim.run();
+    return std::make_tuple(chaos.crashes(), chaos.amnesia_crashes(),
+                           chaos.link_cuts());
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 TEST_F(RpcTest, HandlerSeesCallerNode) {
