@@ -1,0 +1,296 @@
+// E15 — dynamic placement: what a live fragment migration costs, and what
+// load-aware rebalancing buys on a skewed topology (DESIGN.md decision 12).
+//
+// Two experiments:
+//
+//   (1) Migration cost: one live move of an n-member fragment while churn
+//   keeps mutating it and a fig6 iterator drains right through the handoff.
+//   Reports the transfer volume (checkpoint-codec bytes, chunks, catch-up
+//   rounds), the move's simulated duration, and the conformance verdict —
+//   the iteration must finish with zero Figure 6 violations.
+//
+//   (2) Rebalancing policies: a 4-server world whose client-to-server
+//   latency ramps 2ms -> 100ms. An immovable hot tenant (replicated, so the
+//   engine refuses to move it) pins read load on the FAR server, and three
+//   movable collections start there too. Open-loop readers measure read_all
+//   latency before the rebalancer starts and after it has converged:
+//   policy=none keeps p95 flat at the far-server cost, least-loaded drains
+//   the movable fragments onto idle (nearer) nodes, locality pulls them all
+//   the way to the reader's closest server. Same seed across policies — the
+//   policy is the only difference.
+//
+// Expected shape: (1) migration_kb and chunks grow linearly with n while
+// violations stay 0; (2) p95_after_ms: none ≈ p95_before_ms, least-loaded
+// clearly below it, locality lowest.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "placement/directory.hpp"
+#include "placement/migration.hpp"
+#include "placement/rebalancer.hpp"
+
+namespace weakset::bench {
+namespace {
+
+double p95_ms(std::vector<Duration> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = (samples.size() - 1) * 95 / 100;
+  return static_cast<double>(samples[idx].count_nanos()) / 1e6;
+}
+
+std::int64_t hist_sum(const obs::MetricsRegistry& reg, const char* name) {
+  const obs::Histogram* h = reg.histogram(name);
+  return h == nullptr ? 0 : h->sum();
+}
+
+void BM_MigrationCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    obs::MetricsRegistry& reg = obs::global();
+    const std::uint64_t chunks_before = reg.counter("placement.chunks_streamed");
+    const std::uint64_t rounds_before = reg.counter("placement.catchup_rounds");
+    const std::int64_t bytes_before =
+        hist_sum(reg, "placement.migration_bytes");
+    const std::int64_t time_before = hist_sum(reg, "placement.migration_time");
+
+    WorldConfig config;
+    config.servers = 4;
+    World world{config};
+    std::vector<std::unique_ptr<placement::MigrationEngine>> engines;
+    for (const NodeId node : world.servers) {
+      engines.push_back(
+          std::make_unique<placement::MigrationEngine>(*world.repo, node));
+    }
+    const CollectionId coll = world.make_collection(n, 1);
+    spec::TimelineProbe probe{*world.repo, coll};
+
+    // Churn keeps the fragment mutating while its snapshot streams, so the
+    // catch-up loop has real work and the handoff dual-applies live ops.
+    world.spawn_churn(coll, Duration::millis(2), /*remove_bias=*/0.3,
+                      SimTime{} + Duration::millis(600), config.seed ^ 0xe15);
+
+    // The move: fragment 0 rehomes servers[0] -> servers[1] at 50ms, right
+    // under the iterator below.
+    auto moved = std::make_shared<std::optional<Result<std::uint64_t>>>();
+    world.sim.schedule(Duration::millis(50), [&world, &engines, coll, moved] {
+      world.sim.spawn(
+          [](placement::MigrationEngine& engine, CollectionId id,
+             NodeId target,
+             std::shared_ptr<std::optional<Result<std::uint64_t>>> out)
+              -> Task<void> {
+            *out = co_await engine.migrate(id, 0, target);
+          }(*engines[0], coll, world.servers[1], moved));
+    });
+
+    RepositoryClient client{*world.repo, world.client_node};
+    WeakSet set{client, coll};
+    spec::RepoGroundTruth truth{*world.repo, coll, world.client_node};
+    spec::TraceRecorder recorder{truth};
+    IteratorOptions options;
+    options.recorder = &recorder;
+    options.retry = RetryPolicy{500, Duration::millis(25)};
+    auto iterator = set.elements(Semantics::kFig6Optimistic, options);
+    const DrainResult result = run_task(world.sim, drain(*iterator));
+    world.sim.run_until(SimTime{} + Duration::millis(1200));
+
+    assert(moved->has_value());
+    state.counters["members"] = n;
+    state.counters["committed"] =
+        moved->has_value() && (*moved)->has_value() ? 1 : 0;
+    state.counters["migration_ms"] =
+        static_cast<double>(hist_sum(reg, "placement.migration_time") -
+                            time_before) /
+        1e6;
+    state.counters["migration_kb"] =
+        static_cast<double>(hist_sum(reg, "placement.migration_bytes") -
+                            bytes_before) /
+        1024.0;
+    state.counters["chunks"] = static_cast<double>(
+        reg.counter("placement.chunks_streamed") - chunks_before);
+    state.counters["catchup_rounds"] = static_cast<double>(
+        reg.counter("placement.catchup_rounds") - rounds_before);
+    state.counters["yields"] = static_cast<double>(result.count());
+    state.counters["returned"] = result.finished() ? 1 : 0;
+    state.counters["fig6_violations"] = static_cast<double>(
+        spec::check_fig6(recorder.finish(), probe.timeline())
+            .violation_count());
+  }
+}
+BENCHMARK(BM_MigrationCost)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RebalancePolicies(benchmark::State& state) {
+  static constexpr const char* kPolicies[] = {"none", "least-loaded",
+                                              "locality"};
+  const placement::RebalancePolicy policy = *placement::parse_policy(
+      kPolicies[static_cast<std::size_t>(state.range(0))]);
+  for (auto _ : state) {
+    obs::MetricsRegistry& reg = obs::global();
+    const std::uint64_t commits_before =
+        reg.counter("placement.migrations_committed");
+    const std::uint64_t bumps_before =
+        reg.counter("placement.dir.epoch_bumps");
+    const std::uint64_t heals_before =
+        reg.counter("store.client.wrong_epoch_retries");
+    const std::int64_t bytes_before =
+        hist_sum(reg, "placement.migration_bytes");
+
+    WorldConfig config;
+    config.servers = 4;  // client latency ramp: 2ms, ~35ms, ~68ms, 100ms
+    config.mesh = Duration::millis(10);
+    World world{config};
+    const NodeId far_node = world.servers[3];
+    std::vector<std::unique_ptr<placement::MigrationEngine>> engines;
+    for (const NodeId node : world.servers) {
+      engines.push_back(
+          std::make_unique<placement::MigrationEngine>(*world.repo, node));
+    }
+    placement::DirectoryService directory{*world.repo, world.servers[0]};
+
+    const auto make_on = [&world](NodeId home, int members) {
+      const CollectionId id = world.repo->create_collection({home});
+      for (int i = 0; i < members; ++i) {
+        const ObjectRef ref = world.repo->create_object(
+            world.servers[static_cast<std::size_t>(i) % world.servers.size()],
+            "m" + std::to_string(i));
+        world.repo->seed_member(id, ref);
+      }
+      return id;
+    };
+    // The immovable hot tenant: replicated, so the migration engine refuses
+    // to move it — its read load keeps the far node hot, which is what
+    // pushes the movable neighbours away under least-loaded.
+    const CollectionId tenant = make_on(far_node, 32);
+    world.repo->add_replica(tenant, 0, world.servers[2]);
+    std::vector<CollectionId> managed;
+    for (int c = 0; c < 3; ++c) managed.push_back(make_on(far_node, 24));
+
+    placement::RebalancerOptions rb;
+    rb.policy = policy;
+    rb.interval = Duration::millis(100);
+    rb.min_window_load = 1;
+    placement::Rebalancer rebalancer{*world.repo, world.client_node, rb};
+    rebalancer.manage(tenant);  // load visible, fragment immovable
+    for (const CollectionId id : managed) rebalancer.manage(id);
+    // Clean before-window: the rebalancer only starts at 600ms.
+    world.sim.schedule(Duration::millis(600), [&rebalancer] {
+      rebalancer.start();
+    });
+
+    // Open-loop readers (fixed issue rate, latency-independent — a
+    // closed loop would read the near fragments more, skewing the load the
+    // policies see). One detached read task per period tick.
+    const SimTime until = SimTime{} + Duration::seconds(3);
+    struct Sample {
+      SimTime start;
+      Duration latency;
+    };
+    const auto one_read = [](Simulator& sim, RepositoryClient& client,
+                             CollectionId id,
+                             std::vector<Sample>* samples) -> Task<void> {
+      const SimTime t0 = sim.now();
+      const auto members = co_await client.read_all(id);
+      if (members && samples != nullptr) {
+        samples->push_back(Sample{t0, sim.now() - t0});
+      }
+    };
+    const auto open_loop = [&world, until, one_read](
+                               RepositoryClient& client, CollectionId id,
+                               Duration period,
+                               std::vector<Sample>* samples) -> Task<void> {
+      while (world.sim.now() < until) {
+        co_await world.sim.delay(period);
+        if (world.sim.now() >= until) co_return;
+        world.sim.spawn(one_read(world.sim, client, id, samples));
+      }
+    };
+
+    // Tenant traffic: primary-only so the load lands on the far node, not
+    // the replica; unmeasured (the tenant never moves).
+    ClientOptions tenant_options;
+    tenant_options.read_policy = ReadPolicy::kPrimaryOnly;
+    tenant_options.delta_reads = false;
+    RepositoryClient tenant_reader{*world.repo, world.client_node,
+                                   tenant_options};
+    world.sim.spawn(
+        open_loop(tenant_reader, tenant, Duration::millis(4), nullptr));
+
+    // Measured traffic: directory-attached (stale views heal via
+    // WrongEpoch), one client + sample log per managed collection.
+    placement::DirectoryClient dir_client{*world.repo, world.client_node,
+                                          directory.node()};
+    std::vector<std::unique_ptr<RepositoryClient>> readers;
+    std::vector<std::unique_ptr<std::vector<Sample>>> samples;
+    for (const CollectionId id : managed) {
+      ClientOptions options;
+      options.directory = &dir_client;
+      options.delta_reads = false;  // concurrent open-loop reads share the
+                                    // client; keep each read independent
+      readers.push_back(std::make_unique<RepositoryClient>(
+          *world.repo, world.client_node, options));
+      samples.push_back(std::make_unique<std::vector<Sample>>());
+      world.sim.spawn(open_loop(*readers.back(), id, Duration::millis(10),
+                                samples.back().get()));
+    }
+
+    world.sim.run_until(until);
+    rebalancer.stop();
+    dir_client.stop();
+    world.sim.run_until(until + Duration::millis(400));  // drain in-flight
+
+    // Before: the rebalancer had not started. After: it has converged —
+    // moves run one at a time through a control plane that sits a 100ms hop
+    // from the far server, so three sequential migrations commit around
+    // 1.9s; 2.2s leaves slack.
+    std::vector<Duration> before, after;
+    for (const auto& log : samples) {
+      for (const Sample& sample : *log) {
+        const Duration at = sample.start - SimTime{};
+        if (at < Duration::millis(600)) {
+          before.push_back(sample.latency);
+        } else if (at >= Duration::millis(2200)) {
+          after.push_back(sample.latency);
+        }
+      }
+    }
+    state.counters["p95_before_ms"] = p95_ms(before);
+    state.counters["p95_after_ms"] = p95_ms(after);
+    state.counters["moves"] =
+        static_cast<double>(rebalancer.moves_committed());
+    state.counters["migrations_committed"] = static_cast<double>(
+        reg.counter("placement.migrations_committed") - commits_before);
+    state.counters["epoch_bumps"] = static_cast<double>(
+        reg.counter("placement.dir.epoch_bumps") - bumps_before);
+    state.counters["wrong_epoch_heals"] = static_cast<double>(
+        reg.counter("store.client.wrong_epoch_retries") - heals_before);
+    state.counters["migration_kb"] =
+        static_cast<double>(hist_sum(reg, "placement.migration_bytes") -
+                            bytes_before) /
+        1024.0;
+  }
+}
+// 0 = none (baseline), 1 = least-loaded, 2 = locality.
+BENCHMARK(BM_RebalancePolicies)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+WEAKSET_BENCHMARK_MAIN();

@@ -4,15 +4,17 @@
 #   BENCH_prefetch.json   — fetch-pipeline sweeps (ISSUE 1: e1, e10)
 #   BENCH_membership.json — membership refresh sweeps (ISSUE 2: e13)
 #   BENCH_recovery.json   — WAL/checkpoint recovery sweeps (ISSUE 4: e14)
+#   BENCH_migration.json  — placement/migration sweeps (ISSUE 5: e15)
 #
 # Usage: scripts/bench_json.sh [build-dir] [prefetch-out] [membership-out] \
-#                              [recovery-out]
+#                              [recovery-out] [migration-out]
 
 set -euo pipefail
 build_dir="${1:-build}"
 prefetch_out="${2:-BENCH_prefetch.json}"
 membership_out="${3:-BENCH_membership.json}"
 recovery_out="${4:-BENCH_recovery.json}"
+migration_out="${5:-BENCH_migration.json}"
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: ${build_dir}/bench not found — configure and build first:" >&2
@@ -38,6 +40,7 @@ run_bench bench_e1_latency
 run_bench bench_e10_scale
 run_bench bench_e13_membership
 run_bench bench_e14_recovery
+run_bench bench_e15_migration
 
 # One top-level object per output file, keyed by bench binary, each value
 # the unmodified google-benchmark JSON document.
@@ -67,3 +70,11 @@ echo "wrote ${membership_out}" >&2
   echo '}'
 } >"${recovery_out}"
 echo "wrote ${recovery_out}" >&2
+
+{
+  echo '{'
+  echo '  "bench_e15_migration":'
+  cat "${tmp}/bench_e15_migration.json"
+  echo '}'
+} >"${migration_out}"
+echo "wrote ${migration_out}" >&2

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Smoke-runs every bench binary: executes each binary's *first* benchmark (the
 # cheapest configuration by convention — sweeps register ascending sizes), so
-# CI proves all 20 experiment harnesses still start, run one deterministic
+# CI proves all 21 experiment harnesses still start, run one deterministic
 # simulated workload, and exit cleanly, without paying for full sweeps.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]

@@ -17,6 +17,13 @@ like real_time/cpu_time are nondeterministic) with a 5% budget:
         --only 'counters\\.|iterate_ms|members_shipped|ops_shipped|rpcs' \
         --tolerance 0.05
 
+With --baseline-dir the baseline argument is a bare name resolved inside
+that directory, so a gate looping over several committed snapshots states
+the checkout root once instead of per file:
+
+    scripts/metrics_diff.py --baseline-dir "$REPO" \\
+        BENCH_migration.json fresh_migration.json --tolerance 0.05
+
 Per-metric overrides tighten or loosen individual paths:
 
     --metric-tolerance 'rpcs$=0.0' --metric-tolerance 'p99=0.10'
@@ -24,6 +31,7 @@ Per-metric overrides tighten or loosen individual paths:
 
 import argparse
 import json
+import os
 import re
 import sys
 
@@ -75,8 +83,11 @@ def relative_delta(baseline, current):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed snapshot (the reference)")
+    parser.add_argument("baseline", help="committed snapshot (the reference); "
+                        "a bare name under --baseline-dir when that is given")
     parser.add_argument("current", help="freshly produced snapshot")
+    parser.add_argument("--baseline-dir", default=None,
+                        help="directory the baseline argument is resolved in")
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="default relative tolerance (default 0.05 = 5%%)")
     parser.add_argument("--only", action="append", default=[],
@@ -103,7 +114,10 @@ def main():
                   file=sys.stderr)
         return None
 
-    baseline = load(args.baseline, "baseline")
+    baseline_path = args.baseline
+    if args.baseline_dir is not None:
+        baseline_path = os.path.join(args.baseline_dir, args.baseline)
+    baseline = load(baseline_path, "baseline")
     if baseline is None:
         return 2
     current = load(args.current, "current")

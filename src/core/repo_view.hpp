@@ -3,6 +3,13 @@
 // RepoSetView: the SetView over the simulated distributed repository
 // (Layer B). Binds a RepositoryClient (which fixes the observing node and
 // the read policy) to one collection.
+//
+// Fragment homes are not fixed: a live migration (src/placement, DESIGN.md
+// decision 12) can rehome the fragment mid-iteration. A read against the
+// retired home surfaces as kWrongEpoch and the client self-heals from its
+// directory view before retrying; to the iterators above this view, a
+// migration window is indistinguishable from any other transient
+// unreachability (Fig 6 blocks through it, Fig 5's witness rule applies).
 
 #include "core/set_view.hpp"
 #include "store/client.hpp"

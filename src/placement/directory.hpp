@@ -1,0 +1,127 @@
+#pragma once
+
+// Versioned placement directory (DESIGN.md decision 12).
+//
+// DirectoryService exposes the Repository's authoritative placement map —
+// which already carries an epoch per collection — behind two RPCs:
+//
+//   dir.lookup   resolve one collection's placement (epoch-stamped view)
+//   dir.watch    long-poll: reply as soon as the epoch advances past the
+//                caller's, or with the unchanged view once a bounded
+//                server-side hold expires (the caller re-arms)
+//
+// DirectoryClient implements the store layer's DirectorySource over a
+// cached view of those answers. The cache bootstraps synchronously from the
+// authoritative map (placement is handed out with the collection handle, as
+// a real system would mint it at create time), so attaching a client adds
+// zero RPCs until the directory actually changes. After a migration the
+// cache may lag by an epoch; a data-path server answering kWrongEpoch (or a
+// watch notification) triggers refresh().
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/rpc.hpp"
+#include "obs/metrics.hpp"
+#include "placement/messages.hpp"
+#include "store/repository.hpp"
+
+namespace weakset::placement {
+
+struct DirectoryServiceOptions {
+  /// Cost of composing one placement answer (map access + marshalling).
+  Duration lookup_latency = Duration::micros(100);
+  /// How long a dir.watch long-poll is held before replying with an
+  /// unchanged view. Bounded so handler coroutines never outlive the run;
+  /// the client re-arms on an unchanged reply.
+  Duration watch_hold = Duration::seconds(2);
+  /// Epoch re-check period while a watch is held. All bumps within one
+  /// period coalesce into a single notification carrying the latest view.
+  Duration watch_poll = Duration::millis(5);
+  /// Telemetry sink. nullptr = the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// The directory server process: registers dir.lookup / dir.watch on `node`.
+class DirectoryService {
+ public:
+  DirectoryService(Repository& repo, NodeId node,
+                   DirectoryServiceOptions options = {});
+  DirectoryService(const DirectoryService&) = delete;
+  DirectoryService& operator=(const DirectoryService&) = delete;
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+ private:
+  Task<Result<std::any>> handle_lookup(NodeId from, std::any request);
+  Task<Result<std::any>> handle_watch(NodeId from, std::any request);
+  [[nodiscard]] msg::DirView view_of(CollectionId id) const;
+
+  Repository& repo_;
+  NodeId node_;
+  DirectoryServiceOptions options_;
+  obs::MetricsRegistry& metrics_;
+};
+
+struct DirectoryClientOptions {
+  /// dir.lookup timeout; nullopt = the RPC network default.
+  std::optional<Duration> rpc_timeout;
+  /// Client-side long-poll timeout; must exceed the service's watch_hold or
+  /// every held watch times out before the unchanged reply arrives.
+  Duration watch_timeout = Duration::seconds(4);
+  /// Telemetry sink. nullptr = the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Cached client-side placement view: the DirectorySource a RepositoryClient
+/// resolves through when one is attached (ClientOptions::directory).
+class DirectoryClient final : public DirectorySource {
+ public:
+  DirectoryClient(Repository& repo, NodeId node, NodeId directory,
+                  DirectoryClientOptions options = {});
+
+  /// Cached placement of `id`; bootstraps from the authoritative map on
+  /// first touch (synchronous, no RPC). The reference stays valid across
+  /// refreshes: updates mutate the cached entry in place (fragment count
+  /// never changes; migration only rehomes).
+  const CollectionMeta& meta(CollectionId id) override;
+
+  /// One dir.lookup round trip, unless the cache already is at or past
+  /// `current_epoch` (a nonzero hint lets concurrent healers share one
+  /// lookup; 0 forces the lookup). True once the cache is current enough.
+  Task<bool> refresh(CollectionId id, std::uint64_t current_epoch) override;
+
+  /// Spawns a dir.watch long-poll loop keeping `id`'s cached view fresh —
+  /// push-style invalidation instead of waiting for a kWrongEpoch. The
+  /// client must outlive the simulation run (stop() + drain before
+  /// destruction).
+  void watch(CollectionId id);
+
+  /// Asks watch loops to exit at their next wakeup.
+  void stop() noexcept { stopping_ = true; }
+
+  [[nodiscard]] std::uint64_t cached_epoch(CollectionId id);
+  /// Watch replies that actually advanced the cache (coalesced bumps count
+  /// once).
+  [[nodiscard]] std::uint64_t notifications() const noexcept {
+    return notifications_;
+  }
+
+ private:
+  CollectionMeta& ensure(CollectionId id);
+  /// Folds an epoch-stamped view into the cache; true if it advanced it.
+  bool install(CollectionId id, const msg::DirView& view);
+  Task<void> watch_loop(CollectionId id);
+
+  Repository& repo_;
+  NodeId node_;
+  NodeId directory_;
+  DirectoryClientOptions options_;
+  obs::MetricsRegistry& metrics_;
+  std::unordered_map<CollectionId, CollectionMeta> cache_;
+  bool stopping_ = false;
+  std::uint64_t notifications_ = 0;
+};
+
+}  // namespace weakset::placement

@@ -1,0 +1,472 @@
+#include "placement/migration.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "store/messages.hpp"
+#include "wal/wal.hpp"
+
+namespace weakset::placement {
+
+namespace smsg = weakset::msg;  // store-layer payloads (sync, handoff apply)
+
+MigrationEngine::MigrationEngine(Repository& repo, NodeId node,
+                                 MigrationEngineOptions options)
+    : repo_(repo),
+      node_(node),
+      options_(options),
+      metrics_(obs::sink(options.metrics)) {
+  const auto bind = [this](auto method) {
+    return [this, method](NodeId from, std::any request) {
+      return (this->*method)(from, std::move(request));
+    };
+  };
+  RpcNetwork& net = repo_.net();
+  net.register_handler(node_, "mig.execute",
+                       bind(&MigrationEngine::handle_execute));
+  net.register_handler(node_, "mig.begin", bind(&MigrationEngine::handle_begin));
+  net.register_handler(node_, "mig.chunk", bind(&MigrationEngine::handle_chunk));
+  net.register_handler(node_, "mig.ops", bind(&MigrationEngine::handle_ops));
+  net.register_handler(node_, "mig.apply", bind(&MigrationEngine::handle_apply));
+  net.register_handler(node_, "mig.finish",
+                       bind(&MigrationEngine::handle_finish));
+  net.register_handler(node_, "mig.abort", bind(&MigrationEngine::handle_abort));
+  // Staging is volatile node state: an amnesia crash of this node must lose
+  // it, exactly like the store's in-memory fragments.
+  liveness_token_ = repo_.topology().add_liveness_listener(
+      {.on_crash =
+           [this](NodeId crashed, Topology::CrashKind kind) {
+             if (crashed == node_ && kind == Topology::CrashKind::kAmnesia) {
+               staging_.clear();
+             }
+           },
+       .on_restart = {}});
+}
+
+MigrationEngine::~MigrationEngine() {
+  repo_.topology().remove_liveness_listener(liveness_token_);
+}
+
+// ---------------------------------------------------------------------------
+// Source side
+
+bool MigrationEngine::still_source(StoreServer* server, CollectionId id,
+                                   std::uint64_t incarnation) const {
+  if (!server->serving() || !server->hosts_primary(id)) return false;
+  const CollectionState* state = server->collection(id);
+  // An amnesia crash + recovery bumps the incarnation: the fragment we were
+  // streaming no longer exists as the stream we snapshotted.
+  return state != nullptr && state->incarnation() == incarnation;
+}
+
+Task<Result<std::uint64_t>> MigrationEngine::migrate(CollectionId id,
+                                                     std::size_t fragment,
+                                                     NodeId target) {
+  StoreServer* server = repo_.server_at(node_);
+  if (server == nullptr || !server->serving()) {
+    co_return Failure{FailureKind::kUnreachable, "no serving store here"};
+  }
+  if (outbound_.contains(id)) {
+    co_return Failure{FailureKind::kExhausted, "migration already in flight"};
+  }
+  const CollectionMeta& meta = repo_.meta(id);
+  if (fragment >= meta.fragment_count() ||
+      meta.fragments()[fragment].primary() != node_) {
+    co_return Failure{FailureKind::kNotFound, "not this fragment's primary"};
+  }
+  if (!meta.fragments()[fragment].replicas().empty()) {
+    // Replica placement (and their pull loops) does not travel with the
+    // primary; replicated fragments stay put.
+    co_return Failure{FailureKind::kExhausted, "fragment is replicated"};
+  }
+  if (target == node_ || repo_.server_at(target) == nullptr) {
+    co_return Failure{FailureKind::kNotFound, "target runs no store server"};
+  }
+  if (!server->hosts_primary(id) || server->migration_blocked(id)) {
+    co_return Failure{FailureKind::kExhausted, "fragment busy"};
+  }
+  StoreServer* target_server = repo_.server_at(target);
+  if (target_server->collection(id) != nullptr &&
+      !target_server->is_retired(id)) {
+    co_return Failure{FailureKind::kExhausted, "target already hosts it"};
+  }
+
+  outbound_.insert(id);
+  metrics_.add("placement.migrations_started");
+  const SimTime started = repo_.sim().now();
+  auto result = co_await run_source(server, id, fragment, target);
+  outbound_.erase(id);
+  if (result) {
+    metrics_.add("placement.migrations_committed");
+    metrics_.record("placement.migration_time", repo_.sim().now() - started);
+  } else {
+    metrics_.add("placement.migrations_aborted");
+  }
+  co_return result;
+}
+
+Task<Result<std::uint64_t>> MigrationEngine::abort_source(StoreServer* server,
+                                                          CollectionId id,
+                                                          NodeId target,
+                                                          Failure why) {
+  if (server->serving()) server->clear_handoff(id);
+  // Best effort; the target also self-cleans via its crash listener or the
+  // next mig.begin.
+  (void)co_await call<bool>(target, "mig.abort", msg::MigAbortRequest{id});
+  co_return why;
+}
+
+Task<Result<std::uint64_t>> MigrationEngine::run_source(StoreServer* server,
+                                                        CollectionId id,
+                                                        std::size_t fragment,
+                                                        NodeId target) {
+  Simulator& sim = repo_.sim();
+  const Duration entry_cost = server->options().membership_entry_cost;
+  const std::uint64_t incarnation = server->collection(id)->incarnation();
+
+  // 1. Durable intent. A begin without a done restores this node as the
+  //    live single home on recovery.
+  server->log_migration_begin(id, target);
+  wal::CollectionImage image = server->export_image(id);
+  metrics_.record_value(
+      "placement.migration_bytes",
+      static_cast<std::int64_t>(
+          wal::encode(wal::CheckpointImage{{image}}).size()));
+
+  // 2. Staging area on the target.
+  auto begin = co_await call<bool>(
+      target, "mig.begin", msg::MigBeginRequest{id, node_, image.incarnation});
+  if (!still_source(server, id, incarnation)) {
+    co_return Failure{FailureKind::kNodeCrashed, "source crashed"};
+  }
+  if (!begin) co_return co_await abort_source(server, id, target, begin.error());
+
+  // 3. Stream the member snapshot in slices; the source keeps serving both
+  //    reads and writes between them (writes are caught up below).
+  const std::size_t chunk = std::max<std::size_t>(std::size_t{1},
+                                                  options_.chunk_size);
+  std::size_t offset = 0;
+  bool final_sent = false;
+  while (!final_sent) {
+    const std::size_t n = std::min(chunk, image.members.size() - offset);
+    std::vector<ObjectRef> slice;
+    slice.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [object, home] = image.members[offset + i];
+      slice.emplace_back(ObjectId{object}, NodeId{home});
+    }
+    offset += n;
+    final_sent = offset >= image.members.size();
+    // Serialisation cost, same per-entry model as membership replies.
+    co_await sim.delay(entry_cost * static_cast<std::int64_t>(n));
+    if (!still_source(server, id, incarnation)) {
+      co_return Failure{FailureKind::kNodeCrashed, "source crashed"};
+    }
+    auto shipped = co_await call<msg::MigChunkReply>(
+        target, "mig.chunk",
+        msg::MigChunkRequest{id, std::move(slice), final_sent, image.version,
+                             image.last_seq, image.incarnation});
+    if (!still_source(server, id, incarnation)) {
+      co_return Failure{FailureKind::kNodeCrashed, "source crashed"};
+    }
+    if (!shipped) {
+      co_return co_await abort_source(server, id, target, shipped.error());
+    }
+    metrics_.add("placement.chunks_streamed");
+  }
+
+  // 4. Catch up the ops that landed while the snapshot streamed, cutting
+  //    over to the dual-home handoff once the gap is small. The cut-over
+  //    decision, set_handoff, and the cut-line capture share one atomic
+  //    transition, so no op can slip between "below the line, will ship
+  //    via mig.ops" and "past the line, forwarded before ack". Ops past
+  //    the line that mig.ops re-ships anyway are dropped by the staging's
+  //    seq check; a forward that overtakes a batch buffers in its pending
+  //    map. Without the early cut-over the loop only converges when the
+  //    writers pause: each round costs a round-trip during which new ops
+  //    land.
+  std::uint64_t cursor = image.last_seq;
+  std::optional<std::uint64_t> handoff_seq;
+  for (;;) {
+    const CollectionState* state = server->collection(id);
+    if (!handoff_seq &&
+        state->last_seq() - cursor <= options_.handoff_backlog) {
+      server->set_handoff(id, target);
+      handoff_seq = state->last_seq();
+    }
+    if (handoff_seq && cursor >= *handoff_seq) break;
+    if (!state->can_serve_ops_since(cursor)) {
+      // The fragment is mutating faster than its retained log window; a
+      // bigger membership_log_cap (or a quieter moment) is needed.
+      co_return co_await abort_source(
+          server, id, target,
+          Failure{FailureKind::kExhausted, "op log truncated mid-migration"});
+    }
+    std::vector<CollectionOp> ops = state->ops_since(cursor);
+    const std::uint64_t shipped_to = state->last_seq();
+    co_await sim.delay(entry_cost * static_cast<std::int64_t>(ops.size()));
+    if (!still_source(server, id, incarnation)) {
+      co_return Failure{FailureKind::kNodeCrashed, "source crashed"};
+    }
+    auto sync = co_await call<smsg::SyncReply>(
+        target, "mig.ops",
+        smsg::SyncRequest{id, std::move(ops), image.incarnation});
+    if (!still_source(server, id, incarnation)) {
+      co_return Failure{FailureKind::kNodeCrashed, "source crashed"};
+    }
+    if (!sync) co_return co_await abort_source(server, id, target, sync.error());
+    if (sync.value().applied_seq() < shipped_to) {
+      co_return co_await abort_source(
+          server, id, target,
+          Failure{FailureKind::kExhausted, "catch-up made no progress"});
+    }
+    cursor = sync.value().applied_seq();
+    metrics_.add("placement.catchup_rounds");
+  }
+
+  // 5. Commit on the target: promote + checkpoint before it answers. The
+  //    target must hold everything up to the cut line; ops past it were
+  //    forwarded (and acked to it) before their client acks, so a promote
+  //    at the line never loses an acknowledged op.
+  const std::uint64_t expected = *handoff_seq;
+  auto finish = co_await call<msg::MigFinishReply>(
+      target, "mig.finish", msg::MigFinishRequest{id, expected});
+  if (!still_source(server, id, incarnation)) {
+    co_return Failure{FailureKind::kNodeCrashed, "source crashed"};
+  }
+  if (!finish) {
+    co_return co_await abort_source(server, id, target, finish.error());
+  }
+  if (!finish.value().promoted()) {
+    co_return co_await abort_source(
+        server, id, target,
+        Failure{FailureKind::kExhausted, "target could not promote"});
+  }
+
+  // 6. Commit on the source — one atomic transition: the directory bump
+  //    (which wakes dir.watch long-polls) and the tombstone happen before
+  //    any other event can interleave, so there is never an instant with
+  //    two live homes visible through the directory.
+  const std::uint64_t epoch = repo_.set_fragment_primary(id, fragment, target);
+  server->retire_collection(id, target, epoch);
+  co_return epoch;
+}
+
+// ---------------------------------------------------------------------------
+// Target side
+
+void MigrationEngine::staging_apply(Staging& staging, const CollectionOp& op) {
+  if (op.seq() <= staging.applied_seq) return;  // duplicate delivery
+  if (op.seq() != staging.applied_seq + 1) {
+    // A dual-home forward overtook a catch-up batch in flight; hold it
+    // until the stream is contiguous again.
+    staging.pending.emplace(op.seq(), op);
+    return;
+  }
+  staging.applied_seq = op.seq();
+  const bool effective = op.kind() == CollectionOp::Kind::kAdd
+                             ? staging.members.insert(op.ref())
+                             : staging.members.erase(op.ref());
+  if (effective) ++staging.version;
+  // Drain any buffered successors that are now contiguous.
+  auto it = staging.pending.begin();
+  while (it != staging.pending.end() && it->first == staging.applied_seq + 1) {
+    const CollectionOp next = it->second;
+    it = staging.pending.erase(it);
+    staging.applied_seq = next.seq();
+    const bool next_effective = next.kind() == CollectionOp::Kind::kAdd
+                                    ? staging.members.insert(next.ref())
+                                    : staging.members.erase(next.ref());
+    if (next_effective) ++staging.version;
+  }
+}
+
+Task<Result<std::any>> MigrationEngine::handle_execute(NodeId /*from*/,
+                                                       std::any request) {
+  const auto req = std::any_cast<msg::MigrateRequest>(std::move(request));
+  auto result = co_await migrate(req.collection(), req.fragment(),
+                                 req.target());
+  if (!result) co_return result.error();
+  co_return std::any{msg::MigrateReply{result.value()}};
+}
+
+Task<Result<std::any>> MigrationEngine::handle_begin(NodeId /*from*/,
+                                                     std::any request) {
+  const auto req = std::any_cast<msg::MigBeginRequest>(std::move(request));
+  StoreServer* server = repo_.server_at(node_);
+  if (server == nullptr || !server->serving()) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  co_await repo_.sim().delay(server->options().membership_latency);
+  server = repo_.server_at(node_);
+  if (server == nullptr || !server->serving()) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  if (server->collection(req.id()) != nullptr && !server->is_retired(req.id())) {
+    co_return Failure{FailureKind::kExhausted, "already hosting fragment"};
+  }
+  auto staging = std::make_unique<Staging>();
+  staging->source = req.source();
+  staging->incarnation = req.incarnation();
+  staging_.insert_or_assign(req.id(), std::move(staging));
+  metrics_.add("placement.stagings_opened");
+  co_return std::any{true};
+}
+
+Task<Result<std::any>> MigrationEngine::handle_chunk(NodeId /*from*/,
+                                                     std::any request) {
+  const auto req = std::any_cast<msg::MigChunkRequest>(std::move(request));
+  StoreServer* server = repo_.server_at(node_);
+  if (server == nullptr || !server->serving()) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  co_await repo_.sim().delay(server->options().membership_latency);
+  const auto it = staging_.find(req.id());  // re-resolve: crash wipes staging
+  if (it == staging_.end() || it->second->sealed) {
+    co_return Failure{FailureKind::kNotFound, "no open staging"};
+  }
+  Staging& staging = *it->second;
+  staging.arriving.insert(staging.arriving.end(), req.members().begin(),
+                          req.members().end());
+  if (req.final_chunk()) {
+    // Seal: materialise the snapshot and adopt its cursors; from here the
+    // staging behaves like a replica applying the source's op stream.
+    staging.members.assign(std::move(staging.arriving));
+    staging.arriving.clear();
+    staging.version = req.version();
+    staging.applied_seq = req.last_seq();
+    staging.incarnation = req.incarnation();
+    staging.sealed = true;
+  }
+  co_return std::any{msg::MigChunkReply{staging.members.size() +
+                                        staging.arriving.size()}};
+}
+
+Task<Result<std::any>> MigrationEngine::handle_ops(NodeId /*from*/,
+                                                   std::any request) {
+  const auto req = std::any_cast<smsg::SyncRequest>(std::move(request));
+  StoreServer* server = repo_.server_at(node_);
+  if (server == nullptr || !server->serving()) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  co_await repo_.sim().delay(server->options().membership_latency);
+  const auto it = staging_.find(req.id());
+  if (it == staging_.end() || !it->second->sealed) {
+    co_return Failure{FailureKind::kNotFound, "no sealed staging"};
+  }
+  Staging& staging = *it->second;
+  if (req.incarnation() != staging.incarnation) {
+    co_return Failure{FailureKind::kExhausted, "staging incarnation mismatch"};
+  }
+  for (const CollectionOp& op : req.ops()) staging_apply(staging, op);
+  co_return std::any{smsg::SyncReply{staging.applied_seq, staging.incarnation}};
+}
+
+Task<Result<std::any>> MigrationEngine::handle_apply(NodeId /*from*/,
+                                                     std::any request) {
+  const auto req =
+      std::any_cast<smsg::HandoffApplyRequest>(std::move(request));
+  StoreServer* server = repo_.server_at(node_);
+  if (server == nullptr || !server->serving()) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  co_await repo_.sim().delay(server->options().membership_latency);
+  const auto it = staging_.find(req.id());
+  if (it != staging_.end() && it->second->sealed) {
+    Staging& staging = *it->second;
+    if (req.incarnation() != staging.incarnation) {
+      co_return Failure{FailureKind::kExhausted,
+                        "staging incarnation mismatch"};
+    }
+    staging_apply(staging, req.op());
+    co_return std::any{smsg::HandoffApplyReply{staging.applied_seq}};
+  }
+  // Post-promote window: the staging was consumed by mig.finish but the
+  // source has not retired yet — apply straight to the adopted primary
+  // (fires its WAL observer, never the ground-truth mutation sink; the
+  // source announced the op already).
+  server = repo_.server_at(node_);
+  CollectionState* state =
+      server != nullptr ? server->collection(req.id()) : nullptr;
+  if (state != nullptr && server->hosts_primary(req.id()) &&
+      req.op().seq() <= state->applied_seq() + 1) {
+    state->apply(req.op());
+    co_return std::any{smsg::HandoffApplyReply{state->applied_seq()}};
+  }
+  co_return Failure{FailureKind::kNotFound, "no handoff destination"};
+}
+
+Task<Result<std::any>> MigrationEngine::handle_finish(NodeId /*from*/,
+                                                      std::any request) {
+  const auto req = std::any_cast<msg::MigFinishRequest>(std::move(request));
+  StoreServer* server = repo_.server_at(node_);
+  if (server == nullptr || !server->serving()) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  co_await repo_.sim().delay(server->options().membership_latency);
+  const auto it = staging_.find(req.id());
+  if (it == staging_.end() || !it->second->sealed) {
+    co_return std::any{msg::MigFinishReply{false, 0}};
+  }
+  Staging& staging = *it->second;
+  if (staging.applied_seq < req.expected_last_seq() ||
+      !staging.pending.empty()) {
+    // Below the cut line, or a buffered out-of-order forward is waiting on
+    // the op that fills its gap: promoting now would drop an op whose
+    // forward was already acknowledged. The source aborts and may retry.
+    co_return std::any{msg::MigFinishReply{false, staging.applied_seq}};
+  }
+  // Promote: install as a hosted primary continuing the same op stream.
+  wal::CollectionImage image;
+  image.collection = req.id().raw();
+  image.incarnation = staging.incarnation;
+  image.version = staging.version;
+  image.last_seq = staging.applied_seq;
+  image.applied_seq = staging.applied_seq;
+  image.members.reserve(staging.members.size());
+  for (const ObjectRef ref : staging.members.members()) {
+    image.members.emplace_back(ref.id().raw(), ref.home().raw());
+  }
+  server = repo_.server_at(node_);
+  if (server == nullptr || !server->serving()) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  server->adopt_primary(req.id(), image);
+  // Erase before the checkpoint await: forwards arriving in that window
+  // fall through to the adopted primary above.
+  staging_.erase(req.id());
+  const bool durable = co_await server->checkpoint_now();
+  if (!durable) {
+    co_return Failure{FailureKind::kNodeCrashed, "crashed persisting adoption"};
+  }
+  co_return std::any{msg::MigFinishReply{true, image.applied_seq}};
+}
+
+Task<Result<std::any>> MigrationEngine::handle_abort(NodeId /*from*/,
+                                                     std::any request) {
+  const auto req = std::any_cast<msg::MigAbortRequest>(std::move(request));
+  staging_.erase(req.id());
+  // Orphan cleanup: if we promoted but the finish reply was lost, the
+  // source aborted and the directory still points at it — retire our copy
+  // (authority never transferred).
+  StoreServer* server = repo_.server_at(node_);
+  if (server != nullptr && server->serving() && server->hosts_primary(req.id())) {
+    const CollectionMeta& meta = repo_.meta(req.id());
+    bool pointed_here = false;
+    for (const FragmentMeta& frag : meta.fragments()) {
+      if (frag.primary() == node_) pointed_here = true;
+      for (const NodeId replica : frag.replicas()) {
+        if (replica == node_) pointed_here = true;
+      }
+    }
+    if (!pointed_here) {
+      server->retire_collection(req.id(), NodeId::invalid(), meta.epoch());
+      metrics_.add("placement.orphans_retired");
+    }
+  }
+  metrics_.add("placement.stagings_aborted");
+  co_return std::any{true};
+}
+
+}  // namespace weakset::placement

@@ -34,17 +34,45 @@ std::optional<NodeId> RepositoryClient::pick_read_host(
 
 Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment(
     CollectionId id, std::size_t fragment) {
-  const FragmentMeta& frag = repo_.meta(id).fragments().at(fragment);
-  if (options_.read_policy == ReadPolicy::kQuorum) {
-    co_return co_await read_fragment_quorum(id, frag);
+  for (int attempt = 0;; ++attempt) {
+    const FragmentMeta& frag = resolve(id).fragments().at(fragment);
+    if (options_.read_policy == ReadPolicy::kQuorum) {
+      co_return co_await read_fragment_quorum(id, frag);
+    }
+    const auto host = pick_read_host(frag);
+    if (!host) {
+      co_return Failure{FailureKind::kPartitioned,
+                        "no reachable host for fragment"};
+    }
+    auto reply = co_await call<msg::SnapshotReply>(*host, "coll.snapshot",
+                                                   msg::SnapshotRequest{id});
+    if (reply) co_return std::move(reply).value();
+    Failure failure = std::move(reply).error();
+    if (failure.kind == FailureKind::kWrongEpoch && attempt == 0 &&
+        co_await heal_wrong_epoch(id, failure)) {
+      continue;  // retry exactly once against the refreshed directory
+    }
+    co_return failure;
   }
-  const auto host = pick_read_host(frag);
-  if (!host) {
-    co_return Failure{FailureKind::kPartitioned,
-                      "no reachable host for fragment"};
+}
+
+Task<bool> RepositoryClient::heal_wrong_epoch(CollectionId id,
+                                              const Failure& failure) {
+  if (options_.directory == nullptr) co_return false;
+  // The rejecting server's current directory epoch travels as decimal text
+  // in the failure detail — the only structured use of Failure::detail
+  // (failure.hpp). Unparseable detail degrades to 0, which the directory
+  // treats as "force a lookup".
+  std::uint64_t current = 0;
+  for (const char c : failure.detail) {
+    if (c < '0' || c > '9') {
+      current = 0;
+      break;
+    }
+    current = current * 10 + static_cast<std::uint64_t>(c - '0');
   }
-  co_return co_await call<msg::SnapshotReply>(*host, "coll.snapshot",
-                                              msg::SnapshotRequest{id});
+  metrics_.add("store.client.wrong_epoch_retries");
+  co_return co_await options_.directory->refresh(id, current);
 }
 
 namespace {
@@ -222,7 +250,19 @@ const std::vector<ObjectRef>& RepositoryClient::absorb_delta(
 
 Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all(
     CollectionId id) {
-  const CollectionMeta& meta = repo_.meta(id);
+  Result<std::vector<ObjectRef>> result = co_await read_all_attempt(id);
+  if (!result && result.error().kind == FailureKind::kWrongEpoch &&
+      co_await heal_wrong_epoch(id, result.error())) {
+    // A fragment moved under our cached directory: one more fan-out against
+    // the refreshed placement (a second wrong-epoch failure propagates).
+    result = co_await read_all_attempt(id);
+  }
+  co_return result;
+}
+
+Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all_attempt(
+    CollectionId id) {
+  const CollectionMeta& meta = resolve(id);
   const std::size_t fragments = meta.fragment_count();
   Simulator& sim = repo_.sim();
   const SimTime start = sim.now();
@@ -330,7 +370,7 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::snapshot_atomic(
   if (!frozen) co_return std::move(frozen).error();
   // Read the primaries directly: they are frozen, so the union of fragment
   // reads is a consistent cut of the whole collection.
-  const CollectionMeta& meta = repo_.meta(id);
+  const CollectionMeta& meta = resolve(id);
   std::vector<ObjectRef> members;
   Result<std::vector<ObjectRef>> outcome = members;
   for (const FragmentMeta& frag : meta.fragments()) {
@@ -365,12 +405,19 @@ Task<Result<std::uint64_t>> RepositoryClient::total_size(CollectionId id) {
 
 Task<Result<bool>> RepositoryClient::mutate(CollectionId id, ObjectRef ref,
                                             msg::MembershipRequest::Op op) {
-  const CollectionMeta& meta = repo_.meta(id);
-  const NodeId primary = meta.fragments()[meta.fragment_of(ref)].primary();
-  auto reply = co_await call<msg::MembershipReply>(
-      primary, "coll.membership", msg::MembershipRequest{id, ref, op});
-  if (!reply) co_return std::move(reply).error();
-  co_return reply.value().changed();
+  for (int attempt = 0;; ++attempt) {
+    const CollectionMeta& meta = resolve(id);
+    const NodeId primary = meta.fragments()[meta.fragment_of(ref)].primary();
+    auto reply = co_await call<msg::MembershipReply>(
+        primary, "coll.membership", msg::MembershipRequest{id, ref, op});
+    if (reply) co_return reply.value().changed();
+    Failure failure = std::move(reply).error();
+    if (failure.kind == FailureKind::kWrongEpoch && attempt == 0 &&
+        co_await heal_wrong_epoch(id, failure)) {
+      continue;  // retry exactly once against the refreshed directory
+    }
+    co_return failure;
+  }
 }
 
 Task<Result<bool>> RepositoryClient::add(CollectionId id, ObjectRef ref) {
@@ -478,7 +525,7 @@ Task<Result<std::uint64_t>> RepositoryClient::put(ObjectRef ref,
 Task<Result<void>> RepositoryClient::freeze_all(CollectionId id) {
   // Canonical (ascending node id) order avoids deadlock between clients
   // freezing the same fragments concurrently.
-  const CollectionMeta& meta = repo_.meta(id);
+  const CollectionMeta& meta = resolve(id);
   std::vector<NodeId> primaries;
   primaries.reserve(meta.fragment_count());
   for (const FragmentMeta& frag : meta.fragments()) {
@@ -501,7 +548,7 @@ Task<Result<void>> RepositoryClient::freeze_all(CollectionId id) {
 }
 
 Task<void> RepositoryClient::unfreeze_all(CollectionId id) {
-  const CollectionMeta& meta = repo_.meta(id);
+  const CollectionMeta& meta = resolve(id);
   for (const FragmentMeta& frag : meta.fragments()) {
     // Best effort: if this fails, the server-side lease expires the freeze.
     (void)co_await call<bool>(frag.primary(), "coll.freeze",
@@ -510,7 +557,7 @@ Task<void> RepositoryClient::unfreeze_all(CollectionId id) {
 }
 
 Task<Result<void>> RepositoryClient::pin_all(CollectionId id) {
-  const CollectionMeta& meta = repo_.meta(id);
+  const CollectionMeta& meta = resolve(id);
   for (std::size_t f = 0; f < meta.fragment_count(); ++f) {
     const NodeId primary = meta.fragments()[f].primary();
     auto reply = co_await call<bool>(primary, "coll.pin",
@@ -528,7 +575,7 @@ Task<Result<void>> RepositoryClient::pin_all(CollectionId id) {
 }
 
 Task<void> RepositoryClient::unpin_all(CollectionId id) {
-  const CollectionMeta& meta = repo_.meta(id);
+  const CollectionMeta& meta = resolve(id);
   for (const FragmentMeta& frag : meta.fragments()) {
     (void)co_await call<bool>(frag.primary(), "coll.pin",
                               msg::PinRequest{id, false});

@@ -51,6 +51,15 @@ struct ClientOptions {
   /// Telemetry sink: read_all latency histogram, delta-cache hit/miss
   /// counters, batch-fetch shape. nullptr = the process-global registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Placement resolution (src/placement, DESIGN.md decision 12). nullptr —
+  /// the default — resolves against the Repository's authoritative map
+  /// synchronously: always current, zero extra RPCs, byte-identical to the
+  /// pre-placement behaviour. A placement::DirectoryClient here resolves
+  /// through a cached dir.lookup view instead, which may lag a migration by
+  /// an epoch: a data-path server answering kWrongEpoch (with its current
+  /// epoch in the failure detail) triggers one refresh + one retry. Not
+  /// owned; must outlive the client.
+  DirectorySource* directory = nullptr;
 };
 
 /// Counters for the client's membership read path (observability; the E13
@@ -187,6 +196,23 @@ class RepositoryClient {
 
   Task<Result<bool>> mutate(CollectionId id, ObjectRef ref,
                             msg::MembershipRequest::Op op);
+
+  /// Current placement of `id`: the attached directory's cached view, or the
+  /// Repository's authoritative map when none is attached.
+  [[nodiscard]] const CollectionMeta& resolve(CollectionId id) {
+    return options_.directory != nullptr ? options_.directory->meta(id)
+                                         : repo_.meta(id);
+  }
+
+  /// kWrongEpoch self-heal: refreshes the cached directory to the epoch the
+  /// rejecting server reported (carried in `failure.detail`) and resolves
+  /// true if the caller should retry exactly once. False when no directory
+  /// is attached (authoritative resolution cannot be stale).
+  Task<bool> heal_wrong_epoch(CollectionId id, const Failure& failure);
+
+  /// One read_all fan-out attempt (the pre-placement read_all body);
+  /// read_all wraps it with the wrong-epoch retry.
+  Task<Result<std::vector<ObjectRef>>> read_all_attempt(CollectionId id);
 
   /// Quorum fragment read: scatter to primary+replicas, gather the first
   /// `quorum` successful replies, return the freshest (highest version).

@@ -378,4 +378,44 @@ class PullReply {
   std::uint64_t incarnation_;
 };
 
+/// mig.apply: dual-home forwarding during a live fragment migration
+/// (src/placement, DESIGN.md decision 12). While the handoff window is open
+/// the source primary forwards every committed membership op to the migration
+/// target before acking, so the staged copy never misses a mutation. The
+/// target applies into its staging state *without* announcing to the mutation
+/// sink — the source already did, and ground truth must see each op exactly
+/// once. Reply: HandoffApplyReply.
+class HandoffApplyRequest {
+ public:
+  HandoffApplyRequest(CollectionId id, CollectionOp op,
+                      std::uint64_t incarnation)
+      : id_(id), op_(op), incarnation_(incarnation) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] const CollectionOp& op() const noexcept { return op_; }
+  /// Incarnation of the source's op stream; a staging copy on a different
+  /// incarnation applies nothing (the migration is doomed to abort anyway).
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+
+ private:
+  CollectionId id_;
+  CollectionOp op_;
+  std::uint64_t incarnation_;
+};
+
+/// Reply to mig.apply: the staging copy's ack cursor, which the migration's
+/// finish step compares against the source's last_seq for completeness.
+class HandoffApplyReply {
+ public:
+  explicit HandoffApplyReply(std::uint64_t applied_seq)
+      : applied_seq_(applied_seq) {}
+  [[nodiscard]] std::uint64_t applied_seq() const noexcept {
+    return applied_seq_;
+  }
+
+ private:
+  std::uint64_t applied_seq_;
+};
+
 }  // namespace weakset::msg

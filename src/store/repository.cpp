@@ -79,6 +79,19 @@ const CollectionMeta& Repository::meta(CollectionId id) const {
   return it->second;
 }
 
+std::uint64_t Repository::set_fragment_primary(CollectionId id,
+                                               std::size_t fragment,
+                                               NodeId node) {
+  auto it = metas_.find(id);
+  assert(it != metas_.end());
+  CollectionMeta& meta = it->second;
+  meta.fragment(fragment).set_primary(node);
+  meta.set_epoch(meta.epoch() + 1);
+  const std::uint64_t epoch = meta.epoch();
+  for (const auto& observer : directory_observers_) observer(id, epoch);
+  return epoch;
+}
+
 void Repository::seed_member(CollectionId id, ObjectRef ref) {
   const CollectionMeta& m = meta(id);
   const NodeId primary = m.fragments()[m.fragment_of(ref)].primary();

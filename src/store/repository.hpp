@@ -3,12 +3,15 @@
 // Repository: the simulation-wide directory of servers, objects, and
 // collections, plus setup-time factories.
 //
-// The directory (which node hosts which fragment/replica) is static
-// configuration known to every client. A real wide-area system would resolve
-// names through a (possibly stale) naming service; the paper does not
-// concern itself with naming, so we substitute a consistent static map —
-// staleness and failure effects all come from the data path, which is what
-// the specifications talk about.
+// The directory (which node hosts which fragment/replica) is *versioned*:
+// every CollectionMeta carries an epoch that the placement subsystem
+// (src/placement, DESIGN.md decision 12) bumps when a live fragment
+// migration commits. The map held here is the authority; clients may resolve
+// placement through a cached DirectorySource (possibly stale — data-path
+// servers reject stale-epoch requests with FailureKind::kWrongEpoch so the
+// client refreshes and retries), mirroring a real wide-area naming service.
+// With no migrations scheduled the directory never changes and behaves
+// exactly like the static map earlier revisions assumed.
 
 #include <cassert>
 #include <cstdint>
@@ -33,6 +36,9 @@ class FragmentMeta {
     return replicas_;
   }
   void add_replica(NodeId node) { replicas_.push_back(node); }
+  /// Rehomes the fragment (migration commit). Only Repository's epoch-bumping
+  /// mutator calls this, so a primary change is never silent.
+  void set_primary(NodeId node) noexcept { primary_ = node; }
 
  private:
   NodeId primary_;
@@ -55,16 +61,45 @@ class CollectionMeta {
     return fragments_.size();
   }
 
-  /// Which fragment is responsible for `ref` (stable hash placement).
+  /// Which fragment is responsible for `ref` (stable hash placement — the
+  /// ref→fragment mapping never changes; migration moves where a fragment
+  /// *lives*, not which refs it owns).
   [[nodiscard]] std::size_t fragment_of(ObjectRef ref) const {
     return std::hash<ObjectId>{}(ref.id()) % fragments_.size();
   }
 
   FragmentMeta& fragment(std::size_t index) { return fragments_.at(index); }
 
+  /// Placement version: bumped by Repository on every committed fragment
+  /// move. Starts at 1; a server answering kWrongEpoch reports its current
+  /// value so stale clients can tell how far behind they are.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  void set_epoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+
  private:
   CollectionId id_;
   std::vector<FragmentMeta> fragments_;
+  std::uint64_t epoch_ = 1;
+};
+
+/// Client-side placement resolution hook. The default (none attached) reads
+/// the Repository's authoritative map synchronously — always current, zero
+/// extra RPCs, so every pre-placement baseline is byte-identical. A
+/// placement::DirectoryClient implements this over a cached dir.lookup /
+/// dir.watch view, which may lag the authority by an epoch until a
+/// kWrongEpoch rejection (or a watch notification) triggers refresh().
+class DirectorySource {
+ public:
+  virtual ~DirectorySource() = default;
+
+  /// Current cached placement of `id` (synchronous; never blocks).
+  [[nodiscard]] virtual const CollectionMeta& meta(CollectionId id) = 0;
+
+  /// A data-path server rejected an epoch older than `current_epoch`:
+  /// refresh the cached entry (one dir.lookup round trip unless the cache
+  /// already caught up). Resolves true once the cache is at or past
+  /// `current_epoch` — the caller's cue to retry exactly once.
+  virtual Task<bool> refresh(CollectionId id, std::uint64_t current_epoch) = 0;
 };
 
 /// Owns the store servers of one simulated deployment and mints object /
@@ -75,6 +110,11 @@ class Repository : public MutationSink {
   /// Observer of effective primary mutations.
   using MutationObserver =
       std::function<void(CollectionId, CollectionOp::Kind, ObjectRef)>;
+
+  /// Observer of directory changes (fragment rehomed, epoch bumped). The
+  /// placement DirectoryService uses this to wake dir.watch long-polls.
+  using DirectoryObserver =
+      std::function<void(CollectionId, std::uint64_t /*epoch*/)>;
 
   /// Registers with the topology's liveness listeners, so crash/restart
   /// transitions reach the store servers (amnesia wipe + recovery).
@@ -104,6 +144,24 @@ class Repository : public MutationSink {
   void add_replica(CollectionId id, std::size_t fragment, NodeId node);
 
   [[nodiscard]] const CollectionMeta& meta(CollectionId id) const;
+
+  /// Current placement epoch of `id` (1 until the first migration commits).
+  [[nodiscard]] std::uint64_t directory_epoch(CollectionId id) const {
+    return meta(id).epoch();
+  }
+
+  /// Commits a fragment move: rehomes `fragment` of `id` onto `node`, bumps
+  /// the collection's epoch, and notifies directory observers. Called by the
+  /// migration engine at the instant authority transfers (no awaits between
+  /// the data handoff and this bump — see DESIGN.md decision 12). Returns
+  /// the new epoch.
+  std::uint64_t set_fragment_primary(CollectionId id, std::size_t fragment,
+                                     NodeId node);
+
+  /// Registers an observer of directory changes (placement watch service).
+  void add_directory_observer(DirectoryObserver observer) {
+    directory_observers_.push_back(std::move(observer));
+  }
 
   /// Setup-time: inserts `ref` directly at the responsible fragment primary,
   /// bypassing RPC. Workload builders use this for initial membership.
@@ -139,6 +197,7 @@ class Repository : public MutationSink {
   IdSequence<CollectionTag> collection_ids_;
   std::uint64_t client_tokens_ = 0;
   std::vector<MutationObserver> observers_;
+  std::vector<DirectoryObserver> directory_observers_;
   std::size_t liveness_token_ = 0;
 };
 

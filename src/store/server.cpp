@@ -19,7 +19,8 @@ wal::WalRecord to_wal_record(CollectionId id, const CollectionOp& op,
                              std::uint64_t incarnation) {
   wal::WalRecord rec;
   rec.collection = id.raw();
-  rec.kind = op.kind() == CollectionOp::Kind::kRemove ? 1 : 0;
+  rec.kind = op.kind() == CollectionOp::Kind::kRemove ? wal::WalRecord::kRemove
+                                                      : wal::WalRecord::kAdd;
   rec.object = op.ref().id().raw();
   rec.home = op.ref().home().raw();
   rec.seq = op.seq();
@@ -28,10 +29,43 @@ wal::WalRecord to_wal_record(CollectionId id, const CollectionOp& op,
 }
 
 CollectionOp to_collection_op(const wal::WalRecord& rec) {
-  return CollectionOp{rec.kind == 1 ? CollectionOp::Kind::kRemove
-                                    : CollectionOp::Kind::kAdd,
+  return CollectionOp{rec.kind == wal::WalRecord::kRemove
+                          ? CollectionOp::Kind::kRemove
+                          : CollectionOp::Kind::kAdd,
                       ObjectRef{ObjectId{rec.object}, NodeId{rec.home}},
                       rec.seq};
+}
+
+/// Migration marker record: `object` carries the peer node, `seq` the
+/// directory epoch the marker belongs to (see wal.hpp).
+wal::WalRecord migration_record(std::uint8_t kind, CollectionId id, NodeId peer,
+                                std::uint64_t directory_epoch,
+                                std::uint64_t incarnation) {
+  wal::WalRecord rec;
+  rec.collection = id.raw();
+  rec.kind = kind;
+  rec.object = peer.raw();
+  rec.seq = directory_epoch;
+  rec.incarnation = incarnation;
+  return rec;
+}
+
+wal::CollectionImage image_of(CollectionId id, const CollectionState& state) {
+  wal::CollectionImage coll;
+  coll.collection = id.raw();
+  coll.incarnation = state.incarnation();
+  coll.version = state.version();
+  coll.last_seq = state.last_seq();
+  coll.applied_seq = state.applied_seq();
+  coll.members.reserve(state.size());
+  for (const ObjectRef ref : state.members()) {
+    coll.members.emplace_back(ref.id().raw(), ref.home().raw());
+  }
+  return coll;
+}
+
+Failure wrong_epoch(std::uint64_t directory_epoch) {
+  return Failure{FailureKind::kWrongEpoch, std::to_string(directory_epoch)};
 }
 
 }  // namespace
@@ -59,8 +93,8 @@ void StoreServer::register_handlers() {
   // All handlers are registered up front (before any traffic), so the
   // RpcNetwork handler table never rehashes under a suspended coroutine.
   auto bind = [this](auto method) {
-    return [this, method](NodeId, std::any request) {
-      return (this->*method)(std::move(request));
+    return [this, method](NodeId from, std::any request) {
+      return (this->*method)(from, std::move(request));
     };
   };
   net_.register_handler(node_, "store.fetch", bind(&StoreServer::handle_fetch));
@@ -90,10 +124,12 @@ void StoreServer::register_handlers() {
         if (epoch != epoch_) {
           co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
         }
-        CollectionState* state = collection(req.id());
-        if (state == nullptr) {
+        Hosted* entry = find_entry(req.id());
+        if (entry == nullptr) {
           co_return Failure{FailureKind::kNotFound, "collection not hosted"};
         }
+        if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
+        CollectionState* state = &entry->state;
         metrics_.add("store.replica.push_syncs");
         // An incarnation mismatch (one side recovered from amnesia) means
         // the ops belong to a different sequence stream: apply nothing and
@@ -159,6 +195,123 @@ StoreServer::Hosted& StoreServer::hosted(CollectionId id) {
   return *it->second;
 }
 
+StoreServer::Hosted* StoreServer::find_entry(CollectionId id) {
+  const auto it = collections_.find(id);
+  return it == collections_.end() ? nullptr : it->second.get();
+}
+
+// ---------------------------------------------------------------------------
+// Live fragment migration (src/placement, DESIGN.md decision 12)
+
+bool StoreServer::hosts_primary(CollectionId id) const {
+  const auto it = collections_.find(id);
+  return it != collections_.end() && !it->second->primary.valid() &&
+         !it->second->retired;
+}
+
+bool StoreServer::is_retired(CollectionId id) const {
+  const auto it = collections_.find(id);
+  return it != collections_.end() && it->second->retired;
+}
+
+bool StoreServer::migration_blocked(CollectionId id) const {
+  const auto it = collections_.find(id);
+  if (it == collections_.end()) return true;
+  const Hosted& entry = *it->second;
+  return entry.retired || entry.frozen_by != 0 || entry.pin_count > 0 ||
+         !entry.deferred_removes.empty() || entry.handoff_target.valid() ||
+         !entry.push_targets.empty();
+}
+
+StoreServer::FragmentLoad StoreServer::fragment_load(CollectionId id) const {
+  FragmentLoad load;
+  const auto it = collections_.find(id);
+  if (it == collections_.end()) return load;
+  const Hosted& entry = *it->second;
+  load.reads = entry.reads;
+  load.ops = entry.ops;
+  load.reads_by_node.assign(entry.reads_by_node.begin(),
+                            entry.reads_by_node.end());
+  return load;
+}
+
+wal::CollectionImage StoreServer::export_image(CollectionId id) const {
+  const auto it = collections_.find(id);
+  assert(it != collections_.end() && "exporting an unhosted fragment");
+  return image_of(id, it->second->state);
+}
+
+void StoreServer::log_migration_begin(CollectionId id, NodeId target) {
+  if (!options_.durability.enabled) return;
+  Hosted& entry = hosted(id);
+  last_wal_index_ = wal_->append(
+      migration_record(wal::WalRecord::kMigrationBegin, id, target,
+                       /*directory_epoch=*/0, entry.state.incarnation()));
+  arm_checkpoint();
+}
+
+void StoreServer::set_handoff(CollectionId id, NodeId target) {
+  hosted(id).handoff_target = target;
+}
+
+void StoreServer::clear_handoff(CollectionId id) {
+  if (Hosted* entry = find_entry(id)) {
+    entry->handoff_target = NodeId::invalid();
+  }
+}
+
+void StoreServer::retire_collection(CollectionId id, NodeId target,
+                                    std::uint64_t directory_epoch) {
+  Hosted& entry = hosted(id);
+  assert(!entry.primary.valid() && "only fragment primaries migrate");
+  entry.retired = true;
+  entry.retired_epoch = directory_epoch;
+  entry.handoff_target = NodeId::invalid();
+  // Waiters on the freeze gate resume and hit the retired check; pins and
+  // their deferred ghosts moved with the authority.
+  release_freeze(entry);
+  entry.pin_count = 0;
+  entry.deferred_removes.clear();
+  if (options_.durability.enabled) {
+    last_wal_index_ = wal_->append(
+        migration_record(wal::WalRecord::kMigrationDone, id, target,
+                         directory_epoch, entry.state.incarnation()));
+    arm_checkpoint();  // the next checkpoint drops the tombstoned state
+  }
+  metrics_.add("placement.fragments_retired");
+}
+
+CollectionState& StoreServer::adopt_primary(CollectionId id,
+                                            const wal::CollectionImage& image) {
+  Hosted* entry = find_entry(id);
+  if (entry == nullptr) {
+    host_primary(id);
+    entry = find_entry(id);
+  }
+  assert(!entry->primary.valid() && "cannot adopt over a replica");
+  entry->retired = false;
+  entry->retired_epoch = 0;
+  entry->handoff_target = NodeId::invalid();
+  std::vector<ObjectRef> members;
+  members.reserve(image.members.size());
+  for (const auto& [object, home] : image.members) {
+    members.emplace_back(ObjectId{object}, NodeId{home});
+  }
+  // The adopted membership continues the source's op-sequence stream:
+  // cursors and incarnation restore verbatim. Nothing goes through the WAL
+  // (restore does not fire the op observer); the checkpoint the migration
+  // engine writes right after this makes the adoption durable.
+  entry->state.restore(std::move(members), image.version, image.last_seq,
+                       image.applied_seq, image.incarnation);
+  metrics_.add("placement.fragments_adopted");
+  return entry->state;
+}
+
+Task<bool> StoreServer::checkpoint_now() {
+  if (!options_.durability.enabled) co_return true;
+  co_return co_await write_checkpoint(epoch_);
+}
+
 // ---------------------------------------------------------------------------
 // Anti-entropy
 
@@ -211,7 +364,8 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
 // ---------------------------------------------------------------------------
 // Handlers
 
-Task<Result<std::any>> StoreServer::handle_fetch(std::any request) {
+Task<Result<std::any>> StoreServer::handle_fetch(NodeId /*from*/,
+                                                 std::any request) {
   const auto req = std::any_cast<msg::FetchRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -226,7 +380,8 @@ Task<Result<std::any>> StoreServer::handle_fetch(std::any request) {
   co_return std::any{*value};
 }
 
-Task<Result<std::any>> StoreServer::handle_fetch_batch(std::any request) {
+Task<Result<std::any>> StoreServer::handle_fetch_batch(NodeId /*from*/,
+                                                       std::any request) {
   const auto req = std::any_cast<msg::FetchBatchRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -257,7 +412,8 @@ Task<Result<std::any>> StoreServer::handle_fetch_batch(std::any request) {
   co_return std::any{msg::FetchBatchReply{std::move(results)}};
 }
 
-Task<Result<std::any>> StoreServer::handle_put(std::any request) {
+Task<Result<std::any>> StoreServer::handle_put(NodeId /*from*/,
+                                               std::any request) {
   auto req = std::any_cast<msg::PutRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -267,7 +423,8 @@ Task<Result<std::any>> StoreServer::handle_put(std::any request) {
   co_return std::any{objects_.put(id, std::move(req).take_data())};
 }
 
-Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
+Task<Result<std::any>> StoreServer::handle_snapshot(NodeId from,
+                                                    std::any request) {
   const auto req = std::any_cast<msg::SnapshotRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -277,10 +434,14 @@ Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
   }
-  CollectionState* state = collection(req.id());
-  if (state == nullptr) {
+  Hosted* entry = find_entry(req.id());
+  if (entry == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
+  if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
+  ++entry->reads;
+  ++entry->reads_by_node[from.raw()];
+  CollectionState* state = &entry->state;
   // Shipping the whole membership costs per member — the cost delta reads
   // avoid (coll.read_delta charges per *change* instead).
   const Duration ship_cost = options_.membership_entry_cost *
@@ -300,7 +461,8 @@ Task<Result<std::any>> StoreServer::handle_snapshot(std::any request) {
   co_return std::any{msg::SnapshotReply{state->members(), state->version()}};
 }
 
-Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
+Task<Result<std::any>> StoreServer::handle_read_delta(NodeId from,
+                                                      std::any request) {
   const auto req = std::any_cast<msg::DeltaRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -310,10 +472,14 @@ Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
   }
-  CollectionState* state = collection(req.id());
-  if (state == nullptr) {
+  Hosted* entry = find_entry(req.id());
+  if (entry == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
+  if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
+  ++entry->reads;
+  ++entry->reads_by_node[from.raw()];
+  CollectionState* state = &entry->state;
   // Serve ops when the cursor names this fragment's op stream (same
   // incarnation — an amnesia recovery in between starts a new stream whose
   // sequence numbers are unrelated), is inside the retained log window,
@@ -369,7 +535,8 @@ Task<Result<std::any>> StoreServer::handle_read_delta(std::any request) {
       msg::DeltaReply::delta(std::move(ops), version, last_seq, incarnation)};
 }
 
-Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
+Task<Result<std::any>> StoreServer::handle_membership(NodeId /*from*/,
+                                                      std::any request) {
   const auto req = std::any_cast<msg::MembershipRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -384,21 +551,25 @@ Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
   Hosted& entry = *it->second;
+  if (entry.retired) co_return wrong_epoch(entry.retired_epoch);
   if (entry.primary.valid()) {
     co_return Failure{FailureKind::kNotFound,
                       "replica does not accept mutations"};
   }
+  ++entry.ops;
   // Honour an active freeze: mutators wait until the lock is released or its
   // lease expires. (The waiting RPC may time out at the caller meanwhile —
   // exactly the cost of strong semantics the paper warns about.) An amnesia
   // crash releases the freeze and wakes the gate; the epoch check catches
-  // that case.
+  // that case, and the retired check catches a migration committing while we
+  // queued.
   while (entry.frozen_by != 0) {
     co_await entry.unfrozen->wait();
     if (epoch != epoch_) {
       co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
     }
   }
+  if (entry.retired) co_return wrong_epoch(entry.retired_epoch);
   const bool is_add = req.op() == msg::MembershipRequest::Op::kAdd;
   if (!is_add && entry.pin_count > 0) {
     // Grow-only pin active: the removal is accepted but deferred; the member
@@ -425,6 +596,30 @@ Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
     metrics_.add(is_add ? "store.server.adds_applied"
                         : "store.server.removes_applied");
     trigger_pushes(req.id());
+    if (entry.handoff_target.valid()) {
+      // Dual-home window (DESIGN.md decision 12): forward the committed op
+      // to the migration target before acking, so the staged copy never
+      // misses a mutation. The target applies without re-announcing to the
+      // mutation sink — ground truth sees each op exactly once.
+      const NodeId target = entry.handoff_target;
+      const CollectionOp op{is_add ? CollectionOp::Kind::kAdd
+                                   : CollectionOp::Kind::kRemove,
+                            req.ref(), entry.state.last_seq()};
+      metrics_.add("placement.handoff_forwards");
+      auto forwarded = co_await net_.call_typed<msg::HandoffApplyReply>(
+          node_, target, "mig.apply",
+          msg::HandoffApplyRequest{req.id(), op, entry.state.incarnation()});
+      if (epoch != epoch_) {
+        co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+      }
+      if (!forwarded) {
+        // Target unreachable mid-handoff: drop back to single home here.
+        // The migration's finish step fails its completeness check and the
+        // whole attempt aborts; the directory was never bumped.
+        entry.handoff_target = NodeId::invalid();
+        metrics_.add("placement.handoff_forward_failures");
+      }
+    }
     if (options_.durability.enabled && options_.durability.durable_acks) {
       // Strict commit: hold the ack until the WAL record is fsynced. A
       // crash first means the mutation's durability is unknown — fail the
@@ -439,7 +634,8 @@ Task<Result<std::any>> StoreServer::handle_membership(std::any request) {
   co_return std::any{msg::MembershipReply{changed, version}};
 }
 
-Task<Result<std::any>> StoreServer::handle_size(std::any request) {
+Task<Result<std::any>> StoreServer::handle_size(NodeId /*from*/,
+                                                std::any request) {
   const auto req = std::any_cast<msg::SizeRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -449,11 +645,12 @@ Task<Result<std::any>> StoreServer::handle_size(std::any request) {
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
   }
-  CollectionState* state = collection(req.id());
-  if (state == nullptr) {
+  Hosted* entry = find_entry(req.id());
+  if (entry == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
-  co_return std::any{static_cast<std::uint64_t>(state->size())};
+  if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
+  co_return std::any{static_cast<std::uint64_t>(entry->state.size())};
 }
 
 void StoreServer::release_freeze(Hosted& entry) {
@@ -462,7 +659,8 @@ void StoreServer::release_freeze(Hosted& entry) {
   entry.unfrozen->open();
 }
 
-Task<Result<std::any>> StoreServer::handle_freeze(std::any request) {
+Task<Result<std::any>> StoreServer::handle_freeze(NodeId /*from*/,
+                                                  std::any request) {
   const auto req = std::any_cast<msg::FreezeRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -477,7 +675,15 @@ Task<Result<std::any>> StoreServer::handle_freeze(std::any request) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
   Hosted& entry = *it->second;
+  if (entry.retired) co_return wrong_epoch(entry.retired_epoch);
   assert(req.token() != 0 && "freeze token 0 is reserved for 'unfrozen'");
+  if (req.freeze() && entry.handoff_target.valid()) {
+    // Mid-migration (dual-home handoff): lock state does not transfer with
+    // the fragment, so refuse the freeze instead of granting a lock that
+    // would silently die at the commit. The client fails its freeze_all
+    // cleanly and can retry after the (short) handoff window.
+    co_return Failure{FailureKind::kUnreachable, "fragment migrating"};
+  }
   if (req.freeze()) {
     // Queue behind the current holder (if any), then take the lock.
     while (entry.frozen_by != 0 && entry.frozen_by != req.token()) {
@@ -485,6 +691,10 @@ Task<Result<std::any>> StoreServer::handle_freeze(std::any request) {
       if (epoch != epoch_) {
         co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
       }
+    }
+    if (entry.retired) co_return wrong_epoch(entry.retired_epoch);
+    if (entry.handoff_target.valid()) {
+      co_return Failure{FailureKind::kUnreachable, "fragment migrating"};
     }
     entry.frozen_by = req.token();
     entry.unfrozen->close();
@@ -505,7 +715,8 @@ Task<Result<std::any>> StoreServer::handle_freeze(std::any request) {
   co_return std::any{true};
 }
 
-Task<Result<std::any>> StoreServer::handle_pin(std::any request) {
+Task<Result<std::any>> StoreServer::handle_pin(NodeId /*from*/,
+                                               std::any request) {
   const auto req = std::any_cast<msg::PinRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -520,6 +731,12 @@ Task<Result<std::any>> StoreServer::handle_pin(std::any request) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
   Hosted& entry = *it->second;
+  if (entry.retired) co_return wrong_epoch(entry.retired_epoch);
+  if (req.pin() && entry.handoff_target.valid()) {
+    // Deferred removals would be applied (and announced) at unpin without
+    // being forwarded to the handoff target — refuse like freeze does.
+    co_return Failure{FailureKind::kUnreachable, "fragment migrating"};
+  }
   if (req.pin()) {
     ++entry.pin_count;
   } else if (entry.pin_count > 0 && --entry.pin_count == 0) {
@@ -583,7 +800,8 @@ Task<void> StoreServer::push_to(CollectionId id, Hosted::PushTarget& target) {
   target.in_flight = false;
 }
 
-Task<Result<std::any>> StoreServer::handle_pull(std::any request) {
+Task<Result<std::any>> StoreServer::handle_pull(NodeId /*from*/,
+                                                std::any request) {
   const auto req = std::any_cast<msg::PullRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -593,10 +811,12 @@ Task<Result<std::any>> StoreServer::handle_pull(std::any request) {
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
   }
-  CollectionState* state = collection(req.id());
-  if (state == nullptr) {
+  Hosted* pull_entry = find_entry(req.id());
+  if (pull_entry == nullptr) {
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
+  if (pull_entry->retired) co_return wrong_epoch(pull_entry->retired_epoch);
+  CollectionState* state = &pull_entry->state;
   metrics_.add("store.server.pulls_served");
   // A replica that fell behind the bounded log window cannot catch up op by
   // op any more — and one whose cursor belongs to another incarnation
@@ -682,18 +902,12 @@ Task<bool> StoreServer::write_checkpoint(std::uint64_t epoch) {
   // truncation below is safe even though appends continue during the write.
   wal::CheckpointImage image;
   for (const CollectionId id : hosted_ids_sorted()) {
-    const CollectionState& state = collections_.at(id)->state;
-    wal::CollectionImage coll;
-    coll.collection = id.raw();
-    coll.incarnation = state.incarnation();
-    coll.version = state.version();
-    coll.last_seq = state.last_seq();
-    coll.applied_seq = state.applied_seq();
-    coll.members.reserve(state.size());
-    for (const ObjectRef ref : state.members()) {
-      coll.members.emplace_back(ref.id().raw(), ref.home().raw());
-    }
-    image.collections.push_back(std::move(coll));
+    const Hosted& entry = *collections_.at(id);
+    // Tombstones stay out of the checkpoint: once this image lands (and the
+    // WAL prefix holding the kMigrationDone record truncates), the migrated
+    // fragment is durably gone from this node.
+    if (entry.retired) continue;
+    image.collections.push_back(image_of(id, entry.state));
   }
   const std::uint64_t wal_mark = disk_->log_next_index(kWalFile);
   const SimTime start = net_.sim().now();
@@ -733,10 +947,17 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
   const std::vector<CollectionId> ids = hosted_ids_sorted();
   std::vector<std::vector<ObjectRef>> pre_members(ids.size());
   std::vector<std::uint64_t> pre_incarnation(ids.size());
+  std::vector<char> pre_retired(ids.size(), 0);
   for (std::size_t i = 0; i < ids.size(); ++i) {
     Hosted& entry = *collections_.at(ids[i]);
+    // Tombstones of migrated-away fragments are control-plane state kept
+    // across the crash (the directory never points here again); their stale
+    // member list is inert and excluded from the ground-truth diff below.
+    pre_retired[i] = entry.retired ? 1 : 0;
+    if (entry.retired) continue;
     if (!entry.primary.valid()) pre_members[i] = entry.state.members();
     pre_incarnation[i] = entry.state.incarnation();
+    entry.handoff_target = NodeId::invalid();
     entry.frozen_by = 0;
     entry.lease_timer.cancel();
     entry.unfrozen->open();  // waiters resume, fail on the epoch check
@@ -758,7 +979,7 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
   plan_.records_lost = next_before - next_after;
   for (std::size_t i = 0; i < ids.size(); ++i) {
     Hosted& entry = *collections_.at(ids[i]);
-    if (entry.primary.valid()) continue;
+    if (entry.primary.valid() || entry.retired || pre_retired[i]) continue;
     // A recovered primary starts a fresh op-sequence stream: ops it lost may
     // already have escaped to replicas and reader caches, so sequence
     // numbers it reissues must not collide with them. Bumping the
@@ -774,7 +995,10 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
   if (sink_ != nullptr) {
     for (std::size_t i = 0; i < ids.size(); ++i) {
       Hosted& entry = *collections_.at(ids[i]);
-      if (entry.primary.valid()) continue;
+      // A fragment that was (or turned out, via the WAL's kMigrationDone,
+      // to be) migrated away did not lose its members to the crash — they
+      // live at the new home. No compensating events.
+      if (entry.primary.valid() || entry.retired || pre_retired[i]) continue;
       std::vector<ObjectRef> before = pre_members[i];
       std::vector<ObjectRef> after = entry.state.members();
       std::sort(before.begin(), before.end());
@@ -804,7 +1028,7 @@ StoreServer::RecoveryPlan StoreServer::reconstruct_from_disk() {
     if (const auto image = wal::decode_checkpoint(*bytes)) {
       for (const wal::CollectionImage& coll : image->collections) {
         const auto it = collections_.find(CollectionId{coll.collection});
-        if (it == collections_.end()) continue;
+        if (it == collections_.end() || it->second->retired) continue;
         std::vector<ObjectRef> members;
         members.reserve(coll.members.size());
         for (const auto& [object, home] : coll.members) {
@@ -831,9 +1055,25 @@ StoreServer::RecoveryPlan StoreServer::reconstruct_from_disk() {
       ++plan.torn_tails;
       break;
     }
+    if (rec->kind == wal::WalRecord::kMigrationBegin) {
+      continue;  // begin without done: the fragment stays the live home
+    }
+    if (rec->kind == wal::WalRecord::kMigrationDone) {
+      // Authority durably transferred before the crash: tombstone the
+      // fragment even though an older checkpoint (restored above) still
+      // contains it. `seq` of a done record carries the directory epoch.
+      const auto done_it = collections_.find(CollectionId{rec->collection});
+      if (done_it != collections_.end() && !done_it->second->retired) {
+        done_it->second->retired = true;
+        done_it->second->retired_epoch = rec->seq;
+        done_it->second->handoff_target = NodeId::invalid();
+        done_it->second->state.wipe_volatile();
+      }
+      continue;
+    }
     if (stopped[rec->collection]) continue;
     const auto it = collections_.find(CollectionId{rec->collection});
-    if (it == collections_.end()) continue;
+    if (it == collections_.end() || it->second->retired) continue;
     CollectionState& state = it->second->state;
     if (rec->incarnation != state.incarnation() ||
         rec->seq <= state.last_seq()) {

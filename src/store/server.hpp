@@ -11,6 +11,7 @@
 // partitioned lock holder cannot block mutators forever.
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -124,6 +125,71 @@ class StoreServer {
   /// True if this node hosts `id` as a replica (not primary).
   [[nodiscard]] bool is_replica(CollectionId id) const;
 
+  // -- live fragment migration (src/placement, DESIGN.md decision 12) ------
+
+  /// Cumulative data-path demand on one hosted fragment, for the load-aware
+  /// rebalancer. reads_by_node is (client node raw id, reads) in ascending
+  /// node order — deterministic iteration for policy decisions.
+  struct FragmentLoad {
+    std::uint64_t reads = 0;
+    std::uint64_t ops = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> reads_by_node;
+  };
+
+  /// True if this node hosts `id` as a live (non-retired) fragment primary.
+  [[nodiscard]] bool hosts_primary(CollectionId id) const;
+
+  /// True if `id` was migrated away from this node (tombstoned entry).
+  [[nodiscard]] bool is_retired(CollectionId id) const;
+
+  /// Load counters of a hosted fragment (zeroes if not hosted).
+  [[nodiscard]] FragmentLoad fragment_load(CollectionId id) const;
+
+  /// True while starting a migration of `id` away from this node would break
+  /// an in-progress protocol on it: frozen, pinned (deferred removals
+  /// pending), already in a handoff window, or push-replicated. Lock and
+  /// replication state do not transfer with a fragment, so the migration
+  /// engine refuses to start instead.
+  [[nodiscard]] bool migration_blocked(CollectionId id) const;
+
+  /// Synchronous point-in-time image of a hosted fragment, in the durable
+  /// checkpoint codec — the unit the migration engine streams.
+  [[nodiscard]] wal::CollectionImage export_image(CollectionId id) const;
+
+  /// Durably marks a migration as attempted (WAL kMigrationBegin). A begin
+  /// without a matching done means the migration never committed; recovery
+  /// restores the fragment as the live single home.
+  void log_migration_begin(CollectionId id, NodeId target);
+
+  /// Opens the dual-home handoff window: every committed membership op on
+  /// `id` is forwarded to `target` (mig.apply) before it is acked.
+  void set_handoff(CollectionId id, NodeId target);
+
+  /// Closes the handoff window without committing (migration abort).
+  void clear_handoff(CollectionId id);
+
+  /// Migration commit, source side: tombstones the fragment at
+  /// `directory_epoch` (the epoch the directory was bumped to). The entry is
+  /// never erased — in-flight handlers hold references — and every data-path
+  /// RPC on it now answers kWrongEpoch carrying `directory_epoch` so stale
+  /// clients self-heal. Appends WAL kMigrationDone: recovery drops the
+  /// fragment even if an older checkpoint still contains it.
+  void retire_collection(CollectionId id, NodeId target,
+                         std::uint64_t directory_epoch);
+
+  /// Migration commit, target side: installs `image` as a hosted fragment
+  /// primary continuing the source's op-sequence stream (cursors and
+  /// incarnation verbatim). Reuses (and un-retires) a tombstoned entry when
+  /// the fragment migrates back. The caller persists the adoption with
+  /// checkpoint_now() before the source retires.
+  CollectionState& adopt_primary(CollectionId id,
+                                 const wal::CollectionImage& image);
+
+  /// Writes a checkpoint immediately (true on success; trivially true when
+  /// durability is off). The migration engine calls this on the target so
+  /// the adopted fragment is durable before the source gives up authority.
+  Task<bool> checkpoint_now();
+
   /// Asks background daemons (anti-entropy pullers) to exit at their next
   /// wakeup, letting the simulator drain. The server keeps serving RPCs.
   void stop_daemons() noexcept { stopping_ = true; }
@@ -178,6 +244,23 @@ class StoreServer {
       bool in_flight = false;
     };
     std::vector<PushTarget> push_targets;
+    // Live migration (DESIGN.md decision 12). While handoff_target is valid,
+    // committed membership ops are dual-applied there before acking. Once
+    // retired, the entry is a tombstone: data-path RPCs answer kWrongEpoch
+    // carrying retired_epoch. Retirement survives amnesia crashes (mirrored
+    // by the WAL kMigrationDone record; even when that record is lost in the
+    // torn tail, the directory — bumped before the commit acked — never
+    // points here again, so the tombstone is kept conservatively).
+    NodeId handoff_target = NodeId::invalid();
+    bool retired = false;
+    std::uint64_t retired_epoch = 0;
+    // Data-path demand counters for the load-aware rebalancer. Plain
+    // integers (no metrics registry, no RNG): maintaining them never
+    // perturbs baseline runs. Keyed by raw node id (ordered → deterministic
+    // policy input).
+    std::uint64_t reads = 0;
+    std::uint64_t ops = 0;
+    std::map<std::uint64_t, std::uint64_t> reads_by_node;
   };
 
   /// What crash-time reconstruction found; recovery reports it as metrics
@@ -192,6 +275,8 @@ class StoreServer {
 
   void register_handlers();
   Hosted& hosted(CollectionId id);
+  /// The hosted entry (tombstones included); nullptr if never hosted.
+  [[nodiscard]] Hosted* find_entry(CollectionId id);
   Task<void> pull_loop(CollectionId id, NodeId primary);
   void release_freeze(Hosted& entry);
   /// Primary side: pushes pending ops of `id` to every lagging target.
@@ -218,17 +303,17 @@ class StoreServer {
   RecoveryPlan reconstruct_from_disk();
   [[nodiscard]] std::vector<CollectionId> hosted_ids_sorted() const;
 
-  // Handler bodies.
-  Task<Result<std::any>> handle_fetch(std::any request);
-  Task<Result<std::any>> handle_fetch_batch(std::any request);
-  Task<Result<std::any>> handle_put(std::any request);
-  Task<Result<std::any>> handle_snapshot(std::any request);
-  Task<Result<std::any>> handle_read_delta(std::any request);
-  Task<Result<std::any>> handle_membership(std::any request);
-  Task<Result<std::any>> handle_size(std::any request);
-  Task<Result<std::any>> handle_freeze(std::any request);
-  Task<Result<std::any>> handle_pin(std::any request);
-  Task<Result<std::any>> handle_pull(std::any request);
+  // Handler bodies. `from` is the calling node (load accounting).
+  Task<Result<std::any>> handle_fetch(NodeId from, std::any request);
+  Task<Result<std::any>> handle_fetch_batch(NodeId from, std::any request);
+  Task<Result<std::any>> handle_put(NodeId from, std::any request);
+  Task<Result<std::any>> handle_snapshot(NodeId from, std::any request);
+  Task<Result<std::any>> handle_read_delta(NodeId from, std::any request);
+  Task<Result<std::any>> handle_membership(NodeId from, std::any request);
+  Task<Result<std::any>> handle_size(NodeId from, std::any request);
+  Task<Result<std::any>> handle_freeze(NodeId from, std::any request);
+  Task<Result<std::any>> handle_pin(NodeId from, std::any request);
+  Task<Result<std::any>> handle_pull(NodeId from, std::any request);
 
   RpcNetwork& net_;
   NodeId node_;

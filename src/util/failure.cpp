@@ -20,6 +20,8 @@ std::string_view to_string(FailureKind kind) {
       return "cancelled";
     case FailureKind::kExhausted:
       return "exhausted";
+    case FailureKind::kWrongEpoch:
+      return "wrong-epoch";
   }
   return "unknown";
 }

@@ -31,6 +31,11 @@ enum class FailureKind : std::uint8_t {
   kNotFound,     ///< Named object does not exist at the responsible node.
   kCancelled,    ///< Operation cancelled by its caller.
   kExhausted,    ///< A bounded retry policy ran out of attempts.
+  kWrongEpoch,   ///< The caller's placement directory is stale: the fragment
+                 ///< migrated away and the server answers with its current
+                 ///< directory epoch (carried in `detail`) so the client can
+                 ///< refresh its cache and retry without a coordinator round
+                 ///< trip (src/placement).
 };
 
 /// A detected failure: the paper's "failure exception" as a value.

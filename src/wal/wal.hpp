@@ -24,10 +24,22 @@
 
 namespace weakset::wal {
 
-/// One applied mutation, as it goes to disk.
+/// One applied mutation — or a migration marker — as it goes to disk.
 struct WalRecord {
+  /// Record kinds. Membership ops (add/remove) carry an object; migration
+  /// markers (src/placement live fragment migration) reuse the `object`
+  /// field for the peer node id. A `begin` without a matching `done` means
+  /// the migration never committed (the directory was not bumped), so
+  /// recovery restores the fragment as the live single home; a `done` means
+  /// authority transferred — recovery drops the fragment even if an older
+  /// checkpoint still contains it.
+  static constexpr std::uint8_t kAdd = 0;
+  static constexpr std::uint8_t kRemove = 1;
+  static constexpr std::uint8_t kMigrationBegin = 2;
+  static constexpr std::uint8_t kMigrationDone = 3;
+
   std::uint64_t collection = 0;
-  std::uint8_t kind = 0;  ///< 0 = add, 1 = remove
+  std::uint8_t kind = 0;  ///< kAdd / kRemove / kMigrationBegin / kMigrationDone
   std::uint64_t object = 0;
   std::uint64_t home = 0;
   std::uint64_t seq = 0;

@@ -20,6 +20,11 @@
 #include "store/reachable.hpp"  // IWYU pragma: export
 #include "store/repository.hpp" // IWYU pragma: export
 
+// Placement: versioned directory, live migration, rebalancing
+#include "placement/directory.hpp"   // IWYU pragma: export
+#include "placement/migration.hpp"   // IWYU pragma: export
+#include "placement/rebalancer.hpp"  // IWYU pragma: export
+
 // Core: weak sets
 #include "core/caching_view.hpp"  // IWYU pragma: export
 #include "core/hoard_view.hpp"    // IWYU pragma: export
