@@ -5,9 +5,12 @@
 #   BENCH_membership.json — membership refresh sweeps (ISSUE 2: e13)
 #   BENCH_recovery.json   — WAL/checkpoint recovery sweeps (ISSUE 4: e14)
 #   BENCH_migration.json  — placement/migration sweeps (ISSUE 5: e15)
+#   BENCH_hotpath.json    — wall-clock microbench of the event/RPC hot path
+#                           (ISSUE 6: bench/micro; gate on allocs_per_* only,
+#                           wall_ns_* is informational — see metrics_diff.py)
 #
 # Usage: scripts/bench_json.sh [build-dir] [prefetch-out] [membership-out] \
-#                              [recovery-out] [migration-out]
+#                              [recovery-out] [migration-out] [hotpath-out]
 
 set -euo pipefail
 build_dir="${1:-build}"
@@ -15,6 +18,7 @@ prefetch_out="${2:-BENCH_prefetch.json}"
 membership_out="${3:-BENCH_membership.json}"
 recovery_out="${4:-BENCH_recovery.json}"
 migration_out="${5:-BENCH_migration.json}"
+hotpath_out="${6:-BENCH_hotpath.json}"
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: ${build_dir}/bench not found — configure and build first:" >&2
@@ -33,7 +37,8 @@ run_bench() {
     exit 1
   fi
   echo "running ${bench}..." >&2
-  "${bin}" --benchmark_format=json >"${tmp}/${bench}.json" 2>/dev/null
+  "${bin}" --benchmark_format=json \
+    >"${tmp}/$(basename "${bench}").json" 2>/dev/null
 }
 
 run_bench bench_e1_latency
@@ -41,6 +46,7 @@ run_bench bench_e10_scale
 run_bench bench_e13_membership
 run_bench bench_e14_recovery
 run_bench bench_e15_migration
+run_bench micro/bench_micro_hotpath
 
 # One top-level object per output file, keyed by bench binary, each value
 # the unmodified google-benchmark JSON document.
@@ -78,3 +84,11 @@ echo "wrote ${recovery_out}" >&2
   echo '}'
 } >"${migration_out}"
 echo "wrote ${migration_out}" >&2
+
+{
+  echo '{'
+  echo '  "bench_micro_hotpath":'
+  cat "${tmp}/bench_micro_hotpath.json"
+  echo '}'
+} >"${hotpath_out}"
+echo "wrote ${hotpath_out}" >&2

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Smoke-runs every bench binary: executes each binary's *first* benchmark (the
-# cheapest configuration by convention — sweeps register ascending sizes), so
-# CI proves all 21 experiment harnesses still start, run one deterministic
-# simulated workload, and exit cleanly, without paying for full sweeps.
+# Smoke-runs every bench binary — the experiment harnesses under bench/ and
+# the wall-clock microbenches under bench/micro/: executes each binary's
+# *first* benchmark (the cheapest configuration by convention — sweeps
+# register ascending sizes), so CI proves every harness still starts, runs
+# one deterministic simulated workload, and exits cleanly, without paying
+# for full sweeps.
 #
 # Usage: scripts/bench_smoke.sh [build-dir]
 
@@ -16,7 +18,7 @@ if [[ ! -d "${build_dir}/bench" ]]; then
 fi
 
 shopt -s nullglob
-benches=("${build_dir}"/bench/bench_*)
+benches=("${build_dir}"/bench/bench_* "${build_dir}"/bench/micro/bench_*)
 if [[ ${#benches[@]} -eq 0 ]]; then
   echo "error: no bench binaries under ${build_dir}/bench" >&2
   exit 1

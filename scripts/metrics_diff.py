@@ -27,6 +27,15 @@ the checkout root once instead of per file:
 Per-metric overrides tighten or loosen individual paths:
 
     --metric-tolerance 'rpcs$=0.0' --metric-tolerance 'p99=0.10'
+
+--informational marks paths as report-only: they are compared and printed
+(prefixed "info") but can never fail the gate. This is how wall-clock
+counters ride along with deterministic ones in the same snapshot — the
+microbench gate fails on allocs_per_* and merely reports wall_ns_*:
+
+    scripts/metrics_diff.py BENCH_hotpath.json fresh_hotpath.json \\
+        --only 'allocs_per_|wall_ns_' --metric-tolerance 'allocs_per_=0.0' \\
+        --informational 'wall_ns_'
 """
 
 import argparse
@@ -97,6 +106,10 @@ def main():
     parser.add_argument("--metric-tolerance", action="append", default=[],
                         metavar="REGEX=TOL",
                         help="per-path tolerance override, first match wins")
+    parser.add_argument("--informational", action="append", default=[],
+                        metavar="REGEX",
+                        help="regex; matching paths are compared and reported "
+                        "but never fail the gate (repeatable)")
     parser.add_argument("--quiet", action="store_true",
                         help="print only failures and the summary line")
     args = parser.parse_args()
@@ -134,6 +147,7 @@ def main():
         overrides.append((re.compile(pattern), float(tol)))
     only = [re.compile(p) for p in args.only]
     ignore = [re.compile(p) for p in args.ignore]
+    informational = [re.compile(p) for p in args.informational]
 
     pairs = []
     walk(baseline, current, "", pairs)
@@ -143,6 +157,14 @@ def main():
         if only and not any(p.search(path) for p in only):
             continue
         if any(p.search(path) for p in ignore):
+            continue
+        if any(p.search(path) for p in informational):
+            # Reported for the log, exempt from the verdict: the delta is
+            # printed even inside tolerance so trends stay visible.
+            delta = relative_delta(base, cur)
+            if not args.quiet:
+                print(f"  info {path}: {base:g} -> {cur:g} "
+                      f"(delta {delta:.2%}, informational)")
             continue
         tolerance = args.tolerance
         for pattern, tol in overrides:

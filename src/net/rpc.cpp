@@ -4,26 +4,84 @@
 
 namespace weakset {
 
+MethodId RpcNetwork::intern(std::string_view method) {
+  if (const auto it = method_index_.find(method); it != method_index_.end()) {
+    return MethodId{it->second};
+  }
+  const auto index = static_cast<std::uint32_t>(methods_.size());
+  MethodInfo info;
+  info.name = std::string{method};
+  info.latency_name = "rpc." + info.name + ".latency_ns";
+  info.ok_name = "rpc." + info.name + ".ok";
+  info.failed_name = "rpc." + info.name + ".failed";
+  info.timeouts_name = "rpc." + info.name + ".timeouts";
+  info.serve_name = info.name + "#serve";
+  info.not_found_detail = "no handler for " + info.name;
+  methods_.push_back(std::move(info));
+  method_index_.emplace(methods_.back().name, index);
+  return MethodId{index};
+}
+
+void RpcNetwork::register_handler(NodeId node, MethodId method,
+                                  Handler handler) {
+  assert(method.valid());
+  const auto n = static_cast<std::size_t>(node.raw());
+  if (handlers_.size() <= n) handlers_.resize(n + 1);
+  auto& table = handlers_[n];
+  if (table.size() <= method.index()) table.resize(method.index() + 1);
+  table[method.index()] = std::move(handler);
+}
+
+const RpcNetwork::Handler* RpcNetwork::find_handler(NodeId node,
+                                                    MethodId method) const {
+  const auto n = static_cast<std::size_t>(node.raw());
+  if (!method.valid() || n >= handlers_.size() ||
+      method.index() >= handlers_[n].size()) {
+    return nullptr;
+  }
+  const Handler& handler = handlers_[n][method.index()];
+  return handler ? &handler : nullptr;
+}
+
+std::optional<Duration> RpcNetwork::base_latency(NodeId from, NodeId to) {
+  if (route_version_ != topology_.version()) {
+    route_version_ = topology_.version();
+    route_nodes_ = topology_.node_count();
+    // assign() reuses the vector's capacity once the node count stabilises.
+    route_cache_.assign(route_nodes_ * route_nodes_, kRouteUnknown);
+  }
+  const auto src = static_cast<std::size_t>(from.raw());
+  const auto dst = static_cast<std::size_t>(to.raw());
+  assert(src < route_nodes_ && dst < route_nodes_);
+  std::int64_t& slot = route_cache_[src * route_nodes_ + dst];
+  if (slot == kRouteUnknown) {
+    const auto base = topology_.path_latency(from, to);
+    slot = base ? base->count_nanos() : kRouteNoPath;
+  }
+  if (slot == kRouteNoPath) return std::nullopt;
+  return Duration::nanos(slot);
+}
+
 std::optional<Duration> RpcNetwork::delivery_latency(NodeId from, NodeId to) {
   if (from == to) {
     return options_.local_latency;
   }
-  const auto base = topology_.path_latency(from, to);
+  const auto base = base_latency(from, to);
   if (!base) return std::nullopt;
   const double factor = 1.0 + options_.jitter * rng_.uniform_double();
   return Duration::nanos(static_cast<std::int64_t>(
       static_cast<double>(base->count_nanos()) * factor));
 }
 
-Task<Result<std::any>> RpcNetwork::call(NodeId from, NodeId to,
-                                        std::string method, std::any request,
-                                        Duration timeout) {
+Task<Result<Payload>> RpcNetwork::call(NodeId from, NodeId to, MethodId method,
+                                       Payload request, Duration timeout) {
   ++stats_.calls;
   metrics_.add("rpc.calls");
+  const MethodInfo& info = this->info(method);  // deque: stable across awaits
   const SimTime call_started = sim_.now();
   const std::uint64_t call_span =
-      metrics_.begin_span(method, topology_.name(to), call_started);
-  OneShot<Result<std::any>> reply{sim_};
+      metrics_.begin_span(info.name, topology_.name(to), call_started);
+  OneShot<Result<Payload>> reply{sim_};
 
   // Arm the timeout first: it must fire even if everything else is dropped.
   const auto timeout_timer =
@@ -48,36 +106,33 @@ Task<Result<std::any>> RpcNetwork::call(NodeId from, NodeId to,
     // in flight loses the message.
     sim_.schedule(*request_latency, [this, from, to, method, reply, call_span,
                                      req = std::move(request)]() mutable {
-      if (!topology_.is_up(to) || !topology_.can_communicate(from, to)) {
+      if (!topology_.is_up(to) || !route_alive(from, to)) {
         ++stats_.messages_dropped;
         metrics_.add("rpc.messages_dropped");
         return;  // lost; the caller's timeout will fire
       }
       ++stats_.messages_delivered;
       metrics_.add("rpc.messages_delivered");
-      sim_.spawn(serve(from, to, std::move(method), std::move(req), reply,
-                       call_span));
+      sim_.spawn(serve(from, to, method, std::move(req), reply, call_span));
     });
   }
 
-  Result<std::any> outcome = co_await reply.wait();
+  Result<Payload> outcome = co_await reply.wait();
   timeout_timer.cancel();
-  // `method` stays valid across the co_await: the delivery lambda captured
-  // its own copy, so the frame's parameter was never moved from.
-  metrics_.record("rpc." + method + ".latency_ns", sim_.now() - call_started);
+  metrics_.record(info.latency_name, sim_.now() - call_started);
   if (outcome) {
     ++stats_.completed;
     metrics_.add("rpc.completed");
-    metrics_.add("rpc." + method + ".ok");
+    metrics_.add(info.ok_name);
     metrics_.end_span(call_span, sim_.now(), "ok");
   } else {
     ++stats_.failed;
     metrics_.add("rpc.failed");
-    metrics_.add("rpc." + method + ".failed");
+    metrics_.add(info.failed_name);
     if (outcome.error().kind == FailureKind::kTimeout) {
       ++stats_.timeouts;
       metrics_.add("rpc.timeouts");
-      metrics_.add("rpc." + method + ".timeouts");
+      metrics_.add(info.timeouts_name);
       metrics_.end_span(call_span, sim_.now(), "timeout");
     } else {
       metrics_.end_span(call_span, sim_.now(), "failed");
@@ -86,17 +141,19 @@ Task<Result<std::any>> RpcNetwork::call(NodeId from, NodeId to,
   co_return outcome;
 }
 
-Task<void> RpcNetwork::serve(NodeId from, NodeId to, std::string method,
-                             std::any request,
-                             OneShot<Result<std::any>> reply_to,
+Task<void> RpcNetwork::serve(NodeId from, NodeId to, MethodId method,
+                             Payload request,
+                             OneShot<Result<Payload>> reply_to,
                              std::uint64_t call_span) {
+  const MethodInfo& info = this->info(method);  // deque: stable across awaits
   const std::uint64_t serve_span = metrics_.begin_span(
-      method + "#serve", topology_.name(from), sim_.now(), call_span);
-  Result<std::any> result =
-      Failure{FailureKind::kNotFound, "no handler for " + method};
-  const auto it = handlers_.find(key(to, method));
-  if (it != handlers_.end()) {
-    result = co_await it->second(from, std::move(request));
+      info.serve_name, topology_.name(from), sim_.now(), call_span);
+  const Handler* handler = find_handler(to, method);
+  Result<Payload> result{Payload{}};
+  if (handler != nullptr) {
+    result = co_await (*handler)(from, std::move(request));
+  } else {
+    result = Failure{FailureKind::kNotFound, info.not_found_detail};
   }
 
   // Send the reply back; it travels the (possibly changed) live path and is
@@ -112,8 +169,7 @@ Task<void> RpcNetwork::serve(NodeId from, NodeId to, std::string method,
   metrics_.end_span(serve_span, sim_.now(), result ? "ok" : "failed");
   sim_.schedule(*reply_latency,
                 [this, from, to, reply_to, res = std::move(result)]() mutable {
-                  if (!topology_.is_up(from) ||
-                      !topology_.can_communicate(to, from)) {
+                  if (!topology_.is_up(from) || !route_alive(to, from)) {
                     ++stats_.messages_dropped;
                     metrics_.add("rpc.messages_dropped");
                     return;

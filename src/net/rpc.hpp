@@ -14,19 +14,33 @@
 // reply the same way. Crashes and partitions drop messages; the caller
 // observes either a fast "detected" failure (the paper's assumption, default)
 // or a timeout.
+//
+// Hot-path memory discipline (DESIGN.md decision 13): method names are
+// interned once into a dense MethodId table — dispatch is an index lookup,
+// and the per-method metric/span names ("rpc.<m>.latency_ns", "<m>#serve",
+// ...) are precomputed at intern time so telemetry strings are never rebuilt
+// per call. Payloads travel in pooled Payload boxes instead of std::any, and
+// live-path latencies are cached against the topology version instead of
+// re-running Dijkstra per message. None of this changes simulated-time
+// behaviour: RNG draws, event ordering, and every metric/span name are
+// byte-identical to the string-keyed implementation.
 
-#include <any>
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
+#include "util/payload.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 
@@ -61,6 +75,30 @@ struct RpcStats {
   std::uint64_t messages_dropped = 0;
 };
 
+/// Dense identifier of an interned RPC method name, scoped to the RpcNetwork
+/// that minted it. Hot call sites intern once (RpcNetwork::intern) and call
+/// by id; string call sites intern transparently per call (a hash lookup, no
+/// allocation). Deliberately a non-aggregate: MethodId crosses coroutine
+/// boundaries by value, and the library-wide GCC 12 rule is that coroutine
+/// by-value parameters must be non-aggregates.
+class MethodId {
+ public:
+  MethodId() : index_(kInvalid) {}
+
+  [[nodiscard]] bool valid() const noexcept { return index_ != kInvalid; }
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+
+  friend bool operator==(MethodId a, MethodId b) {
+    return a.index_ == b.index_;
+  }
+
+ private:
+  friend class RpcNetwork;
+  explicit MethodId(std::uint32_t index) : index_(index) {}
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+  std::uint32_t index_;
+};
+
 /// The RPC fabric shared by all nodes of one simulation.
 class RpcNetwork {
  public:
@@ -68,7 +106,7 @@ class RpcNetwork {
   /// returns the reply. Runs as a process on the simulator, so it may
   /// co_await (disk latency, nested RPCs, ...).
   using Handler =
-      std::function<Task<Result<std::any>>(NodeId from, std::any request)>;
+      std::function<Task<Result<Payload>>(NodeId from, Payload request)>;
 
   RpcNetwork(Simulator& sim, Topology& topology, Rng rng,
              RpcOptions options = {})
@@ -80,38 +118,70 @@ class RpcNetwork {
   RpcNetwork(const RpcNetwork&) = delete;
   RpcNetwork& operator=(const RpcNetwork&) = delete;
 
-  /// Registers (or replaces) `method` on `node`.
-  void register_handler(NodeId node, std::string method, Handler handler) {
-    handlers_[key(node, method)] = std::move(handler);
+  /// Interns `method` (idempotent), returning its dense id. Ids are stable
+  /// for the lifetime of this network.
+  MethodId intern(std::string_view method);
+
+  /// The interned name behind `method`.
+  [[nodiscard]] const std::string& method_name(MethodId method) const {
+    return info(method).name;
   }
 
+  /// Registers (or replaces) `method` on `node`. Node ids are the dense ids
+  /// minted by Topology::add_node.
+  void register_handler(NodeId node, MethodId method, Handler handler);
+  void register_handler(NodeId node, std::string_view method,
+                        Handler handler) {
+    register_handler(node, intern(method), std::move(handler));
+  }
+
+  /// The handler registered for (node, method), or nullptr. The serve path
+  /// dispatches through this same dense table.
+  [[nodiscard]] const Handler* find_handler(NodeId node,
+                                            MethodId method) const;
+
   /// Calls `method` on `to` from `from` with the default timeout.
-  Task<Result<std::any>> call(NodeId from, NodeId to, std::string method,
-                              std::any request) {
-    return call(from, to, std::move(method), std::move(request),
+  Task<Result<Payload>> call(NodeId from, NodeId to, MethodId method,
+                             Payload request) {
+    return call(from, to, method, std::move(request),
+                options_.default_timeout);
+  }
+  Task<Result<Payload>> call(NodeId from, NodeId to, std::string_view method,
+                             Payload request) {
+    return call(from, to, intern(method), std::move(request),
                 options_.default_timeout);
   }
 
   /// Calls `method` on `to` from `from`, failing with kTimeout after
   /// `timeout` if no reply (or detected failure) arrives sooner.
-  Task<Result<std::any>> call(NodeId from, NodeId to, std::string method,
-                              std::any request, Duration timeout);
+  Task<Result<Payload>> call(NodeId from, NodeId to, MethodId method,
+                             Payload request, Duration timeout);
+  Task<Result<Payload>> call(NodeId from, NodeId to, std::string_view method,
+                             Payload request, Duration timeout) {
+    return call(from, to, intern(method), std::move(request), timeout);
+  }
 
   /// Typed convenience wrapper: casts the reply payload to `Resp`.
   ///
   /// Deliberately NOT a coroutine: GCC 12 miscompiles by-value coroutine
   /// parameters of aggregate type passed as temporaries (the frame aliases
   /// the caller's temporary instead of copying it). The user's `Req` struct
-  /// is boxed into std::any here, in a plain function frame, and only
+  /// is boxed into a Payload here, in a plain function frame, and only
   /// non-aggregate types cross the coroutine boundary. This constraint holds
   /// library-wide: coroutine by-value parameters must be non-aggregates.
   template <typename Resp, typename Req>
-  Task<Result<Resp>> call_typed(NodeId from, NodeId to, std::string method,
+  Task<Result<Resp>> call_typed(NodeId from, NodeId to, MethodId method,
                                 Req request,
                                 std::optional<Duration> timeout = {}) {
-    return call_typed_impl<Resp>(from, to, std::move(method),
-                                 std::any{std::move(request)},
+    return call_typed_impl<Resp>(from, to, method, Payload{std::move(request)},
                                  timeout.value_or(options_.default_timeout));
+  }
+  template <typename Resp, typename Req>
+  Task<Result<Resp>> call_typed(NodeId from, NodeId to,
+                                std::string_view method, Req request,
+                                std::optional<Duration> timeout = {}) {
+    return call_typed<Resp>(from, to, intern(method), std::move(request),
+                            timeout);
   }
 
   [[nodiscard]] const RpcStats& stats() const noexcept { return stats_; }
@@ -121,18 +191,36 @@ class RpcNetwork {
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
  private:
-  static std::string key(NodeId node, const std::string& method) {
-    return std::to_string(node.raw()) + "/" + method;
+  /// Everything derived from a method name, computed once at intern time.
+  struct MethodInfo {
+    std::string name;
+    std::string latency_name;      // "rpc.<name>.latency_ns"
+    std::string ok_name;           // "rpc.<name>.ok"
+    std::string failed_name;       // "rpc.<name>.failed"
+    std::string timeouts_name;     // "rpc.<name>.timeouts"
+    std::string serve_name;        // "<name>#serve"
+    std::string not_found_detail;  // "no handler for <name>"
+  };
+
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  [[nodiscard]] const MethodInfo& info(MethodId method) const {
+    assert(method.valid() && method.index() < methods_.size());
+    return methods_[method.index()];
   }
 
   template <typename Resp>
-  Task<Result<Resp>> call_typed_impl(NodeId from, NodeId to,
-                                     std::string method, std::any request,
-                                     Duration timeout) {
-    Result<std::any> raw =
-        co_await call(from, to, std::move(method), std::move(request), timeout);
+  Task<Result<Resp>> call_typed_impl(NodeId from, NodeId to, MethodId method,
+                                     Payload request, Duration timeout) {
+    Result<Payload> raw =
+        co_await call(from, to, method, std::move(request), timeout);
     if (!raw) co_return std::move(raw).error();
-    Resp* typed = std::any_cast<Resp>(&raw.value());
+    Resp* typed = payload_cast<Resp>(&raw.value());
     assert(typed != nullptr && "RPC reply type mismatch");
     co_return std::move(*typed);
   }
@@ -141,18 +229,43 @@ class RpcNetwork {
   /// if no live path exists right now.
   std::optional<Duration> delivery_latency(NodeId from, NodeId to);
 
+  /// Cached jitter-free live-path latency (the route cache): recomputed
+  /// lazily per (from, to) pair, invalidated wholesale whenever the topology
+  /// version moves. Semantically identical to Topology::path_latency.
+  std::optional<Duration> base_latency(NodeId from, NodeId to);
+
+  /// Cached Topology::can_communicate (a live path exists, endpoints up).
+  bool route_alive(NodeId from, NodeId to) {
+    return base_latency(from, to).has_value();
+  }
+
   /// Server-side: runs the handler and sends the reply back. `call_span` is
   /// the caller's span id; the serve span nests under it.
-  Task<void> serve(NodeId from, NodeId to, std::string method,
-                   std::any request, OneShot<Result<std::any>> reply_to,
-                   std::uint64_t call_span);
+  Task<void> serve(NodeId from, NodeId to, MethodId method, Payload request,
+                   OneShot<Result<Payload>> reply_to, std::uint64_t call_span);
 
   Simulator& sim_;
   Topology& topology_;
   Rng rng_;
   RpcOptions options_;
   obs::MetricsRegistry& metrics_;
-  std::unordered_map<std::string, Handler> handlers_;
+
+  /// Intern table. A deque so MethodInfo addresses stay stable while new
+  /// methods are interned mid-call (references are held across co_awaits).
+  std::deque<MethodInfo> methods_;
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>
+      method_index_;
+  /// Dense dispatch table: handlers_[node][method].
+  std::vector<std::vector<Handler>> handlers_;
+
+  /// Route cache: latency nanos per (from, to), kRouteUnknown when not yet
+  /// computed for the current topology version, kRouteNoPath when down.
+  static constexpr std::int64_t kRouteUnknown = -1;
+  static constexpr std::int64_t kRouteNoPath = -2;
+  std::vector<std::int64_t> route_cache_;
+  std::uint64_t route_version_ = ~std::uint64_t{0};
+  std::size_t route_nodes_ = 0;
+
   RpcStats stats_;
 };
 

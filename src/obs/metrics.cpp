@@ -132,18 +132,35 @@ const Histogram* MetricsRegistry::histogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
-std::uint64_t MetricsRegistry::begin_span(std::string op, std::string peer,
-                                          SimTime at, std::uint64_t parent) {
+std::uint64_t MetricsRegistry::begin_span(std::string_view op,
+                                          std::string_view peer, SimTime at,
+                                          std::uint64_t parent) {
   const std::uint64_t id = next_span_id_++;
   ++spans_started_;
-  Span span;
-  span.id = id;
-  span.parent = parent;
-  span.op = std::move(op);
-  span.peer = std::move(peer);
-  span.start = at;
-  span.end = at;
-  open_spans_.emplace(id, std::move(span));
+  if (!span_node_stash_.empty()) {
+    // Steady state: reuse a parked map node — the contained Span's strings
+    // keep their capacity, so the copies below allocate nothing.
+    auto node = std::move(span_node_stash_.back());
+    span_node_stash_.pop_back();
+    node.key() = id;
+    Span& span = node.mapped();
+    span.id = id;
+    span.parent = parent;
+    span.op.assign(op);
+    span.peer.assign(peer);
+    span.start = at;
+    span.end = at;
+    open_spans_.insert(std::move(node));
+  } else {
+    Span span;
+    span.id = id;
+    span.parent = parent;
+    span.op = std::string{op};
+    span.peer = std::string{peer};
+    span.start = at;
+    span.end = at;
+    open_spans_.emplace(id, std::move(span));
+  }
   return id;
 }
 
@@ -152,15 +169,16 @@ void MetricsRegistry::end_span(std::uint64_t id, SimTime at,
   const auto it = open_spans_.find(id);
   if (it == open_spans_.end()) return;  // unknown or already closed
   ++spans_finished_;
-  Span span = std::move(it->second);
-  open_spans_.erase(it);
+  auto node = open_spans_.extract(it);
+  Span& span = node.mapped();
   span.end = at;
-  span.outcome = std::string{outcome};
   if (spans_.size() < span_cap_) {
-    spans_.push_back(std::move(span));
+    span.outcome = std::string{outcome};
+    spans_.push_back(std::move(span));  // steals buffers: pre-cap only
   } else {
     ++spans_dropped_;
   }
+  span_node_stash_.push_back(std::move(node));
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
@@ -309,6 +327,7 @@ void MetricsRegistry::clear() {
   histograms_.clear();
   spans_.clear();
   open_spans_.clear();
+  span_node_stash_.clear();
   next_span_id_ = 1;
   spans_started_ = 0;
   spans_finished_ = 0;

@@ -120,8 +120,10 @@ class MetricsRegistry {
 
   /// Opens a span at simulated time `at`; returns its id (ids are allocated
   /// even past the retention cap, so capping never perturbs determinism).
-  std::uint64_t begin_span(std::string op, std::string peer, SimTime at,
-                           std::uint64_t parent = 0);
+  /// `op` and `peer` are copied; steady-state opens reuse recycled span
+  /// storage, so the copy costs no allocation once the system is warm.
+  std::uint64_t begin_span(std::string_view op, std::string_view peer,
+                           SimTime at, std::uint64_t parent = 0);
 
   /// Closes span `id` with `outcome`. The first span_cap() completed spans
   /// are retained for export; later ones only count into spans_dropped.
@@ -161,10 +163,15 @@ class MetricsRegistry {
   void clear();
 
  private:
+  using OpenSpanMap = std::map<std::uint64_t, Span>;
+
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, Histogram, std::less<>> histograms_;
-  std::vector<Span> spans_;                  // first span_cap_ completed
-  std::map<std::uint64_t, Span> open_spans_;  // in-flight, keyed by id
+  std::vector<Span> spans_;     // first span_cap_ completed
+  OpenSpanMap open_spans_;      // in-flight, keyed by id
+  /// Recycled open_spans_ nodes: a span open/close in the steady state reuses
+  /// a parked node (and its Span's string capacity) instead of allocating.
+  std::vector<OpenSpanMap::node_type> span_node_stash_;
   std::uint64_t next_span_id_ = 1;
   std::uint64_t spans_started_ = 0;
   std::uint64_t spans_finished_ = 0;

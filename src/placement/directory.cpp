@@ -14,11 +14,11 @@ DirectoryService::DirectoryService(Repository& repo, NodeId node,
       options_(options),
       metrics_(obs::sink(options.metrics)) {
   repo_.net().register_handler(node_, "dir.lookup",
-                               [this](NodeId from, std::any request) {
+                               [this](NodeId from, Payload request) {
                                  return handle_lookup(from, std::move(request));
                                });
   repo_.net().register_handler(node_, "dir.watch",
-                               [this](NodeId from, std::any request) {
+                               [this](NodeId from, Payload request) {
                                  return handle_watch(from, std::move(request));
                                });
   // Epoch-bump accounting lives here (not in Repository) so that runs
@@ -33,17 +33,17 @@ msg::DirView DirectoryService::view_of(CollectionId id) const {
   return msg::DirView{meta.epoch(), meta.fragments()};
 }
 
-Task<Result<std::any>> DirectoryService::handle_lookup(NodeId /*from*/,
-                                                       std::any request) {
-  const auto req = std::any_cast<msg::DirLookupRequest>(std::move(request));
+Task<Result<Payload>> DirectoryService::handle_lookup(NodeId /*from*/,
+                                                       Payload request) {
+  const auto req = payload_cast<msg::DirLookupRequest>(std::move(request));
   metrics_.add("placement.dir.lookups_served");
   co_await repo_.sim().delay(options_.lookup_latency);
-  co_return std::any{view_of(req.id())};
+  co_return Payload{view_of(req.id())};
 }
 
-Task<Result<std::any>> DirectoryService::handle_watch(NodeId /*from*/,
-                                                      std::any request) {
-  const auto req = std::any_cast<msg::DirWatchRequest>(std::move(request));
+Task<Result<Payload>> DirectoryService::handle_watch(NodeId /*from*/,
+                                                      Payload request) {
+  const auto req = payload_cast<msg::DirWatchRequest>(std::move(request));
   metrics_.add("placement.dir.watches_served");
   Simulator& sim = repo_.sim();
   // Hold the poll until the epoch moves past the caller's or the hold
@@ -60,7 +60,7 @@ Task<Result<std::any>> DirectoryService::handle_watch(NodeId /*from*/,
   if (repo_.meta(req.id()).epoch() > req.known_epoch()) {
     metrics_.add("placement.dir.watch_fires");
   }
-  co_return std::any{view_of(req.id())};
+  co_return Payload{view_of(req.id())};
 }
 
 // ---------------------------------------------------------------------------

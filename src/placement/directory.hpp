@@ -54,8 +54,8 @@ class DirectoryService {
   [[nodiscard]] NodeId node() const noexcept { return node_; }
 
  private:
-  Task<Result<std::any>> handle_lookup(NodeId from, std::any request);
-  Task<Result<std::any>> handle_watch(NodeId from, std::any request);
+  Task<Result<Payload>> handle_lookup(NodeId from, Payload request);
+  Task<Result<Payload>> handle_watch(NodeId from, Payload request);
   [[nodiscard]] msg::DirView view_of(CollectionId id) const;
 
   Repository& repo_;

@@ -18,7 +18,7 @@ MigrationEngine::MigrationEngine(Repository& repo, NodeId node,
       options_(options),
       metrics_(obs::sink(options.metrics)) {
   const auto bind = [this](auto method) {
-    return [this, method](NodeId from, std::any request) {
+    return [this, method](NodeId from, Payload request) {
       return (this->*method)(from, std::move(request));
     };
   };
@@ -282,18 +282,18 @@ void MigrationEngine::staging_apply(Staging& staging, const CollectionOp& op) {
   }
 }
 
-Task<Result<std::any>> MigrationEngine::handle_execute(NodeId /*from*/,
-                                                       std::any request) {
-  const auto req = std::any_cast<msg::MigrateRequest>(std::move(request));
+Task<Result<Payload>> MigrationEngine::handle_execute(NodeId /*from*/,
+                                                       Payload request) {
+  const auto req = payload_cast<msg::MigrateRequest>(std::move(request));
   auto result = co_await migrate(req.collection(), req.fragment(),
                                  req.target());
   if (!result) co_return result.error();
-  co_return std::any{msg::MigrateReply{result.value()}};
+  co_return Payload{msg::MigrateReply{result.value()}};
 }
 
-Task<Result<std::any>> MigrationEngine::handle_begin(NodeId /*from*/,
-                                                     std::any request) {
-  const auto req = std::any_cast<msg::MigBeginRequest>(std::move(request));
+Task<Result<Payload>> MigrationEngine::handle_begin(NodeId /*from*/,
+                                                     Payload request) {
+  const auto req = payload_cast<msg::MigBeginRequest>(std::move(request));
   StoreServer* server = repo_.server_at(node_);
   if (server == nullptr || !server->serving()) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -311,12 +311,12 @@ Task<Result<std::any>> MigrationEngine::handle_begin(NodeId /*from*/,
   staging->incarnation = req.incarnation();
   staging_.insert_or_assign(req.id(), std::move(staging));
   metrics_.add("placement.stagings_opened");
-  co_return std::any{true};
+  co_return Payload{true};
 }
 
-Task<Result<std::any>> MigrationEngine::handle_chunk(NodeId /*from*/,
-                                                     std::any request) {
-  const auto req = std::any_cast<msg::MigChunkRequest>(std::move(request));
+Task<Result<Payload>> MigrationEngine::handle_chunk(NodeId /*from*/,
+                                                     Payload request) {
+  const auto req = payload_cast<msg::MigChunkRequest>(std::move(request));
   StoreServer* server = repo_.server_at(node_);
   if (server == nullptr || !server->serving()) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -339,13 +339,13 @@ Task<Result<std::any>> MigrationEngine::handle_chunk(NodeId /*from*/,
     staging.incarnation = req.incarnation();
     staging.sealed = true;
   }
-  co_return std::any{msg::MigChunkReply{staging.members.size() +
+  co_return Payload{msg::MigChunkReply{staging.members.size() +
                                         staging.arriving.size()}};
 }
 
-Task<Result<std::any>> MigrationEngine::handle_ops(NodeId /*from*/,
-                                                   std::any request) {
-  const auto req = std::any_cast<smsg::SyncRequest>(std::move(request));
+Task<Result<Payload>> MigrationEngine::handle_ops(NodeId /*from*/,
+                                                   Payload request) {
+  const auto req = payload_cast<smsg::SyncRequest>(std::move(request));
   StoreServer* server = repo_.server_at(node_);
   if (server == nullptr || !server->serving()) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -360,13 +360,13 @@ Task<Result<std::any>> MigrationEngine::handle_ops(NodeId /*from*/,
     co_return Failure{FailureKind::kExhausted, "staging incarnation mismatch"};
   }
   for (const CollectionOp& op : req.ops()) staging_apply(staging, op);
-  co_return std::any{smsg::SyncReply{staging.applied_seq, staging.incarnation}};
+  co_return Payload{smsg::SyncReply{staging.applied_seq, staging.incarnation}};
 }
 
-Task<Result<std::any>> MigrationEngine::handle_apply(NodeId /*from*/,
-                                                     std::any request) {
+Task<Result<Payload>> MigrationEngine::handle_apply(NodeId /*from*/,
+                                                     Payload request) {
   const auto req =
-      std::any_cast<smsg::HandoffApplyRequest>(std::move(request));
+      payload_cast<smsg::HandoffApplyRequest>(std::move(request));
   StoreServer* server = repo_.server_at(node_);
   if (server == nullptr || !server->serving()) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -380,7 +380,7 @@ Task<Result<std::any>> MigrationEngine::handle_apply(NodeId /*from*/,
                         "staging incarnation mismatch"};
     }
     staging_apply(staging, req.op());
-    co_return std::any{smsg::HandoffApplyReply{staging.applied_seq}};
+    co_return Payload{smsg::HandoffApplyReply{staging.applied_seq}};
   }
   // Post-promote window: the staging was consumed by mig.finish but the
   // source has not retired yet — apply straight to the adopted primary
@@ -392,14 +392,14 @@ Task<Result<std::any>> MigrationEngine::handle_apply(NodeId /*from*/,
   if (state != nullptr && server->hosts_primary(req.id()) &&
       req.op().seq() <= state->applied_seq() + 1) {
     state->apply(req.op());
-    co_return std::any{smsg::HandoffApplyReply{state->applied_seq()}};
+    co_return Payload{smsg::HandoffApplyReply{state->applied_seq()}};
   }
   co_return Failure{FailureKind::kNotFound, "no handoff destination"};
 }
 
-Task<Result<std::any>> MigrationEngine::handle_finish(NodeId /*from*/,
-                                                      std::any request) {
-  const auto req = std::any_cast<msg::MigFinishRequest>(std::move(request));
+Task<Result<Payload>> MigrationEngine::handle_finish(NodeId /*from*/,
+                                                      Payload request) {
+  const auto req = payload_cast<msg::MigFinishRequest>(std::move(request));
   StoreServer* server = repo_.server_at(node_);
   if (server == nullptr || !server->serving()) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
@@ -407,7 +407,7 @@ Task<Result<std::any>> MigrationEngine::handle_finish(NodeId /*from*/,
   co_await repo_.sim().delay(server->options().membership_latency);
   const auto it = staging_.find(req.id());
   if (it == staging_.end() || !it->second->sealed) {
-    co_return std::any{msg::MigFinishReply{false, 0}};
+    co_return Payload{msg::MigFinishReply{false, 0}};
   }
   Staging& staging = *it->second;
   if (staging.applied_seq < req.expected_last_seq() ||
@@ -415,7 +415,7 @@ Task<Result<std::any>> MigrationEngine::handle_finish(NodeId /*from*/,
     // Below the cut line, or a buffered out-of-order forward is waiting on
     // the op that fills its gap: promoting now would drop an op whose
     // forward was already acknowledged. The source aborts and may retry.
-    co_return std::any{msg::MigFinishReply{false, staging.applied_seq}};
+    co_return Payload{msg::MigFinishReply{false, staging.applied_seq}};
   }
   // Promote: install as a hosted primary continuing the same op stream.
   wal::CollectionImage image;
@@ -440,12 +440,12 @@ Task<Result<std::any>> MigrationEngine::handle_finish(NodeId /*from*/,
   if (!durable) {
     co_return Failure{FailureKind::kNodeCrashed, "crashed persisting adoption"};
   }
-  co_return std::any{msg::MigFinishReply{true, image.applied_seq}};
+  co_return Payload{msg::MigFinishReply{true, image.applied_seq}};
 }
 
-Task<Result<std::any>> MigrationEngine::handle_abort(NodeId /*from*/,
-                                                     std::any request) {
-  const auto req = std::any_cast<msg::MigAbortRequest>(std::move(request));
+Task<Result<Payload>> MigrationEngine::handle_abort(NodeId /*from*/,
+                                                     Payload request) {
+  const auto req = payload_cast<msg::MigAbortRequest>(std::move(request));
   staging_.erase(req.id());
   // Orphan cleanup: if we promoted but the finish reply was lost, the
   // source aborted and the directory still points at it — retire our copy
@@ -466,7 +466,7 @@ Task<Result<std::any>> MigrationEngine::handle_abort(NodeId /*from*/,
     }
   }
   metrics_.add("placement.stagings_aborted");
-  co_return std::any{true};
+  co_return Payload{true};
 }
 
 }  // namespace weakset::placement

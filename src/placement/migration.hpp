@@ -114,13 +114,13 @@ class MigrationEngine {
   /// Applies one op to a sealed staging (idempotent, buffers gaps).
   static void staging_apply(Staging& staging, const CollectionOp& op);
 
-  Task<Result<std::any>> handle_execute(NodeId from, std::any request);
-  Task<Result<std::any>> handle_begin(NodeId from, std::any request);
-  Task<Result<std::any>> handle_chunk(NodeId from, std::any request);
-  Task<Result<std::any>> handle_ops(NodeId from, std::any request);
-  Task<Result<std::any>> handle_apply(NodeId from, std::any request);
-  Task<Result<std::any>> handle_finish(NodeId from, std::any request);
-  Task<Result<std::any>> handle_abort(NodeId from, std::any request);
+  Task<Result<Payload>> handle_execute(NodeId from, Payload request);
+  Task<Result<Payload>> handle_begin(NodeId from, Payload request);
+  Task<Result<Payload>> handle_chunk(NodeId from, Payload request);
+  Task<Result<Payload>> handle_ops(NodeId from, Payload request);
+  Task<Result<Payload>> handle_apply(NodeId from, Payload request);
+  Task<Result<Payload>> handle_finish(NodeId from, Payload request);
+  Task<Result<Payload>> handle_abort(NodeId from, Payload request);
 
   template <typename Resp, typename Req>
   Task<Result<Resp>> call(NodeId to, std::string method, Req request) {

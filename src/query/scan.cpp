@@ -12,8 +12,8 @@ void QueryService::install(NodeId node) {
   net.register_handler(
       node, "query.scan",
       [server, node, options, &net](NodeId,
-                                    std::any request) -> Task<Result<std::any>> {
-        const auto req = std::any_cast<msg::ScanRequest>(std::move(request));
+                                    Payload request) -> Task<Result<Payload>> {
+        const auto req = payload_cast<msg::ScanRequest>(std::move(request));
         const ObjectStore& store = server->objects();
         co_await net.sim().delay(
             options.base_latency +
@@ -27,7 +27,7 @@ void QueryService::install(NodeId node) {
         // Unordered-map iteration order is nondeterministic across libc++/
         // libstdc++; sort for reproducible traces.
         std::sort(matches.begin(), matches.end());
-        co_return std::any{std::move(matches)};
+        co_return Payload{std::move(matches)};
       });
 }
 
@@ -42,8 +42,8 @@ void IndexedQueryService::install(NodeId node) {
   net.register_handler(
       node, "query.scan",
       [this, server, node, node_index, options,
-       &net](NodeId, std::any request) -> Task<Result<std::any>> {
-        const auto req = std::any_cast<msg::ScanRequest>(std::move(request));
+       &net](NodeId, Payload request) -> Task<Result<Payload>> {
+        const auto req = payload_cast<msg::ScanRequest>(std::move(request));
         const ObjectStore& store = server->objects();
         co_await net.sim().delay(options.base_latency);
 
@@ -92,7 +92,7 @@ void IndexedQueryService::install(NodeId node) {
           });
         }
         std::sort(matches.begin(), matches.end());
-        co_return std::any{std::move(matches)};
+        co_return Payload{std::move(matches)};
       });
 }
 

@@ -18,16 +18,20 @@
 #include <utility>
 
 #include "sim/simulator.hpp"
+#include "util/pool.hpp"
 
 namespace weakset {
 
 /// A single-assignment cell: one producer calls try_set, one consumer awaits
 /// wait(). Copies share the same underlying cell, so an RPC reply path and a
 /// timeout path can race to complete the same OneShot — the first wins.
+/// State blocks (value slot + control block, one combined allocation) are
+/// recycled through BlockPool: one cell per RPC is hot-path rhythm.
 template <typename T>
 class OneShot {
  public:
-  explicit OneShot(Simulator& sim) : state_(std::make_shared<State>(&sim)) {}
+  explicit OneShot(Simulator& sim)
+      : state_(std::allocate_shared<State>(PoolAllocator<State>{}, &sim)) {}
 
   /// Completes the cell. Returns false (and discards `value`) if the cell was
   /// already completed — e.g. a reply arriving after its timeout fired.

@@ -6,18 +6,24 @@
 // concurrent mutators) runs over this simulator, so every run is exactly
 // reproducible from its RNG seeds: events execute in (time, sequence) order,
 // single-threaded. See DESIGN.md section 3.3.
+//
+// Hot-path memory discipline (DESIGN.md decision 13): event callbacks live
+// in a slab of recycled slots and are InlineFunc (small-buffer optimised),
+// and cancellation is a generation counter on the slot rather than a
+// shared_ptr<bool> token — so the steady-state event loop performs zero
+// allocations per event (tests/alloc_test.cpp holds this to account).
 
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <type_traits>
 #include <variant>
 #include <vector>
 
 #include "sim/task.hpp"
-#include "util/move_func.hpp"
+#include "util/inline_func.hpp"
+#include "util/pool.hpp"
 #include "util/time.hpp"
 
 namespace weakset {
@@ -36,30 +42,36 @@ class Simulator {
 
   /// Runs `fn` after `delay` of virtual time (>= 0). Events scheduled for the
   /// same instant run in scheduling order.
-  void schedule(Duration delay, MoveFunc fn);
+  void schedule(Duration delay, InlineFunc fn);
 
   /// Runs `fn` at absolute virtual time `at` (>= now()).
-  void schedule_at(SimTime at, MoveFunc fn);
+  void schedule_at(SimTime at, InlineFunc fn);
 
   /// Handle to a pending timer; cancelling it makes the event a no-op that
   /// neither runs nor advances the clock (important for timeout timers that
-  /// lost their race against a reply).
+  /// lost their race against a reply). The token is a (slot, generation)
+  /// pair: cancel() bumps the slot's generation so the queued entry — and
+  /// any stale copy of the token — no longer matches. Cancelling after the
+  /// timer fired (or after a second cancel) is a harmless no-op, but the
+  /// token must not outlive the Simulator itself.
   class TimerToken {
    public:
     TimerToken() = default;
     void cancel() const {
-      if (alive_) *alive_ = false;
+      if (sim_ != nullptr) sim_->cancel_slot(slot_, gen_);
     }
 
    private:
     friend class Simulator;
-    explicit TimerToken(std::shared_ptr<bool> alive)
-        : alive_(std::move(alive)) {}
-    std::shared_ptr<bool> alive_;
+    TimerToken(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+        : sim_(sim), slot_(slot), gen_(gen) {}
+    Simulator* sim_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
   };
 
   /// Like schedule(), but returns a token that can cancel the event.
-  TimerToken schedule_cancellable(Duration delay, MoveFunc fn);
+  TimerToken schedule_cancellable(Duration delay, InlineFunc fn);
 
   /// Starts a detached coroutine process. The process begins executing at the
   /// current virtual time, after already-queued events for this instant.
@@ -104,19 +116,41 @@ class Simulator {
   static constexpr std::size_t kDefaultMaxEvents = 500'000'000;
 
  private:
-  struct Event {
+  /// A queued callback. Slots are recycled through a free list; `gen`
+  /// distinguishes the current occupant from stale heap entries and timer
+  /// tokens, and is bumped on both cancellation and completion.
+  struct Slot {
+    InlineFunc fn;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+  /// Heap entries are 24 trivially-copyable bytes; the callable stays put in
+  /// the slab while sift-up/down shuffle these.
+  struct HeapEntry {
     SimTime at;
     std::uint64_t seq;
-    MoveFunc fn;
-    std::shared_ptr<bool> alive;  // null => not cancellable
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  // Min-heap on (at, seq) implemented over a vector so we can move events out.
-  static bool later(const Event& a, const Event& b) {
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  // Min-heap on (at, seq) implemented over a vector so entries stay movable.
+  static bool later(const HeapEntry& a, const HeapEntry& b) {
     return a.at > b.at || (a.at == b.at && a.seq > b.seq);
   }
-  Event pop_next();
 
-  std::vector<Event> queue_;
+  std::uint32_t acquire_slot(InlineFunc fn);
+  void release_slot(std::uint32_t slot) noexcept;
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen) noexcept;
+  void push_entry(SimTime at, std::uint32_t slot);
+  /// Pops exactly one heap entry. True: a live callback was moved into `fn`
+  /// (and its time into `at`). False: the entry was cancelled and was
+  /// silently reclaimed. Precondition: the queue is non-empty.
+  bool pop_top(InlineFunc& fn, SimTime* at);
+
+  std::vector<HeapEntry> queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
@@ -138,6 +172,13 @@ struct Detached {
     // A failure escaping a detached process is a bug in the simulation, not a
     // modelled fault (those travel as Result values); fail loudly.
     void unhandled_exception() { std::terminate(); }
+    // Frames recycle through BlockPool like every other task frame.
+    static void* operator new(std::size_t size) {
+      return BlockPool::allocate(size);
+    }
+    static void operator delete(void* frame, std::size_t size) noexcept {
+      BlockPool::deallocate(frame, size);
+    }
   };
   std::coroutine_handle<promise_type> handle;
 };

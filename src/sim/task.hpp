@@ -18,12 +18,28 @@
 #include <utility>
 #include <variant>
 
+#include "util/pool.hpp"
+
 namespace weakset {
 
 template <typename T>
 class Task;
 
 namespace detail {
+
+/// Coroutine frames are the one allocation C++20 will not let us elide from
+/// the outside, so the promise types route them through BlockPool: a
+/// simulation that runs the same processes over and over (every RPC is a
+/// handler task plus a typed-call task) recycles the same few frame blocks
+/// instead of calling operator new per activation (DESIGN.md decision 13).
+struct PooledFrame {
+  static void* operator new(std::size_t size) {
+    return BlockPool::allocate(size);
+  }
+  static void operator delete(void* frame, std::size_t size) noexcept {
+    BlockPool::deallocate(frame, size);
+  }
+};
 
 /// Promise state shared by Task<T> and Task<void>.
 template <typename Promise>
@@ -39,7 +55,7 @@ struct TaskFinalAwaiter {
 };
 
 template <typename T>
-struct TaskPromise {
+struct TaskPromise : PooledFrame {
   std::coroutine_handle<> continuation;
   std::variant<std::monostate, T, std::exception_ptr> result;
 
@@ -59,7 +75,7 @@ struct TaskPromise {
 };
 
 template <>
-struct TaskPromise<void> {
+struct TaskPromise<void> : PooledFrame {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
   bool done = false;

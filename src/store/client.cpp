@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/pool.hpp"
+
 namespace weakset {
 
 std::optional<NodeId> RepositoryClient::pick_read_host(
@@ -44,7 +46,7 @@ Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment(
       co_return Failure{FailureKind::kPartitioned,
                         "no reachable host for fragment"};
     }
-    auto reply = co_await call<msg::SnapshotReply>(*host, "coll.snapshot",
+    auto reply = co_await call<msg::SnapshotReply>(*host, methods_.snapshot,
                                                    msg::SnapshotRequest{id});
     if (reply) co_return std::move(reply).value();
     Failure failure = std::move(reply).error();
@@ -82,20 +84,20 @@ namespace {
 // own frame, after gathering.
 
 Task<void> snapshot_into(
-    RpcNetwork& net, NodeId from, NodeId host, CollectionId id,
-    std::optional<Duration> timeout,
+    RpcNetwork& net, NodeId from, NodeId host, MethodId method,
+    CollectionId id, std::optional<Duration> timeout,
     std::shared_ptr<AsyncQueue<Result<msg::SnapshotReply>>> arrivals) {
   Result<msg::SnapshotReply> reply =
       co_await net.call_typed<msg::SnapshotReply>(
-          from, host, "coll.snapshot", msg::SnapshotRequest{id}, timeout);
+          from, host, method, msg::SnapshotRequest{id}, timeout);
   arrivals->push(std::move(reply));
 }
 
 /// Quorum fragment read: scatter to `hosts`, gather the first `needed`
 /// successful replies, return the freshest (highest version).
 Task<Result<msg::SnapshotReply>> quorum_snapshot(
-    RpcNetwork& net, NodeId from, std::vector<NodeId> hosts, CollectionId id,
-    std::size_t needed, std::optional<Duration> timeout) {
+    RpcNetwork& net, NodeId from, std::vector<NodeId> hosts, MethodId method,
+    CollectionId id, std::size_t needed, std::optional<Duration> timeout) {
   // Scatter to every host; gather replies in ARRIVAL order so a small
   // quorum completes as soon as the nearest hosts answer. The gather must
   // outlive this frame if abandoned, so the arrival queue is heap-shared.
@@ -103,7 +105,7 @@ Task<Result<msg::SnapshotReply>> quorum_snapshot(
   auto arrivals =
       std::make_shared<AsyncQueue<Result<msg::SnapshotReply>>>(sim);
   for (const NodeId host : hosts) {
-    sim.spawn(snapshot_into(net, from, host, id, timeout, arrivals));
+    sim.spawn(snapshot_into(net, from, host, method, id, timeout, arrivals));
   }
 
   std::optional<msg::SnapshotReply> freshest;
@@ -136,12 +138,12 @@ using FragmentArrival = std::pair<std::size_t, Result<msg::DeltaReply>>;
 using FragmentQueue = std::shared_ptr<AsyncQueue<FragmentArrival>>;
 
 Task<void> snapshot_fragment_into(RpcNetwork& net, NodeId from, NodeId host,
-                                  CollectionId id,
+                                  MethodId method, CollectionId id,
                                   std::optional<Duration> timeout,
                                   std::size_t index, FragmentQueue arrivals) {
   Result<msg::SnapshotReply> reply =
       co_await net.call_typed<msg::SnapshotReply>(
-          from, host, "coll.snapshot", msg::SnapshotRequest{id}, timeout);
+          from, host, method, msg::SnapshotRequest{id}, timeout);
   if (!reply.has_value()) {
     arrivals->push(FragmentArrival{index, std::move(reply).error()});
     co_return;
@@ -153,23 +155,24 @@ Task<void> snapshot_fragment_into(RpcNetwork& net, NodeId from, NodeId host,
 }
 
 Task<void> delta_fragment_into(RpcNetwork& net, NodeId from, NodeId host,
-                               CollectionId id, std::uint64_t since_seq,
+                               MethodId method, CollectionId id,
+                               std::uint64_t since_seq,
                                std::uint64_t since_incarnation,
                                std::optional<Duration> timeout,
                                std::size_t index, FragmentQueue arrivals) {
   Result<msg::DeltaReply> reply = co_await net.call_typed<msg::DeltaReply>(
-      from, host, "coll.read_delta",
+      from, host, method,
       msg::DeltaRequest{id, since_seq, since_incarnation}, timeout);
   arrivals->push(FragmentArrival{index, std::move(reply)});
 }
 
 Task<void> quorum_fragment_into(RpcNetwork& net, NodeId from,
-                                std::vector<NodeId> hosts, CollectionId id,
-                                std::size_t needed,
+                                std::vector<NodeId> hosts, MethodId method,
+                                CollectionId id, std::size_t needed,
                                 std::optional<Duration> timeout,
                                 std::size_t index, FragmentQueue arrivals) {
   Result<msg::SnapshotReply> reply = co_await quorum_snapshot(
-      net, from, std::move(hosts), id, needed, timeout);
+      net, from, std::move(hosts), method, id, needed, timeout);
   if (!reply.has_value()) {
     arrivals->push(FragmentArrival{index, std::move(reply).error()});
     co_return;
@@ -193,7 +196,8 @@ Task<Result<msg::SnapshotReply>> RepositoryClient::read_fragment_quorum(
     CollectionId id, const FragmentMeta& fragment) {
   const std::size_t count = 1 + fragment.replicas().size();
   co_return co_await quorum_snapshot(repo_.net(), node_,
-                                     fragment_hosts(fragment), id,
+                                     fragment_hosts(fragment),
+                                     methods_.snapshot, id,
                                      std::min(options_.quorum, count),
                                      options_.rpc_timeout);
 }
@@ -228,6 +232,7 @@ const std::vector<ObjectRef>& RepositoryClient::absorb_delta(
     }
     entry.seq = std::max(entry.seq, reply.seq());
     entry.version = std::max(entry.version, reply.version());
+    VectorPool<CollectionOp>::release(std::move(reply).take_ops());
   } else {
     ++read_stats_.fragment_reads_full;
     ++last_read_full_;
@@ -287,8 +292,8 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all_attempt(
       std::vector<NodeId> hosts = fragment_hosts(frag);
       const std::size_t needed = std::min(options_.quorum, hosts.size());
       sim.spawn(quorum_fragment_into(repo_.net(), node_, std::move(hosts),
-                                     id, needed, options_.rpc_timeout, f,
-                                     arrivals));
+                                     methods_.snapshot, id, needed,
+                                     options_.rpc_timeout, f, arrivals));
       ++spawned;
       continue;
     }
@@ -305,11 +310,13 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all_attempt(
           it == delta_cache_.end() ? 0 : it->second.seq;
       const std::uint64_t since_incarnation =
           it == delta_cache_.end() ? 0 : it->second.incarnation;
-      sim.spawn(delta_fragment_into(repo_.net(), node_, *host, id, since,
+      sim.spawn(delta_fragment_into(repo_.net(), node_, *host,
+                                    methods_.read_delta, id, since,
                                     since_incarnation, options_.rpc_timeout,
                                     f, arrivals));
     } else {
-      sim.spawn(snapshot_fragment_into(repo_.net(), node_, *host, id,
+      sim.spawn(snapshot_fragment_into(repo_.net(), node_, *host,
+                                       methods_.snapshot, id,
                                        options_.rpc_timeout, f, arrivals));
     }
     ++spawned;
@@ -354,6 +361,7 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::read_all_attempt(
                    slot.value().entry_count());
       std::vector<ObjectRef> part = std::move(slot).value().take_members();
       members.insert(members.end(), part.begin(), part.end());
+      VectorPool<ObjectRef>::release(std::move(part));
     }
   }
   read_stats_.read_all_time = read_stats_.read_all_time + (sim.now() - start);
@@ -375,7 +383,7 @@ Task<Result<std::vector<ObjectRef>>> RepositoryClient::snapshot_atomic(
   Result<std::vector<ObjectRef>> outcome = members;
   for (const FragmentMeta& frag : meta.fragments()) {
     auto reply = co_await call<msg::SnapshotReply>(
-        frag.primary(), "coll.snapshot", msg::SnapshotRequest{id});
+        frag.primary(), methods_.snapshot, msg::SnapshotRequest{id});
     if (!reply) {
       outcome = std::move(reply).error();
       break;
@@ -409,7 +417,7 @@ Task<Result<bool>> RepositoryClient::mutate(CollectionId id, ObjectRef ref,
     const CollectionMeta& meta = resolve(id);
     const NodeId primary = meta.fragments()[meta.fragment_of(ref)].primary();
     auto reply = co_await call<msg::MembershipReply>(
-        primary, "coll.membership", msg::MembershipRequest{id, ref, op});
+        primary, methods_.membership, msg::MembershipRequest{id, ref, op});
     if (reply) co_return reply.value().changed();
     Failure failure = std::move(reply).error();
     if (failure.kind == FailureKind::kWrongEpoch && attempt == 0 &&
@@ -429,7 +437,7 @@ Task<Result<bool>> RepositoryClient::remove(CollectionId id, ObjectRef ref) {
 }
 
 Task<Result<VersionedValue>> RepositoryClient::fetch(ObjectRef ref) {
-  return call<VersionedValue>(ref.home(), "store.fetch",
+  return call<VersionedValue>(ref.home(), methods_.fetch,
                               msg::FetchRequest{ref.id()});
 }
 
@@ -438,12 +446,12 @@ namespace {
 using BatchArrival = std::pair<std::size_t, Result<msg::FetchBatchReply>>;
 
 Task<void> fetch_batch_into(RpcNetwork& net, NodeId from, NodeId home,
-                            std::vector<ObjectId> ids,
+                            MethodId method, std::vector<ObjectId> ids,
                             std::optional<Duration> timeout, std::size_t group,
                             std::shared_ptr<AsyncQueue<BatchArrival>> arrivals) {
   Result<msg::FetchBatchReply> reply =
       co_await net.call_typed<msg::FetchBatchReply>(
-          from, home, "store.fetch_batch",
+          from, home, method,
           msg::FetchBatchRequest{std::move(ids)}, timeout);
   arrivals->push(BatchArrival{group, std::move(reply)});
 }
@@ -478,7 +486,8 @@ Task<std::vector<Result<VersionedValue>>> RepositoryClient::fetch_many(
     std::vector<ObjectId> ids;
     ids.reserve(group_indices[g].size());
     for (const std::size_t i : group_indices[g]) ids.push_back(refs[i].id());
-    sim.spawn(fetch_batch_into(repo_.net(), node_, homes[g], std::move(ids),
+    sim.spawn(fetch_batch_into(repo_.net(), node_, homes[g],
+                               methods_.fetch_batch, std::move(ids),
                                options_.rpc_timeout, g, arrivals));
   }
 
@@ -495,6 +504,7 @@ Task<std::vector<Result<VersionedValue>>> RepositoryClient::fetch_many(
       for (std::size_t j = 0; j < indices.size(); ++j) {
         slots[indices[j]] = std::move(results[j]);
       }
+      VectorPool<Result<VersionedValue>>::release(std::move(results));
     } else {
       // Transport failure: every ref homed at this node shares it.
       for (const std::size_t i : indices) slots[i] = reply.error();
@@ -518,7 +528,7 @@ Task<std::vector<Result<VersionedValue>>> RepositoryClient::fetch_many(
 
 Task<Result<std::uint64_t>> RepositoryClient::put(ObjectRef ref,
                                                   std::string data) {
-  return call<std::uint64_t>(ref.home(), "store.put",
+  return call<std::uint64_t>(ref.home(), methods_.put,
                              msg::PutRequest{ref.id(), std::move(data)});
 }
 
@@ -533,12 +543,12 @@ Task<Result<void>> RepositoryClient::freeze_all(CollectionId id) {
   }
   std::sort(primaries.begin(), primaries.end());
   for (std::size_t i = 0; i < primaries.size(); ++i) {
-    auto reply = co_await call<bool>(primaries[i], "coll.freeze",
+    auto reply = co_await call<bool>(primaries[i], methods_.freeze,
                                      msg::FreezeRequest{id, token_, true});
     if (!reply) {
       // Roll back what we already hold, then report the failure.
       for (std::size_t j = 0; j < i; ++j) {
-        (void)co_await call<bool>(primaries[j], "coll.freeze",
+        (void)co_await call<bool>(primaries[j], methods_.freeze,
                                   msg::FreezeRequest{id, token_, false});
       }
       co_return std::move(reply).error();
@@ -551,7 +561,7 @@ Task<void> RepositoryClient::unfreeze_all(CollectionId id) {
   const CollectionMeta& meta = resolve(id);
   for (const FragmentMeta& frag : meta.fragments()) {
     // Best effort: if this fails, the server-side lease expires the freeze.
-    (void)co_await call<bool>(frag.primary(), "coll.freeze",
+    (void)co_await call<bool>(frag.primary(), methods_.freeze,
                               msg::FreezeRequest{id, token_, false});
   }
 }
@@ -560,12 +570,12 @@ Task<Result<void>> RepositoryClient::pin_all(CollectionId id) {
   const CollectionMeta& meta = resolve(id);
   for (std::size_t f = 0; f < meta.fragment_count(); ++f) {
     const NodeId primary = meta.fragments()[f].primary();
-    auto reply = co_await call<bool>(primary, "coll.pin",
+    auto reply = co_await call<bool>(primary, methods_.pin,
                                      msg::PinRequest{id, true});
     if (!reply) {
       // Roll back pins already taken.
       for (std::size_t g = 0; g < f; ++g) {
-        (void)co_await call<bool>(meta.fragments()[g].primary(), "coll.pin",
+        (void)co_await call<bool>(meta.fragments()[g].primary(), methods_.pin,
                                   msg::PinRequest{id, false});
       }
       co_return std::move(reply).error();
@@ -577,7 +587,7 @@ Task<Result<void>> RepositoryClient::pin_all(CollectionId id) {
 Task<void> RepositoryClient::unpin_all(CollectionId id) {
   const CollectionMeta& meta = resolve(id);
   for (const FragmentMeta& frag : meta.fragments()) {
-    (void)co_await call<bool>(frag.primary(), "coll.pin",
+    (void)co_await call<bool>(frag.primary(), methods_.pin,
                               msg::PinRequest{id, false});
   }
 }

@@ -80,7 +80,8 @@ class RepositoryClient {
         node_(node),
         options_(options),
         metrics_(obs::sink(options.metrics)),
-        token_(repo.next_client_token()) {}
+        token_(repo.next_client_token()),
+        methods_(repo.net()) {}
 
   [[nodiscard]] NodeId node() const noexcept { return node_; }
   [[nodiscard]] std::uint64_t token() const noexcept { return token_; }
@@ -220,17 +221,39 @@ class RepositoryClient {
       CollectionId id, const FragmentMeta& fragment);
 
   template <typename Resp, typename Req>
-  Task<Result<Resp>> call(NodeId to, std::string method, Req request) {
-    return repo_.net().call_typed<Resp>(node_, to, std::move(method),
-                                        std::move(request),
+  Task<Result<Resp>> call(NodeId to, MethodId method, Req request) {
+    return repo_.net().call_typed<Resp>(node_, to, method, std::move(request),
                                         options_.rpc_timeout);
   }
+
+  /// The client's RPC vocabulary, interned once at construction so the hot
+  /// read path never hashes a method string (DESIGN.md decision 13).
+  struct Methods {
+    explicit Methods(RpcNetwork& net)
+        : snapshot(net.intern("coll.snapshot")),
+          read_delta(net.intern("coll.read_delta")),
+          membership(net.intern("coll.membership")),
+          freeze(net.intern("coll.freeze")),
+          pin(net.intern("coll.pin")),
+          fetch(net.intern("store.fetch")),
+          fetch_batch(net.intern("store.fetch_batch")),
+          put(net.intern("store.put")) {}
+    MethodId snapshot;
+    MethodId read_delta;
+    MethodId membership;
+    MethodId freeze;
+    MethodId pin;
+    MethodId fetch;
+    MethodId fetch_batch;
+    MethodId put;
+  };
 
   Repository& repo_;
   NodeId node_;
   ClientOptions options_;
   obs::MetricsRegistry& metrics_;
   std::uint64_t token_;
+  Methods methods_;
   std::map<CacheKey, FragmentCacheEntry> delta_cache_;
   ClientReadStats read_stats_;
   std::uint64_t last_read_full_ = 0;

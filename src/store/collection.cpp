@@ -72,7 +72,14 @@ void CollectionState::set_log_cap(std::size_t cap) {
 std::vector<CollectionOp> CollectionState::ops_since(
     std::uint64_t after_seq) const {
   std::vector<CollectionOp> out;
-  if (after_seq >= last_seq_) return out;
+  ops_since(after_seq, out);
+  return out;
+}
+
+void CollectionState::ops_since(std::uint64_t after_seq,
+                                std::vector<CollectionOp>& out) const {
+  out.clear();
+  if (after_seq >= last_seq_) return;
   assert(can_serve_ops_since(after_seq) &&
          "caller must snapshot-resync past a truncated log");
   // The retained window is contiguous, so the slice starts at the offset of
@@ -80,7 +87,6 @@ std::vector<CollectionOp> CollectionState::ops_since(
   const std::size_t skip =
       static_cast<std::size_t>(after_seq + 1 - log_floor_seq());
   out.assign(log_.begin() + static_cast<std::ptrdiff_t>(skip), log_.end());
-  return out;
 }
 
 void CollectionState::apply(const CollectionOp& op) {

@@ -136,6 +136,11 @@ class CollectionState {
   [[nodiscard]] std::vector<CollectionOp> ops_since(
       std::uint64_t after_seq) const;
 
+  /// Into-buffer variant: replaces `out` with the slice, reusing its
+  /// capacity. Hot read paths pair this with VectorPool so a steady-state
+  /// delta read allocates nothing.
+  void ops_since(std::uint64_t after_seq, std::vector<CollectionOp>& out) const;
+
   /// Replica side: applies a primary op. Ops at or below the already-applied
   /// sequence are ignored (idempotent); ops must otherwise arrive in order.
   /// Applied ops are re-logged locally so the replica can serve deltas.

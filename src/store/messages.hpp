@@ -158,6 +158,10 @@ class DeltaReply {
   [[nodiscard]] const std::vector<CollectionOp>& ops() const noexcept {
     return ops_;
   }
+  /// Drains the op buffer, so a consumer can recycle it (VectorPool).
+  [[nodiscard]] std::vector<CollectionOp>&& take_ops() && {
+    return std::move(ops_);
+  }
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
   [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
   /// Incarnation the cursor (version, seq) belongs to; the client stores it
@@ -277,6 +281,10 @@ class SyncRequest {
   [[nodiscard]] const std::vector<CollectionOp>& ops() const noexcept {
     return ops_;
   }
+  /// Drains the op buffer, so a consumer can recycle it (VectorPool).
+  [[nodiscard]] std::vector<CollectionOp>&& take_ops() && {
+    return std::move(ops_);
+  }
   /// Incarnation of the primary's op stream. A replica on a different
   /// incarnation applies nothing (its cursor is from another stream) and
   /// lets pull anti-entropy snapshot-resync it.
@@ -357,6 +365,10 @@ class PullReply {
   [[nodiscard]] bool is_snapshot() const noexcept { return is_snapshot_; }
   [[nodiscard]] const std::vector<CollectionOp>& ops() const noexcept {
     return ops_;
+  }
+  /// Drains the op buffer, so a consumer can recycle it (VectorPool).
+  [[nodiscard]] std::vector<CollectionOp>&& take_ops() && {
+    return std::move(ops_);
   }
   [[nodiscard]] std::vector<ObjectRef>&& take_members() && {
     return std::move(members_);

@@ -7,6 +7,7 @@
 
 #include "store/messages.hpp"
 #include "util/log.hpp"
+#include "util/pool.hpp"
 
 namespace weakset {
 namespace {
@@ -93,7 +94,7 @@ void StoreServer::register_handlers() {
   // All handlers are registered up front (before any traffic), so the
   // RpcNetwork handler table never rehashes under a suspended coroutine.
   auto bind = [this](auto method) {
-    return [this, method](NodeId from, std::any request) {
+    return [this, method](NodeId from, Payload request) {
       return (this->*method)(from, std::move(request));
     };
   };
@@ -114,8 +115,8 @@ void StoreServer::register_handlers() {
   net_.register_handler(node_, "coll.pull", bind(&StoreServer::handle_pull));
   net_.register_handler(
       node_, "coll.sync",
-      [this](NodeId, std::any request) -> Task<Result<std::any>> {
-        const auto req = std::any_cast<msg::SyncRequest>(std::move(request));
+      [this](NodeId, Payload request) -> Task<Result<Payload>> {
+        auto req = payload_cast<msg::SyncRequest>(std::move(request));
         if (!serving_) {
           co_return Failure{FailureKind::kUnreachable, "node recovering"};
         }
@@ -146,7 +147,8 @@ void StoreServer::register_handlers() {
             metrics_.add("store.replica.push_ops_applied");
           }
         }
-        co_return std::any{
+        VectorPool<CollectionOp>::release(std::move(req).take_ops());
+        co_return Payload{
             msg::SyncReply{state->applied_seq(), state->incarnation()}};
       });
 }
@@ -358,15 +360,16 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
       state->apply(op);
       metrics_.add("store.replica.pull_ops_applied");
     }
+    VectorPool<CollectionOp>::release(std::move(reply).value().take_ops());
   }
 }
 
 // ---------------------------------------------------------------------------
 // Handlers
 
-Task<Result<std::any>> StoreServer::handle_fetch(NodeId /*from*/,
-                                                 std::any request) {
-  const auto req = std::any_cast<msg::FetchRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_fetch(NodeId /*from*/,
+                                                 Payload request) {
+  const auto req = payload_cast<msg::FetchRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
@@ -377,12 +380,12 @@ Task<Result<std::any>> StoreServer::handle_fetch(NodeId /*from*/,
     co_return Failure{FailureKind::kNotFound,
                       "object " + std::to_string(req.id().raw())};
   }
-  co_return std::any{*value};
+  co_return Payload{*value};
 }
 
-Task<Result<std::any>> StoreServer::handle_fetch_batch(NodeId /*from*/,
-                                                       std::any request) {
-  const auto req = std::any_cast<msg::FetchBatchRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_fetch_batch(NodeId /*from*/,
+                                                       Payload request) {
+  const auto req = payload_cast<msg::FetchBatchRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
@@ -398,7 +401,8 @@ Task<Result<std::any>> StoreServer::handle_fetch_batch(NodeId /*from*/,
                       static_cast<std::int64_t>(req.ids().size() - 1);
   }
   co_await net_.sim().delay(cost);
-  std::vector<Result<VersionedValue>> results;
+  std::vector<Result<VersionedValue>> results =
+      VectorPool<Result<VersionedValue>>::acquire();
   results.reserve(req.ids().size());
   for (const ObjectId id : req.ids()) {
     const auto value = objects_.get(id);
@@ -409,23 +413,23 @@ Task<Result<std::any>> StoreServer::handle_fetch_batch(NodeId /*from*/,
                                    "object " + std::to_string(id.raw())});
     }
   }
-  co_return std::any{msg::FetchBatchReply{std::move(results)}};
+  co_return Payload{msg::FetchBatchReply{std::move(results)}};
 }
 
-Task<Result<std::any>> StoreServer::handle_put(NodeId /*from*/,
-                                               std::any request) {
-  auto req = std::any_cast<msg::PutRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_put(NodeId /*from*/,
+                                               Payload request) {
+  auto req = payload_cast<msg::PutRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
   co_await net_.sim().delay(options_.object_write_latency);
   const ObjectId id = req.id();
-  co_return std::any{objects_.put(id, std::move(req).take_data())};
+  co_return Payload{objects_.put(id, std::move(req).take_data())};
 }
 
-Task<Result<std::any>> StoreServer::handle_snapshot(NodeId from,
-                                                    std::any request) {
-  const auto req = std::any_cast<msg::SnapshotRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_snapshot(NodeId from,
+                                                    Payload request) {
+  const auto req = payload_cast<msg::SnapshotRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
@@ -458,12 +462,12 @@ Task<Result<std::any>> StoreServer::handle_snapshot(NodeId from,
   if (state == nullptr) {        // under the co_await (cf. pull_loop)
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
-  co_return std::any{msg::SnapshotReply{state->members(), state->version()}};
+  co_return Payload{msg::SnapshotReply{state->members(), state->version()}};
 }
 
-Task<Result<std::any>> StoreServer::handle_read_delta(NodeId from,
-                                                      std::any request) {
-  const auto req = std::any_cast<msg::DeltaRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_read_delta(NodeId from,
+                                                      Payload request) {
+  const auto req = payload_cast<msg::DeltaRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
@@ -508,8 +512,10 @@ Task<Result<std::any>> StoreServer::handle_read_delta(NodeId from,
     if (state == nullptr) {        // under the co_await (cf. pull_loop)
       co_return Failure{FailureKind::kNotFound, "collection not hosted"};
     }
-    co_return std::any{msg::DeltaReply::full_snapshot(
-        state->members(), state->version(), state->last_seq(),
+    std::vector<ObjectRef> members = VectorPool<ObjectRef>::acquire();
+    members.assign(state->members().begin(), state->members().end());
+    co_return Payload{msg::DeltaReply::full_snapshot(
+        std::move(members), state->version(), state->last_seq(),
         state->incarnation())};
   }
   // Slice the ops and the cursor they run up to at the same instant: a
@@ -520,7 +526,8 @@ Task<Result<std::any>> StoreServer::handle_read_delta(NodeId from,
   const std::uint64_t version = state->version();
   const std::uint64_t last_seq = state->last_seq();
   const std::uint64_t incarnation = state->incarnation();
-  std::vector<CollectionOp> ops = state->ops_since(req.since_seq());
+  std::vector<CollectionOp> ops = VectorPool<CollectionOp>::acquire();
+  state->ops_since(req.since_seq(), ops);
   const Duration ship_cost =
       options_.membership_entry_cost * static_cast<std::int64_t>(ops.size());
   metrics_.add("store.server.delta_reads");
@@ -531,13 +538,13 @@ Task<Result<std::any>> StoreServer::handle_read_delta(NodeId from,
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
   }
-  co_return std::any{
+  co_return Payload{
       msg::DeltaReply::delta(std::move(ops), version, last_seq, incarnation)};
 }
 
-Task<Result<std::any>> StoreServer::handle_membership(NodeId /*from*/,
-                                                      std::any request) {
-  const auto req = std::any_cast<msg::MembershipRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_membership(NodeId /*from*/,
+                                                      Payload request) {
+  const auto req = payload_cast<msg::MembershipRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
@@ -576,7 +583,7 @@ Task<Result<std::any>> StoreServer::handle_membership(NodeId /*from*/,
     // lingers as a "ghost" until the last pin is released (section 3.3).
     metrics_.add("store.server.mutations_deferred");
     entry.deferred_removes.push_back(req.ref());
-    co_return std::any{
+    co_return Payload{
         msg::MembershipReply{entry.state.contains(req.ref()),
                              entry.state.version()}};
   }
@@ -631,12 +638,12 @@ Task<Result<std::any>> StoreServer::handle_membership(NodeId /*from*/,
       }
     }
   }
-  co_return std::any{msg::MembershipReply{changed, version}};
+  co_return Payload{msg::MembershipReply{changed, version}};
 }
 
-Task<Result<std::any>> StoreServer::handle_size(NodeId /*from*/,
-                                                std::any request) {
-  const auto req = std::any_cast<msg::SizeRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_size(NodeId /*from*/,
+                                                Payload request) {
+  const auto req = payload_cast<msg::SizeRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
@@ -650,7 +657,7 @@ Task<Result<std::any>> StoreServer::handle_size(NodeId /*from*/,
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
   if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
-  co_return std::any{static_cast<std::uint64_t>(entry->state.size())};
+  co_return Payload{static_cast<std::uint64_t>(entry->state.size())};
 }
 
 void StoreServer::release_freeze(Hosted& entry) {
@@ -659,9 +666,9 @@ void StoreServer::release_freeze(Hosted& entry) {
   entry.unfrozen->open();
 }
 
-Task<Result<std::any>> StoreServer::handle_freeze(NodeId /*from*/,
-                                                  std::any request) {
-  const auto req = std::any_cast<msg::FreezeRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_freeze(NodeId /*from*/,
+                                                  Payload request) {
+  const auto req = payload_cast<msg::FreezeRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
@@ -712,12 +719,12 @@ Task<Result<std::any>> StoreServer::handle_freeze(NodeId /*from*/,
   } else {
     if (entry.frozen_by == req.token()) release_freeze(entry);
   }
-  co_return std::any{true};
+  co_return Payload{true};
 }
 
-Task<Result<std::any>> StoreServer::handle_pin(NodeId /*from*/,
-                                               std::any request) {
-  const auto req = std::any_cast<msg::PinRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_pin(NodeId /*from*/,
+                                               Payload request) {
+  const auto req = payload_cast<msg::PinRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
@@ -748,7 +755,7 @@ Task<Result<std::any>> StoreServer::handle_pin(NodeId /*from*/,
     }
     entry.deferred_removes.clear();
   }
-  co_return std::any{true};
+  co_return Payload{true};
 }
 
 void StoreServer::add_push_target(CollectionId id, NodeId replica) {
@@ -779,10 +786,11 @@ Task<void> StoreServer::push_to(CollectionId id, Hosted::PushTarget& target) {
     }
     const std::uint64_t before = target.acked_seq;
     metrics_.add("store.server.pushes");
+    std::vector<CollectionOp> ops = VectorPool<CollectionOp>::acquire();
+    entry.state.ops_since(target.acked_seq, ops);
     auto reply = co_await net_.call_typed<msg::SyncReply>(
         node_, target.node, "coll.sync",
-        msg::SyncRequest{id, entry.state.ops_since(target.acked_seq),
-                         entry.state.incarnation()});
+        msg::SyncRequest{id, std::move(ops), entry.state.incarnation()});
     if (epoch != epoch_) {
       // Amnesia crash during the push: the wipe already reset the target's
       // cursor and in_flight marker — touch nothing.
@@ -800,9 +808,9 @@ Task<void> StoreServer::push_to(CollectionId id, Hosted::PushTarget& target) {
   target.in_flight = false;
 }
 
-Task<Result<std::any>> StoreServer::handle_pull(NodeId /*from*/,
-                                                std::any request) {
-  const auto req = std::any_cast<msg::PullRequest>(std::move(request));
+Task<Result<Payload>> StoreServer::handle_pull(NodeId /*from*/,
+                                                Payload request) {
+  const auto req = payload_cast<msg::PullRequest>(std::move(request));
   if (!serving_) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
@@ -838,11 +846,14 @@ Task<Result<std::any>> StoreServer::handle_pull(NodeId /*from*/,
     if (state == nullptr) {        // under the co_await (cf. pull_loop)
       co_return Failure{FailureKind::kNotFound, "collection not hosted"};
     }
-    co_return std::any{msg::PullReply::snapshot(
-        state->members(), state->version(), state->last_seq(),
+    std::vector<ObjectRef> members = VectorPool<ObjectRef>::acquire();
+    members.assign(state->members().begin(), state->members().end());
+    co_return Payload{msg::PullReply::snapshot(
+        std::move(members), state->version(), state->last_seq(),
         state->incarnation())};
   }
-  std::vector<CollectionOp> ops = state->ops_since(req.after_seq());
+  std::vector<CollectionOp> ops = VectorPool<CollectionOp>::acquire();
+  state->ops_since(req.after_seq(), ops);
   const std::uint64_t incarnation = state->incarnation();
   const Duration ship_cost =
       options_.membership_entry_cost * static_cast<std::int64_t>(ops.size());
@@ -853,7 +864,7 @@ Task<Result<std::any>> StoreServer::handle_pull(NodeId /*from*/,
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
   }
-  co_return std::any{msg::PullReply{std::move(ops), incarnation}};
+  co_return Payload{msg::PullReply{std::move(ops), incarnation}};
 }
 
 // ---------------------------------------------------------------------------

@@ -304,16 +304,16 @@ class StoreServer {
   [[nodiscard]] std::vector<CollectionId> hosted_ids_sorted() const;
 
   // Handler bodies. `from` is the calling node (load accounting).
-  Task<Result<std::any>> handle_fetch(NodeId from, std::any request);
-  Task<Result<std::any>> handle_fetch_batch(NodeId from, std::any request);
-  Task<Result<std::any>> handle_put(NodeId from, std::any request);
-  Task<Result<std::any>> handle_snapshot(NodeId from, std::any request);
-  Task<Result<std::any>> handle_read_delta(NodeId from, std::any request);
-  Task<Result<std::any>> handle_membership(NodeId from, std::any request);
-  Task<Result<std::any>> handle_size(NodeId from, std::any request);
-  Task<Result<std::any>> handle_freeze(NodeId from, std::any request);
-  Task<Result<std::any>> handle_pin(NodeId from, std::any request);
-  Task<Result<std::any>> handle_pull(NodeId from, std::any request);
+  Task<Result<Payload>> handle_fetch(NodeId from, Payload request);
+  Task<Result<Payload>> handle_fetch_batch(NodeId from, Payload request);
+  Task<Result<Payload>> handle_put(NodeId from, Payload request);
+  Task<Result<Payload>> handle_snapshot(NodeId from, Payload request);
+  Task<Result<Payload>> handle_read_delta(NodeId from, Payload request);
+  Task<Result<Payload>> handle_membership(NodeId from, Payload request);
+  Task<Result<Payload>> handle_size(NodeId from, Payload request);
+  Task<Result<Payload>> handle_freeze(NodeId from, Payload request);
+  Task<Result<Payload>> handle_pin(NodeId from, Payload request);
+  Task<Result<Payload>> handle_pull(NodeId from, Payload request);
 
   RpcNetwork& net_;
   NodeId node_;

@@ -1,0 +1,118 @@
+#include "util/alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// Replacement global allocation functions. Atomics (relaxed) rather than
+// plain integers: the simulation is single-threaded, but google-benchmark
+// and gtest may allocate from helper threads, and a torn counter would make
+// the zero-allocation assertions flaky in exactly the runs that matter.
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+
+void* counted_malloc(std::size_t size) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned(std::size_t size, std::size_t alignment) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc wants a size that is a multiple of the alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded != 0 ? rounded : alignment);
+}
+
+void counted_free(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+  std::free(ptr);
+}
+
+}  // namespace
+
+namespace weakset::alloc_hook {
+
+std::uint64_t news() noexcept {
+  return g_news.load(std::memory_order_relaxed);
+}
+
+std::uint64_t deletes() noexcept {
+  return g_deletes.load(std::memory_order_relaxed);
+}
+
+}  // namespace weakset::alloc_hook
+
+void* operator new(std::size_t size) {
+  if (void* ptr = counted_malloc(size)) return ptr;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  if (void* ptr = counted_malloc(size)) return ptr;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_malloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  if (void* ptr = counted_aligned(size, static_cast<std::size_t>(alignment)))
+    return ptr;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  if (void* ptr = counted_aligned(size, static_cast<std::size_t>(alignment)))
+    return ptr;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}

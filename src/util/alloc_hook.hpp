@@ -1,0 +1,26 @@
+#pragma once
+
+// Counting allocator hook: process-wide tallies of global operator new /
+// operator delete calls. The counts are the ground truth behind the
+// zero-allocation claims in bench/micro and tests/alloc_test.cpp — wall-clock
+// timings are noisy, allocation counts of a deterministic simulation are not.
+//
+// The counters are *defined* in alloc_hook.cpp together with replacement
+// global operator new/delete, so only binaries that link the
+// `weakset_alloc_hook` library get the hook (and can call these functions;
+// everywhere else the reference is a link error by design). The hook must be
+// linked into the final executable — never into a shared library — so the
+// replacements are picked over libstdc++'s.
+
+#include <cstdint>
+
+namespace weakset::alloc_hook {
+
+/// Number of global operator new (all variants) calls so far.
+std::uint64_t news() noexcept;
+
+/// Number of global operator delete calls so far that freed a non-null
+/// pointer.
+std::uint64_t deletes() noexcept;
+
+}  // namespace weakset::alloc_hook

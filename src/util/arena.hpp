@@ -1,0 +1,99 @@
+#pragma once
+
+// Arena: a chunked bump allocator. Allocation is a pointer bump into the
+// current chunk; a fresh chunk (one operator new) is taken only when the
+// current one is exhausted. Individual blocks are never freed back to the
+// arena — callers that need recycling layer a free-list on top (see
+// util/pool.hpp, which carves all of the hot path's pooled blocks out of a
+// process-global arena). reset() rewinds the whole arena at once, reusing
+// the chunks already acquired.
+//
+// Single-threaded by design, like everything under the simulator.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace weakset {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (a power of two, at most
+  /// alignof(std::max_align_t)). Never fails except by bad_alloc.
+  void* allocate(std::size_t size, std::size_t align) {
+    std::uintptr_t cursor = (cursor_ + (align - 1)) & ~(align - 1);
+    if (cursor + size > limit_) {
+      new_chunk(size);
+      cursor = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = cursor + size;
+    bytes_allocated_ += size;
+    return reinterpret_cast<void*>(cursor);
+  }
+
+  /// Rewinds to empty, keeping every chunk for reuse. Anything previously
+  /// allocated from this arena is dead after reset().
+  void reset() noexcept {
+    next_chunk_ = 0;
+    bytes_allocated_ = 0;
+    if (chunks_.empty()) {
+      cursor_ = limit_ = 0;
+    } else {
+      use_chunk(0);
+      next_chunk_ = 1;
+    }
+  }
+
+  [[nodiscard]] std::size_t bytes_allocated() const noexcept {
+    return bytes_allocated_;
+  }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size;
+  };
+
+  void use_chunk(std::size_t index) noexcept {
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[index].data.get());
+    limit_ = cursor_ + chunks_[index].size;
+  }
+
+  void new_chunk(std::size_t min_size) {
+    // Reuse a previously acquired chunk (after reset()) if it is big enough.
+    while (next_chunk_ < chunks_.size()) {
+      const std::size_t index = next_chunk_++;
+      if (chunks_[index].size >= min_size + alignof(std::max_align_t)) {
+        use_chunk(index);
+        return;
+      }
+    }
+    const std::size_t size =
+        min_size + alignof(std::max_align_t) > chunk_bytes_
+            ? min_size + alignof(std::max_align_t)
+            : chunk_bytes_;
+    chunks_.push_back(Chunk{std::make_unique<unsigned char[]>(size), size});
+    next_chunk_ = chunks_.size();
+    use_chunk(chunks_.size() - 1);
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t next_chunk_ = 0;  // first reusable chunk after the current one
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace weakset

@@ -1,0 +1,112 @@
+#pragma once
+
+// InlineFunc: a move-only std::function<void()> replacement with small-buffer
+// optimisation, sized for the simulator's event callbacks (delivery lambdas,
+// coroutine resumptions, timer bodies). Successor to the heap-allocating
+// MoveFunc: every simulator event used to cost one operator new for its
+// callable; with InlineFunc a callable whose captures fit kCapacity bytes is
+// stored in place, which makes the steady-state event loop allocation-free
+// (bench/micro, tests/alloc_test.cpp).
+//
+// Callables larger than kCapacity (or not nothrow-movable, or over-aligned)
+// transparently fall back to the heap — correctness never depends on fitting.
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace weakset {
+
+/// Type-erased move-only nullary callable with inline storage.
+class InlineFunc {
+ public:
+  /// Inline capture budget. The largest hot-path lambda is the RPC reply
+  /// delivery (this + two NodeIds + a OneShot + a Result<Payload>, ~96
+  /// bytes); 120 leaves headroom without bloating the event slab.
+  static constexpr std::size_t kCapacity = 120;
+
+  InlineFunc() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFunc>>>
+  InlineFunc(F&& fn) {  // NOLINT: implicit like std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits<Fn>()) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineFunc(InlineFunc&& other) noexcept { move_from(other); }
+  InlineFunc& operator=(InlineFunc&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunc(const InlineFunc&) = delete;
+  InlineFunc& operator=(const InlineFunc&) = delete;
+  ~InlineFunc() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->call(buffer_); }
+
+  /// Destroys the stored callable (no-op if empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    void (*move)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits() {
+    return sizeof(Fn) <= kCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+  };
+
+  void move_from(InlineFunc& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->move(buffer_, other.buffer_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace weakset

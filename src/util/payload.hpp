@@ -1,0 +1,120 @@
+#pragma once
+
+// Payload: the RPC message box — a move-only, type-erased single value, like
+// std::any but (a) move-only, so vectors and strings travel through the
+// simulated network without copies, and (b) allocated from BlockPool, so a
+// steady-state RPC exchange recycles the same few blocks instead of hitting
+// operator new per message. Type identity is checked with a per-type tag
+// address (no RTTI string comparisons on the hot path).
+//
+// Mirrors the std::any vocabulary it replaced:
+//   Payload p{msg::FetchRequest{ref}};          // box (implicit, like any)
+//   auto* req = payload_cast<msg::FetchRequest>(&p);   // typed peek
+//   auto req = payload_cast<msg::FetchRequest>(std::move(p));  // unbox
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "util/pool.hpp"
+
+namespace weakset {
+
+namespace detail {
+/// One byte per type; the ADDRESS is the type's identity.
+template <typename T>
+inline constexpr char payload_tag = 0;
+}  // namespace detail
+
+class Payload {
+ public:
+  Payload() = default;
+
+  template <typename T,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<T>, Payload>>>
+  Payload(T&& value) {  // NOLINT: implicit, mirrors std::any
+    using V = std::remove_cvref_t<T>;
+    auto* box = static_cast<Box<V>*>(BlockPool::allocate(sizeof(Box<V>)));
+    ::new (static_cast<void*>(box)) Box<V>{
+        Header{&detail::payload_tag<V>, &destroy_box<V>},
+        V(std::forward<T>(value))};
+    header_ = &box->header;
+  }
+
+  Payload(Payload&& other) noexcept
+      : header_(std::exchange(other.header_, nullptr)) {}
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      reset();
+      header_ = std::exchange(other.header_, nullptr);
+    }
+    return *this;
+  }
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  ~Payload() { reset(); }
+
+  [[nodiscard]] bool has_value() const noexcept { return header_ != nullptr; }
+
+  void reset() noexcept {
+    if (header_ != nullptr) {
+      header_->destroy(header_);
+      header_ = nullptr;
+    }
+  }
+
+  /// Pointer to the boxed T, or nullptr if empty or a different type.
+  template <typename T>
+  [[nodiscard]] T* get() noexcept {
+    if (header_ == nullptr || header_->tag != &detail::payload_tag<T>)
+      return nullptr;
+    return &static_cast<Box<T>*>(static_cast<void*>(header_))->value;
+  }
+  template <typename T>
+  [[nodiscard]] const T* get() const noexcept {
+    return const_cast<Payload*>(this)->get<T>();
+  }
+
+ private:
+  struct Header {
+    const char* tag;
+    void (*destroy)(Header*) noexcept;
+  };
+
+  // Box layout starts with the header, so Header* and Box* interconvert.
+  template <typename T>
+  struct Box {
+    Header header;
+    T value;
+  };
+
+  template <typename T>
+  static void destroy_box(Header* header) noexcept {
+    auto* box = static_cast<Box<T>*>(static_cast<void*>(header));
+    box->~Box<T>();
+    BlockPool::deallocate(box, sizeof(Box<T>));
+  }
+
+  Header* header_ = nullptr;
+};
+
+/// Typed peek, nullptr on type mismatch (any_cast<T>(any*) analogue).
+template <typename T>
+[[nodiscard]] T* payload_cast(Payload* payload) noexcept {
+  return payload == nullptr ? nullptr : payload->template get<T>();
+}
+
+/// Unboxes by move; asserts the type matches (any_cast<T>(std::move(a))
+/// analogue — a mismatch here is a programming error, not a modelled fault).
+template <typename T>
+[[nodiscard]] T payload_cast(Payload&& payload) {
+  T* value = payload.get<T>();
+  assert(value != nullptr && "payload type mismatch");
+  T out = std::move(*value);
+  payload.reset();
+  return out;
+}
+
+}  // namespace weakset

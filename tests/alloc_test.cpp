@@ -1,0 +1,118 @@
+// Steady-state allocation discipline of the simulator/RPC hot path
+// (DESIGN.md decision 13). These tests link the counting operator-new hook
+// (util/alloc_hook.hpp) and assert the strongest form of the bench/micro
+// claim: once warmed up, a quiesced loop performs ZERO global-allocator
+// calls — not "few", zero. Wall-clock benches gate the same property in CI,
+// but a unit test catches a regression on every developer build, in Debug,
+// where the benches never run.
+//
+// Warmup matters: first iterations legitimately allocate (arena chunks,
+// vector capacities, metric-name interning, the span-retention cap). Each
+// test runs the loop once unmeasured, then measures a second pass.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "net/rpc.hpp"
+#include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "util/alloc_hook.hpp"
+#include "util/rng.hpp"
+
+namespace weakset {
+namespace {
+
+// -- plain event loop -------------------------------------------------------
+
+void ping_chain(Simulator& sim, std::uint64_t* left) {
+  if ((*left)-- == 0) return;
+  sim.schedule(Duration::micros(1), [&sim, left] { ping_chain(sim, left); });
+}
+
+void run_ping(Simulator& sim, std::uint64_t n) {
+  std::uint64_t left = n;
+  ping_chain(sim, &left);
+  sim.run();
+}
+
+TEST(AllocTest, EventLoopSteadyStateAllocatesNothing) {
+  Simulator sim;
+  run_ping(sim, 4'096);  // warmup: slab growth, heap capacity
+  const std::uint64_t before = alloc_hook::news();
+  run_ping(sim, 16'384);
+  EXPECT_EQ(alloc_hook::news() - before, 0u);
+}
+
+// -- timer churn: the RPC-timeout pattern (arm, then cancel) ----------------
+
+void timer_chain(Simulator& sim, std::uint64_t* left) {
+  if ((*left)-- == 0) return;
+  const auto token = sim.schedule_cancellable(Duration::micros(1), [] {});
+  token.cancel();
+  sim.schedule(Duration::micros(2), [&sim, left] { timer_chain(sim, left); });
+}
+
+void run_timers(Simulator& sim, std::uint64_t n) {
+  std::uint64_t left = n;
+  timer_chain(sim, &left);
+  sim.run();
+}
+
+TEST(AllocTest, CancelledTimerChurnAllocatesNothing) {
+  Simulator sim;
+  run_timers(sim, 4'096);
+  const std::uint64_t before = alloc_hook::news();
+  run_timers(sim, 16'384);
+  EXPECT_EQ(alloc_hook::news() - before, 0u);
+}
+
+// -- quiesced two-node RPC ping loop ----------------------------------------
+// The full dispatch path: interned method lookup, pooled payload box, pooled
+// coroutine frames, timeout timer armed and cancelled, latency span recorded
+// into a warmed registry.
+
+struct PingMsg {
+  explicit PingMsg(std::uint64_t v = 0) : value(v) {}
+  std::uint64_t value;
+};
+
+Task<Result<Payload>> ping_handler(NodeId, Payload request) {
+  co_return Payload{payload_cast<PingMsg>(std::move(request))};
+}
+
+Task<void> rpc_loop(RpcNetwork* net, NodeId from, NodeId to, std::uint64_t n,
+                    std::uint64_t* acc) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Result<PingMsg> reply =
+        co_await net->call_typed<PingMsg>(from, to, "alloc.ping", PingMsg{i});
+    if (reply) *acc += reply.value().value;
+  }
+}
+
+TEST(AllocTest, RpcPingLoopSteadyStateAllocatesNothing) {
+  Simulator sim;
+  Topology topo;
+  const NodeId client = topo.add_node("client");
+  const NodeId server = topo.add_node("server");
+  topo.connect(client, server, Duration::millis(1));
+  obs::MetricsRegistry local;  // keep the process-global registry clean
+  RpcOptions options;
+  options.metrics = &local;
+  RpcNetwork net{sim, topo, Rng{42}, options};
+  net.register_handler(server, "alloc.ping", &ping_handler);
+
+  std::uint64_t acc = 0;
+  // Warmup must exceed the span-retention cap (256 completed spans) so the
+  // registry's span storage is quiescent during the measured pass.
+  run_task(sim, rpc_loop(&net, client, server, 768, &acc));
+  const std::uint64_t before = alloc_hook::news();
+  run_task(sim, rpc_loop(&net, client, server, 2'048, &acc));
+  EXPECT_EQ(alloc_hook::news() - before, 0u);
+  // Both loops echoed every value back: sum 0..767 plus sum 0..2047.
+  EXPECT_EQ(acc, 768u * 767u / 2 + 2'048u * 2'047u / 2);
+}
+
+}  // namespace
+}  // namespace weakset

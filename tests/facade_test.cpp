@@ -1,5 +1,5 @@
 // Tests for the WeakSet facade (the paper's type interface: create, add,
-// remove, size, elements) and assorted small utilities (MoveFunc, Task
+// remove, size, elements) and assorted small utilities (InlineFunc, Task
 // exception propagation, logging levels).
 
 #include <gtest/gtest.h>
@@ -9,7 +9,7 @@
 
 #include "core/weak_set.hpp"
 #include "util/log.hpp"
-#include "util/move_func.hpp"
+#include "util/inline_func.hpp"
 
 namespace weakset {
 namespace {
@@ -78,26 +78,26 @@ TEST_F(FacadeTest, TwoHandlesSameCollection) {
   EXPECT_EQ(run_task(sim, set2.size()).value_or(0), 1u);
 }
 
-TEST(MoveFuncTest, CallsStoredCallable) {
+TEST(InlineFuncTest, CallsStoredCallable) {
   int calls = 0;
-  MoveFunc fn{[&calls] { ++calls; }};
+  InlineFunc fn{[&calls] { ++calls; }};
   ASSERT_TRUE(static_cast<bool>(fn));
   fn();
   fn();
   EXPECT_EQ(calls, 2);
 }
 
-TEST(MoveFuncTest, OwnsMoveOnlyState) {
+TEST(InlineFuncTest, OwnsMoveOnlyState) {
   auto payload = std::make_unique<int>(7);
   int seen = 0;
-  MoveFunc fn{[p = std::move(payload), &seen] { seen = *p; }};
-  MoveFunc moved = std::move(fn);
+  InlineFunc fn{[p = std::move(payload), &seen] { seen = *p; }};
+  InlineFunc moved = std::move(fn);
   moved();
   EXPECT_EQ(seen, 7);
 }
 
-TEST(MoveFuncTest, DefaultIsEmpty) {
-  MoveFunc fn;
+TEST(InlineFuncTest, DefaultIsEmpty) {
+  InlineFunc fn;
   EXPECT_FALSE(static_cast<bool>(fn));
 }
 

@@ -126,10 +126,10 @@ class RpcTest : public ::testing::Test {
   RpcTest() {
     topo.connect(client, server, Duration::millis(10));
     net.register_handler(
-        server, "echo", [this](NodeId, std::any request) -> Task<Result<std::any>> {
-          const auto req = std::any_cast<EchoRequest>(std::move(request));
+        server, "echo", [this](NodeId, Payload request) -> Task<Result<Payload>> {
+          const auto req = payload_cast<EchoRequest>(std::move(request));
           co_await sim.delay(Duration::millis(1));  // service time
-          co_return std::any{std::string{"echo:" + req.text}};
+          co_return Payload{std::string{"echo:" + req.text}};
         });
   }
 
@@ -187,8 +187,8 @@ TEST_F(RpcTest, WithoutFastFailCallerTimesOut) {
   slow.default_timeout = Duration::millis(500);
   RpcNetwork net2{sim, topo, Rng{1}, slow};
   net2.register_handler(server, "echo",
-                        [](NodeId, std::any) -> Task<Result<std::any>> {
-                          co_return std::any{std::string{"never"}};
+                        [](NodeId, Payload) -> Task<Result<Payload>> {
+                          co_return Payload{std::string{"never"}};
                         });
   topo.crash(server);
   const auto result =
@@ -221,8 +221,8 @@ TEST_F(RpcTest, PartitionAfterRequestLosesReply) {
 
 TEST_F(RpcTest, LocalCallsAreCheap) {
   net.register_handler(client, "local",
-                       [](NodeId, std::any) -> Task<Result<std::any>> {
-                         co_return std::any{42};
+                       [](NodeId, Payload) -> Task<Result<Payload>> {
+                         co_return Payload{42};
                        });
   const auto result =
       run_task(sim, net.call_typed<int>(client, client, "local", 0));
@@ -434,14 +434,80 @@ TEST_F(ChaosTest, SameSeedIsDeterministic) {
 TEST_F(RpcTest, HandlerSeesCallerNode) {
   NodeId seen = NodeId::invalid();
   net.register_handler(server, "who",
-                       [&seen](NodeId from, std::any) -> Task<Result<std::any>> {
+                       [&seen](NodeId from, Payload) -> Task<Result<Payload>> {
                          seen = from;
-                         co_return std::any{0};
+                         co_return Payload{0};
                        });
   run_task(sim, [](RpcNetwork& n, NodeId c, NodeId s) -> Task<void> {
     (void)co_await n.call_typed<int>(c, s, "who", 0);
   }(net, client, server));
   EXPECT_EQ(seen, client);
+}
+
+TEST_F(RpcTest, RegistrationLookupRoundTripsForAllMethodsOnAllNodes) {
+  // Regression for the string-keyed dispatch era, when the registration key
+  // was built fresh per call: every (node, method) registration must be
+  // found through both the interned id and the original string, on every
+  // node independently.
+  const std::vector<std::string> methods = {"svc.alpha", "svc.beta",
+                                            "svc.gamma", "svc.delta"};
+  const std::vector<NodeId> nodes = {client, server};
+  auto handler_returning = [](int value) {
+    return [value](NodeId, Payload) -> Task<Result<Payload>> {
+      co_return Payload{value};
+    };
+  };
+  int tag = 0;
+  for (const NodeId node : nodes) {
+    for (const std::string& method : methods) {
+      net.register_handler(node, method, handler_returning(tag++));
+    }
+  }
+  for (const NodeId node : nodes) {
+    for (const std::string& method : methods) {
+      const MethodId id = net.intern(method);
+      EXPECT_EQ(net.intern(method), id) << "intern must be idempotent";
+      EXPECT_EQ(net.method_name(id), method);
+      EXPECT_NE(net.find_handler(node, id), nullptr)
+          << topo.name(node) << "/" << method;
+    }
+  }
+  // Unregistered combinations stay empty: ids never bleed across nodes.
+  EXPECT_EQ(net.find_handler(client, net.intern("echo")), nullptr);
+  EXPECT_NE(net.find_handler(server, net.intern("echo")), nullptr);
+  EXPECT_EQ(net.find_handler(server, net.intern("svc.unregistered")), nullptr);
+  EXPECT_EQ(net.find_handler(server, MethodId{}), nullptr);
+
+  // Every registered handler is actually dispatchable end to end, and the
+  // reply identifies the handler (no cross-node or cross-method mixing).
+  int expected = 0;
+  for (const NodeId node : nodes) {
+    for (const std::string& method : methods) {
+      auto reply = run_task(
+          sim, net.call_typed<int>(client, node, method, 0));
+      ASSERT_TRUE(reply.has_value()) << topo.name(node) << "/" << method;
+      EXPECT_EQ(reply.value(), expected++);
+    }
+  }
+}
+
+TEST_F(RpcTest, PayloadSurvivesHandlerSuspension) {
+  // The request Payload (a pooled box) must stay alive across the handler's
+  // co_await suspension points — the box is owned by the handler frame, not
+  // by the delivery event that handed it over.
+  net.register_handler(
+      server, "slow.echo",
+      [this](NodeId, Payload request) -> Task<Result<Payload>> {
+        co_await sim.delay(Duration::millis(50));  // outlive delivery event
+        auto req = payload_cast<EchoRequest>(std::move(request));
+        co_await sim.delay(Duration::millis(50));  // outlive the cast too
+        co_return Payload{req.text + "!"};
+      });
+  auto reply = run_task(sim, net.call_typed<std::string>(
+                                 client, server, "slow.echo",
+                                 EchoRequest{"kept"}, Duration::seconds(5)));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply.value(), "kept!");
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -188,6 +189,45 @@ TEST_F(PlacementTest, StaleClientHealsWithExactlyOneRetryPerEpochBump) {
   EXPECT_EQ(reg.counter("store.client.wrong_epoch_retries"), 3u);
   EXPECT_EQ(run_task(sim, client.total_size(coll)).value_or(0),
             refs.size() + 1);
+}
+
+TEST_F(PlacementTest, PooledBuffersStayCorrectAcrossWrongEpochRetries) {
+  // Pool edge case (DESIGN.md decision 13): reply buffers recycle through
+  // VectorPool across the server -> Payload -> client round trip. A
+  // WrongEpoch rejection abandons one attempt mid-flight and retries on the
+  // new home, so the same pooled vectors are acquired, dropped, and
+  // re-acquired over and over. If a recycled buffer ever leaked stale
+  // contents (clear() missing on some path) or were handed out twice, the
+  // exact membership below would come back wrong or duplicated.
+  build();
+  const CollectionId coll = repo.create_collection({servers[0]});
+  const std::vector<ObjectRef> refs = populate(coll, servers[2], 12);
+  const std::set<ObjectRef> expected{refs.begin(), refs.end()};
+
+  placement::DirectoryClient& dir_client = make_dir_client(client_node);
+  ClientOptions options;
+  options.directory = &dir_client;
+  options.metrics = &reg;
+  RepositoryClient client{repo, client_node, options};
+  ASSERT_TRUE(run_task(sim, client.read_all(coll)).has_value());
+
+  // Bounce the fragment around the ring; every read after a bump goes
+  // through one WrongEpoch + retry and must return the exact member set.
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    const NodeId source = servers[cycle % servers.size()];
+    const NodeId target = servers[(cycle + 1) % servers.size()];
+    ASSERT_TRUE(run_task(sim, migrate_rpc(coll, 0, source, target)).has_value())
+        << "cycle " << cycle;
+    const auto members = run_task(sim, client.read_all(coll));
+    ASSERT_TRUE(members.has_value()) << "cycle " << cycle;
+    const std::set<ObjectRef> got{members.value().begin(),
+                                  members.value().end()};
+    EXPECT_EQ(got.size(), members.value().size())
+        << "duplicated members from a doubly-handed-out buffer, cycle "
+        << cycle;
+    EXPECT_EQ(got, expected) << "cycle " << cycle;
+  }
+  EXPECT_EQ(reg.counter("store.client.wrong_epoch_retries"), 6u);
 }
 
 TEST_F(PlacementTest, RefreshSkipsTheLookupWhenTheCacheIsCurrent) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -114,6 +115,96 @@ TEST(SimulatorTest, CancelAfterFireIsHarmless) {
   token.cancel();
   sim.run();
   EXPECT_EQ(fires, 1);
+}
+
+TEST(SimulatorTest, CancelRacingOwnFireTickWins) {
+  // An event at the same instant but earlier seq cancels the timer: the
+  // cancel runs first ((time, seq) order), so the timer must not fire even
+  // though its heap entry is already at the top of the same tick.
+  Simulator sim;
+  bool fired = false;
+  const auto token = sim.schedule_cancellable(Duration::millis(5),
+                                              [&fired] { fired = true; });
+  // Scheduled after the timer, so same deadline -> later seq... place the
+  // canceller strictly earlier in the tick by giving it an earlier deadline
+  // rounded to the same instant: schedule at the same duration; seq breaks
+  // the tie, so the canceller (seq+1) runs *after* the timer. To get the
+  // cancel-first interleaving, cancel from an event one nanosecond earlier.
+  sim.schedule(Duration::millis(5) - Duration::nanos(1),
+               [token] { token.cancel(); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelFromSameTickLaterSeqIsTooLate) {
+  // Same instant, later seq: the timer fires first, then the cancel is a
+  // harmless stale-token no-op (generation already bumped by completion).
+  Simulator sim;
+  bool fired = false;
+  const auto token = sim.schedule_cancellable(Duration::millis(5),
+                                              [&fired] { fired = true; });
+  sim.schedule(Duration::millis(5), [token] { token.cancel(); });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StaleTokenDoesNotCancelReusedSlot) {
+  // After a timer completes, its slab slot is recycled for the next timer.
+  // The old token carries the old generation, so cancelling it must not
+  // touch the new occupant.
+  Simulator sim;
+  int first = 0;
+  const auto stale =
+      sim.schedule_cancellable(Duration::millis(1), [&first] { ++first; });
+  sim.run();
+  EXPECT_EQ(first, 1);
+
+  // Slot freelist guarantees this reuses the completed timer's slot.
+  int second = 0;
+  const auto live =
+      sim.schedule_cancellable(Duration::millis(1), [&second] { ++second; });
+  (void)live;
+  stale.cancel();  // stale generation: must be a no-op
+  sim.run();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SimulatorTest, CancelledSlotIsReclaimedAndReused) {
+  // A cancelled entry is reclaimed when it surfaces at the heap top; the
+  // slot then serves new timers with a fresh generation.
+  Simulator sim;
+  bool cancelled_fired = false;
+  const auto token = sim.schedule_cancellable(
+      Duration::millis(1), [&cancelled_fired] { cancelled_fired = true; });
+  token.cancel();
+  sim.run();  // surfaces and reclaims the dead entry
+
+  int fires = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.schedule_cancellable(Duration::millis(1), [&fires] { ++fires; });
+    sim.run();
+  }
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_EQ(fires, 3);
+  // Double-cancel of a long-dead token stays inert.
+  token.cancel();
+  sim.run();
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(SimulatorTest, CallbackMayScheduleIntoItsOwnSlot) {
+  // The event's callable is moved out and its slot freed *before* the call,
+  // so a self-rescheduling callback (the steady-state daemon pattern) can
+  // land in the very slot it is firing from.
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 5) sim.schedule(Duration::millis(1), [&] { hop(); });
+  };
+  sim.schedule(Duration::millis(1), [&] { hop(); });
+  sim.run();
+  EXPECT_EQ(hops, 5);
 }
 
 TEST(SimulatorTest, RunUntilSkipsCancelledEventsAtBoundary) {

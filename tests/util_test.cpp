@@ -1,13 +1,22 @@
-// Unit tests for the util module: Result, Failure, Rng, ids, time, hashing.
+// Unit tests for the util module: Result, Failure, Rng, ids, time, hashing,
+// and the hot-path memory primitives (Arena, BlockPool, Payload, InlineFunc).
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
+#include "util/arena.hpp"
 #include "util/failure.hpp"
 #include "util/hash.hpp"
 #include "util/ids.hpp"
+#include "util/inline_func.hpp"
+#include "util/payload.hpp"
+#include "util/pool.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -244,6 +253,160 @@ TEST(HashTest, HashCombineOrderSensitive) {
   const auto h1 = hash_combine(hash_combine(0, 1), 2);
   const auto h2 = hash_combine(hash_combine(0, 2), 1);
   EXPECT_NE(h1, h2);
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path memory primitives (DESIGN.md decision 13)
+
+TEST(ArenaTest, BumpsWithinOneChunk) {
+  Arena arena{1024};
+  void* a = arena.allocate(100, alignof(std::max_align_t));
+  void* b = arena.allocate(100, alignof(std::max_align_t));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_allocated(), 200u);
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena{1024};
+  (void)arena.allocate(1, 1);
+  void* p = arena.allocate(8, 16);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);
+}
+
+TEST(ArenaTest, GrowsNewChunkWhenExhausted) {
+  Arena arena{256};
+  (void)arena.allocate(200, 8);
+  (void)arena.allocate(200, 8);  // does not fit the first chunk
+  EXPECT_EQ(arena.chunk_count(), 2u);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedChunk) {
+  Arena arena{256};
+  void* big = arena.allocate(10'000, 8);
+  EXPECT_NE(big, nullptr);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_EQ(arena.bytes_allocated(), 10'000u);
+}
+
+TEST(ArenaTest, ResetReusesChunks) {
+  Arena arena{256};
+  (void)arena.allocate(200, 8);
+  (void)arena.allocate(200, 8);
+  const std::size_t chunks = arena.chunk_count();
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  (void)arena.allocate(200, 8);
+  (void)arena.allocate(200, 8);
+  EXPECT_EQ(arena.chunk_count(), chunks) << "reset must recycle, not grow";
+}
+
+TEST(BlockPoolTest, RecyclesFreedBlocks) {
+  void* a = BlockPool::allocate(96);
+  BlockPool::deallocate(a, 96);
+  void* b = BlockPool::allocate(96);  // same size class (64..128 -> class 1)
+  EXPECT_EQ(b, a) << "freed block should come back off the free list";
+  BlockPool::deallocate(b, 96);
+}
+
+TEST(BlockPoolTest, DistinctClassesDoNotShareBlocks) {
+  void* small = BlockPool::allocate(64);
+  BlockPool::deallocate(small, 64);
+  void* large = BlockPool::allocate(512);
+  EXPECT_NE(large, small);
+  BlockPool::deallocate(large, 512);
+}
+
+TEST(BlockPoolTest, OversizedFallsThroughToOperatorNew) {
+  // > kMaxPooled: not pooled, but must still round-trip correctly.
+  const std::size_t size = BlockPool::kMaxPooled + 1;
+  const std::size_t before = BlockPool::arena_bytes();
+  void* p = BlockPool::allocate(size);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(BlockPool::arena_bytes(), before)
+      << "oversized blocks must not consume arena";
+  BlockPool::deallocate(p, size);
+}
+
+TEST(VectorPoolTest, ReleasedVectorKeepsItsCapacity) {
+  std::vector<int> v = VectorPool<int>::acquire();
+  v.reserve(100);
+  int* data = v.data();
+  VectorPool<int>::release(std::move(v));
+  std::vector<int> reused = VectorPool<int>::acquire();
+  EXPECT_TRUE(reused.empty());
+  EXPECT_GE(reused.capacity(), 100u);
+  EXPECT_EQ(reused.data(), data);
+  VectorPool<int>::release(std::move(reused));
+}
+
+TEST(PayloadTest, GetIsTypeChecked) {
+  Payload p{std::string{"boxed"}};
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p.get<int>(), nullptr);
+  ASSERT_NE(p.get<std::string>(), nullptr);
+  EXPECT_EQ(*p.get<std::string>(), "boxed");
+}
+
+TEST(PayloadTest, PointerCastMirrorsAnyCast) {
+  Payload p{42};
+  EXPECT_EQ(*payload_cast<int>(&p), 42);
+  EXPECT_EQ(payload_cast<double>(&p), nullptr);
+  EXPECT_EQ(payload_cast<int>(static_cast<Payload*>(nullptr)), nullptr);
+}
+
+TEST(PayloadTest, RvalueCastUnboxesAndEmpties) {
+  Payload p{std::string{"gone"}};
+  const std::string out = payload_cast<std::string>(std::move(p));
+  EXPECT_EQ(out, "gone");
+  EXPECT_FALSE(p.has_value());  // NOLINT(bugprone-use-after-move): specified
+}
+
+TEST(PayloadTest, MoveTransfersOwnership) {
+  Payload a{std::vector<int>{1, 2, 3}};
+  Payload b{std::move(a)};
+  EXPECT_FALSE(a.has_value());  // NOLINT(bugprone-use-after-move): specified
+  ASSERT_NE(b.get<std::vector<int>>(), nullptr);
+  EXPECT_EQ(b.get<std::vector<int>>()->size(), 3u);
+  b = Payload{7};  // move-assign destroys the old box
+  EXPECT_EQ(*b.get<int>(), 7);
+}
+
+TEST(PayloadTest, DistinctTypesWithSameLayoutDoNotAlias) {
+  struct A {
+    int v;
+  };
+  struct B {
+    int v;
+  };
+  Payload p{A{1}};
+  EXPECT_NE(p.get<A>(), nullptr);
+  EXPECT_EQ(p.get<B>(), nullptr) << "tag identity must be per-type";
+}
+
+TEST(InlineFuncTest, HeapFallbackForOversizedCaptures) {
+  // Captures larger than kCapacity must still work (heap fallback), and the
+  // callable must survive moves of the wrapper.
+  struct Big {
+    unsigned char bytes[InlineFunc::kCapacity + 64] = {};
+  };
+  Big big;
+  big.bytes[0] = 42;
+  int calls = 0;
+  InlineFunc fn{[big, &calls] { calls += big.bytes[0]; }};
+  InlineFunc moved{std::move(fn)};
+  moved();
+  EXPECT_EQ(calls, 42);
+}
+
+TEST(InlineFuncTest, MoveAssignReplacesCallable) {
+  int which = 0;
+  InlineFunc a{[&which] { which = 1; }};
+  InlineFunc b{[&which] { which = 2; }};
+  a = std::move(b);
+  a();
+  EXPECT_EQ(which, 2);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
 }
 
 }  // namespace
