@@ -1,0 +1,139 @@
+// Parallel-execution microbenchmark (DESIGN.md decision 14): the same
+// 8-server fig1/fig6 workload executed by the sharded event loop at 1, 2, 4,
+// and 8 workers.
+//
+// Two claims are measured, with very different gating:
+//
+//   * Determinism — the folded telemetry export of every worker count is
+//     byte-identical to the --workers=1 run. Checked in-process here
+//     (`telemetry_mismatch`, gated at 0 in CI) and again across processes by
+//     the CI determinism job. `sim_ms` / `ops` are gated at tolerance 0 for
+//     the same reason: simulated time must not notice the thread count.
+//
+//   * Wall-clock speedup — `wall_ms` and `speedup` are *informational*
+//     (scripts/metrics_diff.py --informational), like every wall-clock
+//     number in this repo: they depend on the machine (CI containers here
+//     are single-core, where the worker sweep measures overhead, not
+//     speedup; see EXPERIMENTS.md E17 for multi-core numbers and the
+//     hardware caveat).
+//
+// The workload drives parallelism through structure, not through thread
+// tricks: four concurrent client drains (fig1 immutable + fig6 optimistic
+// rounds) fan out freezes and fetches across all 8 server shards, while a
+// churn process on the serial shard mutates membership between windows.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "../bench_common.hpp"
+
+namespace weakset::bench {
+namespace {
+
+constexpr int kDrivers = 4;
+constexpr int kRounds = 3;
+constexpr int kObjects = 256;
+constexpr int kFragments = 8;
+
+Task<void> drive(RepositoryClient* client, CollectionId coll,
+                 std::uint64_t* yields, int* done) {
+  for (int round = 0; round < kRounds; ++round) {
+    {
+      RepoSetView view{*client, coll};
+      auto iterator = make_elements_iterator(view, Semantics::kFig1Immutable);
+      const DrainResult result = co_await drain(*iterator);
+      *yields += result.count();
+    }
+    {
+      RepoSetView view{*client, coll};
+      auto iterator = make_elements_iterator(view, Semantics::kFig6Optimistic);
+      const DrainResult result = co_await drain(*iterator);
+      *yields += result.count();
+    }
+  }
+  ++*done;
+}
+
+Task<void> join(Simulator* sim, const int* done, int expected) {
+  while (*done < expected) co_await sim->delay(Duration::millis(1));
+}
+
+// The --workers=1 reference, captured by the first case of the sweep (cases
+// run in argument order within one process).
+std::string baseline_json;   // NOLINT(runtime/string)
+double baseline_wall_ms = 0;
+
+void BM_ParallelSweep(benchmark::State& state) {
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    // Each case re-runs the identical schedule from a clean registry; only
+    // the worker count differs. (A CLI --workers flag is ignored here — the
+    // sweep *is* the worker axis.)
+    obs::global().clear();
+    worker_flag() = workers;
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    std::uint64_t yields = 0;
+    SimTime sim_end = SimTime{};
+    {
+      WorldConfig config;
+      config.servers = 8;
+      config.near = Duration::millis(2);
+      config.far = Duration::millis(20);
+      config.mesh = Duration::millis(10);
+      config.seed = 17;
+      World world{config};
+      const CollectionId coll = world.make_collection(kObjects, kFragments);
+      RepositoryClient client{*world.repo, world.client_node};
+      world.spawn_churn(coll, Duration::millis(10), 0.3,
+                        world.sim.now() + Duration::millis(500), 42);
+
+      int done = 0;
+      for (int d = 0; d < kDrivers; ++d) {
+        world.sim.spawn(drive(&client, coll, &yields, &done));
+      }
+      run_task(world.sim, join(&world.sim, &done, kDrivers));
+      sim_end = world.sim.now();
+      state.counters["churn_ops"] =
+          static_cast<double>(world.churn_adds + world.churn_removes);
+    }
+    const auto wall1 = std::chrono::steady_clock::now();
+    worker_flag() = 0;
+
+    const std::string json = obs::global().to_json();
+    double mismatch = 0;
+    if (workers == 1) {
+      baseline_json = json;
+    } else {
+      mismatch = json == baseline_json ? 0 : 1;
+    }
+
+    const double wall_ms =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+            wall1 - wall0).count()) / 1e6;
+    if (workers == 1) baseline_wall_ms = wall_ms;
+
+    state.counters["workers"] = workers;
+    state.counters["telemetry_mismatch"] = mismatch;
+    state.counters["sim_ms"] = sim_end.as_millis();
+    state.counters["ops"] = static_cast<double>(yields);
+    state.counters["wall_ms"] = wall_ms;
+    state.counters["speedup"] =
+        wall_ms > 0 ? baseline_wall_ms / wall_ms : 0;
+  }
+}
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace weakset::bench
+
+WEAKSET_BENCHMARK_MAIN();

@@ -8,9 +8,14 @@
 #   BENCH_hotpath.json    — wall-clock microbench of the event/RPC hot path
 #                           (ISSUE 6: bench/micro; gate on allocs_per_* only,
 #                           wall_ns_* is informational — see metrics_diff.py)
+#   BENCH_parallel.json   — sharded-execution worker sweep (ISSUE 7: gate on
+#                           sim_ms/ops/telemetry_mismatch at tolerance 0,
+#                           wall_ms/speedup informational — single-core CI
+#                           runners measure overhead, not speedup)
 #
 # Usage: scripts/bench_json.sh [build-dir] [prefetch-out] [membership-out] \
-#                              [recovery-out] [migration-out] [hotpath-out]
+#                              [recovery-out] [migration-out] [hotpath-out] \
+#                              [parallel-out]
 
 set -euo pipefail
 build_dir="${1:-build}"
@@ -19,6 +24,7 @@ membership_out="${3:-BENCH_membership.json}"
 recovery_out="${4:-BENCH_recovery.json}"
 migration_out="${5:-BENCH_migration.json}"
 hotpath_out="${6:-BENCH_hotpath.json}"
+parallel_out="${7:-BENCH_parallel.json}"
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: ${build_dir}/bench not found — configure and build first:" >&2
@@ -47,6 +53,7 @@ run_bench bench_e13_membership
 run_bench bench_e14_recovery
 run_bench bench_e15_migration
 run_bench micro/bench_micro_hotpath
+run_bench micro/bench_micro_parallel
 
 # One top-level object per output file, keyed by bench binary, each value
 # the unmodified google-benchmark JSON document.
@@ -92,3 +99,11 @@ echo "wrote ${migration_out}" >&2
   echo '}'
 } >"${hotpath_out}"
 echo "wrote ${hotpath_out}" >&2
+
+{
+  echo '{'
+  echo '  "bench_micro_parallel":'
+  cat "${tmp}/bench_micro_parallel.json"
+  echo '}'
+} >"${parallel_out}"
+echo "wrote ${parallel_out}" >&2

@@ -36,6 +36,15 @@ microbench gate fails on allocs_per_* and merely reports wall_ns_*:
     scripts/metrics_diff.py BENCH_hotpath.json fresh_hotpath.json \\
         --only 'allocs_per_|wall_ns_' --metric-tolerance 'allocs_per_=0.0' \\
         --informational 'wall_ns_'
+
+--require-equal pins paths to tolerance 0 regardless of --tolerance or any
+--metric-tolerance override — the shorthand for determinism gates, where a
+metric is either byte-for-byte reproduced or the gate fails. The parallel
+determinism gate pins the simulated-time counters this way:
+
+    scripts/metrics_diff.py BENCH_parallel.json fresh_parallel.json \\
+        --only 'sim_ms|ops|telemetry_mismatch' \\
+        --require-equal 'sim_ms|ops|telemetry_mismatch'
 """
 
 import argparse
@@ -110,6 +119,11 @@ def main():
                         metavar="REGEX",
                         help="regex; matching paths are compared and reported "
                         "but never fail the gate (repeatable)")
+    parser.add_argument("--require-equal", action="append", default=[],
+                        metavar="REGEX",
+                        help="regex; matching paths must match exactly "
+                        "(tolerance 0, overriding --tolerance and "
+                        "--metric-tolerance; repeatable)")
     parser.add_argument("--quiet", action="store_true",
                         help="print only failures and the summary line")
     args = parser.parse_args()
@@ -148,6 +162,7 @@ def main():
     only = [re.compile(p) for p in args.only]
     ignore = [re.compile(p) for p in args.ignore]
     informational = [re.compile(p) for p in args.informational]
+    require_equal = [re.compile(p) for p in args.require_equal]
 
     pairs = []
     walk(baseline, current, "", pairs)
@@ -166,11 +181,14 @@ def main():
                 print(f"  info {path}: {base:g} -> {cur:g} "
                       f"(delta {delta:.2%}, informational)")
             continue
-        tolerance = args.tolerance
-        for pattern, tol in overrides:
-            if pattern.search(path):
-                tolerance = tol
-                break
+        if any(p.search(path) for p in require_equal):
+            tolerance = 0.0
+        else:
+            tolerance = args.tolerance
+            for pattern, tol in overrides:
+                if pattern.search(path):
+                    tolerance = tol
+                    break
         compared += 1
         delta = relative_delta(base, cur)
         if delta > tolerance:

@@ -1,0 +1,16 @@
+#include "util/pool.hpp"
+
+#include <mutex>
+
+namespace weakset::detail {
+
+void keep_reachable(void* pointer) {
+  // Leaked on purpose: the registry exists precisely so the parked pointers
+  // (per-thread pool states) stay reachable for the life of the process.
+  static std::mutex* mutex = new std::mutex;
+  static std::vector<void*>* parked = new std::vector<void*>;
+  const std::lock_guard<std::mutex> lock{*mutex};
+  parked->push_back(pointer);
+}
+
+}  // namespace weakset::detail

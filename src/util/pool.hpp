@@ -8,9 +8,18 @@
 // performs zero global-allocator calls on these paths.
 //
 // Blocks above kMaxPooled bytes fall through to operator new/delete: pooling
-// is an optimisation, never a size limit. Single-threaded by design
-// (DESIGN.md decision 13); memory is returned to the OS only at process
-// exit, which is the right trade for bounded-lifetime simulation processes.
+// is an optimisation, never a size limit. Memory is returned to the OS only
+// at process exit, which is the right trade for bounded-lifetime simulation
+// processes.
+//
+// Threading (DESIGN.md decision 14): each pool's state is thread_local, so
+// the parallel engine's shard workers never contend or race on free lists. A
+// block may be allocated on one thread and freed on another (a cross-shard
+// message's payload, say); it simply joins the freeing thread's free list —
+// arena memory is never returned, so ownership of a block is just a pointer
+// in somebody's list. Each per-thread state is registered with
+// detail::keep_reachable so leak checkers still classify pool memory as
+// still-reachable after a worker thread (and its thread_local pointer) exits.
 //
 // VectorPool<T> recycles whole std::vector<T> objects (capacity and all) for
 // the store's reply buffers — member lists and op batches that are built on
@@ -22,6 +31,12 @@
 #include "util/arena.hpp"
 
 namespace weakset {
+
+namespace detail {
+/// Parks a heap pointer in a process-global registry so it stays reachable
+/// forever. Called once per thread per pool type (never on a hot path).
+void keep_reachable(void* pointer);
+}  // namespace detail
 
 class BlockPool {
  public:
@@ -55,7 +70,7 @@ class BlockPool {
     state.free_heads[cls] = block;
   }
 
-  /// Arena bytes handed out so far (diagnostics/tests).
+  /// Arena bytes handed out so far by this thread's pool (diagnostics/tests).
   static std::size_t arena_bytes() { return instance().arena.bytes_allocated(); }
 
  private:
@@ -71,11 +86,17 @@ class BlockPool {
   }
 
   static State& instance() {
-    // Truly leaked (never destroyed): pooled blocks can be freed from other
-    // static-duration objects' destructors, which must not race the pool's
-    // own teardown. The single State pointer stays reachable, so leak
-    // checkers (LSan) classify it as still-reachable, not lost.
-    static State* state = new State;
+    // One State per thread, truly leaked (never destroyed): pooled blocks can
+    // be freed from other static-duration objects' destructors, which must
+    // not race the pool's own teardown, and blocks freed cross-thread must
+    // not dangle when the allocating thread exits. keep_reachable parks the
+    // pointer so leak checkers classify the memory as still-reachable even
+    // after the thread_local pointer itself is gone.
+    static thread_local State* state = [] {
+      auto* fresh = new State;
+      detail::keep_reachable(fresh);
+      return fresh;
+    }();
     return *state;
   }
 };
@@ -128,9 +149,14 @@ class VectorPool {
  private:
   static constexpr std::size_t kMaxParked = 64;
   static std::vector<std::vector<T>>& freelist() {
-    // Leaked like BlockPool::instance(): release() must stay callable from
-    // static-duration destructors in any order.
-    static auto* parked = new std::vector<std::vector<T>>;
+    // Per-thread and leaked like BlockPool::instance(): release() must stay
+    // callable from static-duration destructors in any order, and shard
+    // workers must never contend on the list.
+    static thread_local auto* parked = [] {
+      auto* fresh = new std::vector<std::vector<T>>;
+      detail::keep_reachable(fresh);
+      return fresh;
+    }();
     return *parked;
   }
 };

@@ -1,0 +1,45 @@
+#pragma once
+
+// Shard context for the parallel discrete-event engine (DESIGN.md decision
+// 14). Simulation state is partitioned into node-affine shards; every thread
+// carries a "current shard" index that routes schedule() calls, metrics
+// recordings, and RNG draws to the shard that owns the executing event.
+//
+// In the classic single-threaded mode the current shard is always 0 and
+// nothing here has any effect; the sharded Simulator sets it around every
+// event it executes, and setup code pins daemons to a node's shard with a
+// ShardGuard. The variable lives in util (below sim and obs) so both layers
+// can read it without a dependency cycle.
+
+#include <cstdint>
+
+namespace weakset {
+
+namespace shardctx {
+
+/// The shard whose event (or setup scope) this thread is currently executing.
+/// 0 outside any sharded simulation.
+inline thread_local std::uint32_t current = 0;
+
+}  // namespace shardctx
+
+/// RAII scope that pins shardctx::current, used to give a spawned daemon or a
+/// setup-time recording a home shard:
+///
+///   ShardGuard guard{sim.node_shard(node.raw())};
+///   sim.spawn(pull_loop(...));  // coroutine resumes on the node's shard
+class ShardGuard {
+ public:
+  explicit ShardGuard(std::uint32_t shard) noexcept
+      : previous_(shardctx::current) {
+    shardctx::current = shard;
+  }
+  ~ShardGuard() { shardctx::current = previous_; }
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
+
+ private:
+  std::uint32_t previous_;
+};
+
+}  // namespace weakset

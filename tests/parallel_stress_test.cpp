@@ -1,0 +1,162 @@
+// Randomized determinism stress for the sharded event loop (DESIGN.md
+// decision 14): a random topology under chaos — crashes, link cuts, and
+// membership churn mid-run — executed twice with different worker counts,
+// must leave a byte-identical telemetry export behind.
+//
+// This is the whole parallel-execution contract in one assertion: the shard
+// an event runs on, the order cross-shard messages are drained in, the
+// per-shard RNG draws, and the span-id layout are all functions of the
+// schedule, never of the thread count. If any layer leaks threading into
+// behaviour (a racily warmed cache, a shared RNG, an unordered barrier
+// drain), the JSON exports diverge and this test names the seed.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/weak_set.hpp"
+#include "net/chaos.hpp"
+#include "obs/metrics.hpp"
+#include "util/shard.hpp"
+
+namespace weakset {
+namespace {
+
+constexpr int kReaders = 2;
+constexpr int kRounds = 3;
+
+Task<void> reader(WeakSet* set, int* done, std::uint64_t* yields) {
+  for (int round = 0; round < kRounds; ++round) {
+    IteratorOptions options;
+    options.retry = RetryPolicy{200, Duration::millis(50)};
+    auto iterator = set->elements(Semantics::kFig6Optimistic, options);
+    const DrainResult result = co_await drain(*iterator);
+    *yields += result.count();
+  }
+  ++*done;
+}
+
+Task<void> join(Simulator* sim, const int* done, int expected) {
+  while (*done < expected) co_await sim->delay(Duration::millis(5));
+}
+
+/// Serial-shard churn: creates objects (a global-state mutation, so it must
+/// run with the workers quiesced) and adds/removes members over RPC.
+Task<void> churn(Simulator* sim, Repository* repo, RepositoryClient* mutator,
+                 CollectionId coll, std::vector<NodeId> servers,
+                 std::vector<ObjectRef> seeds, Rng rng, SimTime until) {
+  std::uint64_t next = 900'000;
+  while (sim->now() < until) {
+    co_await sim->delay(rng.exponential(Duration::millis(20)));
+    if (sim->now() >= until) co_return;
+    if (!seeds.empty() && rng.bernoulli(0.4)) {
+      (void)co_await mutator->remove(coll, rng.pick(seeds));
+    } else {
+      const NodeId home = rng.pick(servers);
+      const ObjectRef ref =
+          repo->create_object(home, "churn-" + std::to_string(next++));
+      seeds.push_back(ref);
+      (void)co_await mutator->add(coll, ref);
+    }
+  }
+}
+
+/// One full randomized run at the given worker count; returns the folded
+/// telemetry export. Every random decision — topology shape, latencies,
+/// chaos schedule, churn — flows from `seed` alone.
+std::string run_stress(std::uint64_t seed, std::uint32_t workers) {
+  obs::global().clear();
+  Rng shape{seed};
+  const int n_servers = static_cast<int>(shape.uniform_range(3, 6));
+  const int n_objects = static_cast<int>(shape.uniform_range(24, 48));
+
+  Simulator sim;
+  Topology topo;
+  topo.set_routing(Topology::Routing::kDirectOnly);
+  const NodeId client_node = topo.add_node("client");
+  std::vector<NodeId> servers;
+  for (int i = 0; i < n_servers; ++i) {
+    servers.push_back(topo.add_node("s" + std::to_string(i)));
+  }
+  Duration min_latency = Duration::millis(1'000);
+  const auto connect = [&](NodeId a, NodeId b) {
+    const Duration latency =
+        shape.uniform_duration(Duration::millis(2), Duration::millis(12));
+    min_latency = std::min(min_latency, latency);
+    topo.connect(a, b, latency);
+  };
+  for (const NodeId server : servers) connect(client_node, server);
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    for (std::size_t j = i + 1; j < servers.size(); ++j) {
+      connect(servers[i], servers[j]);
+    }
+  }
+
+  const auto nodes = static_cast<std::uint32_t>(topo.node_count());
+  sim.configure_shards(nodes, workers, min_latency);
+  for (std::uint32_t n = 0; n < nodes; ++n) sim.assign_node_shard(n, n);
+  obs::global().enable_sharding(nodes + 1);  // + the serial shard
+
+  RpcNetwork net{sim, topo, Rng{seed + 1}};
+  Repository repo{net};
+  for (const NodeId server : servers) {
+    ShardGuard guard{sim.node_shard(server.raw())};
+    repo.add_server(server);
+  }
+
+  RepositoryClient client{repo, client_node};
+  WeakSet set = WeakSet::create(repo, client, {servers[0], servers[1]});
+  std::vector<ObjectRef> seeds;
+  for (int i = 0; i < n_objects; ++i) {
+    const NodeId home = servers[static_cast<std::size_t>(i) % servers.size()];
+    seeds.push_back(repo.create_object(home, "o" + std::to_string(i)));
+    repo.seed_member(set.id(), seeds.back());
+  }
+  sim.run_until(sim.now() + Duration::millis(300));  // let replicas converge
+
+  RepositoryClient mutator{repo, servers[0]};
+  std::optional<ChaosInjector> chaos;
+  {
+    // Chaos (topology mutation) and churn (object creation) are global-state
+    // writers: both live on the serial shard, whose events run alone.
+    ShardGuard guard{sim.serial_shard()};
+    ChaosOptions copts;
+    copts.mean_uptime = Duration::millis(500);
+    copts.outage = Duration::millis(120);
+    copts.crash_bias = 0.5;
+    copts.deadline = sim.now() + Duration::millis(1'200);
+    chaos.emplace(sim, topo, servers, seed + 2, copts);
+    sim.spawn(churn(&sim, &repo, &mutator, set.id(), servers, seeds,
+                    Rng{seed + 3}, sim.now() + Duration::millis(1'200)));
+  }
+
+  int done = 0;
+  std::uint64_t yields = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    sim.spawn(reader(&set, &done, &yields));
+  }
+  run_task(sim, join(&sim, &done, kReaders));
+  chaos->stop();
+  repo.stop_all_daemons();
+
+  EXPECT_GT(yields, 0u);
+  return obs::global().to_json();
+}
+
+class ParallelStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelStressTest, TelemetryByteIdenticalAcrossWorkerCounts) {
+  const std::uint64_t seed = GetParam();
+  const std::string single = run_stress(seed, 1);
+  const std::string parallel = run_stress(seed, 3);
+  EXPECT_GT(single.size(), 2u);
+  EXPECT_EQ(single, parallel) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelStressTest,
+                         ::testing::Values(11u, 29u, 47u));
+
+}  // namespace
+}  // namespace weakset
