@@ -56,7 +56,8 @@ void BM_MigrationCost(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     obs::MetricsRegistry& reg = obs::global();
-    const std::uint64_t chunks_before = reg.counter("placement.chunks_streamed");
+    const std::uint64_t chunks_before =
+        reg.counter("placement.chunks_streamed");
     const std::uint64_t rounds_before = reg.counter("placement.catchup_rounds");
     const std::int64_t bytes_before =
         hist_sum(reg, "placement.migration_bytes");

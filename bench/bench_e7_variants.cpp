@@ -153,8 +153,8 @@ void BM_QuorumFreshness(benchmark::State& state) {
     // Seed 16 members, let replicas converge, then add 8 "recent" members
     // the replicas have not pulled yet.
     for (int i = 0; i < 16; ++i) {
-      const ObjectRef ref =
-          world.repo->create_object(world.servers[0], "old" + std::to_string(i));
+      const ObjectRef ref = world.repo->create_object(
+          world.servers[0], "old" + std::to_string(i));
       world.repo->seed_member(coll, ref);
     }
     world.sim.run_until(world.sim.now() + Duration::seconds(3));

@@ -111,9 +111,9 @@ void BM_ParallelSweep(benchmark::State& state) {
       mismatch = json == baseline_json ? 0 : 1;
     }
 
-    const double wall_ms =
-        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-            wall1 - wall0).count()) / 1e6;
+    const auto wall_elapsed =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0);
+    const double wall_ms = static_cast<double>(wall_elapsed.count()) / 1e6;
     if (workers == 1) baseline_wall_ms = wall_ms;
 
     state.counters["workers"] = workers;

@@ -12,10 +12,14 @@
 #                           sim_ms/ops/telemetry_mismatch at tolerance 0,
 #                           wall_ms/speedup informational — single-core CI
 #                           runners measure overhead, not speedup)
+#   BENCH_scale.json      — population-scale workload sweep, 1k -> 100k
+#                           sessions x admission policy (ISSUE 8: e18;
+#                           latency percentiles and goodput-vs-offered-load
+#                           curves, all simulated time)
 #
 # Usage: scripts/bench_json.sh [build-dir] [prefetch-out] [membership-out] \
 #                              [recovery-out] [migration-out] [hotpath-out] \
-#                              [parallel-out]
+#                              [parallel-out] [scale-out]
 
 set -euo pipefail
 build_dir="${1:-build}"
@@ -25,6 +29,7 @@ recovery_out="${4:-BENCH_recovery.json}"
 migration_out="${5:-BENCH_migration.json}"
 hotpath_out="${6:-BENCH_hotpath.json}"
 parallel_out="${7:-BENCH_parallel.json}"
+scale_out="${8:-BENCH_scale.json}"
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: ${build_dir}/bench not found — configure and build first:" >&2
@@ -54,6 +59,7 @@ run_bench bench_e14_recovery
 run_bench bench_e15_migration
 run_bench micro/bench_micro_hotpath
 run_bench micro/bench_micro_parallel
+run_bench bench_e18_scale
 
 # One top-level object per output file, keyed by bench binary, each value
 # the unmodified google-benchmark JSON document.
@@ -107,3 +113,11 @@ echo "wrote ${hotpath_out}" >&2
   echo '}'
 } >"${parallel_out}"
 echo "wrote ${parallel_out}" >&2
+
+{
+  echo '{'
+  echo '  "bench_e18_scale":'
+  cat "${tmp}/bench_e18_scale.json"
+  echo '}'
+} >"${scale_out}"
+echo "wrote ${scale_out}" >&2

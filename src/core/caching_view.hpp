@@ -77,7 +77,9 @@ class CachingSetView final : public SetView {
     if (!misses.empty()) {
       auto fetched = co_await inner_.fetch_many(std::move(misses));
       for (std::size_t j = 0; j < fetched.size(); ++j) {
-        if (fetched[j]) cache_.put(refs[miss_index[j]], fetched[j].value(), now());
+        if (fetched[j]) {
+          cache_.put(refs[miss_index[j]], fetched[j].value(), now());
+        }
         slots[miss_index[j]] = std::move(fetched[j]);
       }
     }

@@ -186,7 +186,7 @@ class LocalSetView final : public SetView, public spec::GroundTruth {
 
   [[nodiscard]] Simulator& sim() override { return sim_; }
 
-  // -- spec::GroundTruth -------------------------------------------------------
+  // -- spec::GroundTruth -----------------------------------------------------
 
   [[nodiscard]] spec::SetObservation observe() const override {
     std::set<ObjectRef> members{members_.begin(), members_.end()};

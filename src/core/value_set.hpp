@@ -4,11 +4,11 @@
 //
 //   set = type create, add, remove, size, elements
 //   constraint s_i = s_j                       (set is immutable)
-//   create = proc () returns (t: set)          ensures t_post = {} ∧ new(t)
-//   add    = proc (s, e) returns (t: set)      ensures t_post = s_pre ∪ {e} ∧ new(t)
-//   remove = proc (e, s) returns (t: set)      ensures t_post = s_pre − {e} ∧ new(t)
-//   size   = proc (s) returns (i: int)         ensures i = |s_pre|
-//   elements = iter (s) yields (e: elem)       one new element per invocation
+//   create = proc () returns (t: set)     ensures t_post = {} ∧ new(t)
+//   add    = proc (s, e) returns (t: set) ensures t_post = s_pre ∪ {e} ∧ new(t)
+//   remove = proc (e, s) returns (t: set) ensures t_post = s_pre − {e} ∧ new(t)
+//   size   = proc (s) returns (i: int)    ensures i = |s_pre|
+//   elements = iter (s) yields (e: elem)  one new element per invocation
 //
 // Every operation returns a NEW set object (the paper's new(t)); existing
 // values never change, so the constraint holds by construction. This is the

@@ -1,0 +1,43 @@
+#include "load/zipf.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace weakset::load {
+namespace {
+
+/// zeta(n, theta) = sum_{i=1..n} 1/i^theta. O(n), but paid once per sampler
+/// at construction — never per sample.
+double zeta(std::size_t n, double theta) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianSampler::ZipfianSampler(std::size_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n > 0 && "Zipfian over an empty universe");
+  assert(theta > 0.0 && theta < 1.0 && "theta must be in (0, 1)");
+  zetan_ = zeta(n, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta(2, theta) / zetan_);
+}
+
+std::size_t ZipfianSampler::sample(Rng& rng) const {
+  // Gray et al. closed-form inverse: the two most popular ranks get exact
+  // thresholds, the tail is the interpolated power curve.
+  const double u = rng.uniform_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (n_ >= 2 && uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::size_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;  // clamp the floating-point edge
+}
+
+}  // namespace weakset::load

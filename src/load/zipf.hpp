@@ -1,0 +1,47 @@
+#pragma once
+
+// Deterministic Zipfian rank sampler for workload skew.
+//
+// Real multi-user workloads are not uniform: a few collections take most of
+// the traffic (the "popular directories" regime the paper's location
+// database example implies). The standard generator for that skew is the
+// Gray et al. "Quickly Generating Billion-Record Synthetic Databases"
+// rejection-free Zipfian sampler, later popularised by YCSB: ranks 0..n-1
+// are drawn with P(rank = k) proportional to 1/(k+1)^theta, from one
+// uniform double per sample.
+//
+// All randomness flows through the repo's seeded Rng (util/rng.hpp), so a
+// sampler fed the same Rng stream produces the same rank sequence on every
+// run — the property the load engine's byte-identical telemetry (and
+// load_test's determinism check) rests on. The zeta constants are
+// precomputed at construction: sampling is two pows and a few multiplies,
+// no loop over n.
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace weakset::load {
+
+/// Draws ranks in [0, n) with Zipfian skew: rank 0 is the most popular,
+/// P(rank = k) ~ 1/(k+1)^theta. theta in (0, 1); 0.99 is the classic
+/// YCSB default (heavier skew as theta -> 1).
+class ZipfianSampler {
+ public:
+  ZipfianSampler(std::size_t n, double theta = 0.99);
+
+  /// The next rank, consuming exactly one uniform double from `rng`.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  double zetan_;  ///< zeta(n, theta) = sum_{i=1..n} i^-theta
+  double alpha_;  ///< 1 / (1 - theta)
+  double eta_;    ///< Gray et al. interpolation constant
+};
+
+}  // namespace weakset::load

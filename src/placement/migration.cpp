@@ -25,13 +25,17 @@ MigrationEngine::MigrationEngine(Repository& repo, NodeId node,
   RpcNetwork& net = repo_.net();
   net.register_handler(node_, "mig.execute",
                        bind(&MigrationEngine::handle_execute));
-  net.register_handler(node_, "mig.begin", bind(&MigrationEngine::handle_begin));
-  net.register_handler(node_, "mig.chunk", bind(&MigrationEngine::handle_chunk));
+  net.register_handler(node_, "mig.begin",
+                       bind(&MigrationEngine::handle_begin));
+  net.register_handler(node_, "mig.chunk",
+                       bind(&MigrationEngine::handle_chunk));
   net.register_handler(node_, "mig.ops", bind(&MigrationEngine::handle_ops));
-  net.register_handler(node_, "mig.apply", bind(&MigrationEngine::handle_apply));
+  net.register_handler(node_, "mig.apply",
+                       bind(&MigrationEngine::handle_apply));
   net.register_handler(node_, "mig.finish",
                        bind(&MigrationEngine::handle_finish));
-  net.register_handler(node_, "mig.abort", bind(&MigrationEngine::handle_abort));
+  net.register_handler(node_, "mig.abort",
+                       bind(&MigrationEngine::handle_abort));
   // Staging is volatile node state: an amnesia crash of this node must lose
   // it, exactly like the store's in-memory fragments.
   liveness_token_ = repo_.topology().add_liveness_listener(
@@ -140,7 +144,9 @@ Task<Result<std::uint64_t>> MigrationEngine::run_source(StoreServer* server,
   if (!still_source(server, id, incarnation)) {
     co_return Failure{FailureKind::kNodeCrashed, "source crashed"};
   }
-  if (!begin) co_return co_await abort_source(server, id, target, begin.error());
+  if (!begin) {
+    co_return co_await abort_source(server, id, target, begin.error());
+  }
 
   // 3. Stream the member snapshot in slices; the source keeps serving both
   //    reads and writes between them (writes are caught up below).
@@ -215,7 +221,9 @@ Task<Result<std::uint64_t>> MigrationEngine::run_source(StoreServer* server,
     if (!still_source(server, id, incarnation)) {
       co_return Failure{FailureKind::kNodeCrashed, "source crashed"};
     }
-    if (!sync) co_return co_await abort_source(server, id, target, sync.error());
+    if (!sync) {
+      co_return co_await abort_source(server, id, target, sync.error());
+    }
     if (sync.value().applied_seq() < shipped_to) {
       co_return co_await abort_source(
           server, id, target,
@@ -303,7 +311,8 @@ Task<Result<Payload>> MigrationEngine::handle_begin(NodeId /*from*/,
   if (server == nullptr || !server->serving()) {
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
-  if (server->collection(req.id()) != nullptr && !server->is_retired(req.id())) {
+  if (server->collection(req.id()) != nullptr &&
+      !server->is_retired(req.id())) {
     co_return Failure{FailureKind::kExhausted, "already hosting fragment"};
   }
   auto staging = std::make_unique<Staging>();
@@ -451,7 +460,8 @@ Task<Result<Payload>> MigrationEngine::handle_abort(NodeId /*from*/,
   // source aborted and the directory still points at it — retire our copy
   // (authority never transferred).
   StoreServer* server = repo_.server_at(node_);
-  if (server != nullptr && server->serving() && server->hosts_primary(req.id())) {
+  if (server != nullptr && server->serving() &&
+      server->hosts_primary(req.id())) {
     const CollectionMeta& meta = repo_.meta(req.id());
     bool pointed_here = false;
     for (const FragmentMeta& frag : meta.fragments()) {

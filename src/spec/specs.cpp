@@ -227,9 +227,10 @@ SpecReport check_fig5(const IterationTrace& trace) {
         // we know is in the set, we fail". As in Fig 3, reachability may
         // flap within the invocation: only a candidate reachable at BOTH
         // boundaries convicts the iterator of giving up too early.
-        const bool unyielded_exists = witness(inv, [&](const SetObservation& s) {
-          return !subset(s.members(), yielded);
-        });
+        const bool unyielded_exists =
+            witness(inv, [&](const SetObservation& s) {
+              return !subset(s.members(), yielded);
+            });
         bool stable_candidate_ignored = false;
         for (const ObjectRef e : inv.pre().reachable()) {
           if (yielded.count(e) == 0 && inv.post().can_reach(e)) {

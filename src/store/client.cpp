@@ -445,10 +445,10 @@ namespace {
 /// One (group index, reply) arrival of the fetch_many scatter-gather.
 using BatchArrival = std::pair<std::size_t, Result<msg::FetchBatchReply>>;
 
-Task<void> fetch_batch_into(RpcNetwork& net, NodeId from, NodeId home,
-                            MethodId method, std::vector<ObjectId> ids,
-                            std::optional<Duration> timeout, std::size_t group,
-                            std::shared_ptr<AsyncQueue<BatchArrival>> arrivals) {
+Task<void> fetch_batch_into(
+    RpcNetwork& net, NodeId from, NodeId home, MethodId method,
+    std::vector<ObjectId> ids, std::optional<Duration> timeout,
+    std::size_t group, std::shared_ptr<AsyncQueue<BatchArrival>> arrivals) {
   Result<msg::FetchBatchReply> reply =
       co_await net.call_typed<msg::FetchBatchReply>(
           from, home, method,

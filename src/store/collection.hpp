@@ -127,7 +127,8 @@ class CollectionState {
 
   /// True if every op with seq > `after_seq` is still in the log — i.e. an
   /// incremental catch-up from `after_seq` is possible without a snapshot.
-  [[nodiscard]] bool can_serve_ops_since(std::uint64_t after_seq) const noexcept {
+  [[nodiscard]] bool can_serve_ops_since(
+      std::uint64_t after_seq) const noexcept {
     return after_seq + 1 >= log_floor_seq();
   }
 

@@ -26,7 +26,15 @@ StoreServer& Repository::add_server(NodeId node, StoreServerOptions options) {
   assert(inserted && "server already exists on node");
   it->second->set_mutation_sink(this);
   server_nodes_.push_back(node);
+  for (const auto& [coll, tenant] : tenant_tags_) {
+    it->second->set_tenant(coll, tenant);
+  }
   return *it->second;
+}
+
+void Repository::tag_tenant(CollectionId id, std::uint64_t tenant) {
+  tenant_tags_[id] = tenant;
+  for (auto& [node, server] : servers_) server->set_tenant(id, tenant);
 }
 
 StoreServer* Repository::server_at(NodeId node) {

@@ -167,6 +167,11 @@ class Repository : public MutationSink {
   /// bypassing RPC. Workload builders use this for initial membership.
   void seed_member(CollectionId id, ObjectRef ref);
 
+  /// Tags collection `id` as belonging to admission tenant `tenant` on every
+  /// server, current and future (DESIGN.md decision 15). Untagged
+  /// collections share tenant 0.
+  void tag_tenant(CollectionId id, std::uint64_t tenant);
+
   /// Fresh unique token for a client (used by the freeze protocol).
   [[nodiscard]] std::uint64_t next_client_token() { return ++client_tokens_; }
 
@@ -193,6 +198,8 @@ class Repository : public MutationSink {
   std::unordered_map<NodeId, std::unique_ptr<StoreServer>> servers_;
   std::vector<NodeId> server_nodes_;
   std::unordered_map<CollectionId, CollectionMeta> metas_;
+  /// Admission-tenant tags, replayed onto servers added later.
+  std::unordered_map<CollectionId, std::uint64_t> tenant_tags_;
   IdSequence<ObjectTag> object_ids_;
   IdSequence<CollectionTag> collection_ids_;
   std::uint64_t client_tokens_ = 0;

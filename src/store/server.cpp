@@ -76,7 +76,8 @@ StoreServer::StoreServer(RpcNetwork& net, NodeId node,
     : net_(net),
       node_(node),
       options_(options),
-      metrics_(obs::sink(options.metrics)) {
+      metrics_(obs::sink(options.metrics)),
+      admission_(net.sim(), options.admission, metrics_) {
   if (options_.durability.enabled) {
     SimDiskOptions disk_options = options_.durability.disk;
     // Every server draws its own crash lottery: fork the configured seed by
@@ -434,6 +435,16 @@ Task<Result<Payload>> StoreServer::handle_snapshot(NodeId from,
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
   const std::uint64_t epoch = epoch_;
+  AdmissionTicket ticket;
+  if (admission_.enabled()) {
+    ticket = co_await admission_.admit(tenant_of(req.id()));
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
+    if (!ticket.admitted()) {
+      co_return Failure{FailureKind::kOverloaded, "admission queue full"};
+    }
+  }
   co_await net_.sim().delay(options_.membership_latency);
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
@@ -472,6 +483,16 @@ Task<Result<Payload>> StoreServer::handle_read_delta(NodeId from,
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
   const std::uint64_t epoch = epoch_;
+  AdmissionTicket ticket;
+  if (admission_.enabled()) {
+    ticket = co_await admission_.admit(tenant_of(req.id()));
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
+    if (!ticket.admitted()) {
+      co_return Failure{FailureKind::kOverloaded, "admission queue full"};
+    }
+  }
   co_await net_.sim().delay(options_.membership_latency);
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
@@ -549,6 +570,16 @@ Task<Result<Payload>> StoreServer::handle_membership(NodeId /*from*/,
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
   const std::uint64_t epoch = epoch_;
+  AdmissionTicket ticket;
+  if (admission_.enabled()) {
+    ticket = co_await admission_.admit(tenant_of(req.id()));
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
+    if (!ticket.admitted()) {
+      co_return Failure{FailureKind::kOverloaded, "admission queue full"};
+    }
+  }
   co_await net_.sim().delay(options_.membership_latency);
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
@@ -648,6 +679,16 @@ Task<Result<Payload>> StoreServer::handle_size(NodeId /*from*/,
     co_return Failure{FailureKind::kUnreachable, "node recovering"};
   }
   const std::uint64_t epoch = epoch_;
+  AdmissionTicket ticket;
+  if (admission_.enabled()) {
+    ticket = co_await admission_.admit(tenant_of(req.id()));
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
+    if (!ticket.admitted()) {
+      co_return Failure{FailureKind::kOverloaded, "admission queue full"};
+    }
+  }
   co_await net_.sim().delay(options_.membership_latency);
   if (epoch != epoch_) {
     co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
@@ -943,6 +984,10 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
   wiped_ = true;
   checkpoint_timer_.cancel();
   checkpoint_armed_ = false;
+  // Queued admission waiters resume and fail their epoch checks; tickets
+  // held by suspended handlers go stale (generation bump) so the fresh slot
+  // accounting stays exact.
+  admission_.reset();
 
   // How many appended-but-unsynced records the crash lottery will decide on.
   const std::uint64_t next_before =

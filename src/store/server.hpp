@@ -20,6 +20,7 @@
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "sim/channel.hpp"
+#include "store/admission.hpp"
 #include "store/collection.hpp"
 #include "store/object_store.hpp"
 #include "wal/sim_disk.hpp"
@@ -93,6 +94,11 @@ struct StoreServerOptions {
   bool push_replication = false;
   /// Durable storage engine: WAL + checkpoints + amnesia recovery.
   DurabilityOptions durability;
+  /// Admission control on the collection data path (DESIGN.md decision 15):
+  /// bounded per-tenant queues in front of max_concurrency service slots,
+  /// shed-or-reject with FailureKind::kOverloaded under overload. Disabled
+  /// by default — the historical serve-everything model.
+  AdmissionOptions admission;
   /// Telemetry sink: snapshot-vs-delta read counters, bytes-equivalent ship
   /// cost, anti-entropy activity. nullptr = the process-global registry.
   obs::MetricsRegistry* metrics = nullptr;
@@ -219,6 +225,25 @@ class StoreServer {
   /// False while recovering from an amnesia crash (RPC handlers refuse).
   [[nodiscard]] bool serving() const noexcept { return serving_; }
 
+  // -- admission control (DESIGN.md decision 15) ---------------------------
+
+  /// Tags collection `id` as belonging to `tenant` for admission-queue
+  /// accounting. Untagged collections share tenant 0.
+  void set_tenant(CollectionId id, std::uint64_t tenant) {
+    tenants_[id] = tenant;
+  }
+
+  /// The admission tenant of `id` (0 if untagged).
+  [[nodiscard]] std::uint64_t tenant_of(CollectionId id) const {
+    const auto it = tenants_.find(id);
+    return it == tenants_.end() ? 0 : it->second;
+  }
+
+  /// The admission controller (introspection for tests and the load engine).
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return admission_;
+  }
+
   /// The simulated durable device; nullptr when durability is disabled.
   [[nodiscard]] SimDisk* disk() noexcept { return disk_.get(); }
 
@@ -319,6 +344,9 @@ class StoreServer {
   NodeId node_;
   StoreServerOptions options_;
   obs::MetricsRegistry& metrics_;
+  AdmissionController admission_;
+  /// Collection → admission tenant (absent = tenant 0).
+  std::unordered_map<CollectionId, std::uint64_t> tenants_;
   ObjectStore objects_;
   std::unordered_map<CollectionId, std::unique_ptr<Hosted>> collections_;
   bool stopping_ = false;

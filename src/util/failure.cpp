@@ -22,6 +22,8 @@ std::string_view to_string(FailureKind kind) {
       return "exhausted";
     case FailureKind::kWrongEpoch:
       return "wrong-epoch";
+    case FailureKind::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }

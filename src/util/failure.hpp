@@ -36,6 +36,11 @@ enum class FailureKind : std::uint8_t {
                  ///< directory epoch (carried in `detail`) so the client can
                  ///< refresh its cache and retry without a coordinator round
                  ///< trip (src/placement).
+  kOverloaded,   ///< The server's admission controller shed this request:
+                 ///< its service slots are busy and the caller's tenant
+                 ///< queue is at capacity (src/store/admission). An explicit
+                 ///< back-off signal — the bounded-queue alternative to
+                 ///< letting latency collapse under overload.
 };
 
 /// A detected failure: the paper's "failure exception" as a value.

@@ -71,7 +71,9 @@ class BlockPool {
   }
 
   /// Arena bytes handed out so far by this thread's pool (diagnostics/tests).
-  static std::size_t arena_bytes() { return instance().arena.bytes_allocated(); }
+  static std::size_t arena_bytes() {
+    return instance().arena.bytes_allocated();
+  }
 
  private:
   struct State {

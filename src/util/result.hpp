@@ -76,7 +76,9 @@ class [[nodiscard]] Result<void> {
   Result() = default;
   Result(Failure failure) : failure_(std::move(failure)) {}  // NOLINT
 
-  [[nodiscard]] bool has_value() const noexcept { return !failure_.has_value(); }
+  [[nodiscard]] bool has_value() const noexcept {
+    return !failure_.has_value();
+  }
   explicit operator bool() const noexcept { return has_value(); }
 
   [[nodiscard]] const Failure& error() const& {

@@ -19,7 +19,9 @@ class Duration {
   constexpr explicit Duration(std::int64_t nanos) : nanos_(nanos) {}
 
   static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
-  static constexpr Duration micros(std::int64_t n) { return Duration{n * 1'000}; }
+  static constexpr Duration micros(std::int64_t n) {
+    return Duration{n * 1'000};
+  }
   static constexpr Duration millis(std::int64_t n) {
     return Duration{n * 1'000'000};
   }

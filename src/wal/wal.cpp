@@ -14,9 +14,9 @@ void put_u64(std::string& out, std::uint64_t v) {
 std::uint64_t get_u64(std::string_view bytes, std::size_t at) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(
-             static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]))
-         << (8 * i);
+    const auto byte =
+        static_cast<unsigned char>(bytes[at + static_cast<std::size_t>(i)]);
+    v |= static_cast<std::uint64_t>(byte) << (8 * i);
   }
   return v;
 }
@@ -108,7 +108,8 @@ std::optional<CheckpointImage> decode_checkpoint(std::string_view bytes) {
     if (!need(n_members * 16)) return std::nullopt;
     coll.members.reserve(static_cast<std::size_t>(n_members));
     for (std::uint64_t m = 0; m < n_members; ++m) {
-      coll.members.emplace_back(get_u64(*payload, at), get_u64(*payload, at + 8));
+      coll.members.emplace_back(get_u64(*payload, at),
+                                get_u64(*payload, at + 8));
       at += 16;
     }
     image.collections.push_back(std::move(coll));

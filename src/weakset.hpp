@@ -15,10 +15,15 @@
 #include "sim/channel.hpp"      // IWYU pragma: export
 #include "sim/simulator.hpp"    // IWYU pragma: export
 #include "sim/task.hpp"         // IWYU pragma: export
+#include "store/admission.hpp"  // IWYU pragma: export
 #include "store/cache.hpp"      // IWYU pragma: export
 #include "store/client.hpp"     // IWYU pragma: export
 #include "store/reachable.hpp"  // IWYU pragma: export
 #include "store/repository.hpp" // IWYU pragma: export
+
+// Load generation (population-scale workloads)
+#include "load/workload.hpp"  // IWYU pragma: export
+#include "load/zipf.hpp"      // IWYU pragma: export
 
 // Placement: versioned directory, live migration, rebalancing
 #include "placement/directory.hpp"   // IWYU pragma: export

@@ -403,7 +403,7 @@ TEST_F(RepoIteratorTest, ClosestFirstOverRepoOrdersByPathLatency) {
   const DrainResult result = run_task(sim2, drain(*iterator));
   repo2.stop_all_daemons();
   ASSERT_EQ(result.count(), 4u);
-  // Yield order must follow client latency: s1 (5ms), s3 (10), s2 (20), s0 (40).
+  // Yield order follows client latency: s1 (5ms), s3 (10), s2 (20), s0 (40).
   EXPECT_EQ(result.elements()[0].first.home(), nodes[1]);
   EXPECT_EQ(result.elements()[1].first.home(), nodes[3]);
   EXPECT_EQ(result.elements()[2].first.home(), nodes[2]);

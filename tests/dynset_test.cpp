@@ -100,7 +100,9 @@ TEST_F(DynSetLocalTest, PrefetchParallelismReducesTotalTime) {
 
   Simulator sim2;
   LocalSetView view2{sim2};
-  for (int i = 0; i < 8; ++i) view2.add(ref(static_cast<std::uint64_t>(i)), "p");
+  for (int i = 0; i < 8; ++i) {
+    view2.add(ref(static_cast<std::uint64_t>(i)), "p");
+  }
   view2.set_latencies(Duration::millis(1), Duration::millis(100));
   DynSetOptions wide;
   wide.prefetch_depth = 8;

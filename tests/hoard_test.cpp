@@ -50,9 +50,10 @@ TEST_F(HoardTest, HoardCapturesMembershipAndPayloads) {
   RepositoryClient client{repo, laptop};
   RepoSetView inner{client, coll};
   HoardingSetView view{inner};
-  const auto hoarded = run_task(sim, [](HoardingSetView& v) -> Task<Result<void>> {
-    co_return co_await v.hoard();
-  }(view));
+  const auto hoarded =
+      run_task(sim, [](HoardingSetView& v) -> Task<Result<void>> {
+        co_return co_await v.hoard();
+      }(view));
   ASSERT_TRUE(hoarded.has_value());
   EXPECT_TRUE(view.has_hoard());
   EXPECT_EQ(view.cache().size(), 5u);

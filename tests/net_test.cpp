@@ -126,7 +126,8 @@ class RpcTest : public ::testing::Test {
   RpcTest() {
     topo.connect(client, server, Duration::millis(10));
     net.register_handler(
-        server, "echo", [this](NodeId, Payload request) -> Task<Result<Payload>> {
+        server, "echo",
+        [this](NodeId, Payload request) -> Task<Result<Payload>> {
           const auto req = payload_cast<EchoRequest>(std::move(request));
           co_await sim.delay(Duration::millis(1));  // service time
           co_return Payload{std::string{"echo:" + req.text}};

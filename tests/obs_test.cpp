@@ -29,10 +29,24 @@ TEST(HistogramBuckets, SmallValuesGetExactBuckets) {
 }
 
 TEST(HistogramBuckets, EveryValueFallsInsideItsBucket) {
-  const std::vector<std::int64_t> probes = {
-      16,   17,        31,         32,      33,      255,  256,
-      257,  1000,      1023,       1024,    1025,    4095, 4096,
-      1 << 20, (1 << 20) + 7, std::int64_t{1} << 40, (std::int64_t{1} << 40) + 12345};
+  const std::vector<std::int64_t> probes = {16,
+                                            17,
+                                            31,
+                                            32,
+                                            33,
+                                            255,
+                                            256,
+                                            257,
+                                            1000,
+                                            1023,
+                                            1024,
+                                            1025,
+                                            4095,
+                                            4096,
+                                            1 << 20,
+                                            (1 << 20) + 7,
+                                            std::int64_t{1} << 40,
+                                            (std::int64_t{1} << 40) + 12345};
   for (const std::int64_t v : probes) {
     const std::size_t i = Histogram::bucket_index(v);
     EXPECT_LE(Histogram::bucket_lower(i), v) << "value " << v;

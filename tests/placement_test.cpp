@@ -330,7 +330,8 @@ TEST_F(PlacementTest, MigrationAbortedByAmnesiaCrashRecoversToSingleHome) {
   EXPECT_EQ(members.value().size(), refs.size());
 
   // And the recovered home can still migrate successfully afterwards.
-  const auto retry = run_task(sim, migrate_rpc(coll, 0, servers[0], servers[1]));
+  const auto retry =
+      run_task(sim, migrate_rpc(coll, 0, servers[0], servers[1]));
   ASSERT_TRUE(retry.has_value()) << to_string(retry.error());
   EXPECT_EQ(retry.value(), 2u);
   EXPECT_EQ(run_task(sim, client.read_all(coll)).value().size(), refs.size());

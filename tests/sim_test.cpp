@@ -482,8 +482,9 @@ TEST(DeterminismTest, IdenticalRunsProduceIdenticalSchedules) {
     Rng rng{777};
     std::vector<std::int64_t> stamps;
     for (int i = 0; i < 50; ++i) {
-      sim.schedule(rng.exponential(Duration::millis(5)),
-                   [&stamps, &sim] { stamps.push_back(sim.now().count_nanos()); });
+      sim.schedule(rng.exponential(Duration::millis(5)), [&stamps, &sim] {
+        stamps.push_back(sim.now().count_nanos());
+      });
     }
     sim.run();
     return stamps;

@@ -589,7 +589,9 @@ TEST_F(RepositoryTest, OverlappingReadAllsDoNotReplayAbsorbedOps) {
   }
   CollectionState* state = repo.server_at(host)->collection(coll);
   ASSERT_NE(state, nullptr);
-  for (int i = 0; i < 12; ++i) repo.seed_member(coll, objs[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 12; ++i) {
+    repo.seed_member(coll, objs[static_cast<std::size_t>(i)]);
+  }
 
   ClientOptions copts;
   copts.read_policy = ReadPolicy::kPrimaryOnly;
@@ -608,7 +610,9 @@ TEST_F(RepositoryTest, OverlappingReadAllsDoNotReplayAbsorbedOps) {
   // Mid-shipping, 20 members vanish: a fresh read now takes the snapshot
   // path (delta larger than the set) and returns well before the delta.
   sim.schedule(Duration::millis(20), [state, &objs] {
-    for (int i = 0; i < 20; ++i) state->remove(objs[static_cast<std::size_t>(i)]);
+    for (int i = 0; i < 20; ++i) {
+      state->remove(objs[static_cast<std::size_t>(i)]);
+    }
   });
   std::optional<Result<std::uint64_t>> overlapping_size;
   sim.spawn([](Simulator& s, RepositoryClient& cl, CollectionId id,

@@ -313,7 +313,8 @@ TEST_F(DurableRepoTest, DurablyAckedMutationsSurviveAmnesiaCrash) {
   RepositoryClient client{repo, client_node};
   std::vector<ObjectRef> refs;
   for (int i = 0; i < 3; ++i) {
-    refs.push_back(repo.create_object(server_nodes[1], "o" + std::to_string(i)));
+    refs.push_back(
+        repo.create_object(server_nodes[1], "o" + std::to_string(i)));
     ASSERT_TRUE(run_task(sim, client.add(coll, refs.back())).value_or(false));
   }
   // Every ack was durable: the crash has nothing to un-do, so the ground
@@ -347,7 +348,8 @@ TEST_F(DurableRepoTest, AsyncModeCrashEmitsCompensatingGroundTruth) {
   RepositoryClient client{repo, client_node};
   std::vector<ObjectRef> refs;
   for (int i = 0; i < 5; ++i) {
-    refs.push_back(repo.create_object(server_nodes[1], "o" + std::to_string(i)));
+    refs.push_back(
+        repo.create_object(server_nodes[1], "o" + std::to_string(i)));
     ASSERT_TRUE(run_task(sim, client.add(coll, refs.back())).value_or(false));
   }
   std::vector<std::pair<CollectionOp::Kind, ObjectRef>> events;
