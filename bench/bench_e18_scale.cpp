@@ -31,16 +31,29 @@
 // All quantities are simulated time and deterministic: same binary, same
 // seed, any --workers count — byte-identical metrics export (the CI gate
 // cmp's a double run and a workers=1 vs workers=4 pair).
+//
+// --rebalance variant: sessions resolve placement through the directory
+// service (one DirectoryClient per gateway) and a least-loaded rebalancer
+// feeds on the demand windows this very workload generates — every tenant's
+// most popular collection lands on server 0 at build time (base % servers ==
+// rank), so the Zipfian traffic makes server 0 the hotspot and the policy
+// has real moves to find. Rows are labelled "<policy>+rebalance" and mirror
+// under the e18r.* prefix, so the default sweep (and its committed
+// BENCH_scale.json baseline) is untouched.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "load/workload.hpp"
+#include "placement/directory.hpp"
+#include "placement/migration.hpp"
+#include "placement/rebalancer.hpp"
 #include "store/admission.hpp"
 
 namespace weakset::bench {
@@ -48,6 +61,29 @@ namespace {
 
 constexpr int kServers = 4;
 constexpr int kGateways = 4;
+
+/// True when --rebalance was passed: route sessions through the directory
+/// service with the least-loaded policy active.
+bool& rebalance_flag() {
+  static bool on = false;
+  return on;
+}
+
+/// Strips a bare `--rebalance` argument from argv (if present) into
+/// rebalance_flag() — like --workers/--metrics-out, it must be gone before
+/// google-benchmark's parser rejects it as unknown.
+void extract_rebalance(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--rebalance") {
+      rebalance_flag() = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;
+}
 
 /// Admission policies swept by row index (state.range(1)).
 struct PolicyRow {
@@ -139,6 +175,40 @@ void BM_ScaleSweep(benchmark::State& state) {
     sopts.admission.max_queue_depth = 32;
     ScaleWorld world{sopts, /*seed=*/0xe18};
 
+    // --rebalance control plane: migration engines on every server, the
+    // directory on server 0, one placement cache per gateway. Each piece is
+    // constructed under its node's shard guard so its daemons and handler
+    // state are homed correctly in --workers mode.
+    std::vector<std::unique_ptr<placement::MigrationEngine>> engines;
+    std::unique_ptr<placement::DirectoryService> directory;
+    std::vector<std::unique_ptr<placement::DirectoryClient>> dir_clients;
+    std::unique_ptr<placement::Rebalancer> rebalancer;
+    if (rebalance_flag()) {
+      for (const NodeId node : world.servers) {
+        ShardGuard guard{
+            world.sim.sharded() ? world.sim.node_shard(node.raw()) : 0};
+        engines.push_back(
+            std::make_unique<placement::MigrationEngine>(*world.repo, node));
+      }
+      {
+        ShardGuard guard{world.sim.sharded()
+                             ? world.sim.node_shard(world.servers[0].raw())
+                             : 0};
+        placement::DirectoryServiceOptions dopts;
+        dopts.metrics = &world.metrics;
+        directory = std::make_unique<placement::DirectoryService>(
+            *world.repo, world.servers[0], dopts);
+      }
+      for (const NodeId gw : world.gateways) {
+        ShardGuard guard{
+            world.sim.sharded() ? world.sim.node_shard(gw.raw()) : 0};
+        placement::DirectoryClientOptions dco;
+        dco.metrics = &world.metrics;
+        dir_clients.push_back(std::make_unique<placement::DirectoryClient>(
+            *world.repo, gw, world.servers[0], dco));
+      }
+    }
+
     load::LoadOptions options;
     options.sessions = sessions;
     options.tenants = 8;
@@ -155,10 +225,34 @@ void BM_ScaleSweep(benchmark::State& state) {
     options.rpc_timeout = Duration::seconds(1);
     options.seed = 0x5ca1e;
     options.metrics = &world.metrics;
+    for (const auto& client : dir_clients) {
+      options.directories.push_back(client.get());
+    }
 
     load::LoadEngine engine{*world.repo, world.gateways, options};
     engine.build();
+    if (rebalance_flag()) {
+      placement::RebalancerOptions rb;
+      rb.policy = placement::RebalancePolicy::kLeastLoaded;
+      rb.interval = Duration::millis(200);
+      rb.metrics = &world.metrics;
+      rebalancer = std::make_unique<placement::Rebalancer>(
+          *world.repo, world.gateways[0], rb);
+      for (const CollectionId id : engine.collections()) {
+        rebalancer->manage(id);
+      }
+      // The scan loop reads repo-global demand counters and its moves
+      // rehome fragments: serial shard, so it runs alone between windows.
+      ShardGuard guard{world.sim.serial_shard()};
+      rebalancer->start();
+    }
     engine.run_to_completion();
+    if (rebalancer != nullptr) {
+      rebalancer->stop();
+      for (const auto& client : dir_clients) client->stop();
+      // Drain the scan loop's final wakeup and any in-flight move.
+      world.sim.run_until(world.sim.now() + Duration::millis(500));
+    }
 
     const load::LoadStats stats = engine.stats();
     const Duration elapsed = world.sim.now() - SimTime{};
@@ -186,12 +280,24 @@ void BM_ScaleSweep(benchmark::State& state) {
         depth == nullptr ? 0.0 : static_cast<double>(depth->max());
     state.counters["sim_elapsed_ms"] =
         static_cast<double>(elapsed.count_nanos()) / 1e6;
+    if (rebalancer != nullptr) {
+      state.counters["moves_requested"] =
+          static_cast<double>(rebalancer->moves_requested());
+      state.counters["moves_committed"] =
+          static_cast<double>(rebalancer->moves_committed());
+      state.counters["wrong_epoch_heals"] = static_cast<double>(
+          reg.counter("store.client.wrong_epoch_retries"));
+      state.counters["epoch_bumps"] =
+          static_cast<double>(reg.counter("placement.dir.epoch_bumps"));
+    }
 
     // Mirror the row's aggregates into the process-global registry (the
     // --metrics-out export): that is what the CI determinism cmp reads, so
     // the whole sweep's outcome is part of the byte-identical contract.
-    const std::string prefix =
-        "e18.s" + std::to_string(sessions) + "." + row.name + ".";
+    const std::string prefix = std::string{rebalance_flag() ? "e18r.s"
+                                                            : "e18.s"} +
+                               std::to_string(sessions) + "." + row.name +
+                               ".";
     obs::MetricsRegistry& global = obs::global();
     global.add(prefix + "ops_offered", stats.ops_offered);
     global.add(prefix + "ops_ok", stats.ops_ok);
@@ -202,8 +308,14 @@ void BM_ScaleSweep(benchmark::State& state) {
     global.add(prefix + "p99_us",
                static_cast<std::uint64_t>(
                    pct_ms(reg, "load.op_latency_ns", 0.99) * 1e3));
+    if (rebalancer != nullptr) {
+      global.add(prefix + "moves_committed", rebalancer->moves_committed());
+      global.add(prefix + "wrong_epoch_heals",
+                 reg.counter("store.client.wrong_epoch_retries"));
+    }
 
-    state.SetLabel(std::string{row.name});
+    state.SetLabel(std::string{row.name} +
+                   (rebalance_flag() ? "+rebalance" : ""));
   }
 }
 BENCHMARK(BM_ScaleSweep)
@@ -214,4 +326,20 @@ BENCHMARK(BM_ScaleSweep)
 }  // namespace
 }  // namespace weakset::bench
 
-WEAKSET_BENCHMARK_MAIN();
+// WEAKSET_BENCHMARK_MAIN(), plus the --rebalance strip: the flag must be
+// consumed before google-benchmark's parser rejects it as unrecognized.
+int main(int argc, char** argv) {
+  ::weakset::bench::extract_rebalance(argc, argv);
+  ::weakset::bench::extract_workers(argc, argv);
+  const std::optional<std::string> metrics_out =
+      ::weakset::obs::extract_metrics_out(argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (metrics_out &&
+      !::weakset::obs::global().write_json_file(*metrics_out)) {
+    return 1;
+  }
+  return 0;
+}

@@ -16,10 +16,14 @@
 #                           sessions x admission policy (ISSUE 8: e18;
 #                           latency percentiles and goodput-vs-offered-load
 #                           curves, all simulated time)
+#   BENCH_orset.json      — multi-master OR-Set vs home-primary availability
+#                           sweep under partition episodes (ISSUE 9: e19;
+#                           availability, staleness windows, merge cost —
+#                           all simulated time)
 #
 # Usage: scripts/bench_json.sh [build-dir] [prefetch-out] [membership-out] \
 #                              [recovery-out] [migration-out] [hotpath-out] \
-#                              [parallel-out] [scale-out]
+#                              [parallel-out] [scale-out] [orset-out]
 
 set -euo pipefail
 build_dir="${1:-build}"
@@ -30,6 +34,7 @@ migration_out="${5:-BENCH_migration.json}"
 hotpath_out="${6:-BENCH_hotpath.json}"
 parallel_out="${7:-BENCH_parallel.json}"
 scale_out="${8:-BENCH_scale.json}"
+orset_out="${9:-BENCH_orset.json}"
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: ${build_dir}/bench not found — configure and build first:" >&2
@@ -60,6 +65,7 @@ run_bench bench_e15_migration
 run_bench micro/bench_micro_hotpath
 run_bench micro/bench_micro_parallel
 run_bench bench_e18_scale
+run_bench bench_e19_orset
 
 # One top-level object per output file, keyed by bench binary, each value
 # the unmodified google-benchmark JSON document.
@@ -121,3 +127,11 @@ echo "wrote ${parallel_out}" >&2
   echo '}'
 } >"${scale_out}"
 echo "wrote ${scale_out}" >&2
+
+{
+  echo '{'
+  echo '  "bench_e19_orset":'
+  cat "${tmp}/bench_e19_orset.json"
+  echo '}'
+} >"${orset_out}"
+echo "wrote ${orset_out}" >&2

@@ -38,6 +38,9 @@ LoadEngine::LoadEngine(Repository& repo, std::vector<NodeId> gateways,
       options_(options),
       metrics_(obs::sink(options.metrics)) {
   assert(!gateways.empty() && "load engine needs at least one gateway node");
+  assert((options_.directories.empty() ||
+          options_.directories.size() == gateways.size()) &&
+         "directories must be empty or per-gateway");
   gateways_.reserve(gateways.size());
   for (const NodeId node : gateways) {
     gateways_.push_back(std::make_unique<GatewayState>(node));
@@ -165,6 +168,9 @@ Task<void> LoadEngine::session(std::size_t index) {
   ClientOptions copts;
   copts.rpc_timeout = options_.rpc_timeout;
   copts.metrics = options_.metrics;
+  if (!options_.directories.empty()) {
+    copts.directory = options_.directories[gateway_of(index)];
+  }
 
   if (options_.mode == ArrivalMode::kClosedLoop) {
     RepositoryClient client{repo_, gw.node, copts};

@@ -102,6 +102,14 @@ struct LoadOptions {
   /// Per-RPC timeout of session clients: under kUnbounded admission a
   /// queued-forever request must eventually fail at the caller.
   Duration rpc_timeout = Duration::seconds(1);
+  /// Per-gateway placement sources. When non-empty (size must equal the
+  /// gateway count) each session's client resolves placement through its
+  /// gateway's entry instead of the authoritative map — the directory data
+  /// path (DESIGN.md decision 12) under population-scale load, with
+  /// kWrongEpoch self-heal when the rebalancer moves a fragment mid-run.
+  /// One source per gateway keeps every cache mutation on that gateway's
+  /// shard in --workers mode.
+  std::vector<DirectorySource*> directories;
   std::uint64_t seed = 1;
   /// Join-poll granularity of run() (serial-shard heartbeat).
   Duration poll_interval = Duration::millis(5);

@@ -12,6 +12,9 @@
 //                      simulated time.
 
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "spec/timeline.hpp"
 #include "spec/trace.hpp"
@@ -30,14 +33,34 @@ class RepoGroundTruth final : public GroundTruth {
     std::set<ObjectRef> members;
     std::set<ObjectRef> reachable;
     const Topology& topo = repo_.topology();
-    for (const FragmentMeta& frag : repo_.meta(collection_).fragments()) {
-      const StoreServer* server = repo_.server_at(frag.primary());
-      if (server == nullptr) continue;
-      const CollectionState* state = server->collection(collection_);
-      if (state == nullptr) continue;
-      for (const ObjectRef ref : state->members()) {
-        members.insert(ref);
-        if (is_reachable(topo, observer_, ref)) reachable.insert(ref);
+    const CollectionMeta& meta = repo_.meta(collection_);
+    const bool orset = meta.mode() == ReplicationMode::kOrSet;
+    for (const FragmentMeta& frag : meta.fragments()) {
+      // Home-primary: the primary's state IS the fragment's value (replicas
+      // are derived caches). OR-Set: every host is authoritative for the
+      // writes it accepted, so the value is the merged union over all hosts.
+      std::vector<NodeId> hosts{frag.primary()};
+      if (orset) {
+        hosts.insert(hosts.end(), frag.replicas().begin(),
+                     frag.replicas().end());
+      }
+      for (const NodeId host : hosts) {
+        StoreServer* server = repo_.server_at(host);
+        if (server == nullptr) continue;
+        std::vector<ObjectRef> current;
+        if (orset) {
+          const crdt::OrSet* state = server->orset_state(collection_);
+          if (state == nullptr) continue;
+          current = state->members();
+        } else {
+          const CollectionState* state = server->collection(collection_);
+          if (state == nullptr) continue;
+          current = state->members();
+        }
+        for (const ObjectRef ref : current) {
+          members.insert(ref);
+          if (is_reachable(topo, observer_, ref)) reachable.insert(ref);
+        }
       }
     }
     return SetObservation{std::move(members), std::move(reachable)};
@@ -55,6 +78,26 @@ class RepoGroundTruth final : public GroundTruth {
   NodeId observer_;
 };
 
+/// Member sequences of every host of one OR-Set fragment, labelled by node —
+/// the input spec::check_converged expects. Hosts that are not running (or
+/// not hosting in OR-Set mode) are skipped.
+inline std::vector<std::pair<std::string, std::vector<ObjectRef>>>
+orset_fragment_members(Repository& repo, CollectionId id,
+                       std::size_t fragment) {
+  std::vector<std::pair<std::string, std::vector<ObjectRef>>> out;
+  const FragmentMeta& frag = repo.meta(id).fragments().at(fragment);
+  std::vector<NodeId> hosts{frag.primary()};
+  hosts.insert(hosts.end(), frag.replicas().begin(), frag.replicas().end());
+  for (const NodeId host : hosts) {
+    StoreServer* server = repo.server_at(host);
+    if (server == nullptr) continue;
+    const crdt::OrSet* state = server->orset_state(id);
+    if (state == nullptr) continue;
+    out.emplace_back("node" + std::to_string(host.raw()), state->members());
+  }
+  return out;
+}
+
 /// Feeds one collection's effective primary mutations into a
 /// MembershipTimeline. Construct it *before* the workload starts mutating;
 /// it captures the current ground truth as the initial value.
@@ -62,11 +105,27 @@ class TimelineProbe {
  public:
   TimelineProbe(Repository& repo, CollectionId collection)
       : repo_(repo), collection_(collection) {
-    // Initial value: current union of fragment primaries.
+    // Initial value: current union of fragment primaries (all hosts under
+    // OR-Set mode — every one is write-authoritative).
     std::set<ObjectRef> initial;
-    for (const FragmentMeta& frag : repo.meta(collection).fragments()) {
-      if (StoreServer* server = repo.server_at(frag.primary())) {
-        if (const CollectionState* state = server->collection(collection)) {
+    const CollectionMeta& meta = repo.meta(collection);
+    const bool orset = meta.mode() == ReplicationMode::kOrSet;
+    for (const FragmentMeta& frag : meta.fragments()) {
+      std::vector<NodeId> hosts{frag.primary()};
+      if (orset) {
+        hosts.insert(hosts.end(), frag.replicas().begin(),
+                     frag.replicas().end());
+      }
+      for (const NodeId host : hosts) {
+        StoreServer* server = repo.server_at(host);
+        if (server == nullptr) continue;
+        if (orset) {
+          if (const crdt::OrSet* state = server->orset_state(collection)) {
+            const std::vector<ObjectRef> current = state->members();
+            initial.insert(current.begin(), current.end());
+          }
+        } else if (const CollectionState* state =
+                       server->collection(collection)) {
           initial.insert(state->members().begin(), state->members().end());
         }
       }

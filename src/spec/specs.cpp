@@ -325,6 +325,25 @@ SpecReport check_fig6(const IterationTrace& trace,
   return report;
 }
 
+SpecReport check_converged(
+    const std::vector<std::pair<std::string, std::vector<ObjectRef>>>& hosts) {
+  SpecReport report{"orset-convergence"};
+  if (hosts.empty()) {
+    report.violate("no OR-Set hosts observed");
+    return report;
+  }
+  const auto& [base_label, base_members] = hosts.front();
+  for (std::size_t i = 1; i < hosts.size(); ++i) {
+    const auto& [label, members] = hosts[i];
+    if (members != base_members) {
+      report.violate(label + " diverges from " + base_label + " (" +
+                     std::to_string(members.size()) + " vs " +
+                     std::to_string(base_members.size()) + " members)");
+    }
+  }
+  return report;
+}
+
 // ---------------------------------------------------------------------------
 // Constraints
 

@@ -22,6 +22,7 @@
 // observe of the interval the transition actually occupied.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spec/timeline.hpp"
@@ -88,6 +89,14 @@ SpecReport check_fig5(const IterationTrace& trace);
 /// [first, last]).
 SpecReport check_fig6(const IterationTrace& trace,
                       const MembershipTimeline& timeline);
+
+/// Convergence check for OR-Set replication (DESIGN.md decision 16): once
+/// partitions heal and anti-entropy quiesces, every host of one fragment
+/// must report a byte-identical member sequence (OrSet::members() is sorted,
+/// so converged states compare equal element-for-element). Entries are
+/// (host label, members); an empty host list is itself a violation.
+SpecReport check_converged(
+    const std::vector<std::pair<std::string, std::vector<ObjectRef>>>& hosts);
 
 /// The constraint of Figures 1/3 (s_i = s_j), restricted to the run window —
 /// the "less stringent" per-run variant of section 3.1.

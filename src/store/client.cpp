@@ -415,6 +415,42 @@ Task<Result<bool>> RepositoryClient::mutate(CollectionId id, ObjectRef ref,
                                             msg::MembershipRequest::Op op) {
   for (int attempt = 0;; ++attempt) {
     const CollectionMeta& meta = resolve(id);
+    if (meta.mode() == ReplicationMode::kOrSet) {
+      // Multi-master fragment: any single reachable host commits the write
+      // (anti-entropy converges the rest), so try hosts nearest-first and a
+      // partition only blocks a client cut off from *every* host — the
+      // availability the mode exists to buy (DESIGN.md decision 16).
+      const FragmentMeta& frag = meta.fragments()[meta.fragment_of(ref)];
+      const Topology& topo = repo_.net().topology();
+      std::vector<std::pair<Duration, NodeId>> hosts;
+      auto consider = [&](NodeId host) {
+        const auto latency = topo.path_latency(node_, host);
+        if (latency) hosts.emplace_back(*latency, host);
+      };
+      consider(frag.primary());
+      for (const NodeId replica : frag.replicas()) consider(replica);
+      std::sort(hosts.begin(), hosts.end(),
+                [](const std::pair<Duration, NodeId>& a,
+                   const std::pair<Duration, NodeId>& b) {
+                  if (a.first < b.first) return true;
+                  if (b.first < a.first) return false;
+                  return a.second.raw() < b.second.raw();  // deterministic tie
+                });
+      if (hosts.empty()) {
+        co_return Failure{FailureKind::kPartitioned,
+                          "no reachable host for fragment"};
+      }
+      Failure last{FailureKind::kUnreachable, "no reachable host"};
+      for (std::size_t i = 0; i < hosts.size(); ++i) {
+        if (i > 0) metrics_.add("store.client.orset_write_failovers");
+        auto reply = co_await call<msg::MembershipReply>(
+            hosts[i].second, methods_.membership,
+            msg::MembershipRequest{id, ref, op});
+        if (reply) co_return reply.value().changed();
+        last = std::move(reply).error();
+      }
+      co_return last;
+    }
     const NodeId primary = meta.fragments()[meta.fragment_of(ref)].primary();
     auto reply = co_await call<msg::MembershipReply>(
         primary, methods_.membership, msg::MembershipRequest{id, ref, op});

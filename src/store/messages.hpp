@@ -390,6 +390,120 @@ class PullReply {
   std::uint64_t incarnation_;
 };
 
+/// One OR-Set dot op on the wire (ReplicationMode::kOrSet, DESIGN.md
+/// decision 16): insert or kill of one (element, dot) pair. The wire twin of
+/// crdt::DotOp — messages stay store-layer types so weakset_net need not
+/// know the CRDT library.
+class OrSetWireOp {
+ public:
+  static constexpr std::uint8_t kInsert = 0;
+  static constexpr std::uint8_t kKill = 1;
+
+  OrSetWireOp() = default;
+  OrSetWireOp(std::uint8_t kind, ObjectRef element, std::uint64_t origin,
+              std::uint64_t counter)
+      : kind_(kind), element_(element), origin_(origin), counter_(counter) {}
+
+  [[nodiscard]] std::uint8_t kind() const noexcept { return kind_; }
+  [[nodiscard]] ObjectRef element() const noexcept { return element_; }
+  [[nodiscard]] std::uint64_t origin() const noexcept { return origin_; }
+  [[nodiscard]] std::uint64_t counter() const noexcept { return counter_; }
+
+ private:
+  std::uint8_t kind_ = kInsert;
+  ObjectRef element_;
+  std::uint64_t origin_ = 0;
+  std::uint64_t counter_ = 0;
+};
+
+/// Reply to orset.pull: either the peer's local dot ops after the presented
+/// cursor, or — when the cursor fell off the peer's bounded log or names a
+/// previous incarnation — a full state (dot context + live dots) the puller
+/// merges via OrSet::join. `end_seq` is the peer's log frontier; the puller
+/// adopts it as its new cursor either way.
+class OrSetPullReply {
+ public:
+  static OrSetPullReply delta(std::vector<OrSetWireOp> ops,
+                              std::uint64_t end_seq,
+                              std::uint64_t incarnation) {
+    return OrSetPullReply{false, std::move(ops), {}, {}, end_seq, incarnation};
+  }
+  static OrSetPullReply snapshot(
+      std::vector<OrSetWireOp> live,
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> context_vector,
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> context_cloud,
+      std::uint64_t end_seq, std::uint64_t incarnation) {
+    return OrSetPullReply{true,    std::move(live), std::move(context_vector),
+                          std::move(context_cloud), end_seq, incarnation};
+  }
+
+  [[nodiscard]] bool is_snapshot() const noexcept { return is_snapshot_; }
+  /// Delta: ops after the cursor. Snapshot: every live (element, dot) as an
+  /// insert op.
+  [[nodiscard]] const std::vector<OrSetWireOp>& ops() const noexcept {
+    return ops_;
+  }
+  /// Snapshot only: the peer's dot-context version vector as (origin,
+  /// counter) pairs, and its out-of-order cloud as (origin, counter) dots.
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+  context_vector() const noexcept {
+    return context_vector_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+  context_cloud() const noexcept {
+    return context_cloud_;
+  }
+  [[nodiscard]] std::uint64_t end_seq() const noexcept { return end_seq_; }
+  [[nodiscard]] std::uint64_t incarnation() const noexcept {
+    return incarnation_;
+  }
+  /// Entries shipped on the wire — the cost-model unit.
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return ops_.size() + context_vector_.size() + context_cloud_.size();
+  }
+
+ private:
+  OrSetPullReply(
+      bool is_snapshot, std::vector<OrSetWireOp> ops,
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> context_vector,
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> context_cloud,
+      std::uint64_t end_seq, std::uint64_t incarnation)
+      : is_snapshot_(is_snapshot),
+        ops_(std::move(ops)),
+        context_vector_(std::move(context_vector)),
+        context_cloud_(std::move(context_cloud)),
+        end_seq_(end_seq),
+        incarnation_(incarnation) {}
+
+  bool is_snapshot_;
+  std::vector<OrSetWireOp> ops_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> context_vector_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> context_cloud_;
+  std::uint64_t end_seq_;
+  std::uint64_t incarnation_;
+};
+
+/// orset.sync: push replication for OR-Set fragments — a host ships the
+/// contiguous range of its *local* dot ops starting at `start_seq` to a
+/// peer. Dot ops are idempotent, so redelivery is harmless; the pusher uses
+/// the SyncReply ack cursor exactly like the home-primary push path.
+class OrSetSyncRequest {
+ public:
+  OrSetSyncRequest(CollectionId id, std::vector<OrSetWireOp> ops,
+                   std::uint64_t start_seq)
+      : id_(id), ops_(std::move(ops)), start_seq_(start_seq) {}
+  [[nodiscard]] CollectionId id() const noexcept { return id_; }
+  [[nodiscard]] const std::vector<OrSetWireOp>& ops() const noexcept {
+    return ops_;
+  }
+  [[nodiscard]] std::uint64_t start_seq() const noexcept { return start_seq_; }
+
+ private:
+  CollectionId id_;
+  std::vector<OrSetWireOp> ops_;
+  std::uint64_t start_seq_;
+};
+
 /// mig.apply: dual-home forwarding during a live fragment migration
 /// (src/placement, DESIGN.md decision 12). While the handoff window is open
 /// the source primary forwards every committed membership op to the migration

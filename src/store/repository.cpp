@@ -51,7 +51,7 @@ ObjectRef Repository::create_object(NodeId home, std::string data) {
 }
 
 CollectionId Repository::create_collection(
-    const std::vector<NodeId>& primaries) {
+    const std::vector<NodeId>& primaries, ReplicationMode mode) {
   assert(!primaries.empty());
   const CollectionId id = collection_ids_.next();
   std::vector<FragmentMeta> fragments;
@@ -59,10 +59,14 @@ CollectionId Repository::create_collection(
   for (const NodeId node : primaries) {
     StoreServer* server = server_at(node);
     assert(server != nullptr && "no store server on that node");
-    server->host_primary(id);
+    if (mode == ReplicationMode::kOrSet) {
+      server->host_orset(id);
+    } else {
+      server->host_primary(id);
+    }
     fragments.emplace_back(node);
   }
-  metas_.emplace(id, CollectionMeta{id, std::move(fragments)});
+  metas_.emplace(id, CollectionMeta{id, std::move(fragments), mode});
   return id;
 }
 
@@ -73,6 +77,21 @@ void Repository::add_replica(CollectionId id, std::size_t fragment,
   FragmentMeta& frag = it->second.fragment(fragment);
   StoreServer* server = server_at(node);
   assert(server != nullptr && "no store server on that node");
+  if (it->second.mode() == ReplicationMode::kOrSet) {
+    // An equal multi-master peer: host the OR-Set and wire the all-pairs
+    // anti-entropy links in both directions.
+    server->host_orset(id);
+    std::vector<NodeId> hosts{frag.primary()};
+    hosts.insert(hosts.end(), frag.replicas().begin(), frag.replicas().end());
+    for (const NodeId host : hosts) {
+      StoreServer* peer = server_at(host);
+      assert(peer != nullptr);
+      peer->add_orset_peer(id, node);
+      server->add_orset_peer(id, host);
+    }
+    frag.add_replica(node);
+    return;
+  }
   server->host_replica(id, frag.primary());
   frag.add_replica(node);
   // If the primary pushes, tell it about its new target.
@@ -105,6 +124,12 @@ void Repository::seed_member(CollectionId id, ObjectRef ref) {
   const NodeId primary = m.fragments()[m.fragment_of(ref)].primary();
   StoreServer* server = server_at(primary);
   assert(server != nullptr);
+  if (m.mode() == ReplicationMode::kOrSet) {
+    if (server->seed_orset_member(id, ref)) {
+      on_mutation(id, CollectionOp::Kind::kAdd, ref);
+    }
+    return;
+  }
   CollectionState* state = server->collection(id);
   assert(state != nullptr);
   if (state->add(ref)) on_mutation(id, CollectionOp::Kind::kAdd, ref);

@@ -26,6 +26,19 @@
 
 namespace weakset {
 
+/// How a collection's fragments replicate (DESIGN.md decision 16).
+enum class ReplicationMode : std::uint8_t {
+  /// One authoritative primary per fragment; replicas converge toward it by
+  /// pull anti-entropy (optionally pushed). Writes go to the primary only —
+  /// a client partitioned from it is write-unavailable.
+  kHomePrimary,
+  /// Optimized OR-Set CRDT (src/crdt): every host of a fragment accepts
+  /// writes locally and hosts exchange dot ops all-pairs; merges are
+  /// deterministic and convergent. Writes stay available on any reachable
+  /// host; reads may briefly diverge until anti-entropy quiesces.
+  kOrSet,
+};
+
 /// Placement of one collection fragment: its primary and any replicas.
 class FragmentMeta {
  public:
@@ -48,10 +61,15 @@ class FragmentMeta {
 /// Placement of a whole (possibly fragmented) collection.
 class CollectionMeta {
  public:
-  CollectionMeta(CollectionId id, std::vector<FragmentMeta> fragments)
-      : id_(id), fragments_(std::move(fragments)) {
+  CollectionMeta(CollectionId id, std::vector<FragmentMeta> fragments,
+                 ReplicationMode mode = ReplicationMode::kHomePrimary)
+      : id_(id), fragments_(std::move(fragments)), mode_(mode) {
     assert(!fragments_.empty());
   }
+
+  /// Replication mode of every fragment. Clients branch on this: kOrSet
+  /// writes route to the nearest reachable host instead of the primary.
+  [[nodiscard]] ReplicationMode mode() const noexcept { return mode_; }
 
   [[nodiscard]] CollectionId id() const noexcept { return id_; }
   [[nodiscard]] const std::vector<FragmentMeta>& fragments() const noexcept {
@@ -79,6 +97,7 @@ class CollectionMeta {
  private:
   CollectionId id_;
   std::vector<FragmentMeta> fragments_;
+  ReplicationMode mode_ = ReplicationMode::kHomePrimary;
   std::uint64_t epoch_ = 1;
 };
 
@@ -138,9 +157,15 @@ class Repository : public MutationSink {
 
   /// Creates a collection fragmented across the given primaries (one
   /// fragment per entry; a single entry makes an unfragmented collection).
-  CollectionId create_collection(const std::vector<NodeId>& primaries);
+  /// Under kOrSet the "primaries" are just each fragment's anchor host —
+  /// every host added later is an equal multi-master peer.
+  CollectionId create_collection(
+      const std::vector<NodeId>& primaries,
+      ReplicationMode mode = ReplicationMode::kHomePrimary);
 
   /// Adds a replica of `fragment` on `node`; starts its anti-entropy puller.
+  /// Under kOrSet this adds an equal write-accepting host and wires the
+  /// all-pairs peer links.
   void add_replica(CollectionId id, std::size_t fragment, NodeId node);
 
   [[nodiscard]] const CollectionMeta& meta(CollectionId id) const;

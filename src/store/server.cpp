@@ -51,6 +51,36 @@ wal::WalRecord migration_record(std::uint8_t kind, CollectionId id, NodeId peer,
   return rec;
 }
 
+/// OR-Set dot-op record (ReplicationMode::kOrSet): `seq` carries the dot
+/// counter and `origin` the minting replica — together the unique tag.
+wal::WalRecord orset_wal_record(CollectionId id, const crdt::DotOp& op,
+                                std::uint64_t incarnation) {
+  wal::WalRecord rec;
+  rec.collection = id.raw();
+  rec.kind = op.kind() == crdt::DotOp::Kind::kKill ? wal::WalRecord::kOrSetKill
+                                                   : wal::WalRecord::kOrSetInsert;
+  rec.object = op.element().id().raw();
+  rec.home = op.element().home().raw();
+  rec.seq = op.dot().counter();
+  rec.incarnation = incarnation;
+  rec.origin = op.dot().origin();
+  return rec;
+}
+
+msg::OrSetWireOp to_wire(const crdt::DotOp& op) {
+  return msg::OrSetWireOp{op.kind() == crdt::DotOp::Kind::kKill
+                              ? msg::OrSetWireOp::kKill
+                              : msg::OrSetWireOp::kInsert,
+                          op.element(), op.dot().origin(), op.dot().counter()};
+}
+
+crdt::DotOp from_wire(const msg::OrSetWireOp& op) {
+  return crdt::DotOp{op.kind() == msg::OrSetWireOp::kKill
+                         ? crdt::DotOp::Kind::kKill
+                         : crdt::DotOp::Kind::kInsert,
+                     op.element(), crdt::Dot{op.origin(), op.counter()}};
+}
+
 wal::CollectionImage image_of(CollectionId id, const CollectionState& state) {
   wal::CollectionImage coll;
   coll.collection = id.raw();
@@ -114,6 +144,10 @@ void StoreServer::register_handlers() {
                         bind(&StoreServer::handle_freeze));
   net_.register_handler(node_, "coll.pin", bind(&StoreServer::handle_pin));
   net_.register_handler(node_, "coll.pull", bind(&StoreServer::handle_pull));
+  net_.register_handler(node_, "orset.pull",
+                        bind(&StoreServer::handle_orset_pull));
+  net_.register_handler(node_, "orset.sync",
+                        bind(&StoreServer::handle_orset_sync));
   net_.register_handler(
       node_, "coll.sync",
       [this](NodeId, Payload request) -> Task<Result<Payload>> {
@@ -177,6 +211,48 @@ CollectionState& StoreServer::host_replica(CollectionId id, NodeId primary) {
   return it->second->state;
 }
 
+crdt::OrSet& StoreServer::host_orset(CollectionId id) {
+  auto entry = std::make_unique<Hosted>(id);
+  // Every OR-Set host is write-accepting: primary stays invalid, so the
+  // mutation handler's replica rejection never fires and crash recovery
+  // treats the fragment as locally authoritative.
+  entry->primary = NodeId::invalid();
+  entry->unfrozen = std::make_unique<Gate>(net_.sim(), /*open=*/true);
+  entry->orset = std::make_unique<crdt::OrSet>(id);
+  entry->orset->set_origin(
+      crdt::make_origin(node_.raw(), entry->state.incarnation()));
+  auto [it, inserted] = collections_.emplace(id, std::move(entry));
+  assert(inserted && "collection already hosted here");
+  // No CollectionState op observer: OR-Set WAL appends are explicit
+  // (orset_wal_append), because remote dot ops must be logged too.
+  net_.sim().spawn(orset_pull_loop(id));
+  return *it->second->orset;
+}
+
+void StoreServer::add_orset_peer(CollectionId id, NodeId peer) {
+  Hosted& entry = hosted(id);
+  assert(entry.orset != nullptr && "peer wiring requires OR-Set hosting");
+  if (std::find(entry.orset_peers.begin(), entry.orset_peers.end(), peer) !=
+      entry.orset_peers.end()) {
+    return;
+  }
+  entry.orset_peers.push_back(peer);
+  if (options_.push_replication) entry.push_targets.emplace_back(peer);
+}
+
+const crdt::OrSet* StoreServer::orset_state(CollectionId id) const {
+  const auto it = collections_.find(id);
+  return it == collections_.end() ? nullptr : it->second->orset.get();
+}
+
+bool StoreServer::seed_orset_member(CollectionId id, ObjectRef ref) {
+  Hosted& entry = hosted(id);
+  assert(entry.orset != nullptr && "seeding requires OR-Set hosting");
+  const std::vector<crdt::DotOp> ops = entry.orset->add(ref);
+  for (const crdt::DotOp& op : ops) orset_append_local(entry, op);
+  return !ops.empty();
+}
+
 CollectionState* StoreServer::collection(CollectionId id) {
   const auto it = collections_.find(id);
   return it == collections_.end() ? nullptr : &it->second->state;
@@ -221,9 +297,11 @@ bool StoreServer::migration_blocked(CollectionId id) const {
   const auto it = collections_.find(id);
   if (it == collections_.end()) return true;
   const Hosted& entry = *it->second;
+  // OR-Set fragments are multi-master: there is no single authority to move,
+  // so migration is meaningless (and permanently refused) for them.
   return entry.retired || entry.frozen_by != 0 || entry.pin_count > 0 ||
          !entry.deferred_removes.empty() || entry.handoff_target.valid() ||
-         !entry.push_targets.empty();
+         !entry.push_targets.empty() || entry.orset != nullptr;
 }
 
 StoreServer::FragmentLoad StoreServer::fragment_load(CollectionId id) const {
@@ -456,6 +534,27 @@ Task<Result<Payload>> StoreServer::handle_snapshot(NodeId from,
   if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
   ++entry->reads;
   ++entry->reads_by_node[from.raw()];
+  if (entry->orset != nullptr) {
+    // OR-Set fragment: serve the local replica's current membership (which
+    // may lag peers until anti-entropy quiesces — the availability/staleness
+    // trade the mode buys).
+    const Duration orset_cost = options_.membership_entry_cost *
+                                static_cast<std::int64_t>(entry->orset->size());
+    metrics_.add("store.server.snapshot_reads");
+    metrics_.add("store.server.snapshot_members_shipped", entry->orset->size());
+    metrics_.add("store.server.ship_cost_ns",
+                 static_cast<std::uint64_t>(orset_cost.count_nanos()));
+    co_await net_.sim().delay(orset_cost);
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
+    entry = find_entry(req.id());  // re-resolve (cf. pull_loop)
+    if (entry == nullptr || entry->orset == nullptr) {
+      co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+    }
+    co_return Payload{
+        msg::SnapshotReply{entry->orset->members(), entry->orset->version()}};
+  }
   CollectionState* state = &entry->state;
   // Shipping the whole membership costs per member — the cost delta reads
   // avoid (coll.read_delta charges per *change* instead).
@@ -504,6 +603,32 @@ Task<Result<Payload>> StoreServer::handle_read_delta(NodeId from,
   if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
   ++entry->reads;
   ++entry->reads_by_node[from.raw()];
+  if (entry->orset != nullptr) {
+    // OR-Set fragments have no single op-sequence stream a delta cursor
+    // could follow (dots interleave from many origins), so cached readers
+    // always resync with a full snapshot; `seq` carries the membership
+    // version purely as a change hint.
+    const Duration orset_cost = options_.membership_entry_cost *
+                                static_cast<std::int64_t>(entry->orset->size());
+    metrics_.add("store.server.delta_resyncs");
+    metrics_.add("store.server.snapshot_members_shipped", entry->orset->size());
+    metrics_.add("store.server.ship_cost_ns",
+                 static_cast<std::uint64_t>(orset_cost.count_nanos()));
+    co_await net_.sim().delay(orset_cost);
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
+    entry = find_entry(req.id());  // re-resolve (cf. pull_loop)
+    if (entry == nullptr || entry->orset == nullptr) {
+      co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+    }
+    std::vector<ObjectRef> orset_members = VectorPool<ObjectRef>::acquire();
+    const std::vector<ObjectRef> current = entry->orset->members();
+    orset_members.assign(current.begin(), current.end());
+    co_return Payload{msg::DeltaReply::full_snapshot(
+        std::move(orset_members), entry->orset->version(),
+        entry->orset->version(), entry->state.incarnation())};
+  }
   CollectionState* state = &entry->state;
   // Serve ops when the cursor names this fragment's op stream (same
   // incarnation — an amnesia recovery in between starts a new stream whose
@@ -614,9 +739,43 @@ Task<Result<Payload>> StoreServer::handle_membership(NodeId /*from*/,
     // lingers as a "ghost" until the last pin is released (section 3.3).
     metrics_.add("store.server.mutations_deferred");
     entry.deferred_removes.push_back(req.ref());
-    co_return Payload{
-        msg::MembershipReply{entry.state.contains(req.ref()),
-                             entry.state.version()}};
+    const bool present = entry.orset != nullptr
+                             ? entry.orset->contains(req.ref())
+                             : entry.state.contains(req.ref());
+    const std::uint64_t deferred_version = entry.orset != nullptr
+                                               ? entry.orset->version()
+                                               : entry.state.version();
+    co_return Payload{msg::MembershipReply{present, deferred_version}};
+  }
+  if (entry.orset != nullptr) {
+    // OR-Set multi-master write: apply locally (minting or killing dots),
+    // log the resulting ops for anti-entropy, and ack — no coordination
+    // with peers, which is exactly why the write survives a partition.
+    const std::vector<crdt::DotOp> dot_ops =
+        is_add ? entry.orset->add(req.ref()) : entry.orset->remove(req.ref());
+    for (const crdt::DotOp& op : dot_ops) orset_append_local(entry, op);
+    const std::uint64_t orset_wal_index = last_wal_index_;
+    const bool orset_changed = !dot_ops.empty();
+    const std::uint64_t orset_version = entry.orset->version();
+    if (orset_changed) {
+      if (sink_ != nullptr) {
+        sink_->on_mutation(req.id(),
+                           is_add ? CollectionOp::Kind::kAdd
+                                  : CollectionOp::Kind::kRemove,
+                           req.ref());
+      }
+      metrics_.add(is_add ? "store.server.adds_applied"
+                          : "store.server.removes_applied");
+      trigger_orset_pushes(req.id());
+      if (options_.durability.enabled && options_.durability.durable_acks) {
+        const bool durable = co_await wal_->wait_durable(orset_wal_index);
+        if (!durable || epoch != epoch_) {
+          co_return Failure{FailureKind::kNodeCrashed,
+                            "mutation lost to crash during commit"};
+        }
+      }
+    }
+    co_return Payload{msg::MembershipReply{orset_changed, orset_version}};
   }
   const bool changed =
       is_add ? entry.state.add(req.ref()) : entry.state.remove(req.ref());
@@ -698,7 +857,8 @@ Task<Result<Payload>> StoreServer::handle_size(NodeId /*from*/,
     co_return Failure{FailureKind::kNotFound, "collection not hosted"};
   }
   if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
-  co_return Payload{static_cast<std::uint64_t>(entry->state.size())};
+  co_return Payload{static_cast<std::uint64_t>(
+      entry->orset != nullptr ? entry->orset->size() : entry->state.size())};
 }
 
 void StoreServer::release_freeze(Hosted& entry) {
@@ -790,7 +950,13 @@ Task<Result<Payload>> StoreServer::handle_pin(NodeId /*from*/,
   } else if (entry.pin_count > 0 && --entry.pin_count == 0) {
     // Garbage-collect the ghosts: apply the deferred removals now.
     for (const ObjectRef ref : entry.deferred_removes) {
-      if (entry.state.remove(ref) && sink_ != nullptr) {
+      if (entry.orset != nullptr) {
+        const std::vector<crdt::DotOp> dot_ops = entry.orset->remove(ref);
+        for (const crdt::DotOp& op : dot_ops) orset_append_local(entry, op);
+        if (!dot_ops.empty() && sink_ != nullptr) {
+          sink_->on_mutation(req.id(), CollectionOp::Kind::kRemove, ref);
+        }
+      } else if (entry.state.remove(ref) && sink_ != nullptr) {
         sink_->on_mutation(req.id(), CollectionOp::Kind::kRemove, ref);
       }
     }
@@ -909,6 +1075,248 @@ Task<Result<Payload>> StoreServer::handle_pull(NodeId /*from*/,
 }
 
 // ---------------------------------------------------------------------------
+// OR-Set anti-entropy (src/crdt, DESIGN.md decision 16)
+
+void StoreServer::orset_wal_append(Hosted& entry, const crdt::DotOp& op) {
+  if (!options_.durability.enabled || wal_suspended_) return;
+  // No arm_checkpoint(): checkpoints cannot capture OR-Set state (the dot
+  // context has no image form yet), so the WAL is the fragment's only
+  // durable history and is never truncated while it is hosted here.
+  last_wal_index_ = wal_->append(
+      orset_wal_record(entry.state.id(), op, entry.state.incarnation()));
+}
+
+void StoreServer::orset_append_local(Hosted& entry, const crdt::DotOp& op) {
+  entry.orset_log.push_back(op);
+  ++entry.orset_last_seq;
+  if (options_.membership_log_cap != 0 &&
+      entry.orset_log.size() > options_.membership_log_cap) {
+    entry.orset_log.pop_front();
+  }
+  orset_wal_append(entry, op);
+}
+
+Task<void> StoreServer::orset_pull_loop(CollectionId id) {
+  Simulator& sim = net_.sim();
+  for (;;) {
+    co_await sim.delay(options_.pull_interval);
+    if (stopping_) co_return;
+    if (!serving_) continue;  // recovering: resume pulling afterwards
+    Hosted* entry = find_entry(id);
+    if (entry == nullptr || entry->orset == nullptr) co_return;
+    // Copy the peer list: add_orset_peer may grow it under a co_await.
+    const std::vector<NodeId> peers = entry->orset_peers;
+    for (const NodeId peer : peers) {
+      entry = find_entry(id);
+      if (entry == nullptr || entry->orset == nullptr) co_return;
+      const Hosted::OrSetCursor cursor = entry->orset_cursors[peer];
+      metrics_.add("store.orset.pull_rounds");
+      const std::uint64_t epoch = epoch_;
+      // Bounded timeout: a partition that cuts the link while a pull is in
+      // flight drops the message, and fast-fail only covers dead-at-send
+      // paths — without this bound the loop would sit out the full RPC
+      // default timeout. 4x the interval leaves room for snapshot ship cost.
+      auto reply = co_await net_.call_typed<msg::OrSetPullReply>(
+          node_, peer, "orset.pull",
+          msg::PullRequest{id, cursor.after_seq, cursor.incarnation},
+          options_.pull_interval * 4);
+      if (epoch != epoch_) break;  // crashed meanwhile: this round is stale
+      entry = find_entry(id);
+      if (entry == nullptr || entry->orset == nullptr) co_return;
+      if (!reply) {
+        metrics_.add("store.orset.pull_failures");
+        continue;  // peer unreachable (partition): retry next round
+      }
+      const msg::OrSetPullReply& r = reply.value();
+      if (r.is_snapshot()) {
+        // Cursor expired (bounded log) or the peer restarted with amnesia:
+        // merge its full state. join() expresses every state change as a
+        // dot op, which we WAL like any remote delivery.
+        metrics_.add("store.orset.snapshot_joins");
+        const crdt::DotContext remote_ctx =
+            crdt::DotContext::from_parts(r.context_vector(), r.context_cloud());
+        std::vector<crdt::DotOp> remote_live;
+        remote_live.reserve(r.ops().size());
+        for (const msg::OrSetWireOp& op : r.ops()) {
+          remote_live.push_back(from_wire(op));
+        }
+        const std::vector<crdt::DotOp> applied =
+            entry->orset->join(remote_ctx, remote_live);
+        for (const crdt::DotOp& op : applied) orset_wal_append(*entry, op);
+        metrics_.add("store.orset.pull_ops_applied", applied.size());
+      } else {
+        for (const msg::OrSetWireOp& wire : r.ops()) {
+          const crdt::DotOp op = from_wire(wire);
+          if (entry->orset->apply(op)) {
+            orset_wal_append(*entry, op);
+            metrics_.add("store.orset.pull_ops_applied");
+          }
+        }
+      }
+      entry->orset_cursors[peer] =
+          Hosted::OrSetCursor{r.end_seq(), r.incarnation()};
+    }
+  }
+}
+
+void StoreServer::trigger_orset_pushes(CollectionId id) {
+  if (!options_.push_replication) return;
+  if (!serving_) return;
+  Hosted& entry = hosted(id);
+  for (Hosted::PushTarget& target : entry.push_targets) {
+    if (!target.in_flight && target.acked_seq < entry.orset_last_seq) {
+      target.in_flight = true;
+      net_.sim().spawn(orset_push_to(id, target));
+    }
+  }
+}
+
+Task<void> StoreServer::orset_push_to(CollectionId id,
+                                      Hosted::PushTarget& target) {
+  // One pusher per target at a time, shipping this host's *local* dot ops;
+  // a failed or stalled push is abandoned and the peer's pull repairs.
+  Hosted& entry = hosted(id);
+  const std::uint64_t epoch = epoch_;
+  while (!stopping_ && entry.orset != nullptr &&
+         target.acked_seq < entry.orset_last_seq) {
+    // First retained seq is orset_last_seq - log.size() + 1; a cursor below
+    // that window cannot be served op-by-op — the peer's pull snapshots.
+    if (target.acked_seq < entry.orset_last_seq - entry.orset_log.size()) {
+      break;
+    }
+    const std::uint64_t before = target.acked_seq;
+    metrics_.add("store.orset.pushes");
+    const std::uint64_t start_seq = target.acked_seq + 1;
+    const std::uint64_t log_floor =
+        entry.orset_last_seq - entry.orset_log.size();
+    std::vector<msg::OrSetWireOp> ops;
+    ops.reserve(static_cast<std::size_t>(entry.orset_last_seq -
+                                         target.acked_seq));
+    for (std::uint64_t seq = start_seq; seq <= entry.orset_last_seq; ++seq) {
+      ops.push_back(to_wire(
+          entry.orset_log[static_cast<std::size_t>(seq - log_floor - 1)]));
+    }
+    auto reply = co_await net_.call_typed<msg::SyncReply>(
+        node_, target.node, "orset.sync",
+        msg::OrSetSyncRequest{id, std::move(ops), start_seq});
+    if (epoch != epoch_) co_return;  // crash wiped the cursor: touch nothing
+    if (!reply) break;  // unreachable peer: give up until next mutation
+    target.acked_seq = reply.value().applied_seq();
+    if (target.acked_seq <= before) break;  // not advancing: pull repairs
+  }
+  target.in_flight = false;
+}
+
+Task<Result<Payload>> StoreServer::handle_orset_pull(NodeId /*from*/,
+                                                     Payload request) {
+  const auto req = payload_cast<msg::PullRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  const std::uint64_t epoch = epoch_;
+  co_await net_.sim().delay(options_.membership_latency);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
+  Hosted* entry = find_entry(req.id());
+  if (entry == nullptr || entry->orset == nullptr) {
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
+  if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
+  metrics_.add("store.orset.pulls_served");
+  const std::uint64_t incarnation = entry->state.incarnation();
+  const std::uint64_t log_floor = entry->orset_last_seq -
+                                  entry->orset_log.size();
+  // Cursor from another incarnation (someone restarted with amnesia) or
+  // below the bounded log window: ship the full state for a join.
+  if (req.incarnation() != incarnation || req.after_seq() < log_floor ||
+      req.after_seq() > entry->orset_last_seq) {
+    std::vector<msg::OrSetWireOp> live;
+    const std::vector<crdt::DotOp> exported = entry->orset->export_live();
+    live.reserve(exported.size());
+    for (const crdt::DotOp& op : exported) live.push_back(to_wire(op));
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ctx_vector;
+    const auto& vv = entry->orset->context().vector();
+    ctx_vector.assign(vv.begin(), vv.end());
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ctx_cloud;
+    ctx_cloud.reserve(entry->orset->context().cloud().size());
+    for (const crdt::Dot dot : entry->orset->context().cloud()) {
+      ctx_cloud.emplace_back(dot.origin(), dot.counter());
+    }
+    const std::uint64_t end_seq = entry->orset_last_seq;
+    const std::size_t entries =
+        live.size() + ctx_vector.size() + ctx_cloud.size();
+    const Duration ship_cost = options_.membership_entry_cost *
+                               static_cast<std::int64_t>(entries);
+    metrics_.add("store.orset.pull_snapshots");
+    metrics_.add("store.orset.pull_entries_shipped", entries);
+    metrics_.add("store.server.ship_cost_ns",
+                 static_cast<std::uint64_t>(ship_cost.count_nanos()));
+    co_await net_.sim().delay(ship_cost);
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
+    co_return Payload{msg::OrSetPullReply::snapshot(
+        std::move(live), std::move(ctx_vector), std::move(ctx_cloud), end_seq,
+        incarnation)};
+  }
+  std::vector<msg::OrSetWireOp> ops;
+  ops.reserve(
+      static_cast<std::size_t>(entry->orset_last_seq - req.after_seq()));
+  for (std::uint64_t seq = req.after_seq() + 1; seq <= entry->orset_last_seq;
+       ++seq) {
+    ops.push_back(to_wire(
+        entry->orset_log[static_cast<std::size_t>(seq - log_floor - 1)]));
+  }
+  const std::uint64_t end_seq = entry->orset_last_seq;
+  const Duration ship_cost = options_.membership_entry_cost *
+                             static_cast<std::int64_t>(ops.size());
+  metrics_.add("store.orset.pull_entries_shipped", ops.size());
+  metrics_.add("store.server.ship_cost_ns",
+               static_cast<std::uint64_t>(ship_cost.count_nanos()));
+  co_await net_.sim().delay(ship_cost);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
+  co_return Payload{
+      msg::OrSetPullReply::delta(std::move(ops), end_seq, incarnation)};
+}
+
+Task<Result<Payload>> StoreServer::handle_orset_sync(NodeId /*from*/,
+                                                     Payload request) {
+  const auto req = payload_cast<msg::OrSetSyncRequest>(std::move(request));
+  if (!serving_) {
+    co_return Failure{FailureKind::kUnreachable, "node recovering"};
+  }
+  const std::uint64_t epoch = epoch_;
+  co_await net_.sim().delay(options_.membership_latency);
+  if (epoch != epoch_) {
+    co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+  }
+  Hosted* entry = find_entry(req.id());
+  if (entry == nullptr || entry->orset == nullptr) {
+    co_return Failure{FailureKind::kNotFound, "collection not hosted"};
+  }
+  if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
+  metrics_.add("store.orset.push_syncs");
+  // Dot ops are idempotent: apply everything, no contiguity requirement.
+  // (The pusher's seq range exists only to drive its ack cursor.)
+  for (const msg::OrSetWireOp& wire : req.ops()) {
+    const crdt::DotOp op = from_wire(wire);
+    if (entry->orset->apply(op)) {
+      orset_wal_append(*entry, op);
+      metrics_.add("store.orset.push_ops_applied");
+    }
+  }
+  // Ack the last seq this request covered (start_seq - 1 when it was empty —
+  // nothing new acknowledged).
+  const std::uint64_t acked = req.start_seq() + req.ops().size() -
+                              (req.start_seq() == 0 && req.ops().empty() ? 0
+                                                                         : 1);
+  co_return Payload{msg::SyncReply{acked, entry->state.incarnation()}};
+}
+
+// ---------------------------------------------------------------------------
 // Durability: WAL hook, checkpoints, crash wipe, recovery
 // (DESIGN.md decision 11)
 
@@ -953,12 +1361,19 @@ Task<bool> StoreServer::write_checkpoint(std::uint64_t epoch) {
   // at the same instant is exactly the prefix the image covers, so the
   // truncation below is safe even though appends continue during the write.
   wal::CheckpointImage image;
+  bool hosts_orset = false;
   for (const CollectionId id : hosted_ids_sorted()) {
     const Hosted& entry = *collections_.at(id);
     // Tombstones stay out of the checkpoint: once this image lands (and the
     // WAL prefix holding the kMigrationDone record truncates), the migrated
     // fragment is durably gone from this node.
     if (entry.retired) continue;
+    // OR-Set fragments stay out too: CollectionImage has no dot-context
+    // form, so their durable history is the untruncated WAL (below).
+    if (entry.orset != nullptr) {
+      hosts_orset = true;
+      continue;
+    }
     image.collections.push_back(image_of(id, entry.state));
   }
   const std::uint64_t wal_mark = disk_->log_next_index(kWalFile);
@@ -969,8 +1384,13 @@ Task<bool> StoreServer::write_checkpoint(std::uint64_t epoch) {
   const bool written = co_await disk_->write_file(kCheckpointFile,
                                                   std::move(bytes));
   if (!written || epoch != epoch_) co_return false;
-  disk_->truncate_log_prefix(kWalFile, wal_mark);
-  wal_->notify_progress();
+  if (!hosts_orset) {
+    // With an OR-Set fragment aboard the WAL must be kept whole: the image
+    // above does not cover it, so a truncation would orphan its history.
+    // (Compacting dot streams into checkpoints is ROADMAP follow-on work.)
+    disk_->truncate_log_prefix(kWalFile, wal_mark);
+    wal_->notify_progress();
+  }
   metrics_.add("wal.checkpoints");
   metrics_.record("wal.checkpoint", net_.sim().now() - start);
   co_return true;
@@ -1011,7 +1431,10 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
     // member list is inert and excluded from the ground-truth diff below.
     pre_retired[i] = entry.retired ? 1 : 0;
     if (entry.retired) continue;
-    if (!entry.primary.valid()) pre_members[i] = entry.state.members();
+    if (!entry.primary.valid()) {
+      pre_members[i] = entry.orset != nullptr ? entry.orset->members()
+                                              : entry.state.members();
+    }
     pre_incarnation[i] = entry.state.incarnation();
     entry.handoff_target = NodeId::invalid();
     entry.frozen_by = 0;
@@ -1022,6 +1445,17 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
     for (Hosted::PushTarget& target : entry.push_targets) {
       target.acked_seq = 0;
       target.in_flight = false;
+    }
+    if (entry.orset != nullptr) {
+      // Amnesia: the CRDT state, the outbound op log, and every pull cursor
+      // are volatile. WAL replay (reconstruct below) rebuilds the set; the
+      // reset cursors make the first post-recovery pulls full-state joins,
+      // which also re-covers context the WAL never carried (join merges
+      // peers' contexts wholesale but only the *effective* ops were logged).
+      *entry.orset = crdt::OrSet{ids[i]};
+      entry.orset_log.clear();
+      entry.orset_last_seq = 0;
+      entry.orset_cursors.clear();
     }
     entry.state.wipe_volatile();
   }
@@ -1042,6 +1476,14 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
     // *pre-crash* incarnation (not the durable one) is equivalent to the
     // persist-the-epoch-before-first-use discipline — see DESIGN.md.
     entry.state.set_incarnation(pre_incarnation[i] + 1);
+    if (entry.orset != nullptr) {
+      // Fresh dot namespace: the replica forgot how many dots it minted, so
+      // it must never mint under the old origin again (make_origin salts
+      // with the bumped incarnation). Peers see the incarnation change and
+      // full-state resync their cursors.
+      entry.orset->set_origin(
+          crdt::make_origin(node_.raw(), entry.state.incarnation()));
+    }
   }
   wal_suspended_ = false;
 
@@ -1056,7 +1498,9 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
       // live at the new home. No compensating events.
       if (entry.primary.valid() || entry.retired || pre_retired[i]) continue;
       std::vector<ObjectRef> before = pre_members[i];
-      std::vector<ObjectRef> after = entry.state.members();
+      std::vector<ObjectRef> after = entry.orset != nullptr
+                                         ? entry.orset->members()
+                                         : entry.state.members();
       std::sort(before.begin(), before.end());
       std::sort(after.begin(), after.end());
       std::vector<ObjectRef> lost;
@@ -1125,6 +1569,27 @@ StoreServer::RecoveryPlan StoreServer::reconstruct_from_disk() {
         done_it->second->handoff_target = NodeId::invalid();
         done_it->second->state.wipe_volatile();
       }
+      continue;
+    }
+    if (rec->kind == wal::WalRecord::kOrSetInsert ||
+        rec->kind == wal::WalRecord::kOrSetKill) {
+      const auto orset_it = collections_.find(CollectionId{rec->collection});
+      if (orset_it == collections_.end() || orset_it->second->retired ||
+          orset_it->second->orset == nullptr) {
+        continue;
+      }
+      // Dot ops are idempotent and order-insensitive, and dots are globally
+      // unique across incarnations (the origin is incarnation-salted), so
+      // the whole retained history replays unconditionally — no contiguity
+      // or incarnation gating like the sequenced streams below. The
+      // outbound log is NOT rebuilt: peers detect the incarnation change
+      // and full-state resync instead of chasing replayed seqs.
+      const crdt::DotOp op{rec->kind == wal::WalRecord::kOrSetKill
+                               ? crdt::DotOp::Kind::kKill
+                               : crdt::DotOp::Kind::kInsert,
+                           ObjectRef{ObjectId{rec->object}, NodeId{rec->home}},
+                           crdt::Dot{rec->origin, rec->seq}};
+      if (orset_it->second->orset->apply(op)) ++plan.ops_replayed;
       continue;
     }
     if (stopped[rec->collection]) continue;

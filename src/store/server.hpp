@@ -16,6 +16,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "crdt/orset.hpp"
 #include "net/rpc.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
@@ -122,6 +123,26 @@ class StoreServer {
   /// Starts hosting `id` as a replica of the fragment primary at `primary`.
   /// Spawns the anti-entropy process, which pulls forever at pull_interval.
   CollectionState& host_replica(CollectionId id, NodeId primary);
+
+  // -- OR-Set multi-master mode (src/crdt, DESIGN.md decision 16) ----------
+
+  /// Starts hosting `id` as an OR-Set multi-master fragment: this node
+  /// accepts membership writes locally, tags them with dots, and converges
+  /// with its peers via all-pairs dot-op anti-entropy (orset.pull) plus
+  /// optional pushes. Spawns the pull daemon.
+  crdt::OrSet& host_orset(CollectionId id);
+
+  /// Registers another host of OR-Set fragment `id` as an anti-entropy peer
+  /// (and, when push_replication is on, as a push target).
+  void add_orset_peer(CollectionId id, NodeId peer);
+
+  /// The locally hosted OR-Set state; nullptr if `id` is not hosted here in
+  /// OR-Set mode. Spec-layer ground truth reads converged members from this.
+  [[nodiscard]] const crdt::OrSet* orset_state(CollectionId id) const;
+
+  /// Setup-time: inserts `ref` into the local OR-Set directly, bypassing
+  /// RPC (workload seeding). Returns true if membership changed.
+  bool seed_orset_member(CollectionId id, ObjectRef ref);
 
   /// The locally hosted fragment state (primary or replica); nullptr if this
   /// node does not host `id`.
@@ -286,6 +307,23 @@ class StoreServer {
     std::uint64_t reads = 0;
     std::uint64_t ops = 0;
     std::map<std::uint64_t, std::uint64_t> reads_by_node;
+    // OR-Set multi-master mode (DESIGN.md decision 16). Non-null marks the
+    // entry as CRDT-hosted: membership RPCs mutate the OR-Set locally, the
+    // outbound log retains this host's *local* dot ops (contiguous seqs
+    // from 1, bounded by membership_log_cap), and the pull daemon drags
+    // every peer's log over with per-peer cursors. The entry's
+    // CollectionState is dormant except for its incarnation, which doubles
+    // as the dot-namespace salt (make_origin) and the log-stream id peers
+    // use to detect an amnesia restart.
+    std::unique_ptr<crdt::OrSet> orset;
+    std::deque<crdt::DotOp> orset_log;
+    std::uint64_t orset_last_seq = 0;
+    std::vector<NodeId> orset_peers;
+    struct OrSetCursor {
+      std::uint64_t after_seq = 0;
+      std::uint64_t incarnation = 0;
+    };
+    std::map<NodeId, OrSetCursor> orset_cursors;
   };
 
   /// What crash-time reconstruction found; recovery reports it as metrics
@@ -303,6 +341,18 @@ class StoreServer {
   /// The hosted entry (tombstones included); nullptr if never hosted.
   [[nodiscard]] Hosted* find_entry(CollectionId id);
   Task<void> pull_loop(CollectionId id, NodeId primary);
+  /// OR-Set anti-entropy daemon: pulls dot ops from every peer at
+  /// pull_interval, falling back to full-state join when a cursor expires.
+  Task<void> orset_pull_loop(CollectionId id);
+  /// Appends a *local* dot op to the outbound log (trimming to the cap) and
+  /// WALs it.
+  void orset_append_local(Hosted& entry, const crdt::DotOp& op);
+  /// WAL-appends one applied dot op (no-op when durability is off or during
+  /// recovery replay).
+  void orset_wal_append(Hosted& entry, const crdt::DotOp& op);
+  /// Pushes pending local dot ops of `id` to every lagging peer.
+  void trigger_orset_pushes(CollectionId id);
+  Task<void> orset_push_to(CollectionId id, Hosted::PushTarget& target);
   void release_freeze(Hosted& entry);
   /// Primary side: pushes pending ops of `id` to every lagging target.
   void trigger_pushes(CollectionId id);
@@ -339,6 +389,8 @@ class StoreServer {
   Task<Result<Payload>> handle_freeze(NodeId from, Payload request);
   Task<Result<Payload>> handle_pin(NodeId from, Payload request);
   Task<Result<Payload>> handle_pull(NodeId from, Payload request);
+  Task<Result<Payload>> handle_orset_pull(NodeId from, Payload request);
+  Task<Result<Payload>> handle_orset_sync(NodeId from, Payload request);
 
   RpcNetwork& net_;
   NodeId node_;

@@ -44,20 +44,21 @@ std::uint64_t fnv1a(std::string_view bytes) {
 
 std::string encode(const WalRecord& rec) {
   std::string out;
-  out.reserve(49);
+  out.reserve(57);
   put_u64(out, rec.collection);
   out.push_back(static_cast<char>(rec.kind));
   put_u64(out, rec.object);
   put_u64(out, rec.home);
   put_u64(out, rec.seq);
   put_u64(out, rec.incarnation);
+  put_u64(out, rec.origin);
   seal(out);
   return out;
 }
 
 std::optional<WalRecord> decode_record(std::string_view bytes) {
   const auto payload = unseal(bytes);
-  if (!payload || payload->size() != 41) return std::nullopt;
+  if (!payload || payload->size() != 49) return std::nullopt;
   WalRecord rec;
   rec.collection = get_u64(*payload, 0);
   rec.kind = static_cast<std::uint8_t>((*payload)[8]);
@@ -65,6 +66,7 @@ std::optional<WalRecord> decode_record(std::string_view bytes) {
   rec.home = get_u64(*payload, 17);
   rec.seq = get_u64(*payload, 25);
   rec.incarnation = get_u64(*payload, 33);
+  rec.origin = get_u64(*payload, 41);
   return rec;
 }
 

@@ -37,13 +37,21 @@ struct WalRecord {
   static constexpr std::uint8_t kRemove = 1;
   static constexpr std::uint8_t kMigrationBegin = 2;
   static constexpr std::uint8_t kMigrationDone = 3;
+  /// OR-Set dot ops (ReplicationMode::kOrSet, DESIGN.md decision 16): the
+  /// fragment's durable history is the stream of effective dot-level
+  /// operations, local and remote alike. `seq` carries the dot counter and
+  /// `origin` the dot's minting replica — together the globally unique tag.
+  static constexpr std::uint8_t kOrSetInsert = 4;
+  static constexpr std::uint8_t kOrSetKill = 5;
 
   std::uint64_t collection = 0;
-  std::uint8_t kind = 0;  ///< kAdd / kRemove / kMigrationBegin / kMigrationDone
+  std::uint8_t kind = 0;  ///< one of the record kinds above
   std::uint64_t object = 0;
   std::uint64_t home = 0;
   std::uint64_t seq = 0;
   std::uint64_t incarnation = 0;
+  /// Dot origin for kOrSetInsert/kOrSetKill; 0 for every other kind.
+  std::uint64_t origin = 0;
 };
 
 [[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);

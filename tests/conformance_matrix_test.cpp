@@ -1016,6 +1016,294 @@ TEST(MigrationDeterminism, LockedCellTwiceIsByteIdentical) {
   EXPECT_EQ(a.metrics_json, b.metrics_json);
 }
 
+// ---------------------------------------------------------------------------
+// Replication-mode axis (src/crdt, DESIGN.md decision 16): the same scripted
+// world — seeded members, four mid-run adds, one iterating client — runs
+// under home-primary and OR-Set replication across partition schedules.
+// Under every schedule that cuts the client off the home primary, home-
+// primary mode must reject the scripted writes while OR-Set accepts them at
+// whatever host the client can still reach; once the partition heals and
+// anti-entropy quiesces, every OR-Set host must agree element-for-element
+// (spec::check_converged). The script is add-only so the mutating figures'
+// environment constraints (fig5 grow-only included) stay true by
+// construction, never by weakening a check.
+
+enum class PartitionSchedule {
+  kNone,             ///< no partition: both modes accept everything
+  kIsolateMinority,  ///< {client, s1} | {s0, s2}: one replica reachable
+  kIsolatePrimary,   ///< {s0} | {client, s1, s2}: the home alone is cut off
+};
+
+const char* to_string(PartitionSchedule schedule) {
+  switch (schedule) {
+    case PartitionSchedule::kNone:
+      return "none";
+    case PartitionSchedule::kIsolateMinority:
+      return "isolate-minority";
+    case PartitionSchedule::kIsolatePrimary:
+      return "isolate-primary";
+  }
+  return "?";
+}
+
+struct ReplicationCell {
+  bool finished = false;
+  std::optional<FailureKind> failure;
+  std::vector<ObjectRef> yields;
+  std::size_t accepted = 0;  ///< scripted writes acknowledged
+  std::size_t rejected = 0;  ///< scripted writes that failed
+  bool converged = false;    ///< all hosts agree after heal + quiesce
+  std::string metrics_json;
+};
+
+ReplicationCell run_replication_cell(Semantics semantics, ReplicationMode mode,
+                                     PartitionSchedule schedule,
+                                     std::uint64_t seed) {
+  obs::MetricsRegistry reg;
+  Simulator sim;
+  Topology topo;
+  const NodeId client_node = topo.add_node("client");
+  std::vector<NodeId> servers;
+  for (int i = 0; i < 3; ++i) {
+    servers.push_back(topo.add_node("s" + std::to_string(i)));
+  }
+  topo.connect_full_mesh(Duration::millis(5));
+  RpcNetwork net{sim, topo, Rng{seed}};
+  Repository repo{net};
+  StoreServerOptions server_options;
+  server_options.pull_interval = Duration::millis(20);
+  server_options.metrics = &reg;
+  for (const NodeId node : servers) repo.add_server(node, server_options);
+
+  // One fragment anchored on s0 with replicas on s1 and s2 — the identical
+  // placement in both modes. Elements are homed on s1, which every schedule
+  // leaves reachable from the client: the partitions stress membership
+  // writes and reads, never element fetches.
+  const CollectionId coll = repo.create_collection({servers[0]}, mode);
+  repo.add_replica(coll, 0, servers[1]);
+  repo.add_replica(coll, 0, servers[2]);
+  std::vector<ObjectRef> objects;
+  for (int i = 0; i < 8; ++i) {
+    objects.push_back(repo.create_object(servers[1], "p" + std::to_string(i)));
+    if (mode == ReplicationMode::kOrSet) {
+      repo.server_at(servers[0])->seed_orset_member(coll, objects.back());
+    } else {
+      repo.seed_member(coll, objects.back());
+    }
+  }
+  // Let replicas (home mode) or peers (OR-Set) absorb the seeds before the
+  // probe snapshots the initial ground truth.
+  sim.run_until(SimTime{} + Duration::millis(100));
+  spec::TimelineProbe probe{repo, coll};
+
+  sim.schedule(Duration::millis(10), [&topo, client_node, &servers, schedule] {
+    switch (schedule) {
+      case PartitionSchedule::kNone:
+        break;
+      case PartitionSchedule::kIsolateMinority:
+        topo.partition({{client_node, servers[1]}, {servers[0], servers[2]}});
+        break;
+      case PartitionSchedule::kIsolatePrimary:
+        topo.partition({{servers[0]}, {client_node, servers[1], servers[2]}});
+        break;
+    }
+  });
+  sim.schedule(Duration::millis(160), [&topo] { topo.heal(); });
+
+  // Four scripted adds through the RPC client, all landing inside the
+  // partition window (abs. 120-220ms): home mode must route them to the
+  // unreachable primary, OR-Set to the nearest host that still answers.
+  ClientOptions mutator_options;
+  mutator_options.metrics = &reg;
+  RepositoryClient mutator{repo, client_node, mutator_options};
+  auto accepted = std::make_shared<std::size_t>(0);
+  auto rejected = std::make_shared<std::size_t>(0);
+  Rng script_rng{seed + 1};
+  for (int i = 0; i < 4; ++i) {
+    const ObjectRef ref =
+        repo.create_object(servers[1], "x" + std::to_string(i));
+    const Duration at =
+        Duration::millis(20 + static_cast<int>(script_rng.uniform(100)));
+    sim.schedule(at, [&sim, &mutator, coll, ref, accepted, rejected] {
+      sim.spawn([](RepositoryClient& c, CollectionId id, ObjectRef r,
+                   std::shared_ptr<std::size_t> ok,
+                   std::shared_ptr<std::size_t> bad) -> Task<void> {
+        const auto result = co_await c.add(id, r);
+        ++(result.has_value() ? *ok : *bad);
+      }(mutator, coll, ref, accepted, rejected));
+    });
+  }
+
+  ClientOptions client_options;
+  client_options.read_policy = ReadPolicy::kNearest;
+  client_options.metrics = &reg;
+  RepositoryClient client{repo, client_node, client_options};
+  RepoSetView view{client, coll};
+  spec::RepoGroundTruth truth{repo, coll, client_node};
+  spec::TraceRecorder recorder{truth};
+  IteratorOptions options;
+  options.recorder = &recorder;
+  options.retry = RetryPolicy{500, Duration::millis(25)};
+  auto iterator = make_elements_iterator(view, semantics, options);
+  const DrainResult drained = run_task(sim, drain(*iterator));
+
+  ReplicationCell cell;
+  cell.finished = drained.finished();
+  if (drained.failure()) cell.failure = drained.failure()->kind;
+  for (const ObjectRef ref : iterator->yielded()) cell.yields.push_back(ref);
+
+  const spec::IterationTrace trace = recorder.finish();
+  const spec::MembershipTimeline& timeline = probe.timeline();
+  const char* mode_label =
+      mode == ReplicationMode::kOrSet ? "orset" : "home-primary";
+  switch (semantics) {
+    case Semantics::kFig4Snapshot: {
+      // Fig4's environment is failure-free, like fig5's below: its atomic
+      // snapshot may abort against an unreachable anchor host, which is
+      // outside what the figure specifies — binding only without partitions.
+      if (schedule == PartitionSchedule::kNone) {
+        const auto report = spec::check_fig4(trace);
+        EXPECT_TRUE(report.satisfied())
+            << "fig4 " << mode_label << " " << to_string(schedule) << " seed "
+            << seed << ": "
+            << (report.violations().empty() ? "-"
+                                            : report.violations().front());
+      }
+      break;
+    }
+    case Semantics::kFig5GrowOnlyPessimistic: {
+      // Fig5's environment is failure-free: under a partition the iterator
+      // is outside its specification (its fragment pin can fail against an
+      // unreachable anchor even while every member stays element-reachable),
+      // so the ensures clause is only binding on the no-partition schedule.
+      if (schedule == PartitionSchedule::kNone) {
+        const auto report = spec::check_fig5(trace);
+        EXPECT_TRUE(report.satisfied())
+            << "fig5 " << mode_label << " " << to_string(schedule) << " seed "
+            << seed << ": "
+            << (report.violations().empty() ? "-"
+                                            : report.violations().front());
+      }
+      // The script is add-only, so the figure's environment constraint held.
+      EXPECT_TRUE(spec::check_constraint_grow_only(timeline,
+                                                   trace.first_time(),
+                                                   trace.last_time())
+                      .satisfied());
+      break;
+    }
+    case Semantics::kFig6Optimistic: {
+      const auto report = spec::check_fig6(trace, timeline);
+      EXPECT_TRUE(report.satisfied())
+          << "fig6 " << mode_label << " " << to_string(schedule) << " seed "
+          << seed << ": "
+          << (report.violations().empty() ? "-" : report.violations().front());
+      break;
+    }
+    case Semantics::kFig1Immutable:
+    case Semantics::kFig3ImmutableFailAware:
+      break;  // excluded: their environments forbid concurrent mutation
+  }
+  std::set<ObjectRef> unique;
+  for (const ObjectRef ref : cell.yields) {
+    EXPECT_TRUE(unique.insert(ref).second);
+    EXPECT_TRUE(timeline.present_in_window(ref, trace.first_time(),
+                                           trace.last_time()))
+        << "yielded an element that was never a member in the window";
+  }
+
+  // Heal (if the drain ended early) and quiesce, then the convergence
+  // clause: every OR-Set host reports the same member sequence.
+  sim.run_until(SimTime{} + Duration::millis(700));
+  cell.accepted = *accepted;
+  cell.rejected = *rejected;
+  if (mode == ReplicationMode::kOrSet) {
+    cell.converged =
+        spec::check_converged(spec::orset_fragment_members(repo, coll, 0))
+            .satisfied();
+  } else {
+    cell.converged = true;  // home mode: the primary is the value
+  }
+  repo.stop_all_daemons();
+  sim.run();  // drain daemons so coroutine frames unwind
+  cell.metrics_json = reg.to_json();
+  return cell;
+}
+
+class ReplicationModeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<PartitionSchedule, std::uint64_t>> {
+ protected:
+  [[nodiscard]] PartitionSchedule schedule() const {
+    return std::get<0>(GetParam());
+  }
+  [[nodiscard]] std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ReplicationModeSweep, Fig6OrSetServesWhereHomePrimaryBlocks) {
+  const ReplicationCell home = run_replication_cell(
+      Semantics::kFig6Optimistic, ReplicationMode::kHomePrimary, schedule(),
+      seed());
+  const ReplicationCell orset = run_replication_cell(
+      Semantics::kFig6Optimistic, ReplicationMode::kOrSet, schedule(), seed());
+  // Both modes finish the optimistic iteration (reads ride the partition
+  // out against the reachable replica), but only OR-Set accepts writes.
+  EXPECT_TRUE(home.finished);
+  EXPECT_TRUE(orset.finished);
+  EXPECT_EQ(orset.accepted, 4u) << to_string(schedule());
+  EXPECT_EQ(orset.rejected, 0u) << to_string(schedule());
+  EXPECT_TRUE(orset.converged) << to_string(schedule());
+  if (schedule() == PartitionSchedule::kNone) {
+    EXPECT_EQ(home.accepted, 4u);
+  } else {
+    // Every scripted write lands inside the partition window, and home mode
+    // must route each to the unreachable primary: all are rejected.
+    EXPECT_EQ(home.accepted, 0u) << to_string(schedule());
+    EXPECT_EQ(home.rejected, 4u) << to_string(schedule());
+  }
+}
+
+TEST_P(ReplicationModeSweep, Fig4SnapshotHoldsUnderOrSet) {
+  const ReplicationCell cell = run_replication_cell(
+      Semantics::kFig4Snapshot, ReplicationMode::kOrSet, schedule(), seed());
+  // The atomic snapshot finishes or fails cleanly; convergence must hold
+  // either way once the partition heals.
+  EXPECT_TRUE(cell.finished || cell.failure.has_value());
+  EXPECT_TRUE(cell.converged) << to_string(schedule());
+}
+
+TEST_P(ReplicationModeSweep, Fig5PessimisticStaysCleanUnderOrSet) {
+  const ReplicationCell cell =
+      run_replication_cell(Semantics::kFig5GrowOnlyPessimistic,
+                           ReplicationMode::kOrSet, schedule(), seed());
+  // Pessimistic pinning may abort against a partitioned host — but only
+  // cleanly, and never at the cost of post-heal convergence.
+  EXPECT_TRUE(cell.finished || cell.failure.has_value());
+  EXPECT_TRUE(cell.converged) << to_string(schedule());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ReplicationModeSweep,
+    ::testing::Combine(::testing::Values(PartitionSchedule::kNone,
+                                         PartitionSchedule::kIsolateMinority,
+                                         PartitionSchedule::kIsolatePrimary),
+                       ::testing::Range<std::uint64_t>(600, 603)));
+
+TEST(ReplicationModeDeterminism, SameCellTwiceIsByteIdentical) {
+  const ReplicationCell a = run_replication_cell(
+      Semantics::kFig6Optimistic, ReplicationMode::kOrSet,
+      PartitionSchedule::kIsolateMinority, 601);
+  const ReplicationCell b = run_replication_cell(
+      Semantics::kFig6Optimistic, ReplicationMode::kOrSet,
+      PartitionSchedule::kIsolateMinority, 601);
+  EXPECT_EQ(a.yields, b.yields);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.converged, b.converged);
+  // The whole telemetry export — pull rounds, snapshot joins, write
+  // failovers — is byte-identical across same-seed runs.
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
 }  // namespace
 }  // namespace weakset
 

@@ -1,0 +1,254 @@
+// End-to-end tests for ReplicationMode::kOrSet (src/crdt, DESIGN.md decision
+// 16): multi-master writes at any host, all-pairs anti-entropy convergence,
+// partition availability where home-primary mode blocks, push propagation,
+// and WAL-backed amnesia recovery of the CRDT state.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "spec/repo_truth.hpp"
+#include "spec/specs.hpp"
+#include "store/client.hpp"
+#include "store/repository.hpp"
+
+namespace weakset {
+namespace {
+
+class OrSetReplicationTest : public ::testing::Test {
+ protected:
+  void build(StoreServerOptions opts = {}) {
+    client_node = topo.add_node("client");
+    for (int i = 0; i < 3; ++i) {
+      hosts.push_back(topo.add_node("host" + std::to_string(i)));
+    }
+    topo.connect_full_mesh(Duration::millis(5));
+    for (const NodeId node : hosts) repo.add_server(node, opts);
+    coll = repo.create_collection({hosts[0]}, ReplicationMode::kOrSet);
+    repo.add_replica(coll, 0, hosts[1]);
+    repo.add_replica(coll, 0, hosts[2]);
+  }
+
+  ~OrSetReplicationTest() override {
+    repo.stop_all_daemons();
+    sim.run();  // drain daemon wakeups so coroutine frames unwind (no leaks)
+  }
+
+  void sleep_for(Duration d) {
+    run_task(sim, [](Simulator& s, Duration dd) -> Task<void> {
+      co_await s.delay(dd);
+    }(sim, d));
+  }
+
+  /// Simulated time until every host agrees on the member set (or `limit`).
+  Duration convergence_time(Duration limit) {
+    const SimTime start = sim.now();
+    while (sim.now() - start < limit) {
+      if (spec::check_converged(spec::orset_fragment_members(repo, coll, 0))
+              .satisfied()) {
+        break;
+      }
+      sim.run_until(sim.now() + Duration::millis(1));
+    }
+    return sim.now() - start;
+  }
+
+  [[nodiscard]] const crdt::OrSet* orset_at(std::size_t host) {
+    return repo.server_at(hosts[host])->orset_state(coll);
+  }
+
+  Simulator sim;
+  Topology topo;
+  NodeId client_node;
+  std::vector<NodeId> hosts;
+  RpcNetwork net{sim, topo, Rng{303}};
+  Repository repo{net};
+  CollectionId coll;
+};
+
+TEST_F(OrSetReplicationTest, WriteAtAnyHostConvergesEverywhere) {
+  StoreServerOptions opts;
+  opts.pull_interval = Duration::millis(20);
+  build(opts);
+  RepositoryClient client{repo, client_node};
+  const ObjectRef ref = repo.create_object(hosts[1], "x");
+  ASSERT_TRUE(run_task(sim, client.add(coll, ref)).value_or(false));
+  const Duration lag = convergence_time(Duration::seconds(2));
+  EXPECT_LE(lag, Duration::millis(100));
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_TRUE(orset_at(i)->contains(ref)) << "host " << i;
+  }
+}
+
+TEST_F(OrSetReplicationTest, RemovePropagatesWithoutTombstoneGrowth) {
+  StoreServerOptions opts;
+  opts.pull_interval = Duration::millis(20);
+  build(opts);
+  RepositoryClient client{repo, client_node};
+  const ObjectRef ref = repo.create_object(hosts[0], "x");
+  ASSERT_TRUE(run_task(sim, client.add(coll, ref)).value_or(false));
+  EXPECT_LE(convergence_time(Duration::seconds(2)), Duration::millis(100));
+  ASSERT_TRUE(run_task(sim, client.remove(coll, ref)).value_or(false));
+  EXPECT_LE(convergence_time(Duration::seconds(2)), Duration::millis(100));
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_FALSE(orset_at(i)->contains(ref)) << "host " << i;
+    EXPECT_EQ(orset_at(i)->size(), 0u) << "host " << i;
+  }
+}
+
+TEST_F(OrSetReplicationTest, MinoritySideWriteSurvivesPartition) {
+  StoreServerOptions opts;
+  opts.pull_interval = Duration::millis(20);
+  build(opts);
+  // Also stand up a home-primary collection on the same placement, to show
+  // the availability difference under the identical partition.
+  const CollectionId home_coll = repo.create_collection({hosts[0]});
+  repo.add_replica(home_coll, 0, hosts[1]);
+  repo.add_replica(home_coll, 0, hosts[2]);
+
+  // Isolate {client, host1} from {host0, host2}: the client can only reach
+  // host1, which is not the home-primary of either collection.
+  topo.set_routing(Topology::Routing::kDirectOnly);
+  for (const NodeId minority : {client_node, hosts[1]}) {
+    for (const NodeId majority : {hosts[0], hosts[2]}) {
+      topo.set_link_up(minority, majority, false);
+    }
+  }
+
+  RepositoryClient client{repo, client_node};
+  const ObjectRef ref = repo.create_object(hosts[1], "partitioned-write");
+  // Home-primary mode: the write must reach host0 — blocked.
+  EXPECT_FALSE(run_task(sim, client.add(home_coll, ref)).has_value());
+  // OR-Set mode: host1 accepts the write locally.
+  EXPECT_TRUE(run_task(sim, client.add(coll, ref)).value_or(false));
+  EXPECT_TRUE(orset_at(1)->contains(ref));
+  EXPECT_FALSE(orset_at(0)->contains(ref));
+
+  // Heal; anti-entropy converges all three hosts on the new member.
+  for (const NodeId minority : {client_node, hosts[1]}) {
+    for (const NodeId majority : {hosts[0], hosts[2]}) {
+      topo.set_link_up(minority, majority, true);
+    }
+  }
+  EXPECT_LE(convergence_time(Duration::seconds(2)), Duration::millis(200));
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_TRUE(orset_at(i)->contains(ref)) << "host " << i;
+  }
+}
+
+TEST_F(OrSetReplicationTest, ConcurrentUnseenAddSurvivesRemoteRemoval) {
+  StoreServerOptions opts;
+  opts.pull_interval = Duration::millis(20);
+  build(opts);
+  RepositoryClient client{repo, client_node};
+  const ObjectRef ref = repo.create_object(hosts[0], "contested");
+  ASSERT_TRUE(run_task(sim, client.add(coll, ref)).value_or(false));
+  EXPECT_LE(convergence_time(Duration::seconds(2)), Duration::millis(100));
+
+  // Partition host2 away, then concurrently remove at host0's side and
+  // re-add at host2 (whose dots host0 has not observed).
+  topo.set_routing(Topology::Routing::kDirectOnly);
+  for (const NodeId other : {client_node, hosts[0], hosts[1]}) {
+    topo.set_link_up(hosts[2], other, false);
+  }
+  // Remove travels via host0's side (the client reaches host0 and host1).
+  ASSERT_TRUE(run_task(sim, client.remove(coll, ref)).value_or(false));
+  // Concurrent re-add on the isolated host: remove(coll) then add so the
+  // new dot is genuinely unseen by the majority side.
+  const ObjectRef fresh = repo.create_object(hosts[2], "fresh-dot");
+  ASSERT_TRUE(repo.server_at(hosts[2])->seed_orset_member(coll, fresh));
+
+  for (const NodeId other : {client_node, hosts[0], hosts[1]}) {
+    topo.set_link_up(hosts[2], other, true);
+  }
+  EXPECT_LE(convergence_time(Duration::seconds(2)), Duration::millis(200));
+  // The original ref is gone everywhere (its dots were observed and killed);
+  // the concurrently added member survives everywhere — add wins.
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_FALSE(orset_at(i)->contains(ref)) << "host " << i;
+    EXPECT_TRUE(orset_at(i)->contains(fresh)) << "host " << i;
+  }
+}
+
+TEST_F(OrSetReplicationTest, PushShipsDotOpsAheadOfThePullInterval) {
+  StoreServerOptions opts;
+  opts.pull_interval = Duration::seconds(30);  // pulls effectively off
+  opts.push_replication = true;
+  build(opts);
+  RepositoryClient client{repo, client_node};
+  const ObjectRef ref = repo.create_object(hosts[0], "pushed");
+  ASSERT_TRUE(run_task(sim, client.add(coll, ref)).value_or(false));
+  const Duration lag = convergence_time(Duration::seconds(2));
+  // One ~5ms hop plus service time — nowhere near the pull interval.
+  EXPECT_LE(lag, Duration::millis(50));
+}
+
+TEST_F(OrSetReplicationTest, ReadsServeTheLocalOrSetMembership) {
+  StoreServerOptions opts;
+  opts.pull_interval = Duration::millis(20);
+  build(opts);
+  RepositoryClient client{repo, client_node};
+  std::vector<ObjectRef> refs;
+  for (int i = 0; i < 4; ++i) {
+    refs.push_back(repo.create_object(hosts[0], "m" + std::to_string(i)));
+    ASSERT_TRUE(run_task(sim, client.add(coll, refs.back())).value_or(false));
+  }
+  EXPECT_LE(convergence_time(Duration::seconds(2)), Duration::millis(200));
+  const auto members = run_task(sim, client.read_all(coll));
+  ASSERT_TRUE(members.has_value());
+  EXPECT_EQ(std::set<ObjectRef>(members.value().begin(),
+                                members.value().end()),
+            std::set<ObjectRef>(refs.begin(), refs.end()));
+  const auto size = run_task(sim, client.total_size(coll));
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(size.value(), refs.size());
+}
+
+TEST_F(OrSetReplicationTest, AmnesiaCrashReplaysWalAndResyncsWithPeers) {
+  StoreServerOptions opts;
+  opts.pull_interval = Duration::millis(20);
+  opts.durability.durable_acks = true;
+  opts.durability.fsync_interval = Duration::millis(1);
+  opts.durability.checkpoint_interval = Duration::millis(50);
+  build(opts);
+  RepositoryClient client{repo, client_node};
+  std::vector<ObjectRef> refs;
+  for (int i = 0; i < 3; ++i) {
+    refs.push_back(repo.create_object(hosts[0], "d" + std::to_string(i)));
+    ASSERT_TRUE(run_task(sim, client.add(coll, refs.back())).value_or(false));
+  }
+  EXPECT_LE(convergence_time(Duration::seconds(2)), Duration::millis(200));
+  const std::uint64_t origin_before = orset_at(0)->origin();
+
+  topo.crash(hosts[0], Topology::CrashKind::kAmnesia);
+  topo.restart(hosts[0]);
+  sleep_for(Duration::millis(200));  // recovery + first post-crash pulls
+
+  // Durably acked members survived the crash (WAL replay), and the host
+  // moved to a fresh dot namespace so recounted dots cannot collide.
+  for (const ObjectRef ref : refs) {
+    EXPECT_TRUE(orset_at(0)->contains(ref));
+  }
+  EXPECT_NE(orset_at(0)->origin(), origin_before);
+  EXPECT_LE(convergence_time(Duration::seconds(2)), Duration::millis(300));
+
+  // Post-recovery writes still work and converge.
+  const ObjectRef after = repo.create_object(hosts[0], "post-crash");
+  ASSERT_TRUE(run_task(sim, client.add(coll, after)).value_or(false));
+  EXPECT_LE(convergence_time(Duration::seconds(2)), Duration::millis(200));
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    EXPECT_TRUE(orset_at(i)->contains(after)) << "host " << i;
+  }
+}
+
+TEST_F(OrSetReplicationTest, OrSetFragmentsRefuseMigration) {
+  build();
+  EXPECT_TRUE(repo.server_at(hosts[0])->migration_blocked(coll));
+  EXPECT_TRUE(repo.server_at(hosts[1])->migration_blocked(coll));
+}
+
+}  // namespace
+}  // namespace weakset

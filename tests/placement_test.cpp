@@ -279,6 +279,48 @@ TEST_F(PlacementTest, FrozenFragmentRefusesToMigrate) {
       run_task(sim, migrate_rpc(coll, 0, servers[0], servers[1])).has_value());
 }
 
+TEST_F(PlacementTest, PushReplicatedFragmentRefusesToMigrateButKeepsPushing) {
+  // Replication state intentionally does not transfer with a fragment
+  // (server.hpp): a primary with push targets must refuse the migration
+  // outright — cleanly, with the placement untouched and the push channel
+  // still live — rather than strand its replicas on a retired host.
+  StoreServerOptions options;
+  options.push_replication = true;
+  options.pull_interval = Duration::millis(20);
+  build(options);
+  const CollectionId coll = repo.create_collection({servers[0]});
+  repo.add_replica(coll, 0, servers[1]);  // push target of the primary
+  const std::vector<ObjectRef> refs = populate(coll, servers[2], 4);
+
+  EXPECT_TRUE(repo.server_at(servers[0])->migration_blocked(coll));
+  const auto attempt =
+      run_task(sim, migrate_rpc(coll, 0, servers[0], servers[2]));
+  ASSERT_FALSE(attempt.has_value());
+
+  // Clean refusal: no epoch bump, no adoption, the source still primary and
+  // serving.
+  EXPECT_EQ(repo.meta(coll).epoch(), 1u);
+  EXPECT_EQ(repo.meta(coll).fragments()[0].primary(), servers[0]);
+  EXPECT_TRUE(repo.server_at(servers[0])->hosts_primary(coll));
+  EXPECT_FALSE(repo.server_at(servers[0])->is_retired(coll));
+  EXPECT_EQ(reg.counter("placement.migrations_committed"), 0u);
+  EXPECT_EQ(reg.counter("placement.fragments_adopted"), 0u);
+
+  // The push channel survived the refused attempt: a fresh write still
+  // reaches the replica ahead of any pull cycle.
+  const ObjectRef extra = repo.create_object(servers[2], "after-refusal");
+  RepositoryClient writer{repo, client_node};
+  ASSERT_TRUE(run_task(sim, writer.add(coll, extra)).value_or(false));
+  const auto* state = repo.server_at(servers[1])->collection(coll);
+  const SimTime start = sim.now();
+  while (!state->contains(extra) &&
+         sim.now() - start < Duration::seconds(2)) {
+    sim.run_until(sim.now() + Duration::millis(1));
+  }
+  EXPECT_TRUE(state->contains(extra));
+  EXPECT_EQ(state->members().size(), refs.size() + 1);
+}
+
 // ---------------------------------------------------------------------------
 // Crash recovery of an interrupted migration
 
