@@ -20,10 +20,15 @@
 #                           sweep under partition episodes (ISSUE 9: e19;
 #                           availability, staleness windows, merge cost —
 #                           all simulated time)
+#   BENCH_storage.json    — block storage engine sweeps (ISSUE 10: e20;
+#                           recovery-vs-size at a fixed WAL tail, block
+#                           engine on/off, and the fixed-budget cache sweep
+#                           — all simulated time)
 #
 # Usage: scripts/bench_json.sh [build-dir] [prefetch-out] [membership-out] \
 #                              [recovery-out] [migration-out] [hotpath-out] \
-#                              [parallel-out] [scale-out] [orset-out]
+#                              [parallel-out] [scale-out] [orset-out] \
+#                              [storage-out]
 
 set -euo pipefail
 build_dir="${1:-build}"
@@ -35,6 +40,7 @@ hotpath_out="${6:-BENCH_hotpath.json}"
 parallel_out="${7:-BENCH_parallel.json}"
 scale_out="${8:-BENCH_scale.json}"
 orset_out="${9:-BENCH_orset.json}"
+storage_out="${10:-BENCH_storage.json}"
 
 if [[ ! -d "${build_dir}/bench" ]]; then
   echo "error: ${build_dir}/bench not found — configure and build first:" >&2
@@ -66,6 +72,7 @@ run_bench micro/bench_micro_hotpath
 run_bench micro/bench_micro_parallel
 run_bench bench_e18_scale
 run_bench bench_e19_orset
+run_bench bench_e20_storage
 
 # One top-level object per output file, keyed by bench binary, each value
 # the unmodified google-benchmark JSON document.
@@ -135,3 +142,11 @@ echo "wrote ${scale_out}" >&2
   echo '}'
 } >"${orset_out}"
 echo "wrote ${orset_out}" >&2
+
+{
+  echo '{'
+  echo '  "bench_e20_storage":'
+  cat "${tmp}/bench_e20_storage.json"
+  echo '}'
+} >"${storage_out}"
+echo "wrote ${storage_out}" >&2

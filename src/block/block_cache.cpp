@@ -1,0 +1,69 @@
+#include "block/block_cache.hpp"
+
+#include <cassert>
+
+namespace weakset::block {
+
+Page* BlockCache::find(PageKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to MRU
+  return &*it->second;
+}
+
+Page* BlockCache::peek(PageKey key) {
+  const auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+Page& BlockCache::insert(
+    PageKey key,
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> members,
+    bool dirty) {
+  assert(index_.count(key) == 0 && "page already resident");
+  lru_.push_front(Page{key, std::move(members), dirty, 0, 0, 0});
+  Page& page = lru_.front();
+  page.charge = charge_for(page.members.size());
+  resident_ += page.charge;
+  index_[key] = lru_.begin();
+  return page;
+}
+
+void BlockCache::recharge(Page& page) {
+  const std::uint64_t charge = charge_for(page.members.size());
+  resident_ += charge - page.charge;
+  page.charge = charge;
+}
+
+void BlockCache::erase(PageKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  assert(it->second->pins == 0 && "evicting a pinned page");
+  resident_ -= it->second->charge;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void BlockCache::drop_collection(std::uint64_t collection) {
+  for (auto it = index_.lower_bound(PageKey{collection, 0});
+       it != index_.end() && it->first.collection == collection;) {
+    resident_ -= it->second->charge;
+    lru_.erase(it->second);
+    it = index_.erase(it);
+  }
+}
+
+void BlockCache::clear() {
+  lru_.clear();
+  index_.clear();
+  resident_ = 0;
+}
+
+Page* BlockCache::victim() {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (it->pins == 0) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace weakset::block

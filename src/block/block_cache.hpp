@@ -1,0 +1,98 @@
+#pragma once
+
+// BlockCache: the server-wide LRU page cache of the block storage engine
+// (DESIGN.md decision 17). Entries are *logical* pages — one decoded leaf
+// bucket of one collection — not physical blocks: copy-on-write checkpoints
+// relocate a bucket's extent on every rewrite, and keying by logical
+// identity means relocation never invalidates or re-keys cache entries.
+//
+// The cache enforces a byte budget by LRU eviction of unpinned pages. It is
+// policy-only bookkeeping: it never touches the disk itself. Dirty victims
+// are handed back to the caller (BlockEngine), which owns the timed
+// write-back — evictions happen inside coroutines where simulated disk time
+// can be charged.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace weakset::block {
+
+/// Logical page identity: (collection, leaf bucket index).
+struct PageKey {
+  std::uint64_t collection = 0;
+  std::uint32_t bucket = 0;
+
+  friend auto operator<=>(const PageKey&, const PageKey&) = default;
+};
+
+/// One resident leaf bucket: decoded (object, home) members in stored order.
+struct Page {
+  PageKey key;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> members;
+  /// Mutated since the bucket's current extent was written.
+  bool dirty = false;
+  /// Pinned pages are never evicted (in-flight fault enforcement).
+  std::uint32_t pins = 0;
+  /// Bytes charged against the budget (recomputed by recharge()).
+  std::uint64_t charge = 0;
+  /// Bumped on every mutation; a write-back that raced a mutation sees a
+  /// changed version and abandons its stale extent.
+  std::uint64_t version = 0;
+};
+
+class BlockCache {
+ public:
+  explicit BlockCache(std::uint64_t budget_bytes) : budget_(budget_bytes) {}
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Looks a page up and makes it most-recently-used. nullptr on miss.
+  [[nodiscard]] Page* find(PageKey key);
+  /// Looks a page up without touching LRU order (checkpoint scans must not
+  /// perturb eviction order).
+  [[nodiscard]] Page* peek(PageKey key);
+
+  /// Inserts a new page (must not be present) as most-recently-used and
+  /// returns it.
+  Page& insert(PageKey key, std::vector<std::pair<std::uint64_t,
+                                                  std::uint64_t>> members,
+               bool dirty);
+
+  /// Recomputes a page's budget charge after a membership change.
+  void recharge(Page& page);
+
+  /// Drops one page (resident requirement released by the caller first).
+  void erase(PageKey key);
+  /// Drops every page of one collection (amnesia wipe, snapshot install).
+  void drop_collection(std::uint64_t collection);
+  void clear();
+
+  /// The least-recently-used unpinned page, or nullptr if all are pinned.
+  [[nodiscard]] Page* victim();
+
+  [[nodiscard]] bool over_budget() const noexcept {
+    return resident_ > budget_;
+  }
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
+    return resident_;
+  }
+  [[nodiscard]] std::uint64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t pages() const noexcept { return index_.size(); }
+
+  /// What one page with `n` members charges against the budget (entry
+  /// overhead plus 16 bytes per member — the serialized footprint).
+  [[nodiscard]] static std::uint64_t charge_for(std::size_t n) noexcept {
+    return 64 + 16 * static_cast<std::uint64_t>(n);
+  }
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t resident_ = 0;
+  std::list<Page> lru_;  ///< front = most recent, back = eviction candidate
+  std::map<PageKey, std::list<Page>::iterator> index_;
+};
+
+}  // namespace weakset::block

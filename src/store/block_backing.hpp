@@ -1,0 +1,62 @@
+#pragma once
+
+// BlockBacking: glues CollectionState's member-storage seam to the block
+// storage engine (DESIGN.md decision 17). One instance per hosted fragment;
+// it translates ObjectRef to the raw (object, home) pairs the engine speaks
+// and pins the fragment's CollectionId as the engine-side key.
+
+#include <cstdint>
+#include <vector>
+
+#include "block/block_engine.hpp"
+#include "store/collection.hpp"
+#include "store/object.hpp"
+
+namespace weakset {
+
+class BlockBacking final : public MemberBacking {
+ public:
+  BlockBacking(block::BlockEngine& engine, CollectionId id)
+      : engine_(engine), id_(id.raw()) {
+    engine_.add_collection(id_);
+  }
+
+  bool insert(ObjectRef ref) override {
+    return engine_.insert(id_, ref.id().raw(), ref.home().raw());
+  }
+  bool erase(ObjectRef ref) override {
+    return engine_.erase(id_, ref.id().raw(), ref.home().raw());
+  }
+  bool contains(ObjectRef ref) override {
+    return engine_.contains(id_, ref.id().raw(), ref.home().raw());
+  }
+  [[nodiscard]] std::size_t size() const override {
+    return static_cast<std::size_t>(engine_.size(id_));
+  }
+  [[nodiscard]] std::vector<ObjectRef> materialize() const override {
+    std::vector<ObjectRef> out;
+    const auto raw = engine_.materialize(id_);
+    out.reserve(raw.size());
+    for (const auto& [object, home] : raw) {
+      out.emplace_back(ObjectId{object}, NodeId{home});
+    }
+    return out;
+  }
+  void assign(const std::vector<ObjectRef>& members) override {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> raw;
+    raw.reserve(members.size());
+    for (const ObjectRef ref : members) {
+      raw.emplace_back(ref.id().raw(), ref.home().raw());
+    }
+    engine_.assign(id_, raw);
+  }
+
+  /// Engine-side key of this fragment (for fault/checkpoint plumbing).
+  [[nodiscard]] std::uint64_t raw_id() const noexcept { return id_; }
+
+ private:
+  block::BlockEngine& engine_;
+  std::uint64_t id_;
+};
+
+}  // namespace weakset

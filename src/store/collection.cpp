@@ -37,6 +37,25 @@ void MemberList::assign(std::vector<ObjectRef> members) {
   }
 }
 
+bool CollectionState::member_insert(ObjectRef ref) {
+  scratch_stale_ = true;
+  return backing_ != nullptr ? backing_->insert(ref) : list_.insert(ref);
+}
+
+bool CollectionState::member_erase(ObjectRef ref) {
+  scratch_stale_ = true;
+  return backing_ != nullptr ? backing_->erase(ref) : list_.erase(ref);
+}
+
+void CollectionState::member_assign(std::vector<ObjectRef> members) {
+  scratch_stale_ = true;
+  if (backing_ != nullptr) {
+    backing_->assign(members);
+  } else {
+    list_.assign(std::move(members));
+  }
+}
+
 void CollectionState::record(CollectionOp::Kind kind, ObjectRef ref,
                              std::uint64_t seq) {
   assert(seq == last_seq_ + 1 && "log sequences must stay contiguous");
@@ -49,14 +68,14 @@ void CollectionState::record(CollectionOp::Kind kind, ObjectRef ref,
 }
 
 bool CollectionState::add(ObjectRef ref) {
-  if (!list_.insert(ref)) return false;
+  if (!member_insert(ref)) return false;
   ++version_;
   record(CollectionOp::Kind::kAdd, ref, last_seq_ + 1);
   return true;
 }
 
 bool CollectionState::remove(ObjectRef ref) {
-  if (!list_.erase(ref)) return false;
+  if (!member_erase(ref)) return false;
   ++version_;
   record(CollectionOp::Kind::kRemove, ref, last_seq_ + 1);
   return true;
@@ -94,8 +113,8 @@ void CollectionState::apply(const CollectionOp& op) {
   assert(op.seq() == applied_seq_ + 1 && "replica log gap");
   applied_seq_ = op.seq();
   const bool effective = op.kind() == CollectionOp::Kind::kAdd
-                             ? list_.insert(op.ref())
-                             : list_.erase(op.ref());
+                             ? member_insert(op.ref())
+                             : member_erase(op.ref());
   if (effective) ++version_;
   // Re-log regardless of local effect: the replica's log must mirror the
   // primary's sequence window so its own delta readers see the same stream.
@@ -104,7 +123,7 @@ void CollectionState::apply(const CollectionOp& op) {
 
 void CollectionState::install(std::vector<ObjectRef> members,
                               std::uint64_t version, std::uint64_t seq) {
-  list_.assign(std::move(members));
+  member_assign(std::move(members));
   version_ = version;
   last_seq_ = seq;
   applied_seq_ = seq;
@@ -114,7 +133,10 @@ void CollectionState::install(std::vector<ObjectRef> members,
 }
 
 void CollectionState::wipe_volatile() {
-  list_.assign({});
+  // A backed fragment's members live in the block engine, whose wipe the
+  // server drives separately; the in-memory list is cleared either way.
+  if (backing_ == nullptr) list_.assign({});
+  scratch_stale_ = true;
   log_.clear();
   last_seq_ = 0;
   version_ = 0;
@@ -126,19 +148,29 @@ void CollectionState::restore(std::vector<ObjectRef> members,
                               std::uint64_t version, std::uint64_t last_seq,
                               std::uint64_t applied_seq,
                               std::uint64_t incarnation) {
-  list_.assign(std::move(members));
+  member_assign(std::move(members));
+  restore_counters(version, last_seq, applied_seq, incarnation);
+}
+
+void CollectionState::restore_counters(std::uint64_t version,
+                                       std::uint64_t last_seq,
+                                       std::uint64_t applied_seq,
+                                       std::uint64_t incarnation) {
   version_ = version;
   last_seq_ = last_seq;
   applied_seq_ = applied_seq;
   incarnation_ = incarnation;
   log_.clear();
+  // The backing's contents changed out from under us (block recovery
+  // reattached the durable image); drop the memoized materialization.
+  scratch_stale_ = true;
 }
 
 void CollectionState::replay(const CollectionOp& op) {
   assert(op.seq() == last_seq_ + 1 && "WAL replay must stay contiguous");
   const bool effective = op.kind() == CollectionOp::Kind::kAdd
-                             ? list_.insert(op.ref())
-                             : list_.erase(op.ref());
+                             ? member_insert(op.ref())
+                             : member_erase(op.ref());
   if (effective) ++version_;
   record(op.kind(), op.ref(), op.seq());
   applied_seq_ = op.seq();

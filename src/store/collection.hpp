@@ -81,6 +81,28 @@ class MemberList {
   std::unordered_map<ObjectRef, std::size_t> index_;  // ref -> members_ index
 };
 
+/// Storage seam for a fragment's member set (DESIGN.md decision 17). When a
+/// backing is installed, CollectionState keeps its members there — e.g. in
+/// the block storage engine's paged leaf buckets, where the working set is
+/// cache-resident and the rest lives on the simulated disk — instead of in
+/// the in-memory MemberList. Lookups are non-const because a paged backing
+/// faults the member's bucket into its cache.
+class MemberBacking {
+ public:
+  virtual ~MemberBacking() = default;
+
+  /// Adds `ref`; false if already present.
+  virtual bool insert(ObjectRef ref) = 0;
+  /// Removes `ref`; false if not present.
+  virtual bool erase(ObjectRef ref) = 0;
+  virtual bool contains(ObjectRef ref) = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  /// Full membership in the backing's deterministic stored order.
+  [[nodiscard]] virtual std::vector<ObjectRef> materialize() const = 0;
+  /// Replaces the whole membership (snapshot install, wipe = empty).
+  virtual void assign(const std::vector<ObjectRef>& members) = 0;
+};
+
 /// Membership state of one collection fragment. Primaries mutate through
 /// add()/remove(), which append to the log; replicas converge by applying
 /// the primary's log in order through apply() — and log the applied ops
@@ -99,13 +121,25 @@ class CollectionState {
   bool remove(ObjectRef ref);
 
   [[nodiscard]] bool contains(ObjectRef ref) const {
-    return list_.contains(ref);
+    return backing_ != nullptr ? backing_->contains(ref)
+                               : list_.contains(ref);
   }
-  /// Current members in insertion order (with swap-with-last removal).
-  [[nodiscard]] const std::vector<ObjectRef>& members() const noexcept {
-    return list_.members();
+  /// Current members in insertion order (with swap-with-last removal). With
+  /// a backing installed, materialized into a scratch buffer in the
+  /// backing's stored order (deterministic, but its own). The scratch is
+  /// memoized until the next mutation: callers may evaluate members() twice
+  /// in one expression (begin()/end()) and need both to see one buffer.
+  [[nodiscard]] const std::vector<ObjectRef>& members() const {
+    if (backing_ == nullptr) return list_.members();
+    if (scratch_stale_) {
+      scratch_ = backing_->materialize();
+      scratch_stale_ = false;
+    }
+    return scratch_;
   }
-  [[nodiscard]] std::size_t size() const noexcept { return list_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return backing_ != nullptr ? backing_->size() : list_.size();
+  }
 
   /// Bumped on every effective mutation.
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
@@ -190,6 +224,22 @@ class CollectionState {
                std::uint64_t last_seq, std::uint64_t applied_seq,
                std::uint64_t incarnation);
 
+  /// Counters-only restore for a backed fragment whose members already sit
+  /// in the backing (the block engine reattaches them from its superblock
+  /// without materializing a snapshot — that is the point of block
+  /// recovery).
+  void restore_counters(std::uint64_t version, std::uint64_t last_seq,
+                        std::uint64_t applied_seq, std::uint64_t incarnation);
+
+  /// Installs (or clears, with nullptr) the member storage seam. Installing
+  /// does not migrate members: the caller hosts fragments empty, seeds or
+  /// recovers them afterwards. Not owned.
+  void set_backing(MemberBacking* backing) noexcept {
+    backing_ = backing;
+    scratch_stale_ = true;
+  }
+  [[nodiscard]] MemberBacking* backing() const noexcept { return backing_; }
+
   /// Recovery: replays one WAL record on top of a restored checkpoint. Ops
   /// must arrive contiguously from last_seq() + 1. Every replayed op was
   /// effective when first logged, and replay starts from the same base
@@ -198,9 +248,15 @@ class CollectionState {
 
  private:
   void record(CollectionOp::Kind kind, ObjectRef ref, std::uint64_t seq);
+  bool member_insert(ObjectRef ref);
+  bool member_erase(ObjectRef ref);
+  void member_assign(std::vector<ObjectRef> members);
 
   CollectionId id_;
   MemberList list_;
+  MemberBacking* backing_ = nullptr;
+  mutable std::vector<ObjectRef> scratch_;  // members() buffer when backed
+  mutable bool scratch_stale_ = true;       // re-materialize scratch_?
   std::deque<CollectionOp> log_;  // most recent ops, contiguous seqs
   std::size_t log_cap_ = 0;       // 0 = unbounded
   std::uint64_t last_seq_ = 0;

@@ -117,6 +117,13 @@ StoreServer::StoreServer(RpcNetwork& net, NodeId node,
     wal_ = std::make_unique<wal::WalWriter>(net_.sim(), *disk_, kWalFile,
                                             options_.durability.fsync_interval,
                                             &metrics_);
+    if (options_.durability.block.enabled) {
+      engine_ = std::make_unique<block::BlockEngine>(
+          net_.sim(), *disk_, options_.durability.block, metrics_);
+      if (options_.durability.block.compaction_interval > Duration::zero()) {
+        net_.sim().spawn(compaction_loop());
+      }
+    }
   }
   register_handlers();
 }
@@ -172,6 +179,13 @@ void StoreServer::register_handlers() {
         // report our incarnation so the primary stops pushing; pull
         // anti-entropy snapshot-resyncs us.
         if (req.incarnation() == state->incarnation()) {
+          if (engine_ != nullptr && !req.ops().empty()) {
+            co_await fault_ops(req.id(), req.ops());
+            if (epoch != epoch_) {
+              co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+            }
+            if (entry->retired) co_return wrong_epoch(entry->retired_epoch);
+          }
           // Apply the contiguous prefix; a gap (push overtaken by loss)
           // leaves applied_seq behind and the primary (or pull) resends
           // from there.
@@ -196,6 +210,7 @@ CollectionState& StoreServer::host_primary(CollectionId id) {
   auto [it, inserted] = collections_.emplace(id, std::move(entry));
   assert(inserted && "collection already hosted here");
   install_wal_observer(*it->second);
+  attach_backing(id, *it->second);
   return it->second->state;
 }
 
@@ -207,6 +222,7 @@ CollectionState& StoreServer::host_replica(CollectionId id, NodeId primary) {
   auto [it, inserted] = collections_.emplace(id, std::move(entry));
   assert(inserted && "collection already hosted here");
   install_wal_observer(*it->second);
+  attach_backing(id, *it->second);
   net_.sim().spawn(pull_loop(id, primary));
   return it->second->state;
 }
@@ -430,6 +446,12 @@ Task<void> StoreServer::pull_loop(CollectionId id, NodeId primary) {
       // so a crash does not set this replica all the way back.
       arm_checkpoint();
       continue;
+    }
+    if (engine_ != nullptr && !reply.value().ops().empty()) {
+      co_await fault_ops(id, reply.value().ops());
+      if (epoch != epoch_) continue;
+      state = collection(id);
+      if (state == nullptr) co_return;
     }
     // Apply the contiguous prefix only (cf. the coll.sync handler): a racing
     // push may have advanced applied_seq during the pull's round trip.
@@ -776,6 +798,15 @@ Task<Result<Payload>> StoreServer::handle_membership(NodeId /*from*/,
       }
     }
     co_return Payload{msg::MembershipReply{orset_changed, orset_version}};
+  }
+  if (entry.backing != nullptr) {
+    // Block engine: page the member's bucket in (charging the extent read
+    // and any evictions it forces) before the synchronous mutation below.
+    co_await fault_member(req.id(), req.ref());
+    if (epoch != epoch_) {
+      co_return Failure{FailureKind::kNodeCrashed, "node crashed"};
+    }
+    if (entry.retired) co_return wrong_epoch(entry.retired_epoch);
   }
   const bool changed =
       is_add ? entry.state.add(req.ref()) : entry.state.remove(req.ref());
@@ -1331,6 +1362,58 @@ void StoreServer::install_wal_observer(Hosted& entry) {
   });
 }
 
+void StoreServer::attach_backing(CollectionId id, Hosted& entry) {
+  if (engine_ == nullptr || entry.orset != nullptr) return;
+  entry.backing = std::make_unique<BlockBacking>(*engine_, id);
+  entry.state.set_backing(entry.backing.get());
+}
+
+Task<void> StoreServer::fault_member(CollectionId id, ObjectRef ref) {
+  Hosted* entry = find_entry(id);
+  if (engine_ == nullptr || entry == nullptr || entry->backing == nullptr) {
+    co_return;
+  }
+  co_await engine_->fault(entry->backing->raw_id(), ref.id().raw(),
+                          ref.home().raw());
+}
+
+Task<void> StoreServer::fault_ops(CollectionId id,
+                                  const std::vector<CollectionOp>& ops) {
+  Hosted* entry = find_entry(id);
+  if (engine_ == nullptr || entry == nullptr || entry->backing == nullptr) {
+    co_return;
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> refs;
+  refs.reserve(ops.size());
+  for (const CollectionOp& op : ops) {
+    refs.emplace_back(op.ref().id().raw(), op.ref().home().raw());
+  }
+  co_await engine_->fault_many(entry->backing->raw_id(), std::move(refs));
+}
+
+Task<void> StoreServer::compaction_loop() {
+  Simulator& sim = net_.sim();
+  for (;;) {
+    co_await sim.delay(options_.durability.block.compaction_interval);
+    if (stopping_) co_return;
+    if (!serving_) continue;  // recovering: resume compacting afterwards
+    const std::uint64_t epoch = epoch_;
+    std::uint32_t moves = 0;
+    for (const CollectionId id : hosted_ids_sorted()) {
+      Hosted* entry = find_entry(id);
+      if (entry == nullptr || entry->backing == nullptr || entry->retired) {
+        continue;
+      }
+      moves += co_await engine_->compact_round(entry->backing->raw_id());
+      if (epoch != epoch_) break;
+    }
+    if (epoch != epoch_) continue;
+    // Relocations only shrink the file once a checkpoint publishes the moved
+    // roots and commits the retired extents back to the free list.
+    if (moves > 0) arm_checkpoint();
+  }
+}
+
 void StoreServer::arm_checkpoint() {
   if (!options_.durability.enabled || checkpoint_armed_) return;
   checkpoint_armed_ = true;
@@ -1362,6 +1445,7 @@ Task<bool> StoreServer::write_checkpoint(std::uint64_t epoch) {
   // truncation below is safe even though appends continue during the write.
   wal::CheckpointImage image;
   bool hosts_orset = false;
+  std::vector<CollectionId> backed;
   for (const CollectionId id : hosted_ids_sorted()) {
     const Hosted& entry = *collections_.at(id);
     // Tombstones stay out of the checkpoint: once this image lands (and the
@@ -1374,10 +1458,34 @@ Task<bool> StoreServer::write_checkpoint(std::uint64_t epoch) {
       hosts_orset = true;
       continue;
     }
+    // Block-backed fragments checkpoint incrementally through the engine
+    // (below) instead of materializing into the whole-file image.
+    if (entry.backing != nullptr) {
+      backed.push_back(id);
+      continue;
+    }
     image.collections.push_back(image_of(id, entry.state));
   }
   const std::uint64_t wal_mark = disk_->log_next_index(kWalFile);
   const SimTime start = net_.sim().now();
+  // Engine checkpoints: dirty leaves + root per fragment, superblock
+  // published atomically. Each captures its snapshot at or after the WAL
+  // mark above, so truncating to the mark keeps every op either inside a
+  // durable image or in the retained tail (replay gates on seq, so overlap
+  // is harmless).
+  for (const CollectionId id : backed) {
+    Hosted* entry = find_entry(id);
+    if (entry == nullptr || entry->retired) continue;
+    block::ProtoState proto;
+    proto.incarnation = entry->state.incarnation();
+    proto.version = entry->state.version();
+    proto.last_seq = entry->state.last_seq();
+    proto.applied_seq = entry->state.applied_seq();
+    proto.wal_upto = wal_mark;
+    const bool ok =
+        co_await engine_->checkpoint(entry->backing->raw_id(), proto);
+    if (!ok || epoch != epoch_) co_return false;
+  }
   std::string bytes = wal::encode(image);
   metrics_.record_value("wal.checkpoint_bytes",
                         static_cast<std::int64_t>(bytes.size()));
@@ -1409,17 +1517,12 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
   // accounting stays exact.
   admission_.reset();
 
-  // How many appended-but-unsynced records the crash lottery will decide on.
-  const std::uint64_t next_before =
-      disk_ ? disk_->log_next_index(kWalFile) : 0;
-  if (disk_) disk_->crash();
-  if (wal_) wal_->on_crash();
-  const std::uint64_t next_after = disk_ ? disk_->log_next_index(kWalFile) : 0;
-
-  // Wipe volatile state in place (in-flight handlers hold Hosted&; they
-  // observe the epoch bump and abandon their work). Capture the pre-crash
-  // membership of primary fragments first: the ground-truth mutation sink
-  // must learn what the crash un-did.
+  // Capture the pre-crash membership of primary fragments first: the
+  // ground-truth mutation sink must learn what the crash un-did. This must
+  // precede the disk's crash lottery — a block-backed fragment materializes
+  // through extents whose (pending, unsynced) write-backs the lottery may
+  // drop, after which the in-memory bucket table dangles until the engine
+  // wipe below.
   const std::vector<CollectionId> ids = hosted_ids_sorted();
   std::vector<std::vector<ObjectRef>> pre_members(ids.size());
   std::vector<std::uint64_t> pre_incarnation(ids.size());
@@ -1431,11 +1534,27 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
     // member list is inert and excluded from the ground-truth diff below.
     pre_retired[i] = entry.retired ? 1 : 0;
     if (entry.retired) continue;
-    if (!entry.primary.valid()) {
+    if (!entry.primary.valid() && sink_ != nullptr) {
+      // Only the ground-truth diff below needs this; with no sink, skip the
+      // (block-backed: full-materialize) capture.
       pre_members[i] = entry.orset != nullptr ? entry.orset->members()
                                               : entry.state.members();
     }
     pre_incarnation[i] = entry.state.incarnation();
+  }
+
+  // How many appended-but-unsynced records the crash lottery will decide on.
+  const std::uint64_t next_before =
+      disk_ ? disk_->log_next_index(kWalFile) : 0;
+  if (disk_) disk_->crash();
+  if (wal_) wal_->on_crash();
+  const std::uint64_t next_after = disk_ ? disk_->log_next_index(kWalFile) : 0;
+
+  // Wipe volatile state in place (in-flight handlers hold Hosted&; they
+  // observe the epoch bump and abandon their work).
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    Hosted& entry = *collections_.at(ids[i]);
+    if (entry.retired) continue;
     entry.handoff_target = NodeId::invalid();
     entry.frozen_by = 0;
     entry.lease_timer.cancel();
@@ -1459,6 +1578,9 @@ void StoreServer::on_crash(Topology::CrashKind kind) {
     }
     entry.state.wipe_volatile();
   }
+  // The engine's cache, bucket tables and allocators are volatile too; its
+  // wipe also starts recovery-read accounting for the replay faults below.
+  if (engine_ != nullptr) engine_->wipe();
 
   // Reconstruct the durable image immediately (zero simulated time), so
   // ground-truth observers see exactly the post-recovery state throughout
@@ -1537,6 +1659,21 @@ StoreServer::RecoveryPlan StoreServer::reconstruct_from_disk() {
         it->second->state.restore(std::move(members), coll.version,
                                   coll.last_seq, coll.applied_seq,
                                   coll.incarnation);
+      }
+    }
+  }
+
+  // Block-backed fragments reattach from their superblocks: counters from
+  // the proto image, members left on disk. The WAL replay below faults in
+  // only the buckets its records touch — recovery cost tracks the dirty
+  // set, not the collection size.
+  if (engine_ != nullptr) {
+    for (const CollectionId id : hosted_ids_sorted()) {
+      Hosted& entry = *collections_.at(id);
+      if (entry.backing == nullptr || entry.retired) continue;
+      if (const auto proto = engine_->reconstruct(entry.backing->raw_id())) {
+        entry.state.restore_counters(proto->version, proto->last_seq,
+                                     proto->applied_seq, proto->incarnation);
       }
     }
   }
@@ -1626,6 +1763,11 @@ Task<void> StoreServer::recover(std::uint64_t epoch) {
     if (epoch != epoch_) co_return;  // crashed again mid-recovery
     co_await disk_->read_log(kWalFile);
     if (epoch != epoch_) co_return;
+    if (engine_ != nullptr) {
+      // Superblock + root + replay-faulted leaves, charged as one read.
+      co_await engine_->charge_recovery_reads();
+      if (epoch != epoch_) co_return;
+    }
     // Persist the incarnation bump (and fold the replayed tail away) before
     // the first post-recovery op can escape.
     const bool ok = co_await write_checkpoint(epoch);

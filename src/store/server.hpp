@@ -21,7 +21,9 @@
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "sim/channel.hpp"
+#include "block/block_engine.hpp"
 #include "store/admission.hpp"
+#include "store/block_backing.hpp"
 #include "store/collection.hpp"
 #include "store/object_store.hpp"
 #include "wal/sim_disk.hpp"
@@ -62,6 +64,11 @@ struct DurabilityOptions {
   Duration checkpoint_interval = Duration::millis(250);
   /// Cost model and crash lottery of the simulated disk.
   SimDiskOptions disk;
+  /// Block storage engine under the WAL (DESIGN.md decision 17): paged
+  /// member buckets, LRU cache, incremental shadow-paged checkpoints,
+  /// background compaction. Default-off — the whole-file checkpoint path
+  /// (and every committed baseline) is byte-identical until enabled.
+  block::BlockStorageOptions block;
 };
 
 struct StoreServerOptions {
@@ -268,6 +275,11 @@ class StoreServer {
   /// The simulated durable device; nullptr when durability is disabled.
   [[nodiscard]] SimDisk* disk() noexcept { return disk_.get(); }
 
+  /// The block storage engine; nullptr unless durability.block.enabled.
+  [[nodiscard]] block::BlockEngine* block_engine() noexcept {
+    return engine_.get();
+  }
+
  private:
   struct Hosted {
     explicit Hosted(CollectionId id) : state(id) {}
@@ -324,6 +336,9 @@ class StoreServer {
       std::uint64_t incarnation = 0;
     };
     std::map<NodeId, OrSetCursor> orset_cursors;
+    // Block storage engine mode (DESIGN.md decision 17): non-null routes
+    // this fragment's members through the engine's paged buckets.
+    std::unique_ptr<BlockBacking> backing;
   };
 
   /// What crash-time reconstruction found; recovery reports it as metrics
@@ -361,6 +376,15 @@ class StoreServer {
   /// Hooks the fragment's op log into the WAL (no-op when durability is
   /// off).
   void install_wal_observer(Hosted& entry);
+  /// Routes the fragment's members through the block engine (no-op unless
+  /// the engine is on or the fragment is OR-Set-hosted).
+  void attach_backing(CollectionId id, Hosted& entry);
+  /// Faults the buckets a membership op will touch, charging block reads
+  /// (no-op without the engine).
+  Task<void> fault_member(CollectionId id, ObjectRef ref);
+  Task<void> fault_ops(CollectionId id, const std::vector<CollectionOp>& ops);
+  /// Background compaction daemon (spawned when the engine is on).
+  Task<void> compaction_loop();
   /// Arms the (cancellable) checkpoint timer if it is not already armed.
   void arm_checkpoint();
   /// Snapshots every hosted fragment at one instant, writes the checkpoint
@@ -407,6 +431,8 @@ class StoreServer {
   // Durability (DESIGN.md decision 11).
   std::unique_ptr<SimDisk> disk_;
   std::unique_ptr<wal::WalWriter> wal_;
+  // Block storage engine (DESIGN.md decision 17); null unless enabled.
+  std::unique_ptr<block::BlockEngine> engine_;
   /// False from an amnesia crash until recovery completes; handlers refuse.
   bool serving_ = true;
   /// Bumped on every amnesia wipe; coroutines suspended across the wipe

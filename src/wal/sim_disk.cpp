@@ -109,6 +109,72 @@ std::optional<std::string> SimDisk::peek_file(const std::string& file) const {
   return it->second;
 }
 
+Task<bool> SimDisk::write_extent(const std::string& device,
+                                 std::uint64_t first,
+                                 std::vector<std::string> blocks) {
+  const std::uint64_t gen = generation_;
+  std::uint64_t bytes = 0;
+  for (const std::string& b : blocks) bytes += b.size();
+  co_await sim_.delay(write_cost(bytes));
+  if (generation_ != gen) co_return false;  // crash mid-write: nothing landed
+  devices_[device].pending.push_back(
+      BlockDevice::PendingExtent{first, std::move(blocks)});
+  co_return true;
+}
+
+Task<bool> SimDisk::sync_device(const std::string& device) {
+  const std::uint64_t gen = generation_;
+  co_await sim_.delay(options_.fsync_latency);
+  if (generation_ != gen) co_return false;  // the lottery already ran
+  BlockDevice& d = devices_[device];
+  for (BlockDevice::PendingExtent& p : d.pending) {
+    for (std::size_t i = 0; i < p.blocks.size(); ++i) {
+      d.blocks[p.first + i] = std::move(p.blocks[i]);
+    }
+  }
+  d.pending.clear();
+  co_return true;
+}
+
+Task<std::vector<std::optional<std::string>>> SimDisk::read_extent(
+    const std::string& device, std::uint64_t first, std::uint64_t count) {
+  std::vector<std::optional<std::string>> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::uint64_t bytes = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(peek_block(device, first + i));
+    if (out.back()) bytes += out.back()->size();
+  }
+  co_await sim_.delay(read_cost(bytes));
+  co_return out;
+}
+
+std::optional<std::string> SimDisk::peek_block(const std::string& device,
+                                               std::uint64_t block) const {
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) return std::nullopt;
+  const BlockDevice& d = it->second;
+  // The page cache shadows the platter: the newest pending write wins.
+  for (auto p = d.pending.rbegin(); p != d.pending.rend(); ++p) {
+    if (block >= p->first && block < p->first + p->blocks.size()) {
+      return p->blocks[static_cast<std::size_t>(block - p->first)];
+    }
+  }
+  const auto b = d.blocks.find(block);
+  if (b == d.blocks.end()) return std::nullopt;
+  return b->second;
+}
+
+std::uint64_t SimDisk::device_pending_bytes(const std::string& device) const {
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const BlockDevice::PendingExtent& p : it->second.pending) {
+    for (const std::string& b : p.blocks) total += b.size();
+  }
+  return total;
+}
+
 void SimDisk::crash() {
   ++generation_;
   for (auto& [name, f] : logs_) {
@@ -122,6 +188,40 @@ void SimDisk::crash() {
     }
     f.records.resize(static_cast<std::size_t>(f.durable_upto - f.start));
     f.next = f.durable_upto;
+  }
+  for (auto& [name, d] : devices_) {
+    (void)name;
+    const std::uint64_t lost = d.pending.size();
+    // Same lottery shape as the logs: a prefix of the pending extent writes
+    // reached the platter in write order.
+    const std::uint64_t kept = rng_.uniform(lost + 1);
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      BlockDevice::PendingExtent& p = d.pending[static_cast<std::size_t>(i)];
+      for (std::size_t j = 0; j < p.blocks.size(); ++j) {
+        d.blocks[p.first + j] = std::move(p.blocks[j]);
+      }
+    }
+    if (kept < lost && rng_.bernoulli(options_.torn_tail_probability)) {
+      // The first lost extent tore mid-write: a prefix of its blocks landed
+      // whole, and the next block landed half-written. The half block fails
+      // the block layer's checksum on read — this is the multi-block analogue
+      // of a torn log record.
+      BlockDevice::PendingExtent& p =
+          d.pending[static_cast<std::size_t>(kept)];
+      if (!p.blocks.empty()) {
+        const std::uint64_t whole = rng_.uniform(p.blocks.size());
+        for (std::uint64_t j = 0; j < whole; ++j) {
+          d.blocks[p.first + j] =
+              std::move(p.blocks[static_cast<std::size_t>(j)]);
+        }
+        std::string& half = p.blocks[static_cast<std::size_t>(whole)];
+        std::string torn = half.substr(0, half.size() / 2);
+        if (torn.empty()) torn.push_back('\x5a');
+        torn[0] = static_cast<char>(torn[0] ^ 0x5a);
+        d.blocks[p.first + whole] = std::move(torn);
+      }
+    }
+    d.pending.clear();
   }
 }
 

@@ -2,7 +2,7 @@
 
 // A simulated local disk on the virtual clock (DESIGN.md decision 11).
 //
-// Two kinds of durable object:
+// Three kinds of durable object:
 //
 //   * Append-only logs: append_record() is pure memory (the OS page cache);
 //     only sync() — the fsync — costs simulated time and advances the
@@ -14,11 +14,21 @@
 //     and then replaces the content atomically — a crash mid-write leaves
 //     the previous content intact, never a half-written file.
 //
+//   * Block devices (DESIGN.md decision 17): a flat array of addressable
+//     blocks for the block storage engine. write_extent() charges the write
+//     cost but leaves the bytes in the page cache; sync_device() is the
+//     fsync barrier that makes every buffered extent durable. Reads see the
+//     page-cache overlay, crashes see only what was synced — plus whatever
+//     the lottery kept.
+//
 // crash() models power loss: every byte not yet fsynced is up for grabs. A
 // seeded RNG decides how many pending records made it to the platter, and
 // whether the first lost record was torn mid-write (reported to readers so
-// recovery can count checksum-discarded tails). Atomic files always survive
-// whole. Determinism: per-log draws iterate a std::map in key order.
+// recovery can count checksum-discarded tails). For block devices the same
+// lottery keeps a prefix of the pending extent writes, and a torn extent
+// lands a prefix of its blocks plus one half-written block — detectable only
+// by the block layer's checksums. Atomic files always survive whole.
+// Determinism: per-log and per-device draws iterate a std::map in key order.
 
 #include <cstdint>
 #include <map>
@@ -96,6 +106,35 @@ class SimDisk {
   [[nodiscard]] std::optional<std::string> peek_file(
       const std::string& file) const;
 
+  // --- block devices (DESIGN.md decision 17) ------------------------------
+
+  /// Writes `blocks.size()` consecutive blocks of `device` starting at block
+  /// `first` (one extent write). Charges the write cost now; the content is
+  /// page-cache-buffered (visible to reads, volatile to crashes) until
+  /// sync_device(). Returns false if the node crashed while the write was in
+  /// flight (nothing applied).
+  Task<bool> write_extent(const std::string& device, std::uint64_t first,
+                          std::vector<std::string> blocks);
+
+  /// fsync barrier for `device`: every extent buffered so far becomes
+  /// durable. Returns false if a crash interrupted (the lottery already
+  /// decided the pending extents' fate).
+  Task<bool> sync_device(const std::string& device);
+
+  /// Reads `count` blocks starting at `first`, charging the read cost once
+  /// for the whole extent. Never-written blocks come back as nullopt slots.
+  Task<std::vector<std::optional<std::string>>> read_extent(
+      const std::string& device, std::uint64_t first, std::uint64_t count);
+
+  /// Page-cache view of one block, free of charge (crash-time capture and
+  /// zero-time recovery reconstruction).
+  [[nodiscard]] std::optional<std::string> peek_block(
+      const std::string& device, std::uint64_t block) const;
+
+  /// Bytes sitting in the page cache of `device` awaiting sync_device().
+  [[nodiscard]] std::uint64_t device_pending_bytes(
+      const std::string& device) const;
+
   // --- failure ------------------------------------------------------------
 
   /// Power loss at this instant. Pending (unsynced) log records survive only
@@ -105,6 +144,15 @@ class SimDisk {
 
   [[nodiscard]] std::uint64_t generation() const noexcept {
     return generation_;
+  }
+
+  /// The cost model, exposed for layered engines (the block engine charges
+  /// its accumulated zero-time recovery peeks through these at restart).
+  [[nodiscard]] Duration read_cost_for(std::uint64_t bytes) const {
+    return read_cost(bytes);
+  }
+  [[nodiscard]] Duration write_cost_for(std::uint64_t bytes) const {
+    return write_cost(bytes);
   }
 
  private:
@@ -131,14 +179,27 @@ class SimDisk {
   [[nodiscard]] static std::uint64_t pending_bytes(const LogFile& f);
   [[nodiscard]] static LogContents durable_contents(const LogFile& f);
 
+  struct BlockDevice {
+    /// Durable block contents (synced extents, post-lottery crash survivors).
+    std::map<std::uint64_t, std::string> blocks;
+    struct PendingExtent {
+      std::uint64_t first = 0;
+      std::vector<std::string> blocks;
+    };
+    /// Page-cache-buffered extent writes, in write order.
+    std::vector<PendingExtent> pending;
+  };
+
   Simulator& sim_;
   SimDiskOptions options_;
   Rng rng_;
   std::uint64_t generation_ = 0;
   // std::map: crash() draws per-log lottery numbers in key order, keeping
-  // same-seed runs byte-identical.
+  // same-seed runs byte-identical. Device draws follow the log draws, so a
+  // run with no block devices consumes exactly the pre-engine RNG stream.
   std::map<std::string, LogFile> logs_;
   std::map<std::string, std::string> files_;
+  std::map<std::string, BlockDevice> devices_;
 };
 
 }  // namespace weakset

@@ -156,6 +156,50 @@ TEST(RegistryMerge, HistogramsMergeExactly) {
   EXPECT_EQ(merged->nonzero_buckets(), reference.nonzero_buckets());
 }
 
+TEST(RegistryMerge, BlockEngineMetricsMergeAndExportDeterministically) {
+  // The block storage engine's telemetry (DESIGN.md decision 17): counters
+  // for the cache/checkpoint/compaction paths plus a free-list-length
+  // histogram sampled at every publish. Per-node registries merge into the
+  // repo-wide rollup exactly like any other store metric, and the export
+  // stays byte-identical run to run.
+  const char* kCounters[] = {
+      "store.block.cache_hits",          "store.block.cache_misses",
+      "store.block.evictions",           "store.block.dirty_writebacks",
+      "store.block.checkpoint_blocks_written",
+      "store.block.compaction_moves",    "store.block.recovery_read_bytes"};
+  const auto run_once = [&kCounters]() {
+    MetricsRegistry node0;
+    MetricsRegistry node1;
+    Rng rng{99};
+    for (int i = 0; i < 100; ++i) {
+      MetricsRegistry& r = i % 2 == 0 ? node0 : node1;
+      for (const char* name : kCounters) r.add(name, rng.uniform(16));
+      r.record_value("store.block.free_list_len",
+                     static_cast<std::int64_t>(rng.uniform(512)));
+    }
+    node0.merge(node1);
+    return node0.to_json();
+  };
+  const std::string merged = run_once();
+  EXPECT_EQ(merged, run_once());
+  for (const char* name : kCounters) {
+    EXPECT_NE(merged.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(merged.find("store.block.free_list_len"), std::string::npos);
+
+  // Counter sums add across nodes.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.add("store.block.cache_hits", 5);
+  b.add("store.block.cache_hits", 7);
+  b.record_value("store.block.free_list_len", 42);
+  a.merge(b);
+  EXPECT_EQ(a.counter("store.block.cache_hits"), 12u);
+  const Histogram* fl = a.histogram("store.block.free_list_len");
+  ASSERT_NE(fl, nullptr);
+  EXPECT_EQ(fl->count(), 1u);
+}
+
 // -- spans -------------------------------------------------------------------
 
 TEST(Spans, NestingRecordsParentIds) {
